@@ -1,0 +1,282 @@
+// Package dyncontract's root benchmark harness: one benchmark per table
+// and figure of the paper's evaluation (see DESIGN.md §4 for the index),
+// plus micro-benchmarks for the hot paths (contract design, best response,
+// parallel decomposition).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem .
+package dyncontract
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dyncontract/internal/baseline"
+	"dyncontract/internal/cluster"
+	"dyncontract/internal/core"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/experiments"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/polyfit"
+	"dyncontract/internal/solver"
+	"dyncontract/internal/synth"
+	"dyncontract/internal/worker"
+)
+
+var (
+	benchOnce sync.Once
+	benchPipe *experiments.Pipeline
+	benchErr  error
+)
+
+func benchPipeline(b *testing.B) *experiments.Pipeline {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchPipe, benchErr = experiments.BuildPipeline(synth.SmallScale(123))
+	})
+	if benchErr != nil {
+		b.Fatalf("pipeline: %v", benchErr)
+	}
+	return benchPipe
+}
+
+func benchAgent(b *testing.B) (*worker.Agent, core.Config) {
+	b.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := effort.NewPartition(20, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := worker.NewHonest("bench", psi, 1, part.YMax())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, core.Config{Part: part, Mu: 1, W: 1}
+}
+
+// BenchmarkFig6Bounds regenerates Fig. 6's data: designs and bounds across
+// the m sweep for a single honest worker.
+func BenchmarkFig6Bounds(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig6(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Clustering regenerates Table II: collusive community
+// detection over the malicious worker set.
+func BenchmarkTable2Clustering(b *testing.B) {
+	p := benchPipeline(b)
+	ids := p.Trace.MaliciousWorkerIDs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comms := cluster.FindCommunities(p.Trace, ids)
+		if len(comms) == 0 {
+			b.Fatal("no communities found")
+		}
+	}
+}
+
+// BenchmarkFig7ClassProfiles regenerates Fig. 7: per-class effort and
+// feedback aggregates.
+func BenchmarkFig7ClassProfiles(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig7(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Fitting regenerates Table III: the degree-1..6 polynomial
+// NoR sweep on the honest class's point cloud.
+func BenchmarkTable3Fitting(b *testing.B) {
+	p := benchPipeline(b)
+	efforts, feedbacks, err := p.ClassPoints(worker.Honest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := polyfit.Sweep(efforts, feedbacks, 1, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8aCompensation regenerates Fig. 8(a): per-worker contract
+// design with individual effort functions for m = 10, 20, 40.
+func BenchmarkFig8aCompensation(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8a(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8bCompensationByClass regenerates Fig. 8(b): class-level
+// compensation statistics across μ ∈ {1.0, 0.9, 0.8}.
+func BenchmarkFig8bCompensationByClass(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8b(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8cVsBaseline regenerates Fig. 8(c): the multi-round
+// marketplace under the dynamic policy vs the exclusion baseline.
+func BenchmarkFig8cVsBaseline(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig8c(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationGridSearch runs the near-optimality ablation: designed
+// contract vs brute-force grid optimum.
+func BenchmarkAblationGridSearch(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAblation(p, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDesignSingle measures one §IV-C contract design (m = 20).
+func BenchmarkDesignSingle(b *testing.B) {
+	a, cfg := benchAgent(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Design(a, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBestResponse measures one exact worker best-response
+// computation against a designed contract.
+func BenchmarkBestResponse(b *testing.B) {
+	a, cfg := benchAgent(b)
+	res, err := core.Design(a, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.BestResponse(res.Contract, cfg.Part); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveAllParallel measures the decomposed solver fanning 256
+// subproblems across the pool — the §IV-B parallel decomposition claim.
+func BenchmarkSolveAllParallel(b *testing.B) {
+	a, cfg := benchAgent(b)
+	subs := make([]solver.Subproblem, 256)
+	for i := range subs {
+		subs[i] = solver.Subproblem{Agent: a, Config: cfg}
+	}
+	ctx := context.Background()
+	for _, par := range []struct {
+		name string
+		n    int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(par.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				outcomes, err := solver.SolveAll(ctx, subs, solver.Options{Parallelism: par.n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(solver.Results(outcomes)) != len(subs) {
+					b.Fatal("lost results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlatformRound measures one full marketplace round (design +
+// best responses + accounting) for ~200 agents.
+func BenchmarkPlatformRound(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	pop, err := p.BuildPopulation(params, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Simulate(ctx, pop, &platform.DynamicPolicy{}, 1, platform.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExclusionBaselineRound measures the baseline policy's round for
+// comparison with BenchmarkPlatformRound.
+func BenchmarkExclusionBaselineRound(b *testing.B) {
+	p := benchPipeline(b)
+	params := experiments.DefaultParams()
+	pop, err := p.BuildPopulation(params, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := &baseline.ExcludeMalicious{Threshold: 0.5}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := platform.Simulate(ctx, pop, pol, 1, platform.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthGeneration measures small-scale trace synthesis.
+func BenchmarkSynthGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(synth.SmallScale(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

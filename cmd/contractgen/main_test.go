@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultHonest(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"honest", "designed contract", "k_opt", "Theorem 4.1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMaliciousJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-class", "malicious", "-json"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var payload struct {
+		KOpt         int     `json:"k_opt"`
+		Compensation float64 `json:"compensation"`
+		Contract     struct {
+			Knots []float64 `json:"knots"`
+			Comps []float64 `json:"comps"`
+		} `json:"contract"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &payload); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if payload.KOpt < 1 {
+		t.Errorf("k_opt = %d", payload.KOpt)
+	}
+	if len(payload.Contract.Knots) == 0 || len(payload.Contract.Knots) != len(payload.Contract.Comps) {
+		t.Errorf("contract knots/comps malformed: %+v", payload.Contract)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"bad class":     {"-class", "robot"},
+		"convex psi":    {"-r2", "0.5"},
+		"bad slope":     {"-r1", "-1"},
+		"bad partition": {"-m", "0"},
+		"bad mu":        {"-mu", "-1"},
+		"bad flag":      {"-definitely-not-a-flag"},
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(args, &buf); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestRunCustomYMax(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ymax", "30", "-m", "6"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "m=6") {
+		t.Errorf("partition not reflected:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,159 @@
+// Command experiments regenerates the paper's tables and figures on a
+// synthetic trace (or a trace file produced by tracegen).
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-scale small|paper] [-seed n] [-trace file.jsonl]
+//	experiments -list
+//
+// Each experiment prints an aligned text table with shape-check notes; see
+// EXPERIMENTS.md for the mapping to the paper's figures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dyncontract/internal/experiments"
+	"dyncontract/internal/synth"
+	"dyncontract/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		runIDs    = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale     = fs.String("scale", "small", "trace scale: small or paper")
+		seed      = fs.Int64("seed", 42, "generation seed")
+		traceFile = fs.String("trace", "", "read the trace from this JSONL file instead of generating")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+		m         = fs.Int("m", 0, "override the number of effort intervals (0 = default)")
+		plot      = fs.Bool("plot", false, "render ASCII charts below figure-style reports")
+		asJSON    = fs.Bool("json", false, "emit reports as JSON instead of text tables")
+		outDir    = fs.String("out", "", "also write one report file per experiment into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Fprintf(out, "%-10s %s\n", e.ID, e.Abouts)
+		}
+		return nil
+	}
+
+	if *asJSON && *plot {
+		return fmt.Errorf("-json and -plot are mutually exclusive")
+	}
+	var pipe *experiments.Pipeline
+	var err error
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return fmt.Errorf("open trace: %w", err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadJSONL(f)
+		if err != nil {
+			return fmt.Errorf("read trace: %w", err)
+		}
+		pipe, err = experiments.BuildPipelineFromTrace(tr, *seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		var cfg synth.Config
+		switch *scale {
+		case "small":
+			cfg = synth.SmallScale(*seed)
+		case "paper":
+			cfg = synth.PaperScale(*seed)
+		default:
+			return fmt.Errorf("unknown scale %q (want small or paper)", *scale)
+		}
+		if !*asJSON {
+			fmt.Fprintf(out, "generating %s-scale trace (seed %d)...\n", *scale, *seed)
+		}
+		pipe, err = experiments.BuildPipeline(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if !*asJSON {
+		fmt.Fprintf(out, "trace: %d reviews, %d workers, %d products; detected %d communities\n\n",
+			len(pipe.Trace.Reviews), len(pipe.Trace.Workers), pipe.Trace.NumProducts(), len(pipe.Communities))
+	}
+
+	params := experiments.DefaultParams()
+	if *m > 0 {
+		params.M = *m
+	}
+
+	ids := strings.Split(*runIDs, ",")
+	if *runIDs == "all" {
+		ids = nil
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := experiments.Lookup(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		rep, err := runner(pipe, params)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if *outDir != "" {
+			if err := writeReportFiles(*outDir, rep); err != nil {
+				return err
+			}
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				return fmt.Errorf("encode %s: %w", id, err)
+			}
+			continue
+		}
+		fmt.Fprintln(out, rep.Render(*plot))
+	}
+	return nil
+}
+
+// writeReportFiles persists one experiment's report as <id>.txt and
+// <id>.json inside dir, creating it if needed.
+func writeReportFiles(dir string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create %s: %w", dir, err)
+	}
+	txtPath := filepath.Join(dir, rep.ID+".txt")
+	if err := os.WriteFile(txtPath, []byte(rep.Render(true)), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", txtPath, err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", rep.ID, err)
+	}
+	jsonPath := filepath.Join(dir, rep.ID+".json")
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", jsonPath, err)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dyncontract/internal/synth"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, id := range []string{"fig6", "table2", "fig7", "table3", "fig8a", "fig8b", "fig8c", "ablation"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "table2", "-seed", "11"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== table2:") {
+		t.Errorf("missing table2 report:\n%s", out)
+	}
+	if strings.Contains(out, "== fig6:") {
+		t.Error("unrequested experiment ran")
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("shape check failed:\n%s", out)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig6, fig7"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "== fig6:") || !strings.Contains(buf.String(), "== fig7:") {
+		t.Error("both requested experiments should run")
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	tr, err := synth.Generate(synth.SmallScale(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-trace", path, "-run", "fig7"}, &buf); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	if !strings.Contains(buf.String(), "== fig7:") {
+		t.Error("fig7 missing from trace-file run")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-scale", "mega"}, &buf); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run([]string{"-trace", "/no/such/file.jsonl"}, &buf); err == nil {
+		t.Error("missing trace file accepted")
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "table2", "-json"}, &buf); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var rep struct {
+		ID    string     `json:"ID"`
+		Rows  [][]string `json:"Rows"`
+		Notes []string   `json:"Notes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.ID != "table2" || len(rep.Rows) == 0 {
+		t.Errorf("unexpected JSON payload: %+v", rep)
+	}
+	if err := run([]string{"-json", "-plot"}, &buf); err == nil {
+		t.Error("-json with -plot accepted")
+	}
+}
+
+func TestRunOutDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "reports")
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig7", "-out", dir}, &buf); err != nil {
+		t.Fatalf("run -out: %v", err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "fig7.txt"))
+	if err != nil {
+		t.Fatalf("report txt missing: %v", err)
+	}
+	if !strings.Contains(string(txt), "fig7") {
+		t.Error("txt report lacks experiment id")
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig7.json"))
+	if err != nil {
+		t.Fatalf("report json missing: %v", err)
+	}
+	var rep struct {
+		ID string `json:"ID"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil || rep.ID != "fig7" {
+		t.Errorf("json report malformed: %v %+v", err, rep)
+	}
+}
+
+func TestRunMOverride(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig8b", "-m", "8"}, &buf); err != nil {
+		t.Fatalf("run -m: %v", err)
+	}
+	if strings.Contains(buf.String(), "false") {
+		t.Errorf("shape check failed at m=8:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,115 @@
+// Command platformsim runs the multi-round crowdsourcing marketplace
+// simulation end to end: synthesize a trace, run the §IV pipeline, build
+// the worker population, and simulate the requested pricing policies
+// side by side.
+//
+// Usage:
+//
+//	platformsim [-scale small|paper] [-seed n] [-rounds n]
+//	            [-policies dynamic,exclude,fixed] [-threshold p] [-amount c]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dyncontract/internal/actor"
+	"dyncontract/internal/baseline"
+	"dyncontract/internal/experiments"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "platformsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("platformsim", flag.ContinueOnError)
+	var (
+		scale     = fs.String("scale", "small", "trace scale: small or paper")
+		seed      = fs.Int64("seed", 42, "generation seed")
+		rounds    = fs.Int("rounds", 5, "number of task rounds")
+		policies  = fs.String("policies", "dynamic,exclude,fixed", "comma-separated policies")
+		threshold = fs.Float64("threshold", 0.5, "exclusion threshold on malice probability")
+		amount    = fs.Float64("amount", 1, "fixed-payment amount")
+		perClass  = fs.Int("perclass", 200, "max agents sampled per class")
+		engine    = fs.String("engine", "seq", "simulation engine: seq (sequential) or actor (message-passing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg synth.Config
+	switch *scale {
+	case "small":
+		cfg = synth.SmallScale(*seed)
+	case "paper":
+		cfg = synth.PaperScale(*seed)
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+	fmt.Fprintf(out, "building pipeline (%s scale, seed %d)...\n", *scale, *seed)
+	pipe, err := experiments.BuildPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	params := experiments.DefaultParams()
+	pop, err := pipe.BuildPopulation(params, *perClass)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "population: %d agents (honest + NCM individuals, %d communities)\n\n",
+		len(pop.Agents), len(pipe.Communities))
+
+	ctx := context.Background()
+	for _, name := range strings.Split(*policies, ",") {
+		var pol platform.Policy
+		switch strings.TrimSpace(name) {
+		case "dynamic":
+			pol = &platform.DynamicPolicy{}
+		case "exclude":
+			pol = &baseline.ExcludeMalicious{Threshold: *threshold}
+		case "fixed":
+			pol = &baseline.FixedPayment{Amount: *amount}
+		default:
+			return fmt.Errorf("unknown policy %q (want dynamic, exclude, or fixed)", name)
+		}
+		var ledger []platform.Round
+		switch *engine {
+		case "seq":
+			ledger, err = platform.Simulate(ctx, pop, pol, *rounds, platform.Options{})
+		case "actor":
+			var eng *actor.Engine
+			eng, err = actor.NewEngine(pop, pol)
+			if err == nil {
+				ledger, err = eng.Run(ctx, *rounds)
+			}
+		default:
+			return fmt.Errorf("unknown engine %q (want seq or actor)", *engine)
+		}
+		if err != nil {
+			return fmt.Errorf("simulate %s: %w", pol.Name(), err)
+		}
+		fmt.Fprintf(out, "policy %s:\n", pol.Name())
+		for _, r := range ledger {
+			excluded := 0
+			for _, oc := range r.Outcomes {
+				if oc.Excluded {
+					excluded++
+				}
+			}
+			fmt.Fprintf(out, "  round %d: benefit=%10.2f cost=%10.2f utility=%10.2f excluded=%d\n",
+				r.Index, r.Benefit, r.Cost, r.Utility, excluded)
+		}
+		fmt.Fprintf(out, "  total utility over %d rounds: %.2f\n\n", *rounds, platform.TotalUtility(ledger))
+	}
+	return nil
+}

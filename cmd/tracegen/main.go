@@ -1,0 +1,104 @@
+// Command tracegen generates a synthetic Amazon-like review trace
+// calibrated to the paper's dataset statistics and writes it to disk.
+//
+// Usage:
+//
+//	tracegen [-scale small|paper] [-seed n] [-format jsonl|csv] [-out prefix]
+//
+// With -format jsonl (default) a single <prefix>.jsonl file is written;
+// with -format csv two files are written: <prefix>_reviews.csv and
+// <prefix>_workers.csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dyncontract/internal/synth"
+	"dyncontract/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		scale  = fs.String("scale", "small", "trace scale: small or paper")
+		seed   = fs.Int64("seed", 42, "generation seed")
+		format = fs.String("format", "jsonl", "output format: jsonl or csv")
+		prefix = fs.String("out", "trace", "output path prefix")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg synth.Config
+	switch *scale {
+	case "small":
+		cfg = synth.SmallScale(*seed)
+	case "paper":
+		cfg = synth.PaperScale(*seed)
+	default:
+		return fmt.Errorf("unknown scale %q (want small or paper)", *scale)
+	}
+
+	tr, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "generated %d reviews by %d workers over %d products (%d malicious)\n",
+		len(tr.Reviews), len(tr.Workers), tr.NumProducts(), len(tr.MaliciousWorkerIDs()))
+
+	switch *format {
+	case "jsonl":
+		path := *prefix + ".jsonl"
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		if err := tr.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+		fmt.Fprintln(out, "wrote", path)
+	case "csv":
+		reviewsPath := *prefix + "_reviews.csv"
+		rf, err := os.Create(reviewsPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", reviewsPath, err)
+		}
+		if err := trace.WriteReviewsCSV(rf, tr.Reviews); err != nil {
+			rf.Close()
+			return err
+		}
+		if err := rf.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", reviewsPath, err)
+		}
+		workersPath := *prefix + "_workers.csv"
+		wf, err := os.Create(workersPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", workersPath, err)
+		}
+		if err := trace.WriteWorkersCSV(wf, tr.Workers); err != nil {
+			wf.Close()
+			return err
+		}
+		if err := wf.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", workersPath, err)
+		}
+		fmt.Fprintln(out, "wrote", reviewsPath, "and", workersPath)
+	default:
+		return fmt.Errorf("unknown format %q (want jsonl or csv)", *format)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dyncontract/internal/trace"
+)
+
+func TestRunJSONL(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "tr")
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "small", "-seed", "5", "-out", prefix}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(prefix + ".jsonl")
+	if err != nil {
+		t.Fatalf("open output: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("written trace unreadable: %v", err)
+	}
+	if len(tr.Reviews) == 0 || len(tr.Workers) == 0 {
+		t.Error("empty trace written")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "tr")
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "csv", "-out", prefix}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rf, err := os.Open(prefix + "_reviews.csv")
+	if err != nil {
+		t.Fatalf("reviews file: %v", err)
+	}
+	defer rf.Close()
+	reviews, err := trace.ReadReviewsCSV(rf)
+	if err != nil {
+		t.Fatalf("reviews unreadable: %v", err)
+	}
+	wf, err := os.Open(prefix + "_workers.csv")
+	if err != nil {
+		t.Fatalf("workers file: %v", err)
+	}
+	defer wf.Close()
+	workers, err := trace.ReadWorkersCSV(wf)
+	if err != nil {
+		t.Fatalf("workers unreadable: %v", err)
+	}
+	if len(reviews) == 0 || len(workers) == 0 {
+		t.Error("empty CSV output")
+	}
+}
+
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	dir := t.TempDir()
+	read := func(prefix string) []byte {
+		var buf bytes.Buffer
+		if err := run([]string{"-seed", "9", "-out", prefix}, &buf); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		data, err := os.ReadFile(prefix + ".jsonl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := read(filepath.Join(dir, "a"))
+	b := read(filepath.Join(dir, "b"))
+	if !bytes.Equal(a, b) {
+		t.Error("same seed wrote different traces")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &buf); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-format", "xml"}, &buf); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "no", "such", "dir", "x")}, &buf); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Reviewcampaign: the full paper pipeline on a synthetic review campaign.
+//
+// Run with:
+//
+//	go run ./examples/reviewcampaign
+//
+// A requester crowdsources product reviews; the worker pool mixes honest
+// reviewers, lone fake-review writers, and paid collusion rings. The
+// example mirrors §IV's strategy framework (Fig. 4): synthesize the trace,
+// estimate malice, cluster collusive communities, fit per-class effort
+// functions, build per-worker contracts, and simulate the marketplace —
+// comparing the dynamic contract against excluding all suspects.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dyncontract/internal/baseline"
+	"dyncontract/internal/experiments"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/synth"
+	"dyncontract/internal/worker"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reviewcampaign: ")
+
+	// Stage 1-4: trace → malice estimates → communities → fitted ψ per
+	// class, all bundled in the pipeline.
+	pipe, err := experiments.BuildPipeline(synth.SmallScale(7))
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+	fmt.Printf("trace: %d reviews by %d workers over %d products\n",
+		len(pipe.Trace.Reviews), len(pipe.Trace.Workers), pipe.Trace.NumProducts())
+	fmt.Printf("classified: %d honest, %d non-collusive malicious, %d collusive in %d communities\n",
+		len(pipe.HonestIDs), len(pipe.NCMIDs), len(pipe.CMIDs), len(pipe.Communities))
+	for cls, fit := range pipe.ClassFit {
+		fmt.Printf("  fitted %v: %v (NoR %.2f)\n", cls, fit.Quadratic, fit.NoR)
+	}
+
+	// Stage 5: materialize the population and design contracts each round.
+	params := experiments.DefaultParams()
+	pop, err := pipe.BuildPopulation(params, 150)
+	if err != nil {
+		log.Fatalf("population: %v", err)
+	}
+	fmt.Printf("\nsimulating %d agents over 4 rounds...\n", len(pop.Agents))
+
+	ctx := context.Background()
+	for _, pol := range []platform.Policy{
+		&platform.DynamicPolicy{},
+		&baseline.ExcludeMalicious{Threshold: 0.5},
+	} {
+		ledger, err := platform.Simulate(ctx, pop, pol, 4, platform.Options{})
+		if err != nil {
+			log.Fatalf("simulate %s: %v", pol.Name(), err)
+		}
+		total := platform.TotalUtility(ledger)
+		fmt.Printf("\npolicy %-25s total utility %10.2f\n", pol.Name(), total)
+
+		// Who earned what, by class, in the last round?
+		perClass := map[worker.Class][]float64{}
+		for _, oc := range ledger[len(ledger)-1].Outcomes {
+			if !oc.Excluded {
+				comp := oc.Compensation
+				if oc.Size > 1 {
+					comp /= float64(oc.Size) // per-member share in a ring
+				}
+				perClass[oc.Class] = append(perClass[oc.Class], comp)
+			}
+		}
+		for _, cls := range []worker.Class{worker.Honest, worker.NonCollusiveMalicious, worker.CollusiveMalicious} {
+			comps := perClass[cls]
+			if len(comps) == 0 {
+				fmt.Printf("  %-28s excluded\n", cls)
+				continue
+			}
+			var sum float64
+			for _, c := range comps {
+				sum += c
+			}
+			fmt.Printf("  %-28s avg pay %.3f (%d agents)\n", cls, sum/float64(len(comps)), len(comps))
+		}
+	}
+	fmt.Println("\nthe dynamic contract keeps useful-but-biased workers at discounted pay;")
+	fmt.Println("exclusion forfeits their feedback entirely — the Fig. 8(c) result.")
+}

@@ -1,0 +1,3 @@
+module dyncontract
+
+go 1.22

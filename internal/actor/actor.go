@@ -1,0 +1,206 @@
+// Package actor is the concurrent realization of the marketplace: the
+// requester and every worker run as goroutine actors exchanging messages,
+// the way a deployed crowdsourcing platform would be structured.
+//
+// internal/platform simulates rounds sequentially (deterministic, ideal
+// for experiments); this package executes the same Stackelberg round
+// protocol as a message-passing system:
+//
+//	requester ──offer──▶ worker₁..workerₙ      (posted contracts)
+//	requester ◀─submit── worker₁..workerₙ      (effort/feedback/claims)
+//
+// Each round is a broadcast-and-gather with per-worker mailboxes, bounded
+// by context cancellation; workers compute best responses concurrently.
+// The engine asserts equivalence with the sequential simulator in tests,
+// making it a safe drop-in for latency experiments and a scaling
+// benchmark target.
+package actor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/worker"
+)
+
+// ErrEngine is returned for engine-level failures.
+var ErrEngine = errors.New("actor: engine failure")
+
+// offer is the requester→worker message for one round.
+type offer struct {
+	round    int
+	contract *contract.PiecewiseLinear // nil = excluded this round
+}
+
+// submission is the worker→requester reply.
+type submission struct {
+	agentID string
+	round   int
+	resp    worker.Response
+	exclude bool
+	err     error
+}
+
+// Engine runs the message-passing marketplace.
+type Engine struct {
+	pop    *platform.Population
+	policy platform.Policy
+
+	mailboxes map[string]chan offer
+	replies   chan submission
+	wg        sync.WaitGroup
+}
+
+// NewEngine validates the population and constructs an engine.
+func NewEngine(pop *platform.Population, policy platform.Policy) (*Engine, error) {
+	if err := pop.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("nil policy: %w", ErrEngine)
+	}
+	return &Engine{pop: pop, policy: policy}, nil
+}
+
+// Run executes the protocol for the given number of rounds and returns the
+// same per-round ledger the sequential simulator produces. Worker actors
+// are spawned once and live across rounds; the requester actor drives the
+// round barrier.
+func (e *Engine) Run(ctx context.Context, rounds int) ([]platform.Round, error) {
+	if rounds <= 0 {
+		return nil, fmt.Errorf("rounds=%d must be positive: %w", rounds, ErrEngine)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Spawn one actor per agent with a 1-slot mailbox (round protocol is
+	// strictly alternating, so one slot never blocks the requester).
+	e.mailboxes = make(map[string]chan offer, len(e.pop.Agents))
+	e.replies = make(chan submission, len(e.pop.Agents))
+	for _, a := range e.pop.Agents {
+		mailbox := make(chan offer, 1)
+		e.mailboxes[a.ID] = mailbox
+		e.wg.Add(1)
+		go e.workerActor(ctx, a, mailbox)
+	}
+	defer func() {
+		for _, mb := range e.mailboxes {
+			close(mb)
+		}
+		e.wg.Wait()
+	}()
+
+	ledger := make([]platform.Round, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		round, err := e.playRound(ctx, r)
+		if err != nil {
+			return ledger, err
+		}
+		ledger = append(ledger, round)
+	}
+	return ledger, nil
+}
+
+// workerActor processes offers until its mailbox closes.
+func (e *Engine) workerActor(ctx context.Context, a *worker.Agent, mailbox <-chan offer) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			// Drain until close so the requester never blocks; reply
+			// with the cancellation so gather accounts for us.
+			o, ok := <-mailbox
+			if !ok {
+				return
+			}
+			e.reply(ctx, submission{agentID: a.ID, round: o.round, err: ctx.Err()})
+		case o, ok := <-mailbox:
+			if !ok {
+				return
+			}
+			sub := submission{agentID: a.ID, round: o.round}
+			if o.contract == nil {
+				sub.exclude = true
+			} else {
+				resp, err := a.BestResponse(o.contract, e.pop.Part)
+				sub.resp = resp
+				sub.err = err
+			}
+			e.reply(ctx, sub)
+		}
+	}
+}
+
+// reply sends a submission unless the context dies first.
+func (e *Engine) reply(ctx context.Context, sub submission) {
+	select {
+	case e.replies <- sub:
+	case <-ctx.Done():
+	}
+}
+
+// playRound broadcasts offers, gathers submissions, and aggregates the
+// round exactly like the sequential simulator.
+func (e *Engine) playRound(ctx context.Context, r int) (platform.Round, error) {
+	contracts, err := e.policy.Contracts(ctx, e.pop)
+	if err != nil {
+		return platform.Round{}, fmt.Errorf("actor: policy round %d: %w", r, err)
+	}
+	for _, a := range e.pop.Agents {
+		select {
+		case e.mailboxes[a.ID] <- offer{round: r, contract: contracts[a.ID]}:
+		case <-ctx.Done():
+			return platform.Round{}, fmt.Errorf("actor: broadcast round %d: %w", r, ctx.Err())
+		}
+	}
+
+	byID := make(map[string]submission, len(e.pop.Agents))
+	for range e.pop.Agents {
+		select {
+		case sub := <-e.replies:
+			if sub.err != nil {
+				return platform.Round{}, fmt.Errorf("actor: agent %s round %d: %w", sub.agentID, r, sub.err)
+			}
+			if sub.round != r {
+				return platform.Round{}, fmt.Errorf("actor: agent %s replied for round %d during round %d: %w",
+					sub.agentID, sub.round, r, ErrEngine)
+			}
+			byID[sub.agentID] = sub
+		case <-ctx.Done():
+			return platform.Round{}, fmt.Errorf("actor: gather round %d: %w", r, ctx.Err())
+		}
+	}
+
+	round := platform.Round{Index: r}
+	agents := append([]*worker.Agent(nil), e.pop.Agents...)
+	sort.Slice(agents, func(i, j int) bool { return agents[i].ID < agents[j].ID })
+	for _, a := range agents {
+		sub := byID[a.ID]
+		oc := platform.AgentOutcome{
+			AgentID: a.ID,
+			Class:   a.Class,
+			Size:    a.Size,
+			Weight:  e.pop.Weights[a.ID],
+		}
+		switch {
+		case sub.exclude:
+			oc.Excluded = true
+		case sub.resp.Declined:
+			oc.Declined = true
+		default:
+			oc.Effort = sub.resp.Effort
+			oc.Feedback = sub.resp.Feedback
+			oc.Compensation = sub.resp.Compensation
+			round.Benefit += oc.Weight * oc.Feedback
+			round.Cost += oc.Compensation
+		}
+		round.Outcomes = append(round.Outcomes, oc)
+	}
+	round.Utility = round.Benefit - e.pop.Mu*round.Cost
+	return round, nil
+}

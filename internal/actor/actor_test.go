@@ -1,0 +1,169 @@
+package actor
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"dyncontract/internal/baseline"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/worker"
+)
+
+func actorPopulation(t *testing.T, n int) *platform.Population {
+	t.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &platform.Population{
+		Weights:    make(map[string]float64),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < n; i++ {
+		var a *worker.Agent
+		var err error
+		if i%3 == 2 {
+			a, err = worker.NewMalicious(fmt.Sprintf("w%03d", i), psi, 1, 0.5, part.YMax())
+		} else {
+			a, err = worker.NewHonest(fmt.Sprintf("w%03d", i), psi, 1, part.YMax())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 1 + 0.1*float64(i%4)
+		pop.MaliceProb[a.ID] = float64(i%3) * 0.45
+	}
+	return pop
+}
+
+func TestEngineMatchesSequentialSimulator(t *testing.T) {
+	pop := actorPopulation(t, 12)
+	eng, err := NewEngine(pop, &platform.DynamicPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run(context.Background(), 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := platform.Simulate(context.Background(), actorPopulation(t, 12), &platform.DynamicPolicy{}, 3, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rounds = %d, want %d", len(got), len(want))
+	}
+	for r := range want {
+		if math.Abs(got[r].Utility-want[r].Utility) > 1e-9 {
+			t.Errorf("round %d utility %v != sequential %v", r, got[r].Utility, want[r].Utility)
+		}
+		if !reflect.DeepEqual(got[r].Outcomes, want[r].Outcomes) {
+			t.Errorf("round %d outcomes differ", r)
+		}
+	}
+}
+
+func TestEngineWithExclusionPolicy(t *testing.T) {
+	pop := actorPopulation(t, 9)
+	eng, err := NewEngine(pop, &baseline.ExcludeMalicious{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := eng.Run(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	excluded := 0
+	for _, oc := range ledger[0].Outcomes {
+		if oc.Excluded {
+			excluded++
+			if oc.Compensation != 0 || oc.Effort != 0 {
+				t.Errorf("excluded agent %s has nonzero outcome", oc.AgentID)
+			}
+		}
+	}
+	if excluded == 0 {
+		t.Error("no agents excluded despite high malice probabilities")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	pop := actorPopulation(t, 3)
+	if _, err := NewEngine(pop, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	bad := &platform.Population{Mu: 1, Part: pop.Part}
+	if _, err := NewEngine(bad, &platform.DynamicPolicy{}); err == nil {
+		t.Error("empty population accepted")
+	}
+	eng, err := NewEngine(pop, &platform.DynamicPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(context.Background(), 0); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	pop := actorPopulation(t, 20)
+	eng, err := NewEngine(pop, &platform.DynamicPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := eng.Run(ctx, 5); err == nil {
+			t.Error("cancelled run succeeded")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine deadlocked under cancellation")
+	}
+}
+
+func TestEngineManyAgentsNoDeadlock(t *testing.T) {
+	pop := actorPopulation(t, 150)
+	eng, err := NewEngine(pop, &platform.DynamicPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var ledger []platform.Round
+	go func() {
+		defer close(done)
+		var err error
+		ledger, err = eng.Run(context.Background(), 2)
+		if err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("engine deadlocked at scale")
+	}
+	if len(ledger) != 2 {
+		t.Fatalf("rounds = %d", len(ledger))
+	}
+	if len(ledger[0].Outcomes) != 150 {
+		t.Errorf("outcomes = %d, want 150", len(ledger[0].Outcomes))
+	}
+}

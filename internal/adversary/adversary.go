@@ -1,0 +1,270 @@
+// Package adversary implements the paper's future-work direction (§VII):
+// "more sophisticated malicious workers or collusive malicious workers",
+// and studies how the dynamic contract copes with them.
+//
+// The paper's malicious workers are myopic: each round they best-respond
+// to the posted contract. Real manipulation campaigns are strategic —
+// they build reputation before attacking, or alternate attack and sleep
+// phases to dodge detectors. This package models such strategies as
+// pluggable effort policies, and pairs them with the adaptive defense: an
+// online reputation.Tracker that re-estimates each worker's malice
+// probability and accuracy between rounds, so the next round's contracts
+// (and Eq. (5) weights) reprice the attacker.
+package adversary
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/reputation"
+	"dyncontract/internal/worker"
+)
+
+// ErrBadScenario is returned when a scenario fails validation.
+var ErrBadScenario = errors.New("adversary: invalid scenario")
+
+// Strategy decides a worker's effort each round — possibly deviating from
+// the myopic best response the paper assumes.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Effort picks the round's effort level given the posted contract.
+	Effort(round int, a *worker.Agent, c *contract.PiecewiseLinear, part effort.Partition) (float64, error)
+	// Attacking reports whether the strategy is in an attack phase this
+	// round (drives the observable review behaviour: attack rounds
+	// produce promotional, inaccurate reviews).
+	Attacking(round int) bool
+}
+
+// Myopic is the paper's assumption: exact best response every round.
+type Myopic struct{}
+
+var _ Strategy = Myopic{}
+
+// Name implements Strategy.
+func (Myopic) Name() string { return "myopic" }
+
+// Effort implements Strategy.
+func (Myopic) Effort(_ int, a *worker.Agent, c *contract.PiecewiseLinear, part effort.Partition) (float64, error) {
+	resp, err := a.BestResponse(c, part)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Effort, nil
+}
+
+// Attacking implements Strategy: myopic workers never mount overt attacks.
+func (Myopic) Attacking(int) bool { return false }
+
+// InfluenceMax always maximizes influence: it pushes effort to the feasible
+// maximum to pump feedback, ignoring the pay-vs-effort tradeoff (a funded
+// campaign that values reach above wages).
+type InfluenceMax struct{}
+
+var _ Strategy = InfluenceMax{}
+
+// Name implements Strategy.
+func (InfluenceMax) Name() string { return "influence-max" }
+
+// Effort implements Strategy.
+func (InfluenceMax) Effort(_ int, a *worker.Agent, _ *contract.PiecewiseLinear, part effort.Partition) (float64, error) {
+	return maxFeasibleEffort(a, part), nil
+}
+
+// Attacking implements Strategy.
+func (InfluenceMax) Attacking(int) bool { return true }
+
+// OnOff alternates attack and sleep phases: Duty attack rounds followed by
+// Period−Duty myopic rounds, repeating. The classic detector-evasion
+// pattern.
+type OnOff struct {
+	// Period is the cycle length (≥ 1).
+	Period int
+	// Duty is the number of attacking rounds per cycle (0 ≤ Duty ≤ Period).
+	Duty int
+}
+
+var _ Strategy = OnOff{}
+
+// Name implements Strategy.
+func (s OnOff) Name() string { return fmt.Sprintf("on-off(%d/%d)", s.Duty, s.Period) }
+
+// Attacking implements Strategy.
+func (s OnOff) Attacking(round int) bool {
+	if s.Period <= 0 {
+		return false
+	}
+	return round%s.Period < s.Duty
+}
+
+// Effort implements Strategy.
+func (s OnOff) Effort(round int, a *worker.Agent, c *contract.PiecewiseLinear, part effort.Partition) (float64, error) {
+	if s.Attacking(round) {
+		return maxFeasibleEffort(a, part), nil
+	}
+	return Myopic{}.Effort(round, a, c, part)
+}
+
+// Camouflage plays honest (myopic, suppressing the influence motive) until
+// round Reveal, then attacks every round — the reputation-building
+// pattern.
+type Camouflage struct {
+	// Reveal is the first attacking round.
+	Reveal int
+}
+
+var _ Strategy = Camouflage{}
+
+// Name implements Strategy.
+func (s Camouflage) Name() string { return fmt.Sprintf("camouflage(%d)", s.Reveal) }
+
+// Attacking implements Strategy.
+func (s Camouflage) Attacking(round int) bool { return round >= s.Reveal }
+
+// Effort implements Strategy.
+func (s Camouflage) Effort(round int, a *worker.Agent, c *contract.PiecewiseLinear, part effort.Partition) (float64, error) {
+	if s.Attacking(round) {
+		return maxFeasibleEffort(a, part), nil
+	}
+	// Behave like an honest worker: best-respond with the influence
+	// motive suppressed.
+	masked := *a
+	masked.Omega = 0
+	masked.Class = worker.Honest
+	resp, err := masked.BestResponse(c, part)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Effort, nil
+}
+
+// maxFeasibleEffort returns min(mδ, apex of ψ).
+func maxFeasibleEffort(a *worker.Agent, part effort.Partition) float64 {
+	y := part.YMax()
+	if apex := a.Psi.Apex(); apex < y {
+		y = apex
+	}
+	return y
+}
+
+// Scenario couples a population with per-agent strategies and an optional
+// adaptive defense.
+type Scenario struct {
+	// Pop is the worker population (weights/malice probabilities are
+	// mutated in place when Tracker is set).
+	Pop *platform.Population
+	// Strategies maps agent IDs to strategies; unmapped agents are
+	// Myopic.
+	Strategies map[string]Strategy
+	// Tracker, when non-nil, re-estimates weights and malice
+	// probabilities between rounds (the adaptive defense). When nil the
+	// requester keeps its round-0 beliefs (the static defense).
+	Tracker *reputation.Tracker
+	// AttackDist and CleanDist are the accuracy distances |l − l̄| the
+	// tracker observes during attack and normal rounds.
+	AttackDist, CleanDist float64
+}
+
+// Validate checks the scenario.
+func (sc *Scenario) Validate() error {
+	if sc.Pop == nil {
+		return fmt.Errorf("nil population: %w", ErrBadScenario)
+	}
+	if err := sc.Pop.Validate(); err != nil {
+		return err
+	}
+	ids := make(map[string]bool, len(sc.Pop.Agents))
+	for _, a := range sc.Pop.Agents {
+		ids[a.ID] = true
+	}
+	for id := range sc.Strategies {
+		if !ids[id] {
+			return fmt.Errorf("strategy for unknown agent %q: %w", id, ErrBadScenario)
+		}
+	}
+	if sc.AttackDist < 0 || sc.CleanDist < 0 || math.IsNaN(sc.AttackDist) || math.IsNaN(sc.CleanDist) {
+		return fmt.Errorf("negative distances: %w", ErrBadScenario)
+	}
+	return nil
+}
+
+// Run simulates the scenario for the given rounds under the policy,
+// wiring strategies into the platform's Responder hook and (when a tracker
+// is present) refreshing weights through the Drift hook.
+func (sc *Scenario) Run(ctx context.Context, pol platform.Policy, rounds int) ([]platform.Round, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	attackDist := sc.AttackDist
+	if attackDist == 0 {
+		attackDist = 2.5
+	}
+	cleanDist := sc.CleanDist
+	if cleanDist == 0 {
+		cleanDist = 0.3
+	}
+
+	partners := make(map[string]int, len(sc.Pop.Agents))
+	for _, a := range sc.Pop.Agents {
+		if a.Size > 1 {
+			partners[a.ID] = a.Size - 1
+		}
+	}
+
+	opts := platform.Options{
+		Responder: func(round int, a *worker.Agent, c *contract.PiecewiseLinear, part effort.Partition) (float64, error) {
+			strat, ok := sc.Strategies[a.ID]
+			if !ok {
+				strat = Myopic{}
+			}
+			return strat.Effort(round, a, c, part)
+		},
+	}
+	if sc.Tracker != nil {
+		opts.Observer = func(round platform.Round) {
+			obs := make([]reputation.Observation, 0, len(round.Outcomes))
+			for _, oc := range round.Outcomes {
+				if oc.Excluded {
+					continue
+				}
+				attacking := false
+				if strat, ok := sc.Strategies[oc.AgentID]; ok {
+					attacking = strat.Attacking(round.Index)
+				}
+				dist := cleanDist
+				if attacking {
+					dist = attackDist
+				}
+				obs = append(obs, reputation.Observation{
+					WorkerID:    oc.AgentID,
+					ReviewScore: dist, // encode distance; tracker uses |score − expert|
+					ExpertScore: 0,
+					Promotional: attacking,
+					Partners:    partners[oc.AgentID],
+				})
+			}
+			// Observe cannot fail here: IDs are non-empty and scores
+			// finite by construction.
+			_ = sc.Tracker.Observe(obs)
+		}
+		opts.Drift = func(round int, pop *platform.Population) {
+			if round == 0 {
+				return // no observations yet; keep initial beliefs
+			}
+			for _, a := range pop.Agents {
+				w, err := sc.Tracker.Weight(a.ID)
+				if err != nil {
+					continue // keep the previous weight on estimator error
+				}
+				pop.Weights[a.ID] = w
+				pop.MaliceProb[a.ID] = sc.Tracker.MaliceProb(a.ID)
+			}
+		}
+	}
+	return platform.Simulate(ctx, sc.Pop, pol, rounds, opts)
+}

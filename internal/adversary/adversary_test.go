@@ -1,0 +1,292 @@
+package adversary
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"dyncontract/internal/effort"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/reputation"
+	"dyncontract/internal/worker"
+)
+
+// advPopulation builds honest workers plus one malicious agent whose
+// strategy the test controls.
+func advPopulation(t *testing.T) *platform.Population {
+	t.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &platform.Population{
+		Weights:    make(map[string]float64),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < 3; i++ {
+		a, err := worker.NewHonest(fmt.Sprintf("h%02d", i), psi, 1, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 1.5
+		pop.MaliceProb[a.ID] = 0.05
+	}
+	m, err := worker.NewMalicious("attacker", psi, 1, 0.5, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop.Agents = append(pop.Agents, m)
+	pop.Weights[m.ID] = 1.2 // initially believed useful
+	pop.MaliceProb[m.ID] = 0.1
+	return pop
+}
+
+func newScenario(t *testing.T, strat Strategy, withTracker bool) *Scenario {
+	t.Helper()
+	sc := &Scenario{
+		Pop:        advPopulation(t),
+		Strategies: map[string]Strategy{"attacker": strat},
+	}
+	if withTracker {
+		tr, err := reputation.NewTracker(reputation.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Tracker = tr
+	}
+	return sc
+}
+
+func TestStrategyNames(t *testing.T) {
+	tests := []struct {
+		s    Strategy
+		want string
+	}{
+		{Myopic{}, "myopic"},
+		{InfluenceMax{}, "influence-max"},
+		{OnOff{Period: 4, Duty: 2}, "on-off(2/4)"},
+		{Camouflage{Reveal: 3}, "camouflage(3)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestAttackingSchedules(t *testing.T) {
+	onoff := OnOff{Period: 3, Duty: 1}
+	wantOnOff := []bool{true, false, false, true, false, false}
+	for r, want := range wantOnOff {
+		if got := onoff.Attacking(r); got != want {
+			t.Errorf("OnOff.Attacking(%d) = %v, want %v", r, got, want)
+		}
+	}
+	cam := Camouflage{Reveal: 2}
+	for r, want := range []bool{false, false, true, true} {
+		if got := cam.Attacking(r); got != want {
+			t.Errorf("Camouflage.Attacking(%d) = %v, want %v", r, got, want)
+		}
+	}
+	if (OnOff{}).Attacking(0) {
+		t.Error("zero-period OnOff attacks")
+	}
+	if (Myopic{}).Attacking(0) || !(InfluenceMax{}).Attacking(99) {
+		t.Error("constant schedules wrong")
+	}
+}
+
+func TestMyopicMatchesPlatformDefault(t *testing.T) {
+	// A scenario where everyone is (implicitly) Myopic must reproduce the
+	// plain platform simulation exactly.
+	sc := &Scenario{Pop: advPopulation(t)}
+	got, err := sc.Run(context.Background(), &platform.DynamicPolicy{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := platform.Simulate(context.Background(), advPopulation(t), &platform.DynamicPolicy{}, 2, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		if math.Abs(got[r].Utility-want[r].Utility) > 1e-9 {
+			t.Errorf("round %d: scenario utility %v != platform %v", r, got[r].Utility, want[r].Utility)
+		}
+	}
+}
+
+func TestInfluenceMaxPushesEffortToCap(t *testing.T) {
+	sc := newScenario(t, InfluenceMax{}, false)
+	ledger, err := sc.Run(context.Background(), &platform.DynamicPolicy{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range ledger[0].Outcomes {
+		if oc.AgentID != "attacker" {
+			continue
+		}
+		// Cap is min(mδ=40, apex=50) = 40.
+		if math.Abs(oc.Effort-40) > 1e-9 {
+			t.Errorf("attacker effort = %v, want 40 (feasible max)", oc.Effort)
+		}
+	}
+}
+
+func TestTrackerRepricesOnOffAttacker(t *testing.T) {
+	sc := newScenario(t, OnOff{Period: 2, Duty: 1}, true)
+	initial := sc.Pop.Weights["attacker"]
+	ledger, err := sc.Run(context.Background(), &platform.DynamicPolicy{}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger) != 6 {
+		t.Fatalf("rounds = %d", len(ledger))
+	}
+	final := sc.Pop.Weights["attacker"]
+	if final >= initial {
+		t.Errorf("attacker weight did not fall: %v -> %v", initial, final)
+	}
+	if sc.Pop.MaliceProb["attacker"] <= 0.1 {
+		t.Errorf("attacker malice estimate did not rise: %v", sc.Pop.MaliceProb["attacker"])
+	}
+}
+
+func TestAdaptiveBeatsStaticAgainstCamouflage(t *testing.T) {
+	// A camouflage attacker exploits static beliefs after revealing; the
+	// adaptive tracker reprices it, so the requester's late-round
+	// utilities must be at least as good.
+	rounds := 8
+	runScenario := func(withTracker bool) []platform.Round {
+		sc := newScenario(t, Camouflage{Reveal: 3}, withTracker)
+		ledger, err := sc.Run(context.Background(), &platform.DynamicPolicy{}, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ledger
+	}
+	adaptive := runScenario(true)
+	static := runScenario(false)
+	var adaptiveLate, staticLate float64
+	for r := 4; r < rounds; r++ {
+		adaptiveLate += adaptive[r].Utility
+		staticLate += static[r].Utility
+	}
+	if adaptiveLate < staticLate-1e-9 {
+		t.Errorf("adaptive late utility %v < static %v", adaptiveLate, staticLate)
+	}
+}
+
+func TestCamouflageLooksHonestEarly(t *testing.T) {
+	sc := newScenario(t, Camouflage{Reveal: 5}, true)
+	ledger, err := sc.Run(context.Background(), &platform.DynamicPolicy{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ledger
+	// During camouflage the malice estimate must stay low.
+	if got := sc.Tracker.MaliceProb("attacker"); got > 0.2 {
+		t.Errorf("camouflaged attacker flagged early: malice %v", got)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	sc := &Scenario{}
+	if err := sc.Validate(); err == nil {
+		t.Error("nil population accepted")
+	}
+	sc = &Scenario{
+		Pop:        advPopulation(t),
+		Strategies: map[string]Strategy{"ghost": Myopic{}},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Error("strategy for unknown agent accepted")
+	}
+	sc = &Scenario{Pop: advPopulation(t), AttackDist: -1}
+	if err := sc.Validate(); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestScenarioWithExclusionPolicy(t *testing.T) {
+	// The tracker's rising malice estimate eventually pushes the attacker
+	// over an exclusion threshold when used with the baseline policy; the
+	// scenario must run cleanly either way.
+	sc := newScenario(t, InfluenceMax{}, true)
+	ledger, err := sc.Run(context.Background(), &platform.DynamicPolicy{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ledger) != 4 {
+		t.Fatalf("rounds = %d", len(ledger))
+	}
+	if sc.Pop.MaliceProb["attacker"] < 0.5 {
+		t.Errorf("persistent attacker's malice estimate %v still below 0.5 after 4 rounds",
+			sc.Pop.MaliceProb["attacker"])
+	}
+}
+
+func TestCollusiveRingStrategy(t *testing.T) {
+	// A collusive community meta-agent can be strategic too: an on-off
+	// ring that pumps feedback in bursts. The tracker must catch it.
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &platform.Population{
+		Weights:    map[string]float64{},
+		MaliceProb: map[string]float64{},
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < 4; i++ {
+		a, err := worker.NewHonest(fmt.Sprintf("h%02d", i), psi, 1, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 1.5
+		pop.MaliceProb[a.ID] = 0.05
+	}
+	ring, err := worker.NewCommunity("ring", psi, 1, 0.5, 4, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop.Agents = append(pop.Agents, ring)
+	pop.Weights[ring.ID] = 1.0
+	pop.MaliceProb[ring.ID] = 0.3
+
+	tracker, err := reputation.NewTracker(reputation.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scenario{
+		Pop:        pop,
+		Strategies: map[string]Strategy{"ring": OnOff{Period: 2, Duty: 1}},
+		Tracker:    tracker,
+	}
+	ledger, err := sc.Run(context.Background(), &platform.DynamicPolicy{}, 6)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(ledger) != 6 {
+		t.Fatalf("rounds = %d", len(ledger))
+	}
+	if sc.Pop.MaliceProb["ring"] <= 0.3 {
+		t.Errorf("ring malice estimate %v did not rise", sc.Pop.MaliceProb["ring"])
+	}
+	if sc.Pop.Weights["ring"] >= 1.0 {
+		t.Errorf("ring weight %v did not fall", sc.Pop.Weights["ring"])
+	}
+}

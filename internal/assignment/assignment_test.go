@@ -1,0 +1,251 @@
+package assignment
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string][][]float64{
+		"no workers": {},
+		"no tasks":   {{}},
+		"ragged":     {{1, 2}, {1}},
+		"NaN":        {{1, math.NaN()}},
+		"Inf":        {{math.Inf(1), 1}},
+	}
+	for name, m := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Greedy(m); !errors.Is(err, ErrBadMatrix) {
+				t.Errorf("Greedy err = %v, want ErrBadMatrix", err)
+			}
+			if _, err := Optimal(m); !errors.Is(err, ErrBadMatrix) {
+				t.Errorf("Optimal err = %v, want ErrBadMatrix", err)
+			}
+		})
+	}
+}
+
+func TestOptimalKnownMatrix(t *testing.T) {
+	// Product matrix: the maximum matching is the main diagonal,
+	// 1 + 4 + 9 = 14 (verified by enumeration of all 6 permutations).
+	value := [][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+		{3, 6, 9},
+	}
+	res, err := Optimal(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalValue != 14 {
+		t.Errorf("TotalValue = %v, want 14 (assignment %v)", res.TotalValue, res.TaskOf)
+	}
+	if truth := bruteForce(value); res.TotalValue != truth {
+		t.Errorf("TotalValue = %v, brute force says %v", res.TotalValue, truth)
+	}
+}
+
+func TestGreedySuboptimalCase(t *testing.T) {
+	// Greedy grabs 9 (w0→t0) and is then stuck with 1 (w1→t1) = 10;
+	// optimal takes 8 + 7 = 15.
+	value := [][]float64{
+		{9, 8},
+		{7, 1},
+	}
+	g, err := Greedy(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Optimal(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalValue != 10 {
+		t.Errorf("greedy = %v, want 10", g.TotalValue)
+	}
+	if o.TotalValue != 15 {
+		t.Errorf("optimal = %v, want 15", o.TotalValue)
+	}
+}
+
+func TestRectangularMoreWorkersThanTasks(t *testing.T) {
+	value := [][]float64{
+		{5},
+		{7},
+		{6},
+	}
+	res, err := Optimal(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalValue != 7 {
+		t.Errorf("TotalValue = %v, want 7", res.TotalValue)
+	}
+	assigned := 0
+	for _, tk := range res.TaskOf {
+		if tk != -1 {
+			assigned++
+		}
+	}
+	if assigned != 1 {
+		t.Errorf("assigned = %d, want 1 (single task)", assigned)
+	}
+}
+
+func TestRectangularMoreTasksThanWorkers(t *testing.T) {
+	value := [][]float64{
+		{1, 9, 2, 3},
+	}
+	res, err := Optimal(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalValue != 9 || res.TaskOf[0] != 1 {
+		t.Errorf("res = %+v, want task 1 value 9", res)
+	}
+}
+
+func TestNegativeValuesLeftUnassigned(t *testing.T) {
+	value := [][]float64{
+		{-5, -1},
+		{-2, 4},
+	}
+	for _, solve := range []func([][]float64) (*Result, error){Greedy, Optimal} {
+		res, err := solve(value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TaskOf[0] != -1 {
+			t.Errorf("worker 0 assigned to harmful task: %+v", res)
+		}
+		if res.TaskOf[1] != 1 || res.TotalValue != 4 {
+			t.Errorf("res = %+v, want worker 1 on task 1, value 4", res)
+		}
+	}
+}
+
+// bruteForce finds the true optimum by permutation enumeration (rows ≤ 8).
+func bruteForce(value [][]float64) float64 {
+	rows := len(value)
+	cols := len(value[0])
+	best := 0.0
+	taskUsed := make([]bool, cols)
+	var rec func(w int, acc float64)
+	rec = func(w int, acc float64) {
+		if acc > best {
+			best = acc
+		}
+		if w == rows {
+			return
+		}
+		rec(w+1, acc) // leave worker w idle
+		for t := 0; t < cols; t++ {
+			if !taskUsed[t] && value[w][t] > 0 {
+				taskUsed[t] = true
+				rec(w+1, acc+value[w][t])
+				taskUsed[t] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Property: Hungarian matches brute force on small random instances, and
+// greedy never beats it.
+func TestOptimalMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(5)
+		cols := 1 + rng.Intn(5)
+		value := make([][]float64, rows)
+		for w := range value {
+			value[w] = make([]float64, cols)
+			for t := range value[w] {
+				value[w][t] = math.Round(rng.Float64()*20-4) / 2 // some negatives
+			}
+		}
+		opt, err := Optimal(value)
+		if err != nil {
+			return false
+		}
+		greedy, err := Greedy(value)
+		if err != nil {
+			return false
+		}
+		truth := bruteForce(value)
+		if math.Abs(opt.TotalValue-truth) > 1e-9 {
+			return false
+		}
+		return greedy.TotalValue <= opt.TotalValue+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: assignments are injective (no task doubly assigned).
+func TestAssignmentInjectiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(8)
+		cols := 1 + rng.Intn(8)
+		value := make([][]float64, rows)
+		for w := range value {
+			value[w] = make([]float64, cols)
+			for t := range value[w] {
+				value[w][t] = rng.Float64() * 10
+			}
+		}
+		for _, solve := range []func([][]float64) (*Result, error){Greedy, Optimal} {
+			res, err := solve(value)
+			if err != nil {
+				return false
+			}
+			seen := make(map[int]bool)
+			for _, tk := range res.TaskOf {
+				if tk == -1 {
+					continue
+				}
+				if tk < 0 || tk >= cols || seen[tk] {
+					return false
+				}
+				seen[tk] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHungarianLargeSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 120
+	value := make([][]float64, n)
+	for i := range value {
+		value[i] = make([]float64, n)
+		for j := range value[i] {
+			value[i][j] = rng.Float64() * 100
+		}
+	}
+	res, err := Optimal(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Greedy(value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalValue < g.TotalValue {
+		t.Errorf("optimal %v below greedy %v", res.TotalValue, g.TotalValue)
+	}
+	// A random 120×120 with U[0,100) values: optimum close to 100 per row.
+	if res.TotalValue < 0.95*float64(n)*100*0.95 {
+		t.Errorf("optimal %v implausibly low", res.TotalValue)
+	}
+}

@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dyncontract/internal/effort"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/worker"
+)
+
+// mixedPopulation builds honest workers plus biased-but-accurate malicious
+// workers whose feedback still carries positive weight — the Fig. 8(c)
+// setting where exclusion leaves utility on the table.
+func mixedPopulation(t *testing.T) *platform.Population {
+	t.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &platform.Population{
+		Weights:    make(map[string]float64),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < 4; i++ {
+		a, err := worker.NewHonest(fmt.Sprintf("h%02d", i), psi, 1, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 1
+		pop.MaliceProb[a.ID] = 0.05
+	}
+	for i := 0; i < 3; i++ {
+		a, err := worker.NewMalicious(fmt.Sprintf("m%02d", i), psi, 1, 0.5, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 0.7 // biased but accurate: still valuable
+		pop.MaliceProb[a.ID] = 0.9
+	}
+	return pop
+}
+
+func TestExcludeMaliciousDropsFlagged(t *testing.T) {
+	pop := mixedPopulation(t)
+	pol := &ExcludeMalicious{Threshold: 0.5}
+	contracts, err := pol.Contracts(context.Background(), pop)
+	if err != nil {
+		t.Fatalf("Contracts: %v", err)
+	}
+	for _, a := range pop.Agents {
+		c := contracts[a.ID]
+		if pop.MaliceProb[a.ID] > 0.5 && c != nil {
+			t.Errorf("flagged agent %s received a contract", a.ID)
+		}
+		if pop.MaliceProb[a.ID] <= 0.5 && c == nil {
+			t.Errorf("clean agent %s excluded", a.ID)
+		}
+	}
+}
+
+func TestExcludeMaliciousAllExcluded(t *testing.T) {
+	pop := mixedPopulation(t)
+	pol := &ExcludeMalicious{Threshold: -1} // everything above -1: drop all
+	contracts, err := pol.Contracts(context.Background(), pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, c := range contracts {
+		if c != nil {
+			t.Errorf("agent %s kept under drop-all threshold", id)
+		}
+	}
+	// The platform must simulate an all-excluded round to zero utility.
+	ledger, err := platform.Simulate(context.Background(), pop, pol, 1, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ledger[0].Utility != 0 {
+		t.Errorf("all-excluded utility = %v, want 0", ledger[0].Utility)
+	}
+}
+
+func TestFig8cDynamicBeatsExclusion(t *testing.T) {
+	// The headline comparison: with biased-but-accurate malicious workers
+	// (positive weight), the dynamic contract extracts their value while
+	// exclusion forfeits it.
+	pop := mixedPopulation(t)
+	ctx := context.Background()
+	dynLedger, err := platform.Simulate(ctx, pop, &platform.DynamicPolicy{}, 3, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclLedger, err := platform.Simulate(ctx, pop, &ExcludeMalicious{Threshold: 0.5}, 3, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn := platform.TotalUtility(dynLedger)
+	excl := platform.TotalUtility(exclLedger)
+	if !(dyn > excl) {
+		t.Errorf("dynamic %v <= exclusion %v; Fig 8(c) shape violated", dyn, excl)
+	}
+}
+
+func TestFixedPaymentZeroEffortFromHonest(t *testing.T) {
+	pop := mixedPopulation(t)
+	pol := &FixedPayment{Amount: 2}
+	ledger, err := platform.Simulate(context.Background(), pop, pol, 1, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range ledger[0].Outcomes {
+		if oc.Class == worker.Honest && oc.Effort != 0 {
+			t.Errorf("honest %s exerts %v effort under flat pay", oc.AgentID, oc.Effort)
+		}
+		if oc.Compensation != 2 {
+			t.Errorf("agent %s paid %v, want flat 2", oc.AgentID, oc.Compensation)
+		}
+	}
+	wantCost := 2 * float64(len(pop.Agents))
+	if ledger[0].Cost != wantCost {
+		t.Errorf("cost = %v, want %v", ledger[0].Cost, wantCost)
+	}
+}
+
+func TestFixedPaymentLosesToDynamic(t *testing.T) {
+	pop := mixedPopulation(t)
+	ctx := context.Background()
+	dyn, err := platform.Simulate(ctx, pop, &platform.DynamicPolicy{}, 2, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := platform.Simulate(ctx, pop, &FixedPayment{Amount: 2}, 2, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(platform.TotalUtility(dyn) > platform.TotalUtility(fixed)) {
+		t.Errorf("dynamic %v <= fixed %v", platform.TotalUtility(dyn), platform.TotalUtility(fixed))
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (&ExcludeMalicious{Threshold: 0.5}).Name() != "exclude-malicious(>0.50)" {
+		t.Errorf("name = %q", (&ExcludeMalicious{Threshold: 0.5}).Name())
+	}
+	if (&FixedPayment{Amount: 1.25}).Name() != "fixed-payment(1.25)" {
+		t.Errorf("name = %q", (&FixedPayment{Amount: 1.25}).Name())
+	}
+}

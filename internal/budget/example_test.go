@@ -1,0 +1,38 @@
+package budget_test
+
+import (
+	"fmt"
+	"log"
+
+	"dyncontract/internal/budget"
+)
+
+// Example allocates contracts under a payment budget: each worker offers a
+// menu of (cost, benefit) options and the MCKP solver picks one per
+// worker.
+func Example() {
+	menus := []budget.Menu{
+		{AgentID: "alice", Options: []budget.Option{
+			{K: 0},
+			{K: 1, Cost: 2, Benefit: 5},
+			{K: 2, Cost: 5, Benefit: 8},
+		}},
+		{AgentID: "bob", Options: []budget.Option{
+			{K: 0},
+			{K: 1, Cost: 3, Benefit: 4},
+		}},
+	}
+	for _, b := range []float64{2, 5, 10} {
+		alloc, err := budget.SolveGreedy(menus, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("B=%-4.0f benefit=%.0f cost=%.0f alice@k%d bob@k%d\n",
+			b, alloc.TotalBenefit, alloc.TotalCost,
+			alloc.Choice["alice"].K, alloc.Choice["bob"].K)
+	}
+	// Output:
+	// B=2    benefit=5 cost=2 alice@k1 bob@k0
+	// B=5    benefit=9 cost=5 alice@k1 bob@k1
+	// B=10   benefit=12 cost=8 alice@k2 bob@k1
+}

@@ -1,0 +1,134 @@
+package budget
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"dyncontract/internal/effort"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/worker"
+)
+
+func budgetPopulation(t *testing.T, n int) *platform.Population {
+	t.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &platform.Population{
+		Weights:    make(map[string]float64),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < n; i++ {
+		a, err := worker.NewHonest(fmt.Sprintf("w%02d", i), psi, 1, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 0.8 + 0.2*float64(i%4)
+		pop.MaliceProb[a.ID] = 0.05
+	}
+	return pop
+}
+
+func TestPolicyRespectsBudget(t *testing.T) {
+	pop := budgetPopulation(t, 8)
+	for _, budget := range []float64{0, 10, 50, 1e6} {
+		pol := &Policy{Budget: budget}
+		ledger, err := platform.Simulate(context.Background(), pop, pol, 1, platform.Options{})
+		if err != nil {
+			t.Fatalf("B=%v: %v", budget, err)
+		}
+		if ledger[0].Cost > budget+1e-6 {
+			t.Errorf("B=%v: realized cost %v exceeds budget", budget, ledger[0].Cost)
+		}
+	}
+}
+
+func TestPolicyZeroBudgetExcludesAll(t *testing.T) {
+	pop := budgetPopulation(t, 4)
+	ledger, err := platform.Simulate(context.Background(), pop, &Policy{Budget: 0}, 1, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range ledger[0].Outcomes {
+		if !oc.Excluded {
+			t.Errorf("agent %s contracted under zero budget", oc.AgentID)
+		}
+	}
+}
+
+func TestPolicyLargeBudgetMatchesUnconstrained(t *testing.T) {
+	pop := budgetPopulation(t, 6)
+	ctx := context.Background()
+	budgeted, err := platform.Simulate(ctx, pop, &Policy{Budget: 1e9}, 1, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := platform.Simulate(ctx, pop, &platform.DynamicPolicy{}, 1, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an unbinding budget the allocation picks the benefit-maximal
+	// candidate per agent, which induces at least the unconstrained
+	// benefit (the unconstrained policy maximizes benefit − μ·cost, a
+	// different argmax, so exact equality is not required).
+	if budgeted[0].Benefit < free[0].Benefit-1e-6 {
+		t.Errorf("unbounded-budget benefit %v below unconstrained %v",
+			budgeted[0].Benefit, free[0].Benefit)
+	}
+}
+
+func TestPolicyDPvsGreedy(t *testing.T) {
+	pop := budgetPopulation(t, 5)
+	ctx := context.Background()
+	for _, budget := range []float64{20, 60} {
+		g, err := platform.Simulate(ctx, pop, &Policy{Budget: budget}, 1, platform.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := platform.Simulate(ctx, pop, &Policy{Budget: budget, UseDP: true}, 1, platform.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g[0].Benefit < d[0].Benefit/2-1e-9 {
+			t.Errorf("B=%v: greedy benefit %v below half of DP %v", budget, g[0].Benefit, d[0].Benefit)
+		}
+		if math.IsNaN(g[0].Benefit) || math.IsNaN(d[0].Benefit) {
+			t.Fatal("NaN benefits")
+		}
+	}
+}
+
+func TestPolicyBenefitMonotoneInBudget(t *testing.T) {
+	pop := budgetPopulation(t, 6)
+	ctx := context.Background()
+	prev := -1.0
+	for _, budget := range []float64{0, 5, 20, 80, 320} {
+		ledger, err := platform.Simulate(ctx, pop, &Policy{Budget: budget}, 1, platform.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ledger[0].Benefit < prev-1e-9 {
+			t.Errorf("B=%v: benefit %v fell below %v", budget, ledger[0].Benefit, prev)
+		}
+		prev = ledger[0].Benefit
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	if (&Policy{Budget: 12.5}).Name() != "budgeted-dynamic(B=12.5,greedy)" {
+		t.Errorf("name = %q", (&Policy{Budget: 12.5}).Name())
+	}
+	if (&Policy{Budget: 1, UseDP: true}).Name() != "budgeted-dynamic(B=1.0,dp)" {
+		t.Errorf("dp name = %q", (&Policy{Budget: 1, UseDP: true}).Name())
+	}
+}

@@ -1,0 +1,324 @@
+package classify
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+func testPart(t *testing.T) effort.Partition {
+	t.Helper()
+	p, err := effort.NewPartition(10, 1) // efforts in [0, 10]
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func honestLabeler(id string) Labeler {
+	return Labeler{ID: id, Class: worker.Honest, Curve: DefaultCurve(), Beta: 0.2}
+}
+
+func maliciousLabeler(id string, bias float64) Labeler {
+	return Labeler{ID: id, Class: worker.NonCollusiveMalicious, Curve: DefaultCurve(),
+		Beta: 0.2, Omega: 0.1, TargetBias: bias}
+}
+
+func TestAccuracyCurveValidate(t *testing.T) {
+	if err := DefaultCurve().Validate(10); err != nil {
+		t.Fatalf("default curve invalid: %v", err)
+	}
+	bad := []AccuracyCurve{
+		{Base: 0.4, Gain: 0.05, PMax: 0.9},               // base below chance
+		{Base: 0.55, Gain: 0, PMax: 0.9},                 // no gain
+		{Base: 0.55, Gain: 0.05, Curv: 0.01, PMax: 0.9},  // convex
+		{Base: 0.55, Gain: 0.05, PMax: 0.5},              // pmax below base
+		{Base: 0.55, Gain: 0.05, Curv: -0.01, PMax: 0.9}, // turns over before yMax=10
+	}
+	for i, c := range bad {
+		if err := c.Validate(10); !errors.Is(err, ErrBadModel) {
+			t.Errorf("bad curve %d accepted (err=%v)", i, err)
+		}
+	}
+}
+
+func TestAccuracyCurveEvalClamps(t *testing.T) {
+	c := DefaultCurve()
+	if got := c.Eval(0); got != 0.55 {
+		t.Errorf("Eval(0) = %v, want 0.55", got)
+	}
+	// Past the apex the accuracy plateaus at the apex value (and never
+	// exceeds PMax).
+	apex := -c.Gain / (2 * c.Curv)
+	if got := c.Eval(1000); math.Abs(got-c.Eval(apex)) > 1e-12 || got > c.PMax {
+		t.Errorf("Eval(huge) = %v, want plateau %v (<= PMax %v)", got, c.Eval(apex), c.PMax)
+	}
+	// Monotone on the working range.
+	prev := 0.0
+	for y := 0.0; y <= 10; y += 0.5 {
+		v := c.Eval(y)
+		if v < prev {
+			t.Errorf("accuracy decreased at y=%v", y)
+		}
+		prev = v
+	}
+}
+
+func TestFeedbackPsi(t *testing.T) {
+	c := DefaultCurve()
+	psi, err := c.FeedbackPsi(20, 10)
+	if err != nil {
+		t.Fatalf("FeedbackPsi: %v", err)
+	}
+	// ψ(y) = 20·p_unclamped(y).
+	for _, y := range []float64{0, 2, 7} {
+		want := 20 * (c.Base + c.Gain*y + c.Curv*y*y)
+		if math.Abs(psi.Eval(y)-want) > 1e-9 {
+			t.Errorf("psi(%v) = %v, want %v", y, psi.Eval(y), want)
+		}
+	}
+	if _, err := c.FeedbackPsi(0, 10); !errors.Is(err, ErrBadModel) {
+		t.Error("gold=0 accepted")
+	}
+}
+
+func TestFeedbackPsiZeroCurv(t *testing.T) {
+	c := AccuracyCurve{Base: 0.55, Gain: 0.03, Curv: 0, PMax: 0.9}
+	psi, err := c.FeedbackPsi(10, 10)
+	if err != nil {
+		t.Fatalf("zero-curv conversion: %v", err)
+	}
+	if psi.R2 >= 0 {
+		t.Errorf("R2 = %v, want strictly negative", psi.R2)
+	}
+}
+
+func TestLabelerValidate(t *testing.T) {
+	if err := honestLabeler("h").Validate(10); err != nil {
+		t.Errorf("honest labeler invalid: %v", err)
+	}
+	bad := []Labeler{
+		{ID: "", Class: worker.Honest, Curve: DefaultCurve(), Beta: 1},
+		{ID: "x", Class: worker.Class(9), Curve: DefaultCurve(), Beta: 1},
+		{ID: "x", Class: worker.Honest, Curve: DefaultCurve(), Beta: 0},
+		{ID: "x", Class: worker.Honest, Curve: DefaultCurve(), Beta: 1, TargetBias: 0.5},
+		{ID: "x", Class: worker.NonCollusiveMalicious, Curve: DefaultCurve(), Beta: 1, TargetBias: 2},
+	}
+	for i, l := range bad {
+		if err := l.Validate(10); !errors.Is(err, ErrBadModel) {
+			t.Errorf("bad labeler %d accepted (err=%v)", i, err)
+		}
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	ok := Task{Truth: []bool{true, false}, Gold: 1, ItemValue: 1, Mu: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid task rejected: %v", err)
+	}
+	bad := []Task{
+		{Gold: 1, ItemValue: 1, Mu: 1},
+		{Truth: []bool{true}, Gold: 0, ItemValue: 1, Mu: 1},
+		{Truth: []bool{true}, Gold: 2, ItemValue: 1, Mu: 1},
+		{Truth: []bool{true}, Gold: 1, ItemValue: 0, Mu: 1},
+		{Truth: []bool{true}, Gold: 1, ItemValue: 1, Mu: 0},
+	}
+	for i, task := range bad {
+		if err := task.Validate(); !errors.Is(err, ErrBadModel) {
+			t.Errorf("bad task %d accepted", i)
+		}
+	}
+}
+
+func TestNewTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	task, err := NewTask(rng, 100, 20, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(task.Truth) != 100 || task.Gold != 20 {
+		t.Errorf("task = %+v", task)
+	}
+	if _, err := NewTask(nil, 10, 2, 0.5, 1, 1); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewTask(rng, 10, 2, 1.5, 1, 1); err == nil {
+		t.Error("bad positive rate accepted")
+	}
+}
+
+func TestDesignContractsIncentivizeEffort(t *testing.T) {
+	part := testPart(t)
+	rng := rand.New(rand.NewSource(2))
+	task, err := NewTask(rng, 200, 40, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelers := []Labeler{honestLabeler("h1"), honestLabeler("h2"), maliciousLabeler("m1", 0.6)}
+	contracts, err := DesignContracts(labelers, task, part, 5)
+	if err != nil {
+		t.Fatalf("DesignContracts: %v", err)
+	}
+	if len(contracts) != 3 {
+		t.Fatalf("contracts = %d, want 3", len(contracts))
+	}
+	res, err := RunBatch(rng, labelers, task, contracts, part)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	for _, oc := range res.PerWorker {
+		if oc.ID[0] == 'h' && oc.Effort <= 0 {
+			t.Errorf("honest labeler %s exerts no effort under designed contract", oc.ID)
+		}
+		if oc.ID[0] == 'h' && oc.Accuracy <= 0.6 {
+			t.Errorf("honest labeler %s accuracy %v too low", oc.ID, oc.Accuracy)
+		}
+	}
+}
+
+func TestRunBatchBeatsFlatPay(t *testing.T) {
+	part := testPart(t)
+	rng := rand.New(rand.NewSource(3))
+	task, err := NewTask(rng, 400, 60, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labelers []Labeler
+	for _, id := range []string{"h1", "h2", "h3", "h4", "h5"} {
+		labelers = append(labelers, honestLabeler(id))
+	}
+
+	designed, err := DesignContracts(labelers, task, part, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDesigned, err := RunBatch(rand.New(rand.NewSource(4)), labelers, task, designed, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flat pay: same budget per worker but independent of feedback.
+	flat := make(map[string]*contract.PiecewiseLinear, len(labelers))
+	for _, l := range labelers {
+		psi, err := l.Curve.FeedbackPsi(task.Gold, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := contract.Flat(psi.Eval(0), psi.Eval(part.YMax()), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flat[l.ID] = c
+	}
+	resFlat, err := RunBatch(rand.New(rand.NewSource(4)), labelers, task, flat, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resDesigned.AggregateAccuracy <= resFlat.AggregateAccuracy {
+		t.Errorf("designed accuracy %v <= flat accuracy %v",
+			resDesigned.AggregateAccuracy, resFlat.AggregateAccuracy)
+	}
+	if resDesigned.RequesterUtility <= resFlat.RequesterUtility {
+		t.Errorf("designed utility %v <= flat utility %v",
+			resDesigned.RequesterUtility, resFlat.RequesterUtility)
+	}
+}
+
+func TestRunBatchMaliciousBiasContained(t *testing.T) {
+	// A biased minority must not swing the aggregate: weighted majority
+	// with honest majority keeps accuracy high even with strong bias.
+	part := testPart(t)
+	rng := rand.New(rand.NewSource(5))
+	task, err := NewTask(rng, 300, 50, 0.3, 1, 1) // mostly-false ground truth
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelers := []Labeler{
+		honestLabeler("h1"), honestLabeler("h2"), honestLabeler("h3"),
+		maliciousLabeler("m1", 0.9), maliciousLabeler("m2", 0.9),
+	}
+	contracts, err := DesignContracts(labelers, task, part, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatch(rng, labelers, task, contracts, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AggregateAccuracy < 0.8 {
+		t.Errorf("aggregate accuracy %v < 0.8 with honest majority", res.AggregateAccuracy)
+	}
+}
+
+func TestRunBatchExcludedLabelerSkipped(t *testing.T) {
+	part := testPart(t)
+	rng := rand.New(rand.NewSource(6))
+	task, err := NewTask(rng, 50, 10, 0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelers := []Labeler{honestLabeler("h1"), honestLabeler("h2")}
+	contracts, err := DesignContracts(labelers[:1], task, part, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBatch(rng, labelers, task, contracts, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWorker) != 1 || res.PerWorker[0].ID != "h1" {
+		t.Errorf("PerWorker = %+v, want only h1", res.PerWorker)
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	part := testPart(t)
+	task := Task{Truth: []bool{true}, Gold: 1, ItemValue: 1, Mu: 1}
+	if _, err := RunBatch(nil, nil, task, nil, part); !errors.Is(err, ErrBadModel) {
+		t.Error("nil rng accepted")
+	}
+	if _, err := RunBatch(rand.New(rand.NewSource(1)), nil, Task{}, nil, part); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+// Property: per-worker gold feedback never exceeds the gold count, and
+// compensation is non-negative and bounded by the contract maximum.
+func TestRunBatchBoundsProperty(t *testing.T) {
+	part := testPart(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		task, err := NewTask(rng, 60, 15, 0.5, 1, 1)
+		if err != nil {
+			return false
+		}
+		labelers := []Labeler{honestLabeler("h1"), maliciousLabeler("m1", rng.Float64())}
+		contracts, err := DesignContracts(labelers, task, part, 3)
+		if err != nil {
+			return false
+		}
+		res, err := RunBatch(rng, labelers, task, contracts, part)
+		if err != nil {
+			return false
+		}
+		for _, oc := range res.PerWorker {
+			if oc.GoldCorrect < 0 || oc.GoldCorrect > task.Gold {
+				return false
+			}
+			if oc.Compensation < 0 || oc.Compensation > contracts[oc.ID].MaxComp()+1e-9 {
+				return false
+			}
+		}
+		return res.AggregateAccuracy >= 0 && res.AggregateAccuracy <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

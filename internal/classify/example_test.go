@@ -1,0 +1,47 @@
+package classify_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dyncontract/internal/classify"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+// Example runs the classification extension end to end: design contracts
+// on gold-question feedback, let labelers best-respond, and aggregate by
+// accuracy-weighted majority vote.
+func Example() {
+	part, err := effort.NewPartition(10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	task, err := classify.NewTask(rng, 200, 40, 0.5, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labelers := []classify.Labeler{
+		{ID: "ann", Class: worker.Honest, Curve: classify.DefaultCurve(), Beta: 0.2},
+		{ID: "bob", Class: worker.Honest, Curve: classify.DefaultCurve(), Beta: 0.2},
+		{ID: "cal", Class: worker.Honest, Curve: classify.DefaultCurve(), Beta: 0.2},
+	}
+	contracts, err := classify.DesignContracts(labelers, task, part, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := classify.RunBatch(rng, labelers, task, contracts, part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("labelers exert effort: %v\n", res.PerWorker[0].Effort > 5)
+	fmt.Printf("aggregate beats any individual: %v\n",
+		res.AggregateAccuracy > res.PerWorker[0].Accuracy)
+	fmt.Printf("positive requester utility: %v\n", res.RequesterUtility > 0)
+	// Output:
+	// labelers exert effort: true
+	// aggregate beats any individual: true
+	// positive requester utility: true
+}

@@ -1,0 +1,268 @@
+// Package cluster implements §IV-A: detecting collusive communities among
+// malicious workers. Two malicious workers are assumed collusive when they
+// target (review) the same product; a collusive community is a connected
+// component of the resulting auxiliary graph, found by DFS.
+//
+// The package also provides the malice-probability estimator e_i^mal the
+// requester's weight function consumes (Eq. (5)). The paper treats this
+// estimate as externally supplied ([14], [15]); Estimator models such an
+// external classifier with configurable true/false-positive rates so
+// experiments can study sensitivity to estimation error.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dyncontract/internal/graph"
+	"dyncontract/internal/trace"
+)
+
+// Community is one detected collusive community.
+type Community struct {
+	// Members are the worker IDs, sorted.
+	Members []string
+	// Targets are the shared products connecting the members, sorted.
+	Targets []string
+}
+
+// Size returns the number of members.
+func (c Community) Size() int { return len(c.Members) }
+
+// DetectOptions tunes which reviews count as "targeting" a product. A
+// malicious worker targets a product when the review is promotional: score
+// at least MinScore and — when an expert score exists — at least MinBias
+// above the experts' consensus. Plain co-reviewing must not create edges:
+// at realistic catalogue sizes malicious workers routinely collide on
+// organic (filler) reviews, and raw co-review would merge unrelated
+// communities.
+type DetectOptions struct {
+	// MinScore is the minimum review score of a promotional review.
+	MinScore float64
+	// MinBias is the minimum (score − expert score) of a promotional
+	// review; ignored for products without an expert score.
+	MinBias float64
+}
+
+// DefaultDetectOptions matches the synthetic campaigns: promotional
+// reviews rate ≥ 4.3 stars and at least one star above expert consensus.
+func DefaultDetectOptions() DetectOptions {
+	return DetectOptions{MinScore: 4.3, MinBias: 1.0}
+}
+
+// FindCommunities runs the detector with DefaultDetectOptions.
+func FindCommunities(tr *trace.Trace, maliciousIDs []string) []Community {
+	return FindCommunitiesOpt(tr, maliciousIDs, DefaultDetectOptions())
+}
+
+// FindCommunitiesOpt builds the auxiliary graph over the given malicious
+// workers — an edge joins two workers who target a common product — and
+// returns its connected components of size ≥ 2 (singletons are
+// non-collusive malicious workers). Communities are sorted by first member.
+func FindCommunitiesOpt(tr *trace.Trace, maliciousIDs []string, opts DetectOptions) []Community {
+	malicious := make(map[string]bool, len(maliciousIDs))
+	for _, id := range maliciousIDs {
+		malicious[id] = true
+	}
+
+	// product → malicious workers targeting it.
+	byProduct := make(map[string][]string)
+	for _, r := range tr.Reviews {
+		if !malicious[r.WorkerID] {
+			continue
+		}
+		if r.Score < opts.MinScore {
+			continue
+		}
+		if expert, ok := tr.ExpertScores[r.ProductID]; ok && r.Score-expert < opts.MinBias {
+			continue
+		}
+		byProduct[r.ProductID] = append(byProduct[r.ProductID], r.WorkerID)
+	}
+
+	g := graph.NewUndirected()
+	for _, id := range maliciousIDs {
+		g.AddVertex(id)
+	}
+	sharedTargets := make(map[string]map[string]struct{}) // worker → shared products
+	for product, reviewers := range byProduct {
+		distinct := dedupe(reviewers)
+		if len(distinct) < 2 {
+			continue
+		}
+		// A path through the co-reviewers yields the same components as
+		// the full clique at O(n) edges.
+		for i := 1; i < len(distinct); i++ {
+			g.AddEdge(distinct[i-1], distinct[i])
+		}
+		for _, w := range distinct {
+			if sharedTargets[w] == nil {
+				sharedTargets[w] = make(map[string]struct{})
+			}
+			sharedTargets[w][product] = struct{}{}
+		}
+	}
+
+	var out []Community
+	for _, comp := range g.ConnectedComponents() {
+		if len(comp) < 2 {
+			continue
+		}
+		targets := make(map[string]struct{})
+		for _, w := range comp {
+			for p := range sharedTargets[w] {
+				targets[p] = struct{}{}
+			}
+		}
+		out = append(out, Community{Members: comp, Targets: sortedKeys(targets)})
+	}
+	return out
+}
+
+// PartnerCounts returns A_i — the number of collusive partners — for every
+// worker in the given communities. Workers outside any community have no
+// entry (A_i = 0).
+func PartnerCounts(communities []Community) map[string]int {
+	out := make(map[string]int)
+	for _, c := range communities {
+		for _, w := range c.Members {
+			out[w] = c.Size() - 1
+		}
+	}
+	return out
+}
+
+// SizeBucket is one row of a Table II-style size distribution.
+type SizeBucket struct {
+	// Label describes the bucket ("2", "3", …, ">=10").
+	Label string
+	// Count is the number of communities in the bucket.
+	Count int
+	// Percent is the share of all communities, in percent.
+	Percent float64
+}
+
+// SizeDistribution buckets community sizes the way Table II does: exact
+// buckets for the given sizes plus a final ">=threshold" bucket. Sizes
+// falling between the largest exact bucket and the threshold are lumped
+// into an "other" bucket when present.
+func SizeDistribution(communities []Community, exact []int, threshold int) []SizeBucket {
+	total := len(communities)
+	buckets := make([]SizeBucket, 0, len(exact)+2)
+	counted := 0
+	for _, size := range exact {
+		n := 0
+		for _, c := range communities {
+			if c.Size() == size {
+				n++
+			}
+		}
+		counted += n
+		buckets = append(buckets, SizeBucket{Label: fmt.Sprintf("%d", size), Count: n})
+	}
+	ge := 0
+	for _, c := range communities {
+		if c.Size() >= threshold {
+			ge++
+		}
+	}
+	counted += ge
+	buckets = append(buckets, SizeBucket{Label: fmt.Sprintf(">=%d", threshold), Count: ge})
+	if rest := total - counted; rest > 0 {
+		buckets = append(buckets, SizeBucket{Label: "other", Count: rest})
+	}
+	for i := range buckets {
+		if total > 0 {
+			buckets[i].Percent = 100 * float64(buckets[i].Count) / float64(total)
+		}
+	}
+	return buckets
+}
+
+// ErrBadEstimator is returned for invalid estimator parameters.
+var ErrBadEstimator = errors.New("cluster: invalid estimator parameters")
+
+// Estimator models an external malice classifier ([14], [15]): it assigns
+// each worker an estimated probability of being malicious. Ground-truth
+// malicious workers receive probabilities centred at TruePositive, honest
+// workers at FalsePositive, both jittered.
+type Estimator struct {
+	// TruePositive is the mean estimate for truly malicious workers.
+	TruePositive float64
+	// FalsePositive is the mean estimate for honest workers.
+	FalsePositive float64
+	// Jitter is the uniform half-width of the noise around the mean.
+	Jitter float64
+	// Seed makes estimates reproducible.
+	Seed int64
+}
+
+// DefaultEstimator returns a reasonably accurate classifier: 90% mean
+// confidence on malicious workers, 5% on honest, ±5% jitter.
+func DefaultEstimator(seed int64) Estimator {
+	return Estimator{TruePositive: 0.9, FalsePositive: 0.05, Jitter: 0.05, Seed: seed}
+}
+
+// Validate checks the estimator.
+func (e Estimator) Validate() error {
+	if e.TruePositive < 0 || e.TruePositive > 1 ||
+		e.FalsePositive < 0 || e.FalsePositive > 1 || e.Jitter < 0 || e.Jitter > 0.5 {
+		return fmt.Errorf("%+v: %w", e, ErrBadEstimator)
+	}
+	return nil
+}
+
+// Estimate returns e_i^mal for every worker in the trace, keyed by worker
+// ID. Estimates are deterministic for a fixed seed and independent of map
+// iteration order.
+func (e Estimator) Estimate(tr *trace.Trace) (map[string]float64, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(tr.Workers))
+	for id := range tr.Workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rng := rand.New(rand.NewSource(e.Seed))
+	out := make(map[string]float64, len(ids))
+	for _, id := range ids {
+		mean := e.FalsePositive
+		if tr.Workers[id].Malicious {
+			mean = e.TruePositive
+		}
+		v := mean + (2*rng.Float64()-1)*e.Jitter
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[id] = v
+	}
+	return out, nil
+}
+
+func dedupe(ids []string) []string {
+	seen := make(map[string]struct{}, len(ids))
+	var out []string
+	for _, id := range ids {
+		if _, ok := seen[id]; !ok {
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeys(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

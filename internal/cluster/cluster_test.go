@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyncontract/internal/synth"
+	"dyncontract/internal/trace"
+)
+
+// clusterTrace builds a hand-crafted trace with known collusion structure:
+// m1+m2 share product pA, m3+m4+m5 share pB (via pairwise overlaps), m6 is
+// non-collusive malicious, h1 is honest and also reviews pA (must not join
+// any community).
+func clusterTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	// Score 5 marks the reviews as promotional (targeting) under
+	// DefaultDetectOptions; the fixture has no expert scores, so only the
+	// MinScore rule applies.
+	mk := func(id, wid, pid string) trace.Review {
+		return trace.Review{ID: id, WorkerID: wid, ProductID: pid, Score: 5, Length: 10, Upvotes: 1}
+	}
+	tr := &trace.Trace{
+		Reviews: []trace.Review{
+			mk("r1", "m1", "pA"),
+			mk("r2", "m2", "pA"),
+			mk("r3", "m3", "pB"),
+			mk("r4", "m4", "pB"),
+			mk("r5", "m4", "pC"),
+			mk("r6", "m5", "pC"),
+			mk("r7", "m6", "pD"),
+			mk("r8", "h1", "pA"),
+		},
+		Workers: map[string]trace.Worker{
+			"m1": {ID: "m1", Malicious: true, TargetProducts: []string{"pA"}},
+			"m2": {ID: "m2", Malicious: true, TargetProducts: []string{"pA"}},
+			"m3": {ID: "m3", Malicious: true, TargetProducts: []string{"pB"}},
+			"m4": {ID: "m4", Malicious: true, TargetProducts: []string{"pB", "pC"}},
+			"m5": {ID: "m5", Malicious: true, TargetProducts: []string{"pC"}},
+			"m6": {ID: "m6", Malicious: true, TargetProducts: []string{"pD"}},
+			"h1": {ID: "h1"},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return tr
+}
+
+func TestFindCommunities(t *testing.T) {
+	tr := clusterTrace(t)
+	comms := FindCommunities(tr, tr.MaliciousWorkerIDs())
+	if len(comms) != 2 {
+		t.Fatalf("communities = %d, want 2 (%+v)", len(comms), comms)
+	}
+	if !reflect.DeepEqual(comms[0].Members, []string{"m1", "m2"}) {
+		t.Errorf("community 0 = %v, want [m1 m2]", comms[0].Members)
+	}
+	if !reflect.DeepEqual(comms[1].Members, []string{"m3", "m4", "m5"}) {
+		t.Errorf("community 1 = %v, want [m3 m4 m5]", comms[1].Members)
+	}
+	if !reflect.DeepEqual(comms[0].Targets, []string{"pA"}) {
+		t.Errorf("community 0 targets = %v, want [pA]", comms[0].Targets)
+	}
+	if !reflect.DeepEqual(comms[1].Targets, []string{"pB", "pC"}) {
+		t.Errorf("community 1 targets = %v, want [pB pC]", comms[1].Targets)
+	}
+}
+
+func TestFindCommunitiesExcludesHonestCoReviewers(t *testing.T) {
+	tr := clusterTrace(t)
+	comms := FindCommunities(tr, tr.MaliciousWorkerIDs())
+	for _, c := range comms {
+		for _, m := range c.Members {
+			if m == "h1" {
+				t.Error("honest worker clustered into a community")
+			}
+		}
+	}
+}
+
+func TestFindCommunitiesNoMalicious(t *testing.T) {
+	tr := clusterTrace(t)
+	if comms := FindCommunities(tr, nil); len(comms) != 0 {
+		t.Errorf("communities with empty malicious set = %v", comms)
+	}
+}
+
+func TestPartnerCounts(t *testing.T) {
+	tr := clusterTrace(t)
+	comms := FindCommunities(tr, tr.MaliciousWorkerIDs())
+	pc := PartnerCounts(comms)
+	want := map[string]int{"m1": 1, "m2": 1, "m3": 2, "m4": 2, "m5": 2}
+	if !reflect.DeepEqual(pc, want) {
+		t.Errorf("PartnerCounts = %v, want %v", pc, want)
+	}
+	if _, ok := pc["m6"]; ok {
+		t.Error("non-collusive worker has partner count")
+	}
+}
+
+func TestSizeDistribution(t *testing.T) {
+	comms := []Community{
+		{Members: []string{"a", "b"}},
+		{Members: []string{"c", "d"}},
+		{Members: []string{"e", "f", "g"}},
+		{Members: make([]string, 12)},
+		{Members: make([]string, 8)}, // falls in "other" (7..9)
+	}
+	buckets := SizeDistribution(comms, []int{2, 3, 4, 5, 6}, 10)
+	byLabel := map[string]SizeBucket{}
+	for _, b := range buckets {
+		byLabel[b.Label] = b
+	}
+	if byLabel["2"].Count != 2 || byLabel["3"].Count != 1 {
+		t.Errorf("exact buckets wrong: %+v", buckets)
+	}
+	if byLabel[">=10"].Count != 1 {
+		t.Errorf(">=10 bucket = %d, want 1", byLabel[">=10"].Count)
+	}
+	if byLabel["other"].Count != 1 {
+		t.Errorf("other bucket = %d, want 1", byLabel["other"].Count)
+	}
+	if byLabel["2"].Percent != 40 {
+		t.Errorf("size-2 percent = %v, want 40", byLabel["2"].Percent)
+	}
+}
+
+func TestSizeDistributionEmpty(t *testing.T) {
+	buckets := SizeDistribution(nil, []int{2}, 10)
+	for _, b := range buckets {
+		if b.Count != 0 || b.Percent != 0 {
+			t.Errorf("empty distribution bucket %+v", b)
+		}
+	}
+}
+
+func TestSyntheticCommunityRecovery(t *testing.T) {
+	// The detector must recover the synthesizer's planted communities
+	// exactly at small scale (disjoint targets, low collision odds).
+	tr, err := synth.Generate(synth.SmallScale(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := FindCommunities(tr, tr.MaliciousWorkerIDs())
+	// Planted: sizes 2,2,2,3,3,4,6,10 (see synth.SmallScale). Occasional
+	// false positives are expected — a filler review can chance-land
+	// promotionally on a campaign target — so we require high precision,
+	// not perfection.
+	anomalies := 0
+	recovered := map[int]int{}
+	for _, c := range comms {
+		prefix := strings.SplitN(c.Members[0], "_", 2)[0]
+		coreSize := 0
+		for _, m := range c.Members {
+			if !strings.HasPrefix(m, "cm") || strings.SplitN(m, "_", 2)[0] != prefix {
+				anomalies++
+				continue
+			}
+			coreSize++
+		}
+		recovered[coreSize]++
+	}
+	if anomalies > 2 {
+		t.Errorf("detector anomalies = %d, want <= 2 (%+v)", anomalies, comms)
+	}
+	want := map[int]int{2: 3, 3: 2, 4: 1, 6: 1, 10: 1}
+	for size, n := range want {
+		if recovered[size] < n {
+			t.Errorf("size-%d communities = %d, want >= %d (got map %v)", size, recovered[size], n, recovered)
+		}
+	}
+}
+
+func TestEstimatorValidate(t *testing.T) {
+	if err := DefaultEstimator(1).Validate(); err != nil {
+		t.Errorf("default estimator invalid: %v", err)
+	}
+	bad := []Estimator{
+		{TruePositive: -0.1},
+		{TruePositive: 0.9, FalsePositive: 1.2},
+		{TruePositive: 0.9, FalsePositive: 0.1, Jitter: 0.6},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); !errors.Is(err, ErrBadEstimator) {
+			t.Errorf("bad estimator %d: err = %v, want ErrBadEstimator", i, err)
+		}
+	}
+}
+
+func TestEstimatorSeparatesClasses(t *testing.T) {
+	tr := clusterTrace(t)
+	est, err := DefaultEstimator(5).Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est) != len(tr.Workers) {
+		t.Fatalf("estimates = %d, want %d", len(est), len(tr.Workers))
+	}
+	for id, w := range tr.Workers {
+		e := est[id]
+		if e < 0 || e > 1 {
+			t.Errorf("estimate %v for %s outside [0,1]", e, id)
+		}
+		if w.Malicious && e < 0.8 {
+			t.Errorf("malicious %s has estimate %v, want >= 0.8", id, e)
+		}
+		if !w.Malicious && e > 0.15 {
+			t.Errorf("honest %s has estimate %v, want <= 0.15", id, e)
+		}
+	}
+}
+
+func TestEstimatorDeterministic(t *testing.T) {
+	tr := clusterTrace(t)
+	a, err := DefaultEstimator(9).Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultEstimator(9).Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different estimates")
+	}
+}

@@ -1,0 +1,35 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"dyncontract/internal/cluster"
+	"dyncontract/internal/trace"
+)
+
+// Example detects collusive communities from promotional co-reviews: two
+// malicious workers pushing the same product form a community; a third
+// targeting its own product stays non-collusive.
+func Example() {
+	tr := &trace.Trace{
+		Reviews: []trace.Review{
+			{ID: "r1", WorkerID: "m1", ProductID: "widget", Score: 5, Length: 50, Upvotes: 3},
+			{ID: "r2", WorkerID: "m2", ProductID: "widget", Score: 5, Length: 60, Upvotes: 2},
+			{ID: "r3", WorkerID: "m3", ProductID: "gadget", Score: 5, Length: 40, Upvotes: 1},
+		},
+		Workers: map[string]trace.Worker{
+			"m1": {ID: "m1", Malicious: true, TargetProducts: []string{"widget"}},
+			"m2": {ID: "m2", Malicious: true, TargetProducts: []string{"widget"}},
+			"m3": {ID: "m3", Malicious: true, TargetProducts: []string{"gadget"}},
+		},
+	}
+	comms := cluster.FindCommunities(tr, tr.MaliciousWorkerIDs())
+	for _, c := range comms {
+		fmt.Printf("community %v targeting %v\n", c.Members, c.Targets)
+	}
+	partners := cluster.PartnerCounts(comms)
+	fmt.Printf("m1 has %d partner(s); m3 has %d\n", partners["m1"], partners["m3"])
+	// Output:
+	// community [m1 m2] targeting [widget]
+	// m1 has 1 partner(s); m3 has 0
+}

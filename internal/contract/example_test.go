@@ -1,0 +1,42 @@
+package contract_test
+
+import (
+	"fmt"
+	"log"
+
+	"dyncontract/internal/contract"
+)
+
+// Example builds a two-piece contract and evaluates it: pay grows with
+// feedback inside the knot range and is flat outside it.
+func Example() {
+	// Feedback knots 0, 10, 20 paying 0, 5, 8.
+	c, err := contract.New([]float64{0, 10, 20}, []float64{0, 5, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, q := range []float64{0, 5, 10, 15, 25} {
+		fmt.Printf("feedback %4.1f -> pay %.2f\n", q, c.Eval(q))
+	}
+	// Output:
+	// feedback  0.0 -> pay 0.00
+	// feedback  5.0 -> pay 2.50
+	// feedback 10.0 -> pay 5.00
+	// feedback 15.0 -> pay 6.50
+	// feedback 25.0 -> pay 8.00
+}
+
+// ExampleBuilder constructs a contract left to right by slope — the access
+// pattern of the §IV-C candidate construction.
+func ExampleBuilder() {
+	b := contract.NewBuilder(0, 0) // start at feedback 0, pay 0
+	b.AppendSlope(10, 0.5)         // slope 0.5 up to feedback 10
+	b.AppendSlope(20, 0)           // flat continuation
+	c, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pay at 10: %.1f, pay at 20: %.1f\n", c.Eval(10), c.Eval(20))
+	// Output:
+	// pay at 10: 5.0, pay at 20: 5.0
+}

@@ -1,0 +1,364 @@
+// Package core implements the paper's primary contribution: the
+// candidate-contract algorithm of §IV-C that designs a near-optimal
+// piecewise-linear dynamic contract for a single worker (or collusive
+// community treated as a meta-worker), together with the Theorem 4.1
+// utility bounds.
+//
+// # Algorithm
+//
+// The effort axis is partitioned into m intervals of width δ. For every
+// target interval k the algorithm builds a candidate contract ξ^(k) whose
+// slopes are the cheapest ones that still make the worker's best response
+// land in interval k:
+//
+//   - pieces l = 1..k are built in Lemma 4.1's Case III (interior optimum)
+//     using the slope recursion of Eq. (39)–(40), which makes the worker's
+//     achievable utility strictly increase from interval to interval up to
+//     k while keeping each slope minimal;
+//   - pieces l = k+1..m are flat (zero increment), so additional effort
+//     earns nothing.
+//
+// The final contract is the candidate maximizing the requester's utility
+// w·ψ(y*) − μ·ξ(y*) at the worker's (exactly computed) best response y*.
+//
+// # Deviations from the printed text
+//
+// The ICDCS text contains several misprints that this implementation
+// repairs; see DESIGN.md §2 for the full list. Most notably Eq. (43) is
+// implemented as the requester-utility argmax and the ε of Eq. (40) uses
+// the form that makes the paper's own verification identity (42) hold.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+// Case labels Lemma 4.1's classification of a contract piece: where the
+// worker's utility maximum sits within one effort interval.
+type Case int
+
+// Lemma 4.1 cases.
+const (
+	// CaseI: utility non-increasing on the interval; optimum at the left
+	// edge. Occurs for slopes α ≤ β/ψ′((l−1)δ) − ω.
+	CaseI Case = iota + 1
+	// CaseII: utility non-decreasing; optimum at the right edge. Occurs
+	// for slopes α ≥ β/ψ′(lδ) − ω.
+	CaseII
+	// CaseIII: interior stationary optimum at ψ′(y) = β/(α+ω).
+	CaseIII
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string {
+	switch c {
+	case CaseI:
+		return "I"
+	case CaseII:
+		return "II"
+	case CaseIII:
+		return "III"
+	default:
+		return fmt.Sprintf("Case(%d)", int(c))
+	}
+}
+
+// ErrBadConfig is returned when a design configuration fails validation.
+var ErrBadConfig = errors.New("core: invalid design configuration")
+
+// Config parameterizes a single-agent contract design (one decomposed
+// subproblem of §IV-B).
+type Config struct {
+	// Part is the effort-axis discretization (m intervals of width δ).
+	Part effort.Partition
+	// Mu is the requester's weight μ on compensation in Eq. (7).
+	Mu float64
+	// W is the requester's weight w_i on this agent's feedback (Eq. (5)),
+	// already evaluated; may be negative for heavily penalized workers, in
+	// which case the designed contract collapses to "pay nothing".
+	W float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Part.M <= 0 || !(c.Part.Delta > 0) {
+		return fmt.Errorf("partition %+v: %w", c.Part, ErrBadConfig)
+	}
+	if !(c.Mu > 0) || math.IsInf(c.Mu, 0) {
+		return fmt.Errorf("mu=%v must be positive and finite: %w", c.Mu, ErrBadConfig)
+	}
+	if math.IsNaN(c.W) || math.IsInf(c.W, 0) {
+		return fmt.Errorf("w=%v must be finite: %w", c.W, ErrBadConfig)
+	}
+	return nil
+}
+
+// Candidate records the outcome of building ξ^(k) for one target interval.
+type Candidate struct {
+	// K is the 1-based target effort interval.
+	K int
+	// Contract is the built candidate ξ^(k) (in feedback space).
+	Contract *contract.PiecewiseLinear
+	// Response is the agent's exact best response to the candidate.
+	Response worker.Response
+	// RequesterUtility is w·ψ(y*) − μ·ξ(y*) at the best response.
+	RequesterUtility float64
+	// Clamped reports whether any slope of the Case III recursion had to
+	// be clamped at zero to preserve contract monotonicity (happens only
+	// when ω is large relative to β; see DESIGN.md).
+	Clamped bool
+	// ParticipationLift is the constant added to every compensation knot
+	// to satisfy the worker's reservation utility (individual
+	// rationality); 0 when the worker participates voluntarily.
+	ParticipationLift float64
+}
+
+// Result is the output of Design: the chosen contract plus diagnostics and
+// the Theorem 4.1 bounds.
+type Result struct {
+	// Agent is the designed-for agent.
+	Agent *worker.Agent
+	// Contract is the selected contract f_i (feedback → compensation).
+	Contract *contract.PiecewiseLinear
+	// KOpt is the selected target interval.
+	KOpt int
+	// Response is the agent's predicted best response to Contract.
+	Response worker.Response
+	// RequesterUtility is the requester's per-round utility from this
+	// agent: w·ψ(y*) − μ·compensation.
+	RequesterUtility float64
+	// UpperBound and LowerBound are the Theorem 4.1 bounds on the
+	// requester's utility from this agent.
+	UpperBound float64
+	// LowerBound is valid for honest agents (ω = 0); for malicious agents
+	// it is the same expression and is reported for reference (the paper
+	// asserts but does not prove it for ω > 0).
+	LowerBound float64
+	// Candidates holds per-k diagnostics in k order.
+	Candidates []Candidate
+}
+
+// Design solves one decomposed subproblem: it computes the contract for a
+// single agent that (approximately) maximizes the requester's utility,
+// following §IV-C.
+func Design(a *worker.Agent, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(cfg.Part.YMax()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	knots := cfg.Part.Knots(a.Psi)
+	candidates := make([]Candidate, 0, cfg.Part.M)
+	for k := 1; k <= cfg.Part.M; k++ {
+		cand, err := buildCandidate(a, cfg, knots, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: candidate k=%d: %w", k, err)
+		}
+		candidates = append(candidates, cand)
+	}
+
+	// Pick the requester-utility argmax (the repaired Eq. (43)); ties go
+	// to smaller k (cheaper contract, lower induced effort).
+	bestIdx := 0
+	for i := 1; i < len(candidates); i++ {
+		if candidates[i].RequesterUtility > candidates[bestIdx].RequesterUtility {
+			bestIdx = i
+		}
+	}
+	best := candidates[bestIdx]
+
+	res := &Result{
+		Agent:            a,
+		Contract:         best.Contract,
+		KOpt:             best.K,
+		Response:         best.Response,
+		RequesterUtility: best.RequesterUtility,
+		Candidates:       candidates,
+	}
+	res.UpperBound = UpperBound(a, cfg)
+	res.LowerBound = LowerBound(a, cfg, best.K)
+	return res, nil
+}
+
+// buildCandidate constructs ξ^(k) per §IV-C Part 2 and evaluates it.
+func buildCandidate(a *worker.Agent, cfg Config, knots []float64, k int) (Candidate, error) {
+	delta := cfg.Part.Delta
+	r1, r2 := a.Psi.R1, a.Psi.R2
+	beta, omega := a.Beta, a.Omega
+
+	b := contract.NewBuilder(knots[0], 0)
+	// Seed the recursion at the Case I/III boundary of a virtual piece 0:
+	// α₀ = β/ψ′(0) − ω = β/r₁ − ω.
+	alphaPrev := beta/r1 - omega
+	clamped := false
+	for l := 1; l <= cfg.Part.M; l++ {
+		var alpha float64
+		if l <= k {
+			// Slope recursion Eq. (39) with the repaired ε of Eq. (40):
+			//   α_l = β² / ((α_{l−1}+ω)(r₁+2r₂δ(l−1))²) + ε_l − ω
+			//   ε_l = 4βr₂²δ² / ((r₁+2r₂δ(l−1))²·(r₁+2r₂δl))
+			gPrev := r1 + 2*r2*delta*float64(l-1) // ψ′((l−1)δ) > 0
+			gCur := r1 + 2*r2*delta*float64(l)    // ψ′(lδ) > 0
+			eps := 4 * beta * r2 * r2 * delta * delta / (gPrev * gPrev * gCur)
+			alpha = beta*beta/((alphaPrev+omega)*gPrev*gPrev) + eps - omega
+			if alpha < 0 {
+				// Monotone contracts cannot have negative slopes. This
+				// branch triggers only when ω is so large that the worker
+				// over-works even under a flat contract; the flat piece is
+				// the cheapest monotone approximation.
+				alpha = 0
+				clamped = true
+			}
+			// The recursion needs α_{l−1} before clamping to preserve the
+			// Case III windows, but a clamped α also resets the chain.
+			alphaPrev = alpha
+		} else {
+			alpha = 0 // flat continuation: extra effort earns nothing
+		}
+		b.AppendSlope(knots[l], alpha)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return Candidate{}, fmt.Errorf("build contract: %w", err)
+	}
+	resp, err := a.BestResponse(c, cfg.Part)
+	if err != nil {
+		return Candidate{}, fmt.Errorf("best response: %w", err)
+	}
+	lift := 0.0
+	if resp.Declined {
+		// Individual rationality: lifting every knot by a constant raises
+		// the worker's utility by exactly that constant at every effort
+		// level (incentives — the slopes — are untouched), so the minimal
+		// lift is the shortfall to the reservation.
+		free := *a
+		free.Reservation = 0
+		freeResp, err := free.BestResponse(c, cfg.Part)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("unconstrained response: %w", err)
+		}
+		// The hair of slack absorbs floating-point rounding in the lifted
+		// contract's evaluation.
+		lift = a.Reservation - freeResp.Utility + 1e-9
+		comps := c.Comps()
+		for i := range comps {
+			comps[i] += lift
+		}
+		c, err = contract.New(c.Knots(), comps)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("participation lift: %w", err)
+		}
+		resp, err = a.BestResponse(c, cfg.Part)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("lifted best response: %w", err)
+		}
+		if resp.Declined {
+			return Candidate{}, fmt.Errorf("core: lift %v failed to secure participation", lift)
+		}
+	}
+	return Candidate{
+		K:                 k,
+		Contract:          c,
+		Response:          resp,
+		RequesterUtility:  cfg.W*resp.Feedback - cfg.Mu*resp.Compensation,
+		Clamped:           clamped,
+		ParticipationLift: lift,
+	}, nil
+}
+
+// Classify applies Lemma 4.1 to a contract slope α on effort interval l
+// (1-based): it reports where the worker's utility maximum sits in
+// [(l−1)δ, lδ).
+func Classify(a *worker.Agent, part effort.Partition, l int, alpha float64) Case {
+	lower := CaseBoundaryLower(a, part, l)
+	upper := CaseBoundaryUpper(a, part, l)
+	switch {
+	case alpha <= lower:
+		return CaseI
+	case alpha >= upper:
+		return CaseII
+	default:
+		return CaseIII
+	}
+}
+
+// CaseBoundaryLower returns the Case I / Case III slope boundary for piece
+// l: β/ψ′((l−1)δ) − ω.
+func CaseBoundaryLower(a *worker.Agent, part effort.Partition, l int) float64 {
+	return a.Beta/a.Psi.Deriv(part.Edge(l-1)) - a.Omega
+}
+
+// CaseBoundaryUpper returns the Case III / Case II slope boundary for piece
+// l: β/ψ′(lδ) − ω.
+func CaseBoundaryUpper(a *worker.Agent, part effort.Partition, l int) float64 {
+	return a.Beta/a.Psi.Deriv(part.Edge(l)) - a.Omega
+}
+
+// CompensationUpperBound returns Lemma 4.2's bound on the compensation paid
+// under candidate ξ^(k):
+//
+//	c ≤ βkδ − 2βr₂kδ² / (2r₂(k−1)δ + r₁)
+//
+// (the second term is positive because r₂ < 0).
+func CompensationUpperBound(a *worker.Agent, part effort.Partition, k int) float64 {
+	delta := part.Delta
+	kf := float64(k)
+	return a.Beta*kf*delta - 2*a.Beta*a.Psi.R2*kf*delta*delta/(2*a.Psi.R2*(kf-1)*delta+a.Psi.R1)
+}
+
+// CompensationLowerBound returns Lemma 4.3's bound: any contract whose
+// induced optimal effort falls in interval k pays at least β(k−1)δ. The
+// bound holds for honest workers (ω = 0); for ω > 0 the individual
+// rationality argument weakens by the intrinsic utility ω(ψ(y) − ψ(0)) and
+// the returned value is adjusted accordingly (never below zero).
+func CompensationLowerBound(a *worker.Agent, part effort.Partition, k int) float64 {
+	base := a.Beta * float64(k-1) * part.Delta
+	if a.Omega > 0 {
+		base -= a.Omega * (a.Psi.Eval(float64(k)*part.Delta) - a.Psi.Eval(0))
+	}
+	if base < 0 {
+		return 0
+	}
+	return base
+}
+
+// UpperBound returns Theorem 4.1's upper bound on the requester's utility
+// from agent a:
+//
+//	max_l { w·ψ(lδ) − μ·CompLB(l) }
+//
+// using the ω-adjusted compensation lower bound.
+func UpperBound(a *worker.Agent, cfg Config) float64 {
+	ub := math.Inf(-1)
+	for l := 1; l <= cfg.Part.M; l++ {
+		u := cfg.W*a.Psi.Eval(cfg.Part.Edge(l)) - cfg.Mu*CompensationLowerBound(a, cfg.Part, l)
+		if u > ub {
+			ub = u
+		}
+	}
+	// The requester can always decline to incentivize (flat zero contract,
+	// zero effort): utility w·ψ(0). The bound must not fall below that.
+	if u0 := cfg.W * a.Psi.Eval(0); u0 > ub {
+		ub = u0
+	}
+	return ub
+}
+
+// LowerBound returns Theorem 4.1's lower bound on the requester's utility
+// achieved by the designed contract with target interval kOpt:
+//
+//	w·ψ((kOpt−1)δ) − μ·CompUB(kOpt)
+//
+// It is proved for honest agents; for malicious agents it is the analogous
+// expression and is reported for reference.
+func LowerBound(a *worker.Agent, cfg Config, kOpt int) float64 {
+	return cfg.W*a.Psi.Eval(cfg.Part.Edge(kOpt-1)) - cfg.Mu*CompensationUpperBound(a, cfg.Part, kOpt)
+}

@@ -1,0 +1,169 @@
+package dynamics
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dyncontract/internal/effort"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/reputation"
+	"dyncontract/internal/worker"
+)
+
+func dynPopulation(t *testing.T) *platform.Population {
+	t.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &platform.Population{
+		Weights:    make(map[string]float64),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < 5; i++ {
+		a, err := worker.NewHonest(fmt.Sprintf("h%02d", i), psi, 1, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		// Deliberately wrong initial beliefs; the loop must correct them.
+		pop.Weights[a.ID] = 0.2 + 0.3*float64(i)
+		pop.MaliceProb[a.ID] = 0.5
+	}
+	return pop
+}
+
+func newTracker(t *testing.T) *reputation.Tracker {
+	t.Helper()
+	tr, err := reputation.NewTracker(reputation.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunConvergesOnHonestPopulation(t *testing.T) {
+	pop := dynPopulation(t)
+	// The loop contracts geometrically at the tracker's decay rate
+	// (~0.95/round), so convergence is linear; 1e-4 on weights is the
+	// practical fixed-point threshold.
+	res, err := Run(context.Background(), pop, &platform.DynamicPolicy{}, newTracker(t),
+		Config{MaxRounds: 60, Tol: 1e-4})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("loop did not converge in %d rounds (deltas %v)", res.Rounds, res.WeightDeltas)
+	}
+	if res.ConvergedAt < 0 || res.ConvergedAt >= res.Rounds {
+		t.Errorf("ConvergedAt = %d, Rounds = %d", res.ConvergedAt, res.Rounds)
+	}
+	// With identical honest behaviour, all final weights coincide.
+	var first float64
+	firstSet := false
+	for _, w := range res.FinalWeights {
+		if !firstSet {
+			first, firstSet = w, true
+			continue
+		}
+		if w > first+1e-3 || w < first-1e-3 {
+			t.Errorf("final weights not uniform: %v", res.FinalWeights)
+		}
+	}
+	// The deltas must trend downward (EWMA contraction).
+	if len(res.WeightDeltas) >= 3 {
+		last := res.WeightDeltas[len(res.WeightDeltas)-1]
+		if last > res.WeightDeltas[1] {
+			t.Errorf("weight deltas did not contract: %v", res.WeightDeltas)
+		}
+	}
+}
+
+func TestRunUtilityStabilizes(t *testing.T) {
+	pop := dynPopulation(t)
+	res, err := Run(context.Background(), pop, &platform.DynamicPolicy{}, newTracker(t),
+		Config{MaxRounds: 60, Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Utilities) < 3 {
+		t.Fatalf("too few rounds: %d", len(res.Utilities))
+	}
+	lastTwo := res.Utilities[len(res.Utilities)-2:]
+	if diff := lastTwo[1] - lastTwo[0]; diff > 0.1 || diff < -0.1 {
+		t.Errorf("utility still moving at convergence: %v", res.Utilities)
+	}
+	// And the big correction happens in round 1: the wrong priors are
+	// repaired immediately once behaviour is observed.
+	if !(res.Utilities[1] > 2*res.Utilities[0]) {
+		t.Errorf("round-1 utility %v did not jump from mispriced round 0 (%v)",
+			res.Utilities[1], res.Utilities[0])
+	}
+}
+
+func TestRunMaxRoundsWithoutConvergence(t *testing.T) {
+	pop := dynPopulation(t)
+	// Impossible tolerance: must exhaust MaxRounds unconverged.
+	res, err := Run(context.Background(), pop, &platform.DynamicPolicy{}, newTracker(t),
+		Config{MaxRounds: 3, Tol: 1e-300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Error("converged under impossible tolerance")
+	}
+	if res.Rounds != 3 || res.ConvergedAt != -1 {
+		t.Errorf("Rounds = %d, ConvergedAt = %d", res.Rounds, res.ConvergedAt)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pop := dynPopulation(t)
+	tracker := newTracker(t)
+	ctx := context.Background()
+	if _, err := Run(ctx, pop, &platform.DynamicPolicy{}, tracker, Config{MaxRounds: 1, Tol: 0.1}); err == nil {
+		t.Error("maxRounds=1 accepted")
+	}
+	if _, err := Run(ctx, pop, &platform.DynamicPolicy{}, tracker, Config{MaxRounds: 5, Tol: 0}); err == nil {
+		t.Error("tol=0 accepted")
+	}
+	if _, err := Run(ctx, pop, &platform.DynamicPolicy{}, nil, Config{MaxRounds: 5, Tol: 0.1}); err == nil {
+		t.Error("nil tracker accepted")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	pop := dynPopulation(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, pop, &platform.DynamicPolicy{}, newTracker(t), Config{MaxRounds: 5, Tol: 0.1}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestHonestObservations(t *testing.T) {
+	round := platform.Round{
+		Outcomes: []platform.AgentOutcome{
+			{AgentID: "a", Size: 1},
+			{AgentID: "b", Size: 3},
+			{AgentID: "c", Excluded: true},
+		},
+	}
+	obs := HonestObservations(0.4)(round)
+	if len(obs) != 2 {
+		t.Fatalf("observations = %d, want 2 (excluded agent skipped)", len(obs))
+	}
+	if obs[0].ReviewScore != 0.4 || obs[0].Promotional {
+		t.Errorf("obs[0] = %+v", obs[0])
+	}
+	if obs[1].Partners != 2 {
+		t.Errorf("community partner count = %d, want 2", obs[1].Partners)
+	}
+}

@@ -1,0 +1,171 @@
+// Package effort models the paper's effort functions ψ: the mapping from a
+// worker's effort level y to the feedback q the worker's review earns
+// (Eq. (2) of the paper). The contract-design algorithm of §IV-C requires ψ
+// to be concave, strictly increasing on the working range, and twice
+// differentiable; the paper fits quadratics ψ(y) = r₂y² + r₁y + r₀ to the
+// Amazon trace (Table III) and all closed-form expressions in the paper
+// specialize to that quadratic form.
+//
+// The package exposes the general Function interface (used by the simulator
+// and the grid-search reference solver, which only need evaluation and
+// derivatives) plus the Quadratic concrete type the closed-form contract
+// builder requires.
+package effort
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Function is a concave, twice-differentiable effort→feedback mapping ψ.
+type Function interface {
+	// Eval returns ψ(y).
+	Eval(y float64) float64
+	// Deriv returns ψ′(y).
+	Deriv(y float64) float64
+	// Deriv2 returns ψ″(y).
+	Deriv2(y float64) float64
+	// InverseDeriv returns the y with ψ′(y) = z. The second return is
+	// false when z is outside the range of ψ′ on [0, ∞).
+	InverseDeriv(z float64) (float64, bool)
+}
+
+// ErrNotConcave is returned when a quadratic with r₂ ≥ 0 is supplied where
+// a strictly concave effort function is required.
+var ErrNotConcave = errors.New("effort: quadratic is not strictly concave (need r2 < 0)")
+
+// ErrNotIncreasing is returned when ψ would not be strictly increasing over
+// the requested working range [0, yMax].
+var ErrNotIncreasing = errors.New("effort: function not strictly increasing on working range")
+
+// Quadratic is the paper's fitted effort function ψ(y) = R2·y² + R1·y + R0
+// with R2 < 0 (concavity) and R1 > 0 (increasing at zero effort).
+type Quadratic struct {
+	R2, R1, R0 float64
+}
+
+var _ Function = Quadratic{}
+
+// NewQuadratic validates and returns a quadratic effort function that is
+// strictly concave and strictly increasing on [0, yMax].
+func NewQuadratic(r2, r1, r0, yMax float64) (Quadratic, error) {
+	q := Quadratic{R2: r2, R1: r1, R0: r0}
+	if err := q.Validate(yMax); err != nil {
+		return Quadratic{}, err
+	}
+	return q, nil
+}
+
+// Validate checks concavity and strict monotonicity of q on [0, yMax].
+func (q Quadratic) Validate(yMax float64) error {
+	for _, v := range []float64{q.R2, q.R1, q.R0, yMax} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("effort: non-finite coefficient in %+v", q)
+		}
+	}
+	if q.R2 >= 0 {
+		return fmt.Errorf("r2=%v: %w", q.R2, ErrNotConcave)
+	}
+	if q.R1 <= 0 {
+		return fmt.Errorf("r1=%v (need r1 > 0): %w", q.R1, ErrNotIncreasing)
+	}
+	if yMax < 0 {
+		return fmt.Errorf("effort: negative working range %v", yMax)
+	}
+	// ψ′(yMax) = 2·r2·yMax + r1 must stay positive so ψ is strictly
+	// increasing across every effort interval the contract partitions.
+	if q.Deriv(yMax) <= 0 {
+		return fmt.Errorf("psi'(%v)=%v: %w", yMax, q.Deriv(yMax), ErrNotIncreasing)
+	}
+	return nil
+}
+
+// Eval returns ψ(y).
+func (q Quadratic) Eval(y float64) float64 {
+	return (q.R2*y+q.R1)*y + q.R0
+}
+
+// Deriv returns ψ′(y) = 2·R2·y + R1.
+func (q Quadratic) Deriv(y float64) float64 {
+	return 2*q.R2*y + q.R1
+}
+
+// Deriv2 returns ψ″(y) = 2·R2.
+func (q Quadratic) Deriv2(float64) float64 {
+	return 2 * q.R2
+}
+
+// InverseDeriv solves ψ′(y) = z for y. Because R2 < 0, ψ′ is strictly
+// decreasing, so the inverse is y = (z − R1)/(2·R2). The boolean is false
+// when the solution would be negative effort (z > ψ′(0) = R1).
+func (q Quadratic) InverseDeriv(z float64) (float64, bool) {
+	y := (z - q.R1) / (2 * q.R2)
+	if y < 0 {
+		return 0, false
+	}
+	return y, true
+}
+
+// Apex returns the effort level at which ψ peaks, −R1/(2·R2). Contracts must
+// not push workers past the apex: beyond it extra effort reduces feedback.
+func (q Quadratic) Apex() float64 {
+	return -q.R1 / (2 * q.R2)
+}
+
+// String implements fmt.Stringer.
+func (q Quadratic) String() string {
+	return fmt.Sprintf("psi(y) = %.6g*y^2 + %.6g*y + %.6g", q.R2, q.R1, q.R0)
+}
+
+// Partition describes the uniform discretization of the effort axis used by
+// the piecewise-linear contract approximation of §III-A: m intervals of
+// width δ, i.e. [0, δ), [δ, 2δ), …, [(m−1)δ, mδ).
+type Partition struct {
+	M     int     // number of intervals
+	Delta float64 // interval width δ
+}
+
+// NewPartition validates and returns a Partition.
+func NewPartition(m int, delta float64) (Partition, error) {
+	if m <= 0 {
+		return Partition{}, fmt.Errorf("effort: partition needs m >= 1, got %d", m)
+	}
+	if !(delta > 0) || math.IsInf(delta, 0) {
+		return Partition{}, fmt.Errorf("effort: partition needs delta > 0, got %v", delta)
+	}
+	return Partition{M: m, Delta: delta}, nil
+}
+
+// YMax returns the right edge of the last interval, m·δ.
+func (p Partition) YMax() float64 {
+	return float64(p.M) * p.Delta
+}
+
+// Edge returns the l-th knot l·δ for l in [0, m].
+func (p Partition) Edge(l int) float64 {
+	return float64(l) * p.Delta
+}
+
+// IntervalOf returns the 1-based interval index l such that
+// y ∈ [(l−1)δ, lδ), clamping to [1, m]. Effort at or beyond mδ reports m.
+func (p Partition) IntervalOf(y float64) int {
+	if y < 0 {
+		return 1
+	}
+	l := int(y/p.Delta) + 1
+	if l > p.M {
+		return p.M
+	}
+	return l
+}
+
+// Knots returns the feedback values d_l = ψ(lδ) for l = 0..m — the knot
+// positions of the piecewise-linear contract in feedback space.
+func (p Partition) Knots(psi Function) []float64 {
+	d := make([]float64, p.M+1)
+	for l := 0; l <= p.M; l++ {
+		d[l] = psi.Eval(p.Edge(l))
+	}
+	return d
+}

@@ -1,0 +1,205 @@
+package effort
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testQuad returns a standard valid effort function used across tests:
+// ψ(y) = -0.02 y² + 2 y + 1, increasing on [0, 50).
+func testQuad(t *testing.T) Quadratic {
+	t.Helper()
+	q, err := NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatalf("NewQuadratic: %v", err)
+	}
+	return q
+}
+
+func TestNewQuadraticValid(t *testing.T) {
+	q := testQuad(t)
+	if q.Eval(0) != 1 {
+		t.Errorf("psi(0) = %v, want 1", q.Eval(0))
+	}
+	if got, want := q.Eval(10), -0.02*100+20+1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("psi(10) = %v, want %v", got, want)
+	}
+}
+
+func TestNewQuadraticRejectsConvex(t *testing.T) {
+	if _, err := NewQuadratic(0.1, 1, 0, 10); !errors.Is(err, ErrNotConcave) {
+		t.Fatalf("convex: err = %v, want ErrNotConcave", err)
+	}
+	if _, err := NewQuadratic(0, 1, 0, 10); !errors.Is(err, ErrNotConcave) {
+		t.Fatalf("linear: err = %v, want ErrNotConcave", err)
+	}
+}
+
+func TestNewQuadraticRejectsDecreasing(t *testing.T) {
+	if _, err := NewQuadratic(-1, -1, 0, 10); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("r1<0: err = %v, want ErrNotIncreasing", err)
+	}
+	// Increasing at 0 but turns over before yMax=10 (apex at 1).
+	if _, err := NewQuadratic(-1, 2, 0, 10); !errors.Is(err, ErrNotIncreasing) {
+		t.Fatalf("apex inside range: err = %v, want ErrNotIncreasing", err)
+	}
+}
+
+func TestNewQuadraticRejectsNonFinite(t *testing.T) {
+	if _, err := NewQuadratic(math.NaN(), 1, 0, 10); err == nil {
+		t.Fatal("NaN r2: want error")
+	}
+	if _, err := NewQuadratic(-1, math.Inf(1), 0, 1); err == nil {
+		t.Fatal("Inf r1: want error")
+	}
+}
+
+func TestQuadraticDerivatives(t *testing.T) {
+	q := testQuad(t)
+	const h = 1e-6
+	for _, y := range []float64{0, 1, 5.5, 20, 39} {
+		numeric := (q.Eval(y+h) - q.Eval(y-h)) / (2 * h)
+		if math.Abs(numeric-q.Deriv(y)) > 1e-5 {
+			t.Errorf("Deriv(%v) = %v, numeric %v", y, q.Deriv(y), numeric)
+		}
+	}
+	if q.Deriv2(3) != 2*q.R2 {
+		t.Errorf("Deriv2 = %v, want %v", q.Deriv2(3), 2*q.R2)
+	}
+}
+
+func TestQuadraticInverseDeriv(t *testing.T) {
+	q := testQuad(t)
+	for _, y := range []float64{0, 2, 17, 39.5} {
+		z := q.Deriv(y)
+		back, ok := q.InverseDeriv(z)
+		if !ok {
+			t.Fatalf("InverseDeriv(%v) reported out of range", z)
+		}
+		if math.Abs(back-y) > 1e-9 {
+			t.Errorf("InverseDeriv(Deriv(%v)) = %v", y, back)
+		}
+	}
+	// z above psi'(0) has no non-negative solution.
+	if _, ok := q.InverseDeriv(q.R1 + 1); ok {
+		t.Error("InverseDeriv above psi'(0): want ok=false")
+	}
+}
+
+func TestQuadraticApex(t *testing.T) {
+	q := testQuad(t)
+	apex := q.Apex()
+	if math.Abs(q.Deriv(apex)) > 1e-12 {
+		t.Errorf("Deriv(apex) = %v, want 0", q.Deriv(apex))
+	}
+}
+
+func TestQuadraticString(t *testing.T) {
+	if testQuad(t).String() == "" {
+		t.Error("String is empty")
+	}
+}
+
+func TestNewPartition(t *testing.T) {
+	p, err := NewPartition(10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.YMax() != 5 {
+		t.Errorf("YMax = %v, want 5", p.YMax())
+	}
+	if p.Edge(3) != 1.5 {
+		t.Errorf("Edge(3) = %v, want 1.5", p.Edge(3))
+	}
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	if _, err := NewPartition(0, 1); err == nil {
+		t.Error("m=0: want error")
+	}
+	if _, err := NewPartition(3, 0); err == nil {
+		t.Error("delta=0: want error")
+	}
+	if _, err := NewPartition(3, -1); err == nil {
+		t.Error("delta<0: want error")
+	}
+	if _, err := NewPartition(3, math.Inf(1)); err == nil {
+		t.Error("delta=Inf: want error")
+	}
+}
+
+func TestPartitionIntervalOf(t *testing.T) {
+	p, _ := NewPartition(4, 1)
+	tests := []struct {
+		y    float64
+		want int
+	}{
+		{-0.5, 1},
+		{0, 1},
+		{0.99, 1},
+		{1, 2},
+		{3.5, 4},
+		{4, 4},   // clamped
+		{100, 4}, // clamped
+	}
+	for _, tt := range tests {
+		if got := p.IntervalOf(tt.y); got != tt.want {
+			t.Errorf("IntervalOf(%v) = %d, want %d", tt.y, got, tt.want)
+		}
+	}
+}
+
+func TestPartitionKnots(t *testing.T) {
+	q := testQuad(t)
+	p, _ := NewPartition(5, 2)
+	d := p.Knots(q)
+	if len(d) != 6 {
+		t.Fatalf("len(knots) = %d, want 6", len(d))
+	}
+	for l, want := range []float64{q.Eval(0), q.Eval(2), q.Eval(4), q.Eval(6), q.Eval(8), q.Eval(10)} {
+		if d[l] != want {
+			t.Errorf("d[%d] = %v, want %v", l, d[l], want)
+		}
+	}
+	// Knots must be strictly increasing for an increasing psi.
+	for l := 1; l < len(d); l++ {
+		if d[l] <= d[l-1] {
+			t.Errorf("knots not increasing at %d: %v <= %v", l, d[l], d[l-1])
+		}
+	}
+}
+
+// Property: for random valid quadratics, ψ is concave (midpoint above chord)
+// and strictly increasing on [0, yMax], and InverseDeriv inverts Deriv.
+func TestQuadraticShapeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r2 := -(0.001 + rng.Float64()) // negative
+		r1 := 0.1 + rng.Float64()*10
+		r0 := rng.Float64() * 5
+		yMax := 0.9 * (-r1 / (2 * r2)) // strictly inside increasing region
+		q, err := NewQuadratic(r2, r1, r0, yMax)
+		if err != nil {
+			return false
+		}
+		a := rng.Float64() * yMax
+		b := rng.Float64() * yMax
+		mid := (a + b) / 2
+		if q.Eval(mid) < (q.Eval(a)+q.Eval(b))/2-1e-9 {
+			return false // concavity violated
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		if hi > lo && q.Eval(hi) <= q.Eval(lo) {
+			return false // monotonicity violated
+		}
+		y := rng.Float64() * yMax
+		back, ok := q.InverseDeriv(q.Deriv(y))
+		return ok && math.Abs(back-y) < 1e-6*(1+y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

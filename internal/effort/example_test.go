@@ -1,0 +1,60 @@
+package effort_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dyncontract/internal/effort"
+)
+
+// Example builds the paper's quadratic effort function and inspects its
+// shape: feedback grows with effort at a diminishing rate.
+func Example() {
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("psi(0)=%.1f psi(10)=%.1f psi(20)=%.1f\n", psi.Eval(0), psi.Eval(10), psi.Eval(20))
+	fmt.Printf("marginal feedback: psi'(0)=%.2f psi'(20)=%.2f\n", psi.Deriv(0), psi.Deriv(20))
+	fmt.Printf("apex (past which more effort hurts): y=%.0f\n", psi.Apex())
+	// Output:
+	// psi(0)=1.0 psi(10)=19.0 psi(20)=33.0
+	// marginal feedback: psi'(0)=2.00 psi'(20)=1.20
+	// apex (past which more effort hurts): y=50
+}
+
+// ExampleFitConcaveQuadratic fits an effort function from noisy
+// (effort, feedback) observations — the §IV-B step that turns trace data
+// into model inputs.
+func ExampleFitConcaveQuadratic() {
+	truth := effort.Quadratic{R2: -0.01, R1: 1.5, R0: 2}
+	rng := rand.New(rand.NewSource(1))
+	var efforts, feedbacks []float64
+	for i := 0; i < 500; i++ {
+		y := rng.Float64() * 40
+		efforts = append(efforts, y)
+		feedbacks = append(feedbacks, truth.Eval(y)+0.2*rng.NormFloat64())
+	}
+	res, err := effort.FitConcaveQuadratic(efforts, feedbacks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected=%v r2 close=%v r1 close=%v\n",
+		res.Projected,
+		res.Quadratic.R2 > -0.012 && res.Quadratic.R2 < -0.008,
+		res.Quadratic.R1 > 1.4 && res.Quadratic.R1 < 1.6)
+	// Output:
+	// projected=false r2 close=true r1 close=true
+}
+
+// ExamplePartition shows the effort-axis discretization of §III-A.
+func ExamplePartition() {
+	part, err := effort.NewPartition(4, 10) // 4 intervals of width 10
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range [0, %.0f], interval of y=25: %d\n", part.YMax(), part.IntervalOf(25))
+	// Output:
+	// range [0, 40], interval of y=25: 3
+}

@@ -1,0 +1,150 @@
+package effort
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dyncontract/internal/polyfit"
+)
+
+// ErrFitFailed is returned when no valid concave-increasing quadratic can
+// be produced from the data.
+var ErrFitFailed = errors.New("effort: cannot fit a concave increasing quadratic")
+
+// FitResult is the outcome of FitConcaveQuadratic.
+type FitResult struct {
+	// Quadratic is the fitted, validated effort function.
+	Quadratic Quadratic
+	// NoR is the norm of residual of the final (possibly constrained) fit.
+	NoR float64
+	// UnconstrainedNoR is the NoR of the plain least-squares quadratic,
+	// for comparison (equal to NoR when no projection was needed).
+	UnconstrainedNoR float64
+	// Projected reports whether the unconstrained fit violated the
+	// concave-increasing shape and had to be projected.
+	Projected bool
+	// YMax is the largest effort in the data; Quadratic is guaranteed
+	// strictly increasing on [0, YMax].
+	YMax float64
+}
+
+// FitConcaveQuadratic fits ψ(y) = r₂y² + r₁y + r₀ to (effort, feedback)
+// points, constrained to the shape the contract algorithm requires: r₂ < 0
+// (strict concavity), r₁ > 0, and ψ′ > 0 over the data's effort range.
+//
+// The unconstrained least-squares fit is used when it already satisfies the
+// constraints (the common case; §IV-B fits quadratics and finds them
+// adequate). Otherwise the curvature is projected to the nearest admissible
+// value — the apex is pushed just beyond the data range — and the remaining
+// coefficients are refit by least squares with r₂ held fixed, so the result
+// is the best-fitting valid effort function rather than an arbitrary
+// fallback.
+func FitConcaveQuadratic(efforts, feedbacks []float64) (FitResult, error) {
+	if len(efforts) != len(feedbacks) {
+		return FitResult{}, fmt.Errorf("effort: %d efforts vs %d feedbacks: %w",
+			len(efforts), len(feedbacks), ErrFitFailed)
+	}
+	if len(efforts) < 3 {
+		return FitResult{}, fmt.Errorf("effort: need >= 3 points, got %d: %w", len(efforts), ErrFitFailed)
+	}
+	yMax := 0.0
+	for _, y := range efforts {
+		if math.IsNaN(y) || math.IsInf(y, 0) || y < 0 {
+			return FitResult{}, fmt.Errorf("effort: invalid effort %v: %w", y, ErrFitFailed)
+		}
+		if y > yMax {
+			yMax = y
+		}
+	}
+	if yMax == 0 {
+		return FitResult{}, fmt.Errorf("effort: all efforts zero: %w", ErrFitFailed)
+	}
+
+	fit, err := polyfit.Polynomial(efforts, feedbacks, 2)
+	if err != nil {
+		return FitResult{}, fmt.Errorf("effort: quadratic fit: %w", err)
+	}
+	r0, r1, r2 := fit.Coeffs[0], fit.Coeffs[1], fit.Coeffs[2]
+
+	q := Quadratic{R2: r2, R1: r1, R0: r0}
+	if q.Validate(yMax) == nil {
+		return FitResult{Quadratic: q, NoR: fit.NoR, UnconstrainedNoR: fit.NoR, YMax: yMax}, nil
+	}
+
+	// Projection: choose the admissible curvature closest to the
+	// unconstrained one. With apex = −r₁/(2r₂) placed at margin·yMax the
+	// function stays strictly increasing over the data.
+	const margin = 1.25
+	projected, nor, err := refitWithShape(efforts, feedbacks, yMax, margin, r2)
+	if err != nil {
+		return FitResult{}, err
+	}
+	return FitResult{
+		Quadratic:        projected,
+		NoR:              nor,
+		UnconstrainedNoR: fit.NoR,
+		Projected:        true,
+		YMax:             yMax,
+	}, nil
+}
+
+// refitWithShape fixes a valid curvature and refits slope and intercept by
+// least squares, then repairs any remaining violations.
+func refitWithShape(efforts, feedbacks []float64, yMax, margin, r2Hint float64) (Quadratic, float64, error) {
+	// Fit the linear model (feedback − r₂y²) = r₁·y + r₀ for a candidate
+	// r₂; choose r₂ so the apex constraint holds afterwards.
+	fitLinear := func(r2 float64) (Quadratic, float64, error) {
+		adjusted := make([]float64, len(feedbacks))
+		for i := range feedbacks {
+			adjusted[i] = feedbacks[i] - r2*efforts[i]*efforts[i]
+		}
+		lin, err := polyfit.Polynomial(efforts, adjusted, 1)
+		if err != nil {
+			return Quadratic{}, 0, fmt.Errorf("effort: constrained refit: %w", err)
+		}
+		q := Quadratic{R2: r2, R1: lin.Coeffs[1], R0: lin.Coeffs[0]}
+		var ss float64
+		for i := range efforts {
+			d := feedbacks[i] - q.Eval(efforts[i])
+			ss += d * d
+		}
+		return q, math.Sqrt(ss), nil
+	}
+
+	// Anchor the curvature to the data's linear trend: with
+	// r₂ = −s/(2·margin·yMax) a slope near s puts the apex near
+	// margin·yMax, comfortably past the data. If the trend s is not
+	// positive, no increasing effort function explains the data.
+	lin, err := polyfit.Polynomial(efforts, feedbacks, 1)
+	if err != nil {
+		return Quadratic{}, 0, fmt.Errorf("effort: linear trend: %w", err)
+	}
+	s := lin.Coeffs[1]
+	if s <= 0 {
+		return Quadratic{}, 0, fmt.Errorf("effort: data trend not increasing (slope %v): %w", s, ErrFitFailed)
+	}
+	r2 := -s / (2 * margin * yMax)
+	if r2Hint < 0 && r2Hint > r2 {
+		// The unconstrained curvature is negative and gentler than the
+		// anchor; prefer it (closer to the unconstrained optimum).
+		r2 = r2Hint
+	}
+
+	// Halving the curvature doubles the apex for a fixed slope, and the
+	// refit slope converges to s as r₂ → 0, so this terminates quickly.
+	for attempt := 0; attempt < 60; attempt++ {
+		q, nor, err := fitLinear(r2)
+		if err != nil {
+			return Quadratic{}, 0, err
+		}
+		if q.Validate(yMax) == nil {
+			return q, nor, nil
+		}
+		r2 /= 2
+		if math.Abs(r2) < 1e-300 {
+			break
+		}
+	}
+	return Quadratic{}, 0, fmt.Errorf("effort: projection failed to converge: %w", ErrFitFailed)
+}

@@ -1,0 +1,117 @@
+package effort
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitConcaveQuadraticCleanData(t *testing.T) {
+	// Data from a true concave increasing quadratic: recovered unprojected.
+	truth := Quadratic{R2: -0.01, R1: 1.5, R0: 2}
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 40
+		ys[i] = truth.Eval(xs[i]) + 0.01*rng.NormFloat64()
+	}
+	res, err := FitConcaveQuadratic(xs, ys)
+	if err != nil {
+		t.Fatalf("FitConcaveQuadratic: %v", err)
+	}
+	if res.Projected {
+		t.Error("clean concave data was projected")
+	}
+	if math.Abs(res.Quadratic.R2-truth.R2) > 1e-3 ||
+		math.Abs(res.Quadratic.R1-truth.R1) > 1e-2 ||
+		math.Abs(res.Quadratic.R0-truth.R0) > 0.1 {
+		t.Errorf("fit = %+v, want ~%+v", res.Quadratic, truth)
+	}
+	if res.NoR != res.UnconstrainedNoR {
+		t.Error("unprojected fit must report equal NoRs")
+	}
+}
+
+func TestFitConcaveQuadraticConvexData(t *testing.T) {
+	// Convex-trending data: the unconstrained quadratic has r2 > 0 and the
+	// fit must project to a valid concave increasing function.
+	rng := rand.New(rand.NewSource(2))
+	n := 150
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		ys[i] = 0.5*xs[i]*xs[i] + xs[i] + rng.NormFloat64()
+	}
+	res, err := FitConcaveQuadratic(xs, ys)
+	if err != nil {
+		t.Fatalf("FitConcaveQuadratic: %v", err)
+	}
+	if !res.Projected {
+		t.Error("convex data not marked as projected")
+	}
+	if err := res.Quadratic.Validate(res.YMax); err != nil {
+		t.Errorf("projected fit invalid: %v", err)
+	}
+	if res.NoR < res.UnconstrainedNoR-1e-9 {
+		t.Error("constrained NoR beat unconstrained NoR; impossible")
+	}
+}
+
+func TestFitConcaveQuadraticDecreasingData(t *testing.T) {
+	// Strictly decreasing data admits no increasing effort function.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{10, 8, 6, 4, 2, 0}
+	if _, err := FitConcaveQuadratic(xs, ys); !errors.Is(err, ErrFitFailed) {
+		t.Fatalf("err = %v, want ErrFitFailed", err)
+	}
+}
+
+func TestFitConcaveQuadraticErrors(t *testing.T) {
+	if _, err := FitConcaveQuadratic([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrFitFailed) {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := FitConcaveQuadratic([]float64{1, 2}, []float64{1, 2}); !errors.Is(err, ErrFitFailed) {
+		t.Error("two points accepted")
+	}
+	if _, err := FitConcaveQuadratic([]float64{-1, 2, 3}, []float64{1, 2, 3}); !errors.Is(err, ErrFitFailed) {
+		t.Error("negative effort accepted")
+	}
+	if _, err := FitConcaveQuadratic([]float64{0, 0, 0}, []float64{1, 2, 3}); !errors.Is(err, ErrFitFailed) {
+		t.Error("all-zero efforts accepted")
+	}
+	if _, err := FitConcaveQuadratic([]float64{1, math.NaN(), 3}, []float64{1, 2, 3}); !errors.Is(err, ErrFitFailed) {
+		t.Error("NaN effort accepted")
+	}
+}
+
+// Property: whenever FitConcaveQuadratic succeeds, the result is a valid
+// concave increasing quadratic over the data range.
+func TestFitConcaveQuadraticValidityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		// Mix of shapes: concave, linear, convex, noisy.
+		a := rng.NormFloat64()
+		b := rng.NormFloat64() * 0.1
+		c := rng.Float64() * 3
+		for i := range xs {
+			xs[i] = rng.Float64() * 20
+			ys[i] = c + a*xs[i] + b*xs[i]*xs[i] + rng.NormFloat64()
+		}
+		res, err := FitConcaveQuadratic(xs, ys)
+		if err != nil {
+			return true // rejection is a legal outcome for bad shapes
+		}
+		return res.Quadratic.Validate(res.YMax) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

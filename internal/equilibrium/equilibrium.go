@@ -1,0 +1,232 @@
+// Package equilibrium verifies Stackelberg equilibrium properties of
+// designed contracts numerically.
+//
+// §III models the requester-worker interaction as a Stackelberg game: the
+// requester (leader) commits to a contract, the worker (follower)
+// best-responds. A designed pair (contract, response) is checked on two
+// axes:
+//
+//  1. Follower optimality — no effort level beats the predicted best
+//     response (dense grid certificate);
+//  2. Leader local optimality — no small monotonicity-preserving
+//     perturbation of the contract's knot compensations improves the
+//     requester's utility once the worker re-best-responds.
+//
+// The checks are numerical certificates, not proofs; they complement
+// Theorem 4.1's analytic bounds and are used by tests and the ablation
+// tooling to audit solver output.
+package equilibrium
+
+import (
+	"errors"
+	"fmt"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/core"
+	"dyncontract/internal/worker"
+)
+
+// ErrBadCheck is returned for invalid check parameters.
+var ErrBadCheck = errors.New("equilibrium: invalid check parameters")
+
+// Options tunes the verification.
+type Options struct {
+	// GridPoints is the follower-check grid resolution (≥ 10).
+	GridPoints int
+	// Step is the leader-check perturbation magnitude on knot
+	// compensations (> 0).
+	Step float64
+	// Tol is the improvement tolerance: violations smaller than Tol are
+	// attributed to the discretization and ignored.
+	Tol float64
+}
+
+// DefaultOptions returns a reasonably strict verification setting.
+func DefaultOptions() Options {
+	return Options{GridPoints: 4000, Step: 0.05, Tol: 1e-6}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.GridPoints < 10 {
+		return fmt.Errorf("gridPoints=%d < 10: %w", o.GridPoints, ErrBadCheck)
+	}
+	if !(o.Step > 0) {
+		return fmt.Errorf("step=%v must be positive: %w", o.Step, ErrBadCheck)
+	}
+	if o.Tol < 0 {
+		return fmt.Errorf("tol=%v must be non-negative: %w", o.Tol, ErrBadCheck)
+	}
+	return nil
+}
+
+// FollowerReport is the outcome of the follower-optimality check.
+type FollowerReport struct {
+	// Holds is true when no grid effort beats the predicted response.
+	Holds bool
+	// BestGridEffort and BestGridUtility describe the best grid point.
+	BestGridEffort, BestGridUtility float64
+	// PredictedUtility is the utility at the checked response.
+	PredictedUtility float64
+}
+
+// CheckFollower verifies that the agent cannot improve on the predicted
+// effort level anywhere on a dense grid over the feasible range.
+func CheckFollower(a *worker.Agent, c *contract.PiecewiseLinear, cfg core.Config, predictedEffort float64, opts Options) (FollowerReport, error) {
+	if err := opts.Validate(); err != nil {
+		return FollowerReport{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return FollowerReport{}, err
+	}
+	yCap := cfg.Part.YMax()
+	if apex := a.Psi.Apex(); apex < yCap {
+		yCap = apex
+	}
+	rep := FollowerReport{
+		PredictedUtility: a.Utility(c, predictedEffort),
+		BestGridUtility:  a.Utility(c, 0),
+	}
+	for i := 0; i <= opts.GridPoints; i++ {
+		y := float64(i) * yCap / float64(opts.GridPoints)
+		if u := a.Utility(c, y); u > rep.BestGridUtility {
+			rep.BestGridUtility = u
+			rep.BestGridEffort = y
+		}
+	}
+	rep.Holds = rep.BestGridUtility <= rep.PredictedUtility+opts.Tol
+	return rep, nil
+}
+
+// LeaderReport is the outcome of the leader local-optimality check.
+type LeaderReport struct {
+	// Holds is true when no tested perturbation improves the requester.
+	Holds bool
+	// BaseUtility is the requester's utility under the original contract.
+	BaseUtility float64
+	// BestUtility is the best utility over all tested perturbations
+	// (including the original).
+	BestUtility float64
+	// Improvements counts perturbations beating BaseUtility + Tol.
+	Improvements int
+	// Tested counts the perturbations evaluated.
+	Tested int
+}
+
+// CheckLeader perturbs each knot compensation by ±Step (projected back to
+// monotone non-negative), lets the agent re-best-respond, and reports
+// whether any perturbation improves the requester's utility.
+//
+// The designed contract is only *near*-optimal (Theorem 4.1), so small
+// improvements can legitimately exist; callers choose Tol to express how
+// much slack they accept. The k_opt-candidate structure makes large
+// first-order improvements a red flag.
+func CheckLeader(a *worker.Agent, c *contract.PiecewiseLinear, cfg core.Config, opts Options) (LeaderReport, error) {
+	if err := opts.Validate(); err != nil {
+		return LeaderReport{}, err
+	}
+	utility := func(pc *contract.PiecewiseLinear) (float64, error) {
+		resp, err := a.BestResponse(pc, cfg.Part)
+		if err != nil {
+			return 0, err
+		}
+		return cfg.W*resp.Feedback - cfg.Mu*resp.Compensation, nil
+	}
+	base, err := utility(c)
+	if err != nil {
+		return LeaderReport{}, err
+	}
+	rep := LeaderReport{BaseUtility: base, BestUtility: base}
+
+	knots := c.Knots()
+	comps := c.Comps()
+	for l := 0; l < len(comps); l++ {
+		for _, dir := range []float64{+opts.Step, -opts.Step} {
+			perturbed := append([]float64(nil), comps...)
+			perturbed[l] += dir
+			projectMonotone(perturbed)
+			pc, err := contract.New(knots, perturbed)
+			if err != nil {
+				continue // projection degenerated; skip this direction
+			}
+			u, err := utility(pc)
+			if err != nil {
+				return LeaderReport{}, err
+			}
+			rep.Tested++
+			if u > rep.BestUtility {
+				rep.BestUtility = u
+			}
+			if u > base+opts.Tol {
+				rep.Improvements++
+			}
+		}
+	}
+	rep.Holds = rep.Improvements == 0
+	return rep, nil
+}
+
+// projectMonotone repairs a compensation vector in place: clamps negatives
+// to zero and enforces non-decreasing order left to right.
+func projectMonotone(xs []float64) {
+	prev := 0.0
+	for i := range xs {
+		if xs[i] < prev {
+			xs[i] = prev
+		}
+		prev = xs[i]
+	}
+}
+
+// AuditReport summarizes equilibrium certificates across a population of
+// designed contracts.
+type AuditReport struct {
+	// Checked is the number of results audited.
+	Checked int
+	// FollowerViolations counts results whose follower certificate failed.
+	FollowerViolations int
+	// LeaderViolations counts results with improving leader perturbations
+	// beyond tolerance.
+	LeaderViolations int
+}
+
+// Clean reports whether no violation of either kind was found.
+func (r AuditReport) Clean() bool {
+	return r.FollowerViolations == 0 && r.LeaderViolations == 0
+}
+
+// Audit runs both certificates over a batch of designed results. Each
+// entry pairs a result with the config it was designed under; entries are
+// audited independently and the first hard error aborts.
+type AuditEntry struct {
+	// Result is the designed contract bundle.
+	Result *core.Result
+	// Config is the design configuration the result came from.
+	Config core.Config
+}
+
+// AuditAll checks every entry and tallies violations.
+func AuditAll(entries []AuditEntry, opts Options) (AuditReport, error) {
+	var rep AuditReport
+	for i, e := range entries {
+		if e.Result == nil {
+			return rep, fmt.Errorf("entry %d has nil result: %w", i, ErrBadCheck)
+		}
+		fr, err := CheckFollower(e.Result.Agent, e.Result.Contract, e.Config, e.Result.Response.Effort, opts)
+		if err != nil {
+			return rep, fmt.Errorf("entry %d follower: %w", i, err)
+		}
+		if !fr.Holds {
+			rep.FollowerViolations++
+		}
+		lr, err := CheckLeader(e.Result.Agent, e.Result.Contract, e.Config, opts)
+		if err != nil {
+			return rep, fmt.Errorf("entry %d leader: %w", i, err)
+		}
+		if !lr.Holds {
+			rep.LeaderViolations++
+		}
+		rep.Checked++
+	}
+	return rep, nil
+}

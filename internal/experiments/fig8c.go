@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"dyncontract/internal/baseline"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/textplot"
+	"dyncontract/internal/worker"
+)
+
+// fig8cRounds is the number of simulated task rounds.
+const fig8cRounds = 5
+
+// fig8cMaxPerClass caps per-class population sizes (deterministic strided
+// sample) so the simulation stays fast at paper scale.
+const fig8cMaxPerClass = 200
+
+// RunFig8c regenerates Fig. 8(c): the requester's utility under the
+// dynamic contract versus the baseline that simply excludes every
+// suspected-malicious worker. The paper's claim — the dynamic contract
+// outperforms exclusion because biased-but-accurate malicious workers
+// still carry positive weight, while hopeless ones are neutralized by
+// near-zero weights anyway — is asserted in the notes. A fixed-payment
+// policy is included as a second reference point.
+func RunFig8c(p *Pipeline, params Params) (*Report, error) {
+	pop, err := p.BuildPopulation(params, fig8cMaxPerClass)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	policies := []platform.Policy{
+		&platform.DynamicPolicy{},
+		&baseline.ExcludeMalicious{Threshold: 0.5},
+		&baseline.FixedPayment{Amount: 1},
+	}
+	rep := &Report{
+		ID:     "fig8c",
+		Title:  fmt.Sprintf("requester utility over %d rounds: dynamic vs baselines (%d agents)", fig8cRounds, len(pop.Agents)),
+		Header: []string{"policy", "total-utility", "per-round", "benefit", "cost"},
+	}
+	totals := make(map[string]float64, len(policies))
+	for _, pol := range policies {
+		ledger, err := platform.Simulate(ctx, pop, pol, fig8cRounds, platform.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("fig8c: %s: %w", pol.Name(), err)
+		}
+		total := platform.TotalUtility(ledger)
+		totals[pol.Name()] = total
+		var benefit, cost float64
+		rounds := make([]float64, 0, len(ledger))
+		utilities := make([]float64, 0, len(ledger))
+		for _, r := range ledger {
+			benefit += r.Benefit
+			cost += r.Cost
+			rounds = append(rounds, float64(r.Index))
+			utilities = append(utilities, r.Utility)
+		}
+		rep.Series = append(rep.Series, textplot.Series{Name: pol.Name(), X: rounds, Y: utilities})
+		rep.Rows = append(rep.Rows, []string{
+			pol.Name(), f2(total), f2(total / fig8cRounds), f2(benefit), f2(cost),
+		})
+	}
+	rep.XLabel = "round"
+	dyn := totals[policies[0].Name()]
+	excl := totals[policies[1].Name()]
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"dynamic contract beats exclude-all-malicious: %v (paper: our contract design outperforms the baseline)",
+		dyn > excl))
+	if excl != 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("dynamic/exclusion utility ratio: %.3f", dyn/excl))
+	}
+	return rep, nil
+}
+
+// BuildPopulation materializes a platform population from the pipeline:
+// sampled honest and non-collusive malicious individuals plus every
+// collusive community as a meta-agent, with Eq. (5) weights and estimated
+// malice probabilities.
+func (p *Pipeline) BuildPopulation(params Params, maxPerClass int) (*platform.Population, error) {
+	part, err := p.Partition(params.M)
+	if err != nil {
+		return nil, err
+	}
+	pop := &platform.Population{
+		Weights:    make(map[string]float64),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         params.Mu,
+	}
+	add := func(a *worker.Agent, w, malice float64) {
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = w
+		pop.MaliceProb[a.ID] = malice
+	}
+	for _, id := range sampleIDs(p.HonestIDs, maxPerClass) {
+		a, err := p.Agent(id, params, part)
+		if err != nil {
+			return nil, err
+		}
+		w, err := p.WorkerWeight(id, params)
+		if err != nil {
+			return nil, err
+		}
+		add(a, w, p.MaliceProb[id])
+	}
+	for _, id := range sampleIDs(p.NCMIDs, maxPerClass) {
+		a, err := p.Agent(id, params, part)
+		if err != nil {
+			return nil, err
+		}
+		w, err := p.WorkerWeight(id, params)
+		if err != nil {
+			return nil, err
+		}
+		add(a, w, p.MaliceProb[id])
+	}
+	for ci, comm := range p.Communities {
+		a, err := p.CommunityAgent(ci, params, part)
+		if err != nil {
+			return nil, err
+		}
+		var wSum, eSum float64
+		for _, id := range comm.Members {
+			w, err := p.WorkerWeight(id, params)
+			if err != nil {
+				return nil, err
+			}
+			wSum += w
+			eSum += p.MaliceProb[id]
+		}
+		n := float64(comm.Size())
+		add(a, wSum/n, eSum/n)
+	}
+	return pop, nil
+}

@@ -1,0 +1,209 @@
+// Package graph provides the small graph substrate §IV-A needs: an
+// undirected graph over string-identified vertices, connected components by
+// iterative depth-first search (the paper's stated method), and a
+// union-find used both as an independent cross-check and by callers that
+// build components incrementally.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Undirected is an undirected graph over string vertex IDs. The zero value
+// is ready to use.
+type Undirected struct {
+	adj map[string]map[string]struct{}
+}
+
+// NewUndirected returns an empty graph.
+func NewUndirected() *Undirected {
+	return &Undirected{adj: make(map[string]map[string]struct{})}
+}
+
+// AddVertex ensures v exists (isolated vertices form singleton components).
+func (g *Undirected) AddVertex(v string) {
+	if g.adj == nil {
+		g.adj = make(map[string]map[string]struct{})
+	}
+	if _, ok := g.adj[v]; !ok {
+		g.adj[v] = make(map[string]struct{})
+	}
+}
+
+// AddEdge inserts the undirected edge {u, v}, creating vertices as needed.
+// Self-loops are recorded as the vertex alone (no effect on components).
+func (g *Undirected) AddEdge(u, v string) {
+	g.AddVertex(u)
+	g.AddVertex(v)
+	if u == v {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Undirected) HasEdge(u, v string) bool {
+	if g.adj == nil {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// NumVertices returns the vertex count.
+func (g *Undirected) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the undirected edge count.
+func (g *Undirected) NumEdges() int {
+	var twice int
+	for _, nbrs := range g.adj {
+		twice += len(nbrs)
+	}
+	return twice / 2
+}
+
+// Degree returns the degree of v (0 if absent).
+func (g *Undirected) Degree(v string) int {
+	return len(g.adj[v])
+}
+
+// Vertices returns all vertex IDs in sorted order (deterministic output for
+// tests and reports).
+func (g *Undirected) Vertices() []string {
+	out := make([]string, 0, len(g.adj))
+	for v := range g.adj {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbors returns v's neighbors in sorted order.
+func (g *Undirected) Neighbors(v string) []string {
+	nbrs := g.adj[v]
+	out := make([]string, 0, len(nbrs))
+	for u := range nbrs {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ConnectedComponents returns the connected components of g found by
+// iterative DFS ([18] in the paper). Each component's members are sorted,
+// and components are sorted by their first member, so output is
+// deterministic.
+func (g *Undirected) ConnectedComponents() [][]string {
+	visited := make(map[string]bool, len(g.adj))
+	var components [][]string
+	for _, start := range g.Vertices() {
+		if visited[start] {
+			continue
+		}
+		// Iterative DFS with an explicit stack: real traces have
+		// communities large enough that recursion depth would be a risk.
+		stack := []string{start}
+		visited[start] = true
+		var comp []string
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Strings(comp)
+		components = append(components, comp)
+	}
+	sort.Slice(components, func(i, j int) bool {
+		return components[i][0] < components[j][0]
+	})
+	return components
+}
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression over string IDs.
+type UnionFind struct {
+	parent map[string]string
+	rank   map[string]int
+	count  int
+}
+
+// NewUnionFind returns an empty disjoint-set forest.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{parent: make(map[string]string), rank: make(map[string]int)}
+}
+
+// Add registers x as its own set if not yet present.
+func (u *UnionFind) Add(x string) {
+	if _, ok := u.parent[x]; !ok {
+		u.parent[x] = x
+		u.rank[x] = 0
+		u.count++
+	}
+}
+
+// Find returns the representative of x's set, adding x if absent.
+func (u *UnionFind) Find(x string) string {
+	u.Add(x)
+	root := x
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[x] != root {
+		u.parent[x], x = root, u.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing x and y.
+func (u *UnionFind) Union(x, y string) {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+}
+
+// Connected reports whether x and y share a set.
+func (u *UnionFind) Connected(x, y string) bool {
+	return u.Find(x) == u.Find(y)
+}
+
+// Count returns the number of disjoint sets.
+func (u *UnionFind) Count() int { return u.count }
+
+// Sets returns the disjoint sets with sorted members, sorted by first
+// member.
+func (u *UnionFind) Sets() [][]string {
+	byRoot := make(map[string][]string)
+	for x := range u.parent {
+		r := u.Find(x)
+		byRoot[r] = append(byRoot[r], x)
+	}
+	out := make([][]string, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// String implements fmt.Stringer for Undirected.
+func (g *Undirected) String() string {
+	return fmt.Sprintf("graph{V=%d, E=%d}", g.NumVertices(), g.NumEdges())
+}

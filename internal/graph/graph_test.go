@@ -1,0 +1,213 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeAndQueries(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddVertex("d")
+	if g.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("edge {a,b} missing or not symmetric")
+	}
+	if g.HasEdge("a", "c") {
+		t.Error("phantom edge {a,c}")
+	}
+	if g.Degree("b") != 2 || g.Degree("d") != 0 || g.Degree("zz") != 0 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge("x", "x")
+	if g.NumVertices() != 1 || g.NumEdges() != 0 {
+		t.Errorf("self loop: V=%d E=%d, want 1, 0", g.NumVertices(), g.NumEdges())
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 || len(comps[0]) != 1 {
+		t.Errorf("components = %v, want [[x]]", comps)
+	}
+}
+
+func TestZeroValueGraphUsable(t *testing.T) {
+	var g Undirected
+	g.AddVertex("a")
+	if g.NumVertices() != 1 {
+		t.Error("zero-value graph AddVertex failed")
+	}
+	var g2 Undirected
+	if g2.HasEdge("a", "b") {
+		t.Error("zero-value HasEdge should be false")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewUndirected()
+	// Component 1: a-b-c chain. Component 2: d-e. Component 3: isolated f.
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("d", "e")
+	g.AddVertex("f")
+	comps := g.ConnectedComponents()
+	want := [][]string{{"a", "b", "c"}, {"d", "e"}, {"f"}}
+	if !reflect.DeepEqual(comps, want) {
+		t.Errorf("components = %v, want %v", comps, want)
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	if comps := NewUndirected().ConnectedComponents(); len(comps) != 0 {
+		t.Errorf("components of empty graph = %v", comps)
+	}
+}
+
+func TestConnectedComponentsDeterministic(t *testing.T) {
+	build := func() *Undirected {
+		g := NewUndirected()
+		g.AddEdge("w3", "w1")
+		g.AddEdge("w2", "w5")
+		g.AddEdge("w1", "w2")
+		g.AddVertex("w9")
+		return g
+	}
+	first := build().ConnectedComponents()
+	for i := 0; i < 10; i++ {
+		if got := build().ConnectedComponents(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("nondeterministic components: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestLargeChainIterativeDFS(t *testing.T) {
+	// A 200k-vertex path would blow a recursive DFS stack; the iterative
+	// version must handle it.
+	g := NewUndirected()
+	const n = 200_000
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(fmt.Sprintf("v%07d", i), fmt.Sprintf("v%07d", i+1))
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) != 1 {
+		t.Fatalf("components = %d, want 1", len(comps))
+	}
+	if len(comps[0]) != n {
+		t.Fatalf("component size = %d, want %d", len(comps[0]), n)
+	}
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind()
+	u.Union("a", "b")
+	u.Union("c", "d")
+	if !u.Connected("a", "b") || u.Connected("a", "c") {
+		t.Error("connectivity wrong")
+	}
+	if u.Count() != 2 {
+		t.Errorf("Count = %d, want 2", u.Count())
+	}
+	u.Union("b", "c")
+	if !u.Connected("a", "d") {
+		t.Error("transitive union failed")
+	}
+	if u.Count() != 1 {
+		t.Errorf("Count = %d, want 1", u.Count())
+	}
+}
+
+func TestUnionFindIdempotentUnion(t *testing.T) {
+	u := NewUnionFind()
+	u.Union("a", "b")
+	u.Union("a", "b")
+	u.Union("b", "a")
+	if u.Count() != 1 {
+		t.Errorf("Count = %d, want 1", u.Count())
+	}
+}
+
+func TestUnionFindSets(t *testing.T) {
+	u := NewUnionFind()
+	u.Union("b", "a")
+	u.Add("z")
+	sets := u.Sets()
+	want := [][]string{{"a", "b"}, {"z"}}
+	if !reflect.DeepEqual(sets, want) {
+		t.Errorf("Sets = %v, want %v", sets, want)
+	}
+}
+
+// Property: DFS components and union-find agree on random graphs.
+func TestComponentsMatchUnionFindProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		edges := rng.Intn(60)
+		g := NewUndirected()
+		u := NewUnionFind()
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("v%d", i)
+			g.AddVertex(id)
+			u.Add(id)
+		}
+		for e := 0; e < edges; e++ {
+			a := fmt.Sprintf("v%d", rng.Intn(n))
+			b := fmt.Sprintf("v%d", rng.Intn(n))
+			g.AddEdge(a, b)
+			u.Union(a, b)
+		}
+		return reflect.DeepEqual(g.ConnectedComponents(), u.Sets())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: component sizes sum to the vertex count.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewUndirected()
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			g.AddVertex(fmt.Sprintf("v%d", i))
+		}
+		for e := 0; e < rng.Intn(50); e++ {
+			g.AddEdge(fmt.Sprintf("v%d", rng.Intn(n)), fmt.Sprintf("v%d", rng.Intn(n)))
+		}
+		seen := make(map[string]bool)
+		total := 0
+		for _, comp := range g.ConnectedComponents() {
+			for _, v := range comp {
+				if seen[v] {
+					return false // vertex in two components
+				}
+				seen[v] = true
+			}
+			total += len(comp)
+		}
+		return total == g.NumVertices()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge("a", "b")
+	if g.String() != "graph{V=2, E=1}" {
+		t.Errorf("String = %q", g.String())
+	}
+}

@@ -1,0 +1,150 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned when a least-squares system does not have
+// full column rank (up to a numerical tolerance).
+var ErrRankDeficient = errors.New("numeric: rank-deficient system")
+
+// QR holds a Householder QR decomposition of an m×n matrix with m ≥ n.
+// R is stored in the upper triangle of factors; the Householder vectors in
+// the lower triangle plus the tau scalars.
+type QR struct {
+	factors *Matrix
+	tau     []float64
+}
+
+// DecomposeQR computes the Householder QR decomposition of a. The input is
+// not modified. It requires a.Rows() >= a.Cols().
+func DecomposeQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("qr of %dx%d (need rows >= cols): %w", m, n, ErrDimensionMismatch)
+	}
+	f := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k, rows k..m-1.
+		var norm float64
+		{
+			col := make(Vector, m-k)
+			for i := k; i < m; i++ {
+				col[i-k] = f.At(i, k)
+			}
+			norm = col.Norm2()
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		alpha := f.At(k, k)
+		if alpha > 0 {
+			norm = -norm
+		}
+		// v = x - norm*e1, normalized so v[0] = 1.
+		v0 := alpha - norm
+		f.Set(k, k, norm)
+		for i := k + 1; i < m; i++ {
+			f.Set(i, k, f.At(i, k)/v0)
+		}
+		tau[k] = -v0 / norm
+
+		// Apply reflector to remaining columns: A[k:,j] -= tau * v * (v'A[k:,j]).
+		for j := k + 1; j < n; j++ {
+			dot := f.At(k, j)
+			for i := k + 1; i < m; i++ {
+				dot += f.At(i, k) * f.At(i, j)
+			}
+			dot *= tau[k]
+			f.Set(k, j, f.At(k, j)-dot)
+			for i := k + 1; i < m; i++ {
+				f.Set(i, j, f.At(i, j)-dot*f.At(i, k))
+			}
+		}
+	}
+	return &QR{factors: f, tau: tau}, nil
+}
+
+// applyQT overwrites b (length m) with Qᵀb.
+func (qr *QR) applyQT(b Vector) {
+	m, n := qr.factors.Rows(), qr.factors.Cols()
+	for k := 0; k < n; k++ {
+		if qr.tau[k] == 0 {
+			continue
+		}
+		dot := b[k]
+		for i := k + 1; i < m; i++ {
+			dot += qr.factors.At(i, k) * b[i]
+		}
+		dot *= qr.tau[k]
+		b[k] -= dot
+		for i := k + 1; i < m; i++ {
+			b[i] -= dot * qr.factors.At(i, k)
+		}
+	}
+}
+
+// SolveLeastSquares returns x minimizing ‖Ax − b‖₂ for the decomposed A,
+// along with the residual norm ‖Ax − b‖₂ computed from the trailing
+// components of Qᵀb. It returns ErrRankDeficient when R has a (numerically)
+// zero diagonal entry.
+func (qr *QR) SolveLeastSquares(b Vector) (x Vector, residual float64, err error) {
+	m, n := qr.factors.Rows(), qr.factors.Cols()
+	if len(b) != m {
+		return nil, 0, fmt.Errorf("rhs length %d, want %d: %w", len(b), m, ErrDimensionMismatch)
+	}
+	qtb := b.Clone()
+	qr.applyQT(qtb)
+
+	// Tolerance relative to the largest diagonal magnitude of R.
+	var maxDiag float64
+	for k := 0; k < n; k++ {
+		if a := math.Abs(qr.factors.At(k, k)); a > maxDiag {
+			maxDiag = a
+		}
+	}
+	tol := maxDiag * 1e-12
+	if tol == 0 {
+		return nil, 0, fmt.Errorf("all-zero matrix: %w", ErrRankDeficient)
+	}
+
+	x = NewVector(n)
+	for k := n - 1; k >= 0; k-- {
+		d := qr.factors.At(k, k)
+		if math.Abs(d) <= tol {
+			return nil, 0, fmt.Errorf("zero pivot at column %d: %w", k, ErrRankDeficient)
+		}
+		s := qtb[k]
+		for j := k + 1; j < n; j++ {
+			s -= qr.factors.At(k, j) * x[j]
+		}
+		x[k] = s / d
+	}
+
+	tail := qtb[n:]
+	residual = Vector(tail).Norm2()
+	return x, residual, nil
+}
+
+// LeastSquares solves min ‖Ax − b‖₂ in one call, returning the solution and
+// the residual norm.
+func LeastSquares(a *Matrix, b Vector) (Vector, float64, error) {
+	qr, err := DecomposeQR(a)
+	if err != nil {
+		return nil, 0, err
+	}
+	return qr.SolveLeastSquares(b)
+}
+
+// SolveLinear solves the square system Ax = b via QR.
+func SolveLinear(a *Matrix, b Vector) (Vector, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("solve of %dx%d (need square): %w", a.Rows(), a.Cols(), ErrDimensionMismatch)
+	}
+	x, _, err := LeastSquares(a, b)
+	return x, err
+}

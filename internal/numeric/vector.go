@@ -1,0 +1,128 @@
+// Package numeric provides the small dense linear-algebra substrate used by
+// the rest of the repository: vectors, column-major-free dense matrices, a
+// Householder QR decomposition, and least-squares solving.
+//
+// The paper's pipeline needs only modest numerics (polynomial least squares
+// for effort-function fitting, residual norms, and a handful of vector
+// reductions), so this package favours clarity and numerical robustness over
+// raw speed. Everything is implemented with the standard library only.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimensionMismatch is returned when operands have incompatible shapes.
+var ErrDimensionMismatch = errors.New("numeric: dimension mismatch")
+
+// Vector is a dense column vector of float64 values.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector {
+	return make(Vector, n)
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("dot of lengths %d and %d: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	var sum float64
+	for i := range v {
+		sum += v[i] * w[i]
+	}
+	return sum, nil
+}
+
+// Norm2 returns the Euclidean norm of v, guarding against overflow by
+// scaling with the largest absolute entry.
+func (v Vector) Norm2() float64 {
+	var maxAbs float64
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		r := x / maxAbs
+		sum += r * r
+	}
+	return maxAbs * math.Sqrt(sum)
+}
+
+// NormInf returns the maximum absolute entry of v.
+func (v Vector) NormInf() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("sub of lengths %d and %d: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out, nil
+}
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) (Vector, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("add of lengths %d and %d: %w", len(v), len(w), ErrDimensionMismatch)
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// Scale returns s * v as a new vector.
+func (v Vector) Scale(s float64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = s * v[i]
+	}
+	return out
+}
+
+// Sum returns the sum of all entries.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// AllFinite reports whether every entry is finite (no NaN or Inf).
+func (v Vector) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,185 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	got, err := v.Dot(w)
+	if err != nil {
+		t.Fatalf("Dot: %v", err)
+	}
+	if got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatch(t *testing.T) {
+	_, err := Vector{1}.Dot(Vector{1, 2})
+	if err == nil {
+		t.Fatal("Dot with mismatched lengths: want error, got nil")
+	}
+}
+
+func TestVectorNorm2(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{"3-4-5", Vector{3, 4}, 5},
+		{"zero", Vector{0, 0, 0}, 0},
+		{"empty", Vector{}, 0},
+		{"single negative", Vector{-7}, 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Norm2(); !almostEqual(got, tt.want, 1e-14) {
+				t.Errorf("Norm2(%v) = %v, want %v", tt.v, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVectorNorm2NoOverflow(t *testing.T) {
+	big := math.MaxFloat64 / 2
+	v := Vector{big, big}
+	got := v.Norm2()
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm2 overflowed: %v", got)
+	}
+	want := big * math.Sqrt2
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("Norm2 = %v, want %v", got, want)
+	}
+}
+
+func TestVectorAddSubScale(t *testing.T) {
+	v := Vector{1, 2}
+	w := Vector{3, 5}
+	sum, err := v.Add(w)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if sum[0] != 4 || sum[1] != 7 {
+		t.Errorf("Add = %v, want [4 7]", sum)
+	}
+	diff, err := w.Sub(v)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if diff[0] != 2 || diff[1] != 3 {
+		t.Errorf("Sub = %v, want [2 3]", diff)
+	}
+	sc := v.Scale(-2)
+	if sc[0] != -2 || sc[1] != -4 {
+		t.Errorf("Scale = %v, want [-2 -4]", sc)
+	}
+	// Originals untouched.
+	if v[0] != 1 || w[0] != 3 {
+		t.Error("operands were mutated")
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Error("Clone shares backing array with original")
+	}
+}
+
+func TestVectorAllFinite(t *testing.T) {
+	if !(Vector{1, 2, 3}).AllFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if (Vector{1, math.NaN()}).AllFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if (Vector{math.Inf(1)}).AllFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+// Property: triangle inequality for Norm2.
+func TestVectorNorm2TriangleProperty(t *testing.T) {
+	f := func(a, b [8]float64) bool {
+		v, w := NewVector(8), NewVector(8)
+		for i := range a {
+			// Keep magnitudes sane to avoid quick generating Inf sums.
+			v[i] = math.Mod(a[i], 1e6)
+			w[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		sum, err := v.Add(w)
+		if err != nil {
+			return false
+		}
+		return sum.Norm2() <= v.Norm2()+w.Norm2()+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Cauchy–Schwarz |v·w| <= |v||w|.
+func TestVectorCauchySchwarzProperty(t *testing.T) {
+	f := func(a, b [6]float64) bool {
+		v, w := NewVector(6), NewVector(6)
+		for i := range a {
+			v[i] = math.Mod(a[i], 1e5)
+			w[i] = math.Mod(b[i], 1e5)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			if math.IsNaN(w[i]) {
+				w[i] = 0
+			}
+		}
+		dot, err := v.Dot(w)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dot) <= v.Norm2()*w.Norm2()*(1+1e-12)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorSum(t *testing.T) {
+	if got := (Vector{1.5, 2.5, -1}).Sum(); got != 3 {
+		t.Errorf("Sum = %v, want 3", got)
+	}
+	if got := (Vector{}).Sum(); got != 0 {
+		t.Errorf("Sum of empty = %v, want 0", got)
+	}
+}
+
+func TestVectorNormInf(t *testing.T) {
+	if got := (Vector{-5, 3, 4}).NormInf(); got != 5 {
+		t.Errorf("NormInf = %v, want 5", got)
+	}
+}

@@ -1,0 +1,124 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+func TestResponderOverridesBestResponse(t *testing.T) {
+	pop := testPopulation(t, 2, 0, false)
+	const forced = 7.5
+	opts := Options{
+		Responder: func(_ int, _ *worker.Agent, _ *contract.PiecewiseLinear, _ effort.Partition) (float64, error) {
+			return forced, nil
+		},
+	}
+	ledger, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, oc := range ledger[0].Outcomes {
+		if oc.Effort != forced {
+			t.Errorf("agent %s effort = %v, want forced %v", oc.AgentID, oc.Effort, forced)
+		}
+		wantQ := pop.Agents[0].Psi.Eval(forced)
+		if math.Abs(oc.Feedback-wantQ) > 1e-9 {
+			t.Errorf("agent %s feedback = %v, want psi(forced) = %v", oc.AgentID, oc.Feedback, wantQ)
+		}
+	}
+}
+
+func TestResponderEffortClamped(t *testing.T) {
+	pop := testPopulation(t, 1, 0, false)
+	cases := []struct {
+		name  string
+		value float64
+		check func(got float64) bool
+	}{
+		{"negative clamps to zero", -5, func(got float64) bool { return got == 0 }},
+		{"NaN clamps to zero", math.NaN(), func(got float64) bool { return got == 0 }},
+		{"huge clamps to yMax", 1e9, func(got float64) bool { return got <= pop.Part.YMax()+1e-9 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{
+				Responder: func(_ int, _ *worker.Agent, _ *contract.PiecewiseLinear, _ effort.Partition) (float64, error) {
+					return tc.value, nil
+				},
+			}
+			ledger, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ledger[0].Outcomes[0].Effort; !tc.check(got) {
+				t.Errorf("effort = %v after clamping %v", got, tc.value)
+			}
+		})
+	}
+}
+
+func TestResponderErrorPropagates(t *testing.T) {
+	pop := testPopulation(t, 1, 0, false)
+	boom := errors.New("strategy exploded")
+	opts := Options{
+		Responder: func(int, *worker.Agent, *contract.PiecewiseLinear, effort.Partition) (float64, error) {
+			return 0, boom
+		},
+	}
+	if _, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 1, opts); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped responder error", err)
+	}
+}
+
+func TestObserverSeesEveryRound(t *testing.T) {
+	pop := testPopulation(t, 2, 1, false)
+	var observed []int
+	opts := Options{
+		Observer: func(r Round) {
+			observed = append(observed, r.Index)
+			if len(r.Outcomes) != len(pop.Agents) {
+				t.Errorf("observer round %d has %d outcomes", r.Index, len(r.Outcomes))
+			}
+		},
+	}
+	if _, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 3, opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(observed) != 3 || observed[0] != 0 || observed[2] != 2 {
+		t.Errorf("observed rounds = %v, want [0 1 2]", observed)
+	}
+}
+
+func TestObserverRunsBeforeNextDrift(t *testing.T) {
+	// The observe→drift ordering is what adaptive defenses rely on:
+	// observations from round r must be available to the drift of round
+	// r+1.
+	pop := testPopulation(t, 1, 0, false)
+	var events []string
+	opts := Options{
+		Drift: func(round int, _ *Population) {
+			events = append(events, "drift")
+		},
+		Observer: func(Round) {
+			events = append(events, "observe")
+		},
+	}
+	if _, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 2, opts); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"drift", "observe", "drift", "observe"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+}

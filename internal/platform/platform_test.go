@@ -1,0 +1,190 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+// testPopulation builds nHonest honest workers, nMal non-collusive
+// malicious workers, and one size-3 community, all with the standard psi.
+func testPopulation(t *testing.T, nHonest, nMal int, withCommunity bool) *Population {
+	t.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := &Population{
+		Weights:    make(map[string]float64),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < nHonest; i++ {
+		a, err := worker.NewHonest(fmt.Sprintf("h%02d", i), psi, 1, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 1
+		pop.MaliceProb[a.ID] = 0.05
+	}
+	for i := 0; i < nMal; i++ {
+		a, err := worker.NewMalicious(fmt.Sprintf("m%02d", i), psi, 1, 0.5, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 0.8 // biased but still useful
+		pop.MaliceProb[a.ID] = 0.9
+	}
+	if withCommunity {
+		a, err := worker.NewCommunity("comm0", psi, 1, 0.5, 3, part.YMax())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = 0.5
+		pop.MaliceProb[a.ID] = 0.95
+	}
+	return pop
+}
+
+func TestPopulationValidate(t *testing.T) {
+	pop := testPopulation(t, 2, 1, true)
+	if err := pop.Validate(); err != nil {
+		t.Fatalf("valid population rejected: %v", err)
+	}
+	t.Run("empty", func(t *testing.T) {
+		bad := &Population{Part: pop.Part, Mu: 1}
+		if err := bad.Validate(); err == nil {
+			t.Error("empty population accepted")
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		bad := testPopulation(t, 1, 0, false)
+		bad.Agents = append(bad.Agents, bad.Agents[0])
+		if err := bad.Validate(); err == nil {
+			t.Error("duplicate agent accepted")
+		}
+	})
+	t.Run("missing weight", func(t *testing.T) {
+		bad := testPopulation(t, 1, 0, false)
+		delete(bad.Weights, bad.Agents[0].ID)
+		if err := bad.Validate(); err == nil {
+			t.Error("missing weight accepted")
+		}
+	})
+	t.Run("bad mu", func(t *testing.T) {
+		bad := testPopulation(t, 1, 0, false)
+		bad.Mu = 0
+		if err := bad.Validate(); err == nil {
+			t.Error("mu=0 accepted")
+		}
+	})
+}
+
+func TestSimulateDynamicPolicy(t *testing.T) {
+	pop := testPopulation(t, 3, 2, true)
+	ledger, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 4, Options{})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(ledger) != 4 {
+		t.Fatalf("rounds = %d, want 4", len(ledger))
+	}
+	for _, r := range ledger {
+		if len(r.Outcomes) != len(pop.Agents) {
+			t.Errorf("round %d outcomes = %d, want %d", r.Index, len(r.Outcomes), len(pop.Agents))
+		}
+		if math.Abs(r.Utility-(r.Benefit-pop.Mu*r.Cost)) > 1e-9 {
+			t.Errorf("round %d utility accounting broken", r.Index)
+		}
+		if r.Utility <= 0 {
+			t.Errorf("round %d utility = %v, want positive for productive population", r.Index, r.Utility)
+		}
+		// Outcomes sorted by ID.
+		for i := 1; i < len(r.Outcomes); i++ {
+			if r.Outcomes[i-1].AgentID >= r.Outcomes[i].AgentID {
+				t.Errorf("outcomes not sorted at %d", i)
+			}
+		}
+		// Nobody excluded under the dynamic policy.
+		for _, oc := range r.Outcomes {
+			if oc.Excluded {
+				t.Errorf("agent %s excluded by dynamic policy", oc.AgentID)
+			}
+		}
+	}
+	// Static population, deterministic policy: every round identical.
+	if ledger[0].Utility != ledger[3].Utility {
+		t.Error("static simulation drifted across rounds")
+	}
+}
+
+func TestSimulateRejectsBadRounds(t *testing.T) {
+	pop := testPopulation(t, 1, 0, false)
+	if _, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 0, Options{}); err == nil {
+		t.Error("rounds=0 accepted")
+	}
+}
+
+func TestSimulateContextCancellation(t *testing.T) {
+	pop := testPopulation(t, 2, 0, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Simulate(ctx, pop, &DynamicPolicy{}, 3, Options{}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestSimulateDriftChangesOutcome(t *testing.T) {
+	pop := testPopulation(t, 2, 0, false)
+	drift := func(round int, p *Population) {
+		// The requester values feedback more over time.
+		for id := range p.Weights {
+			p.Weights[id] = 1 + 0.5*float64(round)
+		}
+	}
+	ledger, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 3, Options{Drift: drift})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ledger[2].Utility > ledger[0].Utility) {
+		t.Errorf("utilities %v, %v: drift should raise utility", ledger[0].Utility, ledger[2].Utility)
+	}
+}
+
+func TestSimulateDriftBreakingPopulationFails(t *testing.T) {
+	pop := testPopulation(t, 1, 0, false)
+	drift := func(round int, p *Population) {
+		p.Mu = -1
+	}
+	if _, err := Simulate(context.Background(), pop, &DynamicPolicy{}, 2, Options{Drift: drift}); err == nil {
+		t.Error("population-breaking drift accepted")
+	}
+}
+
+func TestTotalUtility(t *testing.T) {
+	ledger := []Round{{Utility: 2}, {Utility: 3.5}}
+	if got := TotalUtility(ledger); got != 5.5 {
+		t.Errorf("TotalUtility = %v, want 5.5", got)
+	}
+	if TotalUtility(nil) != 0 {
+		t.Error("TotalUtility(nil) != 0")
+	}
+}
+
+func TestDynamicPolicyName(t *testing.T) {
+	if (&DynamicPolicy{}).Name() != "dynamic-contract" {
+		t.Error("unexpected policy name")
+	}
+}

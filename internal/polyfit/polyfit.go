@@ -1,0 +1,169 @@
+// Package polyfit implements least-squares polynomial fitting and the
+// norm-of-residual (NoR) model comparison the paper uses in §IV-B /
+// Table III to choose quadratic effort functions.
+//
+// Fits are computed with a Householder QR factorization of the Vandermonde
+// system (internal/numeric); for numerical stability the abscissae are
+// centred and scaled before the Vandermonde matrix is formed, and the
+// returned coefficients are mapped back to the raw-x basis.
+package polyfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dyncontract/internal/numeric"
+)
+
+// ErrInsufficientData is returned when fewer points than coefficients are
+// supplied.
+var ErrInsufficientData = errors.New("polyfit: not enough data points for requested degree")
+
+// Fit is a fitted polynomial y = Σ Coeffs[k]·x^k together with its fit
+// diagnostics.
+type Fit struct {
+	// Coeffs holds the polynomial coefficients in ascending-power order:
+	// Coeffs[0] + Coeffs[1]·x + Coeffs[2]·x² + …
+	Coeffs []float64
+	// NoR is the norm of residual ‖y − ŷ‖₂, the measure Table III reports.
+	NoR float64
+	// Degree is the polynomial degree (len(Coeffs)−1).
+	Degree int
+	// N is the number of fitted points.
+	N int
+}
+
+// Eval evaluates the fitted polynomial at x using Horner's rule.
+func (f Fit) Eval(x float64) float64 {
+	var y float64
+	for k := len(f.Coeffs) - 1; k >= 0; k-- {
+		y = y*x + f.Coeffs[k]
+	}
+	return y
+}
+
+// Polynomial fits a degree-d polynomial to the points (xs[i], ys[i]) by
+// least squares.
+func Polynomial(xs, ys []float64, degree int) (Fit, error) {
+	if degree < 0 {
+		return Fit{}, fmt.Errorf("polyfit: negative degree %d", degree)
+	}
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("polyfit: %d xs vs %d ys: %w", len(xs), len(ys), numeric.ErrDimensionMismatch)
+	}
+	n := len(xs)
+	cols := degree + 1
+	if n < cols {
+		return Fit{}, fmt.Errorf("polyfit: %d points for degree %d: %w", n, degree, ErrInsufficientData)
+	}
+	for i := 0; i < n; i++ {
+		if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+			return Fit{}, fmt.Errorf("polyfit: non-finite data at index %d (x=%v, y=%v)", i, xs[i], ys[i])
+		}
+	}
+
+	// Centre and scale x for conditioning: t = (x − mu) / sigma.
+	var mu float64
+	for _, x := range xs {
+		mu += x
+	}
+	mu /= float64(n)
+	var sigma float64
+	for _, x := range xs {
+		d := x - mu
+		sigma += d * d
+	}
+	sigma = math.Sqrt(sigma / float64(n))
+	if sigma == 0 {
+		sigma = 1 // all x identical; only degree 0 can be full rank
+	}
+
+	vand := numeric.NewMatrix(n, cols)
+	for i := 0; i < n; i++ {
+		t := (xs[i] - mu) / sigma
+		p := 1.0
+		for k := 0; k < cols; k++ {
+			vand.Set(i, k, p)
+			p *= t
+		}
+	}
+	b := make(numeric.Vector, n)
+	copy(b, ys)
+
+	scaled, nor, err := numeric.LeastSquares(vand, b)
+	if err != nil {
+		return Fit{}, fmt.Errorf("polyfit degree %d: %w", degree, err)
+	}
+
+	coeffs, err := unscaleCoeffs(scaled, mu, sigma)
+	if err != nil {
+		return Fit{}, err
+	}
+	return Fit{Coeffs: coeffs, NoR: nor, Degree: degree, N: n}, nil
+}
+
+// unscaleCoeffs converts coefficients of p(t), t = (x−mu)/sigma, into
+// coefficients of the same polynomial in x via binomial expansion.
+func unscaleCoeffs(scaled numeric.Vector, mu, sigma float64) ([]float64, error) {
+	cols := len(scaled)
+	out := make([]float64, cols)
+	// p(x) = Σ_k c_k ((x − mu)/sigma)^k. Expand each term.
+	for k := 0; k < cols; k++ {
+		ck := scaled[k] / math.Pow(sigma, float64(k))
+		// (x − mu)^k = Σ_j C(k,j) x^j (−mu)^{k−j}
+		binom := 1.0
+		for j := k; j >= 0; j-- {
+			out[j] += ck * binom * math.Pow(-mu, float64(k-j))
+			// C(k, j-1) = C(k, j) * j / (k - j + 1)
+			if j > 0 {
+				binom = binom * float64(j) / float64(k-j+1)
+			}
+		}
+	}
+	for _, c := range out {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, errors.New("polyfit: coefficient unscaling produced non-finite values")
+		}
+	}
+	return out, nil
+}
+
+// Sweep fits polynomials of every degree in [minDegree, maxDegree] and
+// returns the fits in degree order. It is the engine behind Table III's
+// linear/quadratic/…/6th-order NoR comparison.
+func Sweep(xs, ys []float64, minDegree, maxDegree int) ([]Fit, error) {
+	if minDegree < 0 || maxDegree < minDegree {
+		return nil, fmt.Errorf("polyfit: invalid degree range [%d, %d]", minDegree, maxDegree)
+	}
+	fits := make([]Fit, 0, maxDegree-minDegree+1)
+	for d := minDegree; d <= maxDegree; d++ {
+		f, err := Polynomial(xs, ys, d)
+		if err != nil {
+			return nil, fmt.Errorf("sweep at degree %d: %w", d, err)
+		}
+		fits = append(fits, f)
+	}
+	return fits, nil
+}
+
+// ChooseDegree implements the paper's model-selection rule: prefer the
+// lowest degree whose NoR is within tolFrac (e.g. 0.01 = 1%) of the best NoR
+// in the sweep. With the paper's data this selects the quadratic.
+func ChooseDegree(fits []Fit, tolFrac float64) (Fit, error) {
+	if len(fits) == 0 {
+		return Fit{}, errors.New("polyfit: empty sweep")
+	}
+	best := math.Inf(1)
+	for _, f := range fits {
+		if f.NoR < best {
+			best = f.NoR
+		}
+	}
+	for _, f := range fits {
+		if f.NoR <= best*(1+tolFrac) {
+			return f, nil
+		}
+	}
+	return fits[len(fits)-1], nil
+}

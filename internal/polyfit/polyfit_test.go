@@ -1,0 +1,216 @@
+package polyfit
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolynomialExactQuadratic(t *testing.T) {
+	// y = 3 - 2x + 0.5x², sampled without noise: fit must recover exactly.
+	xs := []float64{0, 1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 - 2*x + 0.5*x*x
+	}
+	fit, err := Polynomial(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("Polynomial: %v", err)
+	}
+	want := []float64{3, -2, 0.5}
+	for k, w := range want {
+		if math.Abs(fit.Coeffs[k]-w) > 1e-9 {
+			t.Errorf("coeff[%d] = %v, want %v", k, fit.Coeffs[k], w)
+		}
+	}
+	if fit.NoR > 1e-9 {
+		t.Errorf("NoR = %v, want ~0", fit.NoR)
+	}
+	if fit.Degree != 2 || fit.N != len(xs) {
+		t.Errorf("metadata wrong: %+v", fit)
+	}
+}
+
+func TestPolynomialConstant(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 5, 5, 5}
+	fit, err := Polynomial(xs, ys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Coeffs[0]-5) > 1e-12 || fit.NoR > 1e-12 {
+		t.Errorf("constant fit = %+v", fit)
+	}
+}
+
+func TestPolynomialIdenticalX(t *testing.T) {
+	// All x equal: degree-0 fit works, degree-1 is rank deficient.
+	xs := []float64{2, 2, 2}
+	ys := []float64{1, 2, 3}
+	if _, err := Polynomial(xs, ys, 0); err != nil {
+		t.Fatalf("degree 0: %v", err)
+	}
+	if _, err := Polynomial(xs, ys, 1); err == nil {
+		t.Fatal("degree 1 on identical x: want rank error")
+	}
+}
+
+func TestPolynomialErrors(t *testing.T) {
+	if _, err := Polynomial([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Polynomial([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Error("negative degree: want error")
+	}
+	if _, err := Polynomial([]float64{1}, []float64{1}, 3); !errors.Is(err, ErrInsufficientData) {
+		t.Errorf("insufficient data: err = %v, want ErrInsufficientData", err)
+	}
+	if _, err := Polynomial([]float64{math.NaN(), 1}, []float64{1, 2}, 1); err == nil {
+		t.Error("NaN x: want error")
+	}
+	if _, err := Polynomial([]float64{0, 1}, []float64{1, math.Inf(1)}, 1); err == nil {
+		t.Error("Inf y: want error")
+	}
+}
+
+func TestFitEval(t *testing.T) {
+	f := Fit{Coeffs: []float64{1, 2, 3}} // 1 + 2x + 3x²
+	if got := f.Eval(2); got != 17 {
+		t.Errorf("Eval(2) = %v, want 17", got)
+	}
+	if got := f.Eval(0); got != 1 {
+		t.Errorf("Eval(0) = %v, want 1", got)
+	}
+}
+
+func TestSweepMonotoneNoR(t *testing.T) {
+	// Higher degree can never have larger residual on the same data (nested
+	// models); the sweep must reflect that.
+	rng := rand.New(rand.NewSource(11))
+	n := 60
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+		ys[i] = 2 + 0.5*xs[i] - 0.1*xs[i]*xs[i] + rng.NormFloat64()
+	}
+	fits, err := Sweep(xs, ys, 1, 6)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(fits) != 6 {
+		t.Fatalf("len(fits) = %d, want 6", len(fits))
+	}
+	for i := 1; i < len(fits); i++ {
+		if fits[i].NoR > fits[i-1].NoR+1e-8 {
+			t.Errorf("NoR increased from degree %d (%v) to %d (%v)",
+				fits[i-1].Degree, fits[i-1].NoR, fits[i].Degree, fits[i].NoR)
+		}
+	}
+}
+
+func TestSweepInvalidRange(t *testing.T) {
+	if _, err := Sweep([]float64{1, 2}, []float64{1, 2}, 3, 1); err == nil {
+		t.Error("max<min: want error")
+	}
+	if _, err := Sweep([]float64{1, 2}, []float64{1, 2}, -1, 2); err == nil {
+		t.Error("min<0: want error")
+	}
+}
+
+func TestChooseDegreePrefersParsimony(t *testing.T) {
+	fits := []Fit{
+		{Degree: 1, NoR: 13.8},
+		{Degree: 2, NoR: 13.7},
+		{Degree: 3, NoR: 13.7},
+		{Degree: 4, NoR: 13.7},
+	}
+	chosen, err := ChooseDegree(fits, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13.8 is within 1% of 13.7, so the linear fit wins on parsimony — but
+	// the paper's rule at their tolerance picks quadratic; verify both ends.
+	if chosen.Degree != 1 {
+		t.Errorf("ChooseDegree(1%%) = degree %d, want 1", chosen.Degree)
+	}
+	chosen, err = ChooseDegree(fits, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Degree != 2 {
+		t.Errorf("ChooseDegree(0.1%%) = degree %d, want 2", chosen.Degree)
+	}
+}
+
+func TestChooseDegreeEmpty(t *testing.T) {
+	if _, err := ChooseDegree(nil, 0.1); err == nil {
+		t.Error("empty sweep: want error")
+	}
+}
+
+// Property: fitting a polynomial of degree d to points generated from a
+// degree-d polynomial recovers predictions to high accuracy at the samples.
+func TestPolynomialRecoveryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		degree := 1 + rng.Intn(4)
+		coeffs := make([]float64, degree+1)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64() * 3
+		}
+		truth := Fit{Coeffs: coeffs}
+		n := degree + 3 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		// Spread xs to avoid duplicate-x rank deficiency.
+		for i := range xs {
+			xs[i] = float64(i) + rng.Float64()*0.5
+			ys[i] = truth.Eval(xs[i])
+		}
+		fit, err := Polynomial(xs, ys, degree)
+		if err != nil {
+			return false
+		}
+		for _, x := range xs {
+			if math.Abs(fit.Eval(x)-truth.Eval(x)) > 1e-5*(1+math.Abs(truth.Eval(x))) {
+				return false
+			}
+		}
+		return fit.NoR < 1e-5*(1+float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NoR equals the direct residual norm recomputed from the
+// coefficients.
+func TestNoRConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 8
+			ys[i] = rng.NormFloat64() * 4
+		}
+		fit, err := Polynomial(xs, ys, 2)
+		if err != nil {
+			return false
+		}
+		var ss float64
+		for i := range xs {
+			d := ys[i] - fit.Eval(xs[i])
+			ss += d * d
+		}
+		direct := math.Sqrt(ss)
+		return math.Abs(direct-fit.NoR) < 1e-6*(1+direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

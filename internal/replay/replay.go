@@ -1,0 +1,104 @@
+// Package replay validates the fitted model against the trace it was
+// fitted from: it replays every review's observed effort through the
+// class effort function ψ and scores the predicted feedback against the
+// observed upvotes.
+//
+// This is the calibration check §IV-B leaves implicit: Table III's NoR
+// says the quadratic fits as well as higher orders, but not how well in
+// absolute terms. Replay reports per-class mean absolute error, bias, and
+// the fraction of reviews whose feedback is predicted within a tolerance —
+// the numbers a practitioner needs before trusting designed contracts on
+// real workers.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dyncontract/internal/effort"
+	"dyncontract/internal/stats"
+)
+
+// ErrBadInput is returned for invalid calibration input.
+var ErrBadInput = errors.New("replay: invalid input")
+
+// Calibration scores one class's fitted ψ against observations.
+type Calibration struct {
+	// N is the number of scored reviews.
+	N int
+	// MAE is the mean absolute error of ψ(effort) vs observed feedback.
+	MAE float64
+	// Bias is the mean signed error (predicted − observed); near zero for
+	// an unbiased fit.
+	Bias float64
+	// RMSE is the root-mean-square error.
+	RMSE float64
+	// Within1 is the fraction of reviews predicted within ±1 feedback
+	// unit (one upvote).
+	Within1 float64
+	// BaselineMAE is the MAE of the constant predictor (mean feedback),
+	// the floor any useful model must beat.
+	BaselineMAE float64
+	// Correlation is the Pearson correlation between predictions and
+	// observations (0 when undefined, e.g. constant predictions).
+	Correlation float64
+}
+
+// Skill returns 1 − MAE/BaselineMAE: positive when the model beats the
+// constant predictor, 1 for a perfect fit.
+func (c Calibration) Skill() float64 {
+	if c.BaselineMAE == 0 {
+		return 0
+	}
+	return 1 - c.MAE/c.BaselineMAE
+}
+
+// Score replays (effort, feedback) observations through ψ and computes
+// calibration statistics.
+func Score(psi effort.Function, efforts, feedbacks []float64) (Calibration, error) {
+	if len(efforts) != len(feedbacks) {
+		return Calibration{}, fmt.Errorf("%d efforts vs %d feedbacks: %w", len(efforts), len(feedbacks), ErrBadInput)
+	}
+	if len(efforts) == 0 {
+		return Calibration{}, fmt.Errorf("no observations: %w", ErrBadInput)
+	}
+	var meanFb float64
+	for i := range efforts {
+		if math.IsNaN(efforts[i]) || math.IsNaN(feedbacks[i]) {
+			return Calibration{}, fmt.Errorf("NaN at %d: %w", i, ErrBadInput)
+		}
+		meanFb += feedbacks[i]
+	}
+	meanFb /= float64(len(feedbacks))
+
+	var absErr, signedErr, sqErr, baseAbs float64
+	within := 0
+	preds := make([]float64, len(efforts))
+	for i := range efforts {
+		pred := psi.Eval(efforts[i])
+		preds[i] = pred
+		err := pred - feedbacks[i]
+		absErr += math.Abs(err)
+		signedErr += err
+		sqErr += err * err
+		baseAbs += math.Abs(meanFb - feedbacks[i])
+		if math.Abs(err) <= 1 {
+			within++
+		}
+	}
+	n := float64(len(efforts))
+	corr, err := stats.Correlation(preds, feedbacks)
+	if err != nil {
+		corr = 0 // undefined (constant predictions or observations)
+	}
+	return Calibration{
+		N:           len(efforts),
+		MAE:         absErr / n,
+		Bias:        signedErr / n,
+		RMSE:        math.Sqrt(sqErr / n),
+		Within1:     float64(within) / n,
+		BaselineMAE: baseAbs / n,
+		Correlation: corr,
+	}, nil
+}

@@ -1,0 +1,97 @@
+package replay
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dyncontract/internal/effort"
+)
+
+func TestScorePerfectFit(t *testing.T) {
+	psi := effort.Quadratic{R2: -0.01, R1: 1, R0: 2}
+	efforts := []float64{0, 5, 10, 20}
+	feedbacks := make([]float64, len(efforts))
+	for i, y := range efforts {
+		feedbacks[i] = psi.Eval(y)
+	}
+	cal, err := Score(psi, efforts, feedbacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.MAE != 0 || cal.RMSE != 0 || cal.Bias != 0 {
+		t.Errorf("perfect fit has errors: %+v", cal)
+	}
+	if cal.Within1 != 1 {
+		t.Errorf("Within1 = %v, want 1", cal.Within1)
+	}
+	if cal.Skill() != 1 {
+		t.Errorf("Skill = %v, want 1", cal.Skill())
+	}
+}
+
+func TestScoreNoisyFit(t *testing.T) {
+	psi := effort.Quadratic{R2: -0.01, R1: 1, R0: 2}
+	rng := rand.New(rand.NewSource(4))
+	n := 2000
+	efforts := make([]float64, n)
+	feedbacks := make([]float64, n)
+	for i := range efforts {
+		efforts[i] = rng.Float64() * 30
+		feedbacks[i] = psi.Eval(efforts[i]) + rng.NormFloat64()
+	}
+	cal, err := Score(psi, efforts, feedbacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit Gaussian noise: MAE ≈ sqrt(2/π) ≈ 0.8, RMSE ≈ 1, bias ≈ 0.
+	if cal.MAE < 0.6 || cal.MAE > 1.0 {
+		t.Errorf("MAE = %v, want ~0.8", cal.MAE)
+	}
+	if math.Abs(cal.Bias) > 0.1 {
+		t.Errorf("Bias = %v, want ~0", cal.Bias)
+	}
+	if cal.RMSE < 0.8 || cal.RMSE > 1.2 {
+		t.Errorf("RMSE = %v, want ~1", cal.RMSE)
+	}
+	// The model explains the effort trend; it must beat the constant
+	// predictor substantially.
+	if cal.Skill() < 0.5 {
+		t.Errorf("Skill = %v, want > 0.5", cal.Skill())
+	}
+}
+
+func TestScoreUselessModel(t *testing.T) {
+	// A model orthogonal to the data: skill near or below zero.
+	psi := effort.Quadratic{R2: -0.001, R1: 10, R0: 100} // wildly over-predicts
+	efforts := []float64{1, 2, 3, 4}
+	feedbacks := []float64{1, 2, 1, 2}
+	cal, err := Score(psi, efforts, feedbacks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Skill() > 0 {
+		t.Errorf("Skill = %v for a useless model, want <= 0", cal.Skill())
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	psi := effort.Quadratic{R2: -0.01, R1: 1, R0: 0}
+	if _, err := Score(psi, []float64{1}, []float64{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Score(psi, nil, nil); !errors.Is(err, ErrBadInput) {
+		t.Error("empty accepted")
+	}
+	if _, err := Score(psi, []float64{math.NaN()}, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Error("NaN accepted")
+	}
+}
+
+func TestSkillZeroBaseline(t *testing.T) {
+	cal := Calibration{MAE: 0.5, BaselineMAE: 0}
+	if cal.Skill() != 0 {
+		t.Errorf("Skill with zero baseline = %v, want 0", cal.Skill())
+	}
+}

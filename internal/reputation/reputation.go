@@ -1,0 +1,214 @@
+// Package reputation maintains online, per-round estimates of worker
+// behaviour — the signal source behind "dynamic" in dynamic contracts.
+//
+// The paper assumes the requester can estimate each worker's malice
+// probability and accuracy (§II, footnote 2, refs [14]–[17]) but treats
+// the estimator as a black box refreshed between rounds. This package
+// provides that refresh loop: a Tracker ingests per-round observations
+// (review score vs expert score, feedback, promotional flags) and keeps
+// exponentially weighted estimates that feed Eq. (5) weights for the next
+// round's contract design. It is what lets the marketplace reprice workers
+// whose behaviour drifts (see internal/adversary for attack scenarios).
+package reputation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dyncontract/internal/requester"
+)
+
+// ErrBadConfig is returned for invalid tracker parameters.
+var ErrBadConfig = errors.New("reputation: invalid config")
+
+// Config tunes the tracker.
+type Config struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]: weight of the newest
+	// observation. Smaller = slower to forgive and to condemn.
+	Alpha float64
+	// PromoGain is added to the malice estimate on each promotional
+	// observation (before clamping to [0, 1]).
+	PromoGain float64
+	// Decay multiplies the malice estimate each round without promotional
+	// behaviour, letting reformed workers recover.
+	Decay float64
+	// PriorMalice seeds new workers' malice estimates.
+	PriorMalice float64
+	// PriorDist seeds new workers' accuracy-distance estimates.
+	PriorDist float64
+	// Weight holds the Eq. (5) coefficients used by Weight().
+	Weight requester.WeightParams
+}
+
+// DefaultConfig returns a tracker configuration with moderate memory
+// (α = 0.3), strong reaction to promotional behaviour, and slow decay.
+func DefaultConfig() Config {
+	return Config{
+		Alpha:       0.3,
+		PromoGain:   0.35,
+		Decay:       0.95,
+		PriorMalice: 0.05,
+		PriorDist:   0.5,
+		Weight:      requester.DefaultWeightParams(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if !(c.Alpha > 0 && c.Alpha <= 1) {
+		return fmt.Errorf("alpha=%v outside (0,1]: %w", c.Alpha, ErrBadConfig)
+	}
+	if c.PromoGain < 0 || c.PromoGain > 1 {
+		return fmt.Errorf("promoGain=%v outside [0,1]: %w", c.PromoGain, ErrBadConfig)
+	}
+	if !(c.Decay > 0 && c.Decay <= 1) {
+		return fmt.Errorf("decay=%v outside (0,1]: %w", c.Decay, ErrBadConfig)
+	}
+	if c.PriorMalice < 0 || c.PriorMalice > 1 {
+		return fmt.Errorf("priorMalice=%v outside [0,1]: %w", c.PriorMalice, ErrBadConfig)
+	}
+	if c.PriorDist <= 0 || math.IsNaN(c.PriorDist) {
+		return fmt.Errorf("priorDist=%v must be positive: %w", c.PriorDist, ErrBadConfig)
+	}
+	return c.Weight.Validate()
+}
+
+// Observation is one worker's observable behaviour in a round.
+type Observation struct {
+	// WorkerID identifies the worker.
+	WorkerID string
+	// ReviewScore and ExpertScore feed the accuracy distance |l − l̄|.
+	ReviewScore, ExpertScore float64
+	// Promotional marks the review as promotional (high score far above
+	// expert consensus) — evidence of manipulation.
+	Promotional bool
+	// Partners is the currently believed collusive partner count.
+	Partners int
+}
+
+// workerState is one worker's running estimates.
+type workerState struct {
+	malice   float64
+	dist     float64
+	partners int
+	rounds   int
+}
+
+// Tracker holds online estimates for a worker population. It is not safe
+// for concurrent use; the platform calls it between rounds.
+type Tracker struct {
+	cfg   Config
+	state map[string]*workerState
+}
+
+// NewTracker builds a tracker.
+func NewTracker(cfg Config) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg, state: make(map[string]*workerState)}, nil
+}
+
+// Observe ingests one round's observations. Unseen workers are initialized
+// from the priors; workers with no observation this round decay toward
+// innocence.
+func (t *Tracker) Observe(observations []Observation) error {
+	seen := make(map[string]bool, len(observations))
+	for i, obs := range observations {
+		if obs.WorkerID == "" {
+			return fmt.Errorf("reputation: observation %d has empty worker ID: %w", i, ErrBadConfig)
+		}
+		if math.IsNaN(obs.ReviewScore) || math.IsNaN(obs.ExpertScore) {
+			return fmt.Errorf("reputation: observation %d has NaN scores: %w", i, ErrBadConfig)
+		}
+		st := t.stateOf(obs.WorkerID)
+		seen[obs.WorkerID] = true
+
+		dist := math.Abs(obs.ReviewScore - obs.ExpertScore)
+		st.dist = (1-t.cfg.Alpha)*st.dist + t.cfg.Alpha*dist
+		if obs.Promotional {
+			st.malice = clamp01(st.malice + t.cfg.PromoGain)
+		} else {
+			st.malice = clamp01(st.malice * t.cfg.Decay)
+		}
+		st.partners = obs.Partners
+		st.rounds++
+	}
+	for id, st := range t.state {
+		if !seen[id] {
+			st.malice = clamp01(st.malice * t.cfg.Decay)
+		}
+	}
+	return nil
+}
+
+// stateOf returns (creating if needed) a worker's state.
+func (t *Tracker) stateOf(id string) *workerState {
+	st, ok := t.state[id]
+	if !ok {
+		st = &workerState{malice: t.cfg.PriorMalice, dist: t.cfg.PriorDist}
+		t.state[id] = st
+	}
+	return st
+}
+
+// MaliceProb returns the current malice estimate for a worker; the prior
+// when never observed.
+func (t *Tracker) MaliceProb(id string) float64 {
+	if st, ok := t.state[id]; ok {
+		return st.malice
+	}
+	return t.cfg.PriorMalice
+}
+
+// AccuracyDist returns the current EWMA accuracy distance for a worker;
+// the prior when never observed.
+func (t *Tracker) AccuracyDist(id string) float64 {
+	if st, ok := t.state[id]; ok {
+		return st.dist
+	}
+	return t.cfg.PriorDist
+}
+
+// Weight computes the Eq. (5) weight for a worker from the current
+// estimates.
+func (t *Tracker) Weight(id string) (float64, error) {
+	st := t.stateOf(id)
+	sig := requester.WorkerSignal{
+		ReviewScore: st.dist, // encode distance directly; Weight uses |l−l̄|
+		ExpertScore: 0,
+		MaliceProb:  st.malice,
+		Partners:    st.partners,
+	}
+	return requester.Weight(t.cfg.Weight, sig)
+}
+
+// Workers returns the tracked worker IDs, sorted.
+func (t *Tracker) Workers() []string {
+	ids := make([]string, 0, len(t.state))
+	for id := range t.state {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Rounds returns how many observations a worker has contributed.
+func (t *Tracker) Rounds(id string) int {
+	if st, ok := t.state[id]; ok {
+		return st.rounds
+	}
+	return 0
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,204 @@
+package reputation
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTracker(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1.5 },
+		func(c *Config) { c.PromoGain = -0.1 },
+		func(c *Config) { c.PromoGain = 2 },
+		func(c *Config) { c.Decay = 0 },
+		func(c *Config) { c.PriorMalice = 1.2 },
+		func(c *Config) { c.PriorDist = 0 },
+		func(c *Config) { c.Weight.Rho = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) && err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewTrackerRejectsBadConfig(t *testing.T) {
+	if _, err := NewTracker(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestUnseenWorkerUsesPriors(t *testing.T) {
+	tr := newTracker(t)
+	cfg := DefaultConfig()
+	if got := tr.MaliceProb("ghost"); got != cfg.PriorMalice {
+		t.Errorf("MaliceProb = %v, want prior %v", got, cfg.PriorMalice)
+	}
+	if got := tr.AccuracyDist("ghost"); got != cfg.PriorDist {
+		t.Errorf("AccuracyDist = %v, want prior %v", got, cfg.PriorDist)
+	}
+	if tr.Rounds("ghost") != 0 {
+		t.Error("unseen worker has rounds")
+	}
+}
+
+func TestPromotionalRaisesMalice(t *testing.T) {
+	tr := newTracker(t)
+	base := tr.MaliceProb("w")
+	for i := 0; i < 3; i++ {
+		err := tr.Observe([]Observation{{WorkerID: "w", ReviewScore: 5, ExpertScore: 2, Promotional: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.MaliceProb("w"); got <= base {
+		t.Errorf("malice %v did not rise from %v", got, base)
+	}
+	if got := tr.MaliceProb("w"); got > 1 {
+		t.Errorf("malice %v exceeds 1", got)
+	}
+}
+
+func TestCleanBehaviourDecays(t *testing.T) {
+	tr := newTracker(t)
+	if err := tr.Observe([]Observation{{WorkerID: "w", ReviewScore: 5, ExpertScore: 1, Promotional: true}}); err != nil {
+		t.Fatal(err)
+	}
+	high := tr.MaliceProb("w")
+	for i := 0; i < 30; i++ {
+		if err := tr.Observe([]Observation{{WorkerID: "w", ReviewScore: 3, ExpertScore: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	low := tr.MaliceProb("w")
+	if low >= high {
+		t.Errorf("malice did not decay: %v -> %v", high, low)
+	}
+	if low > 0.15 {
+		t.Errorf("malice %v still high after 30 clean rounds", low)
+	}
+}
+
+func TestAbsentWorkerDecays(t *testing.T) {
+	tr := newTracker(t)
+	if err := tr.Observe([]Observation{{WorkerID: "w", ReviewScore: 5, ExpertScore: 1, Promotional: true}}); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.MaliceProb("w")
+	// Rounds with other workers only.
+	for i := 0; i < 5; i++ {
+		if err := tr.Observe([]Observation{{WorkerID: "other", ReviewScore: 3, ExpertScore: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := tr.MaliceProb("w"); after >= before {
+		t.Errorf("absent worker's malice did not decay: %v -> %v", before, after)
+	}
+}
+
+func TestAccuracyDistEWMA(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Alpha = 0.5
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe([]Observation{{WorkerID: "w", ReviewScore: 4, ExpertScore: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// EWMA: 0.5*prior(0.5) + 0.5*2 = 1.25.
+	if got := tr.AccuracyDist("w"); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("AccuracyDist = %v, want 1.25", got)
+	}
+}
+
+func TestWeightRespondsToBehaviour(t *testing.T) {
+	tr := newTracker(t)
+	wClean, err := tr.Weight("clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		err := tr.Observe([]Observation{{WorkerID: "bad", ReviewScore: 5, ExpertScore: 1, Promotional: true, Partners: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wBad, err := tr.Weight("bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wBad >= wClean {
+		t.Errorf("attacker weight %v >= clean weight %v", wBad, wClean)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	tr := newTracker(t)
+	if err := tr.Observe([]Observation{{WorkerID: ""}}); err == nil {
+		t.Error("empty worker ID accepted")
+	}
+	if err := tr.Observe([]Observation{{WorkerID: "w", ReviewScore: math.NaN()}}); err == nil {
+		t.Error("NaN score accepted")
+	}
+}
+
+func TestWorkersSortedAndRounds(t *testing.T) {
+	tr := newTracker(t)
+	for _, id := range []string{"z", "a", "m"} {
+		if err := tr.Observe([]Observation{{WorkerID: id, ReviewScore: 3, ExpertScore: 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := tr.Workers()
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "z" {
+		t.Errorf("Workers = %v", ids)
+	}
+	if tr.Rounds("a") != 1 {
+		t.Errorf("Rounds(a) = %d", tr.Rounds("a"))
+	}
+}
+
+// Property: malice estimates always stay in [0, 1] under arbitrary
+// observation sequences.
+func TestMaliceBoundedProperty(t *testing.T) {
+	f := func(flags []bool) bool {
+		tr, err := NewTracker(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		for _, promo := range flags {
+			err := tr.Observe([]Observation{{
+				WorkerID: "w", ReviewScore: 4, ExpertScore: 2, Promotional: promo,
+			}})
+			if err != nil {
+				return false
+			}
+			m := tr.MaliceProb("w")
+			if m < 0 || m > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package requester implements the task requester's side of the model:
+// the per-worker feedback weights w_i of Eq. (5) and the per-round utility
+// of Eq. (7).
+//
+// The weight trades off a worker's review accuracy against the estimated
+// probability of malice and the size of the worker's collusive community:
+//
+//	w_i = ρ/|l_i − l̄| − κ·e_i^mal − γ·A_i
+//
+// where l_i is the worker's review score, l̄ the experts' average ("ground
+// truth"), e_i^mal the estimated malice probability, and A_i the number of
+// collusive partners. Following footnote 1, a biased-but-accurate malicious
+// worker can still carry positive weight — the basis for Fig. 8(c)'s result
+// that contracting beats wholesale exclusion.
+package requester
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParams is returned when weight parameters fail validation.
+var ErrBadParams = errors.New("requester: invalid parameters")
+
+// WeightParams holds the coefficients of Eq. (5).
+type WeightParams struct {
+	// Rho is the accuracy coefficient ρ.
+	Rho float64
+	// Kappa is the malice-probability penalty κ.
+	Kappa float64
+	// Gamma is the per-partner collusion penalty γ.
+	Gamma float64
+	// DistFloor floors the accuracy distance |l_i − l̄| to keep the weight
+	// finite for perfectly accurate reviews. The paper leaves this
+	// implicit; one half rating notch (0.5 stars) is the natural choice.
+	DistFloor float64
+}
+
+// DefaultWeightParams returns the paper's evaluation setting
+// (§IV-C / Fig. 6): ρ = 1, κ = γ = 0.1, with a half-star distance floor.
+func DefaultWeightParams() WeightParams {
+	return WeightParams{Rho: 1, Kappa: 0.1, Gamma: 0.1, DistFloor: 0.5}
+}
+
+// Validate checks the parameters.
+func (p WeightParams) Validate() error {
+	for name, v := range map[string]float64{
+		"rho": p.Rho, "kappa": p.Kappa, "gamma": p.Gamma, "distFloor": p.DistFloor,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("%s=%v must be finite and non-negative: %w", name, v, ErrBadParams)
+		}
+	}
+	if p.Rho == 0 {
+		return fmt.Errorf("rho must be positive: %w", ErrBadParams)
+	}
+	if p.DistFloor == 0 {
+		return fmt.Errorf("distFloor must be positive: %w", ErrBadParams)
+	}
+	return nil
+}
+
+// WorkerSignal is the per-worker evidence the requester weighs.
+type WorkerSignal struct {
+	// ReviewScore is the worker's review l_i (e.g. star rating).
+	ReviewScore float64
+	// ExpertScore is the experts' average l̄ for the same task.
+	ExpertScore float64
+	// MaliceProb is the estimated probability e_i^mal ∈ [0, 1] that the
+	// worker is malicious.
+	MaliceProb float64
+	// Partners is A_i, the number of collusive partners (0 for honest and
+	// non-collusive workers).
+	Partners int
+}
+
+// Validate checks the signal.
+func (s WorkerSignal) Validate() error {
+	if math.IsNaN(s.ReviewScore) || math.IsInf(s.ReviewScore, 0) ||
+		math.IsNaN(s.ExpertScore) || math.IsInf(s.ExpertScore, 0) {
+		return fmt.Errorf("non-finite scores (%v, %v): %w", s.ReviewScore, s.ExpertScore, ErrBadParams)
+	}
+	if s.MaliceProb < 0 || s.MaliceProb > 1 || math.IsNaN(s.MaliceProb) {
+		return fmt.Errorf("malice probability %v outside [0,1]: %w", s.MaliceProb, ErrBadParams)
+	}
+	if s.Partners < 0 {
+		return fmt.Errorf("negative partner count %d: %w", s.Partners, ErrBadParams)
+	}
+	return nil
+}
+
+// Weight computes w_i per Eq. (5).
+func Weight(p WeightParams, s WorkerSignal) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	dist := math.Abs(s.ReviewScore - s.ExpertScore)
+	if dist < p.DistFloor {
+		dist = p.DistFloor
+	}
+	return p.Rho/dist - p.Kappa*s.MaliceProb - p.Gamma*float64(s.Partners), nil
+}
+
+// RoundOutcome is one worker's contribution within a round.
+type RoundOutcome struct {
+	// Weight is the w_i used for this worker this round.
+	Weight float64
+	// Feedback is q_i^t, the worker's realized feedback.
+	Feedback float64
+	// Compensation is c_i^t, the payment made.
+	Compensation float64
+}
+
+// Utility computes the requester's round utility per Eq. (7):
+// Σ w_i·q_i − μ·Σ c_i.
+func Utility(mu float64, outcomes []RoundOutcome) (float64, error) {
+	if !(mu > 0) || math.IsInf(mu, 0) {
+		return 0, fmt.Errorf("mu=%v must be positive and finite: %w", mu, ErrBadParams)
+	}
+	var benefit, cost float64
+	for i, o := range outcomes {
+		if math.IsNaN(o.Weight) || math.IsNaN(o.Feedback) || math.IsNaN(o.Compensation) {
+			return 0, fmt.Errorf("outcome %d has NaN fields: %w", i, ErrBadParams)
+		}
+		benefit += o.Weight * o.Feedback
+		cost += o.Compensation
+	}
+	return benefit - mu*cost, nil
+}

@@ -1,0 +1,167 @@
+package requester
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultWeightParamsValid(t *testing.T) {
+	if err := DefaultWeightParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestWeightParamsValidate(t *testing.T) {
+	bad := []WeightParams{
+		{Rho: 0, Kappa: 0.1, Gamma: 0.1, DistFloor: 0.5},
+		{Rho: 1, Kappa: -0.1, Gamma: 0.1, DistFloor: 0.5},
+		{Rho: 1, Kappa: 0.1, Gamma: math.NaN(), DistFloor: 0.5},
+		{Rho: 1, Kappa: 0.1, Gamma: 0.1, DistFloor: 0},
+		{Rho: math.Inf(1), Kappa: 0.1, Gamma: 0.1, DistFloor: 0.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("bad params %d: err = %v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestWorkerSignalValidate(t *testing.T) {
+	ok := WorkerSignal{ReviewScore: 4, ExpertScore: 3.5, MaliceProb: 0.2, Partners: 3}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid signal rejected: %v", err)
+	}
+	bad := []WorkerSignal{
+		{ReviewScore: math.NaN(), ExpertScore: 3},
+		{ReviewScore: 3, ExpertScore: math.Inf(1)},
+		{ReviewScore: 3, ExpertScore: 3, MaliceProb: -0.1},
+		{ReviewScore: 3, ExpertScore: 3, MaliceProb: 1.1},
+		{ReviewScore: 3, ExpertScore: 3, Partners: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("bad signal %d: err = %v, want ErrBadParams", i, err)
+		}
+	}
+}
+
+func TestWeightAccurateHonest(t *testing.T) {
+	p := DefaultWeightParams()
+	// Perfectly accurate honest worker: distance floored at 0.5, so
+	// w = 1/0.5 = 2.
+	w, err := Weight(p, WorkerSignal{ReviewScore: 4, ExpertScore: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("w = %v, want 2", w)
+	}
+}
+
+func TestWeightMaliciousPenalty(t *testing.T) {
+	p := DefaultWeightParams()
+	honest, _ := Weight(p, WorkerSignal{ReviewScore: 4, ExpertScore: 3})
+	ncm, _ := Weight(p, WorkerSignal{ReviewScore: 4, ExpertScore: 3, MaliceProb: 1})
+	cm, _ := Weight(p, WorkerSignal{ReviewScore: 4, ExpertScore: 3, MaliceProb: 1, Partners: 4})
+	if !(honest > ncm && ncm > cm) {
+		t.Errorf("want honest > ncm > cm, got %v, %v, %v", honest, ncm, cm)
+	}
+	if math.Abs(honest-ncm-0.1) > 1e-12 {
+		t.Errorf("malice penalty = %v, want 0.1", honest-ncm)
+	}
+	if math.Abs(ncm-cm-0.4) > 1e-12 {
+		t.Errorf("partner penalty = %v, want 0.4", ncm-cm)
+	}
+}
+
+func TestWeightCanGoNegative(t *testing.T) {
+	// A wildly inaccurate collusive worker has weight near zero or below:
+	// the "automatic exclusion" mechanism behind Fig 8(c).
+	p := DefaultWeightParams()
+	w, err := Weight(p, WorkerSignal{ReviewScore: 5, ExpertScore: 1, MaliceProb: 1, Partners: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w >= 0 {
+		t.Errorf("w = %v, want negative", w)
+	}
+}
+
+func TestWeightPropagatesValidation(t *testing.T) {
+	if _, err := Weight(WeightParams{}, WorkerSignal{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Weight(DefaultWeightParams(), WorkerSignal{MaliceProb: 2}); err == nil {
+		t.Error("invalid signal accepted")
+	}
+}
+
+func TestUtility(t *testing.T) {
+	outcomes := []RoundOutcome{
+		{Weight: 2, Feedback: 10, Compensation: 3},
+		{Weight: -1, Feedback: 5, Compensation: 1},
+	}
+	u, err := Utility(2, outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2*10 - 1*5) - 2*(3+1)
+	if u != float64(want) {
+		t.Errorf("Utility = %v, want %v", u, want)
+	}
+}
+
+func TestUtilityEmpty(t *testing.T) {
+	u, err := Utility(1, nil)
+	if err != nil || u != 0 {
+		t.Errorf("Utility(empty) = %v, %v; want 0, nil", u, err)
+	}
+}
+
+func TestUtilityErrors(t *testing.T) {
+	if _, err := Utility(0, nil); err == nil {
+		t.Error("mu=0 accepted")
+	}
+	if _, err := Utility(1, []RoundOutcome{{Weight: math.NaN()}}); err == nil {
+		t.Error("NaN outcome accepted")
+	}
+}
+
+// Property: weight is non-increasing in distance, malice probability, and
+// partner count.
+func TestWeightMonotoneProperty(t *testing.T) {
+	p := DefaultWeightParams()
+	f := func(d1, d2, e1, e2 float64, a1, a2 uint8) bool {
+		clamp01 := func(x float64) float64 { return math.Mod(math.Abs(x), 1) }
+		dist1, dist2 := math.Abs(math.Mod(d1, 4)), math.Abs(math.Mod(d2, 4))
+		if dist1 > dist2 {
+			dist1, dist2 = dist2, dist1
+		}
+		w1, err1 := Weight(p, WorkerSignal{ReviewScore: dist1, ExpertScore: 0, MaliceProb: clamp01(e1)})
+		w2, err2 := Weight(p, WorkerSignal{ReviewScore: dist2, ExpertScore: 0, MaliceProb: clamp01(e1)})
+		if err1 != nil || err2 != nil || w1 < w2-1e-12 {
+			return false
+		}
+		eLo, eHi := clamp01(e1), clamp01(e2)
+		if eLo > eHi {
+			eLo, eHi = eHi, eLo
+		}
+		w3, _ := Weight(p, WorkerSignal{ReviewScore: 1, ExpertScore: 0, MaliceProb: eLo})
+		w4, _ := Weight(p, WorkerSignal{ReviewScore: 1, ExpertScore: 0, MaliceProb: eHi})
+		if w3 < w4-1e-12 {
+			return false
+		}
+		pLo, pHi := int(a1), int(a2)
+		if pLo > pHi {
+			pLo, pHi = pHi, pLo
+		}
+		w5, _ := Weight(p, WorkerSignal{ReviewScore: 1, ExpertScore: 0, Partners: pLo})
+		w6, _ := Weight(p, WorkerSignal{ReviewScore: 1, ExpertScore: 0, Partners: pHi})
+		return w5 >= w6-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package solver_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dyncontract/internal/core"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/solver"
+	"dyncontract/internal/worker"
+)
+
+// Example fans three decomposed subproblems across the pool and collects
+// the designed contracts in input order.
+func Example() {
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := effort.NewPartition(10, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	subs := make([]solver.Subproblem, 3)
+	for i := range subs {
+		a, err := worker.NewHonest(fmt.Sprintf("w%d", i), psi, 1, part.YMax())
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Workers the requester values more get pushed to higher effort.
+		subs[i] = solver.Subproblem{
+			Agent:  a,
+			Config: core.Config{Part: part, Mu: 1, W: 0.5 + 0.5*float64(i)},
+		}
+	}
+	outcomes, err := solver.SolveAll(context.Background(), subs, solver.Options{Parallelism: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, o := range outcomes {
+		fmt.Printf("%s: k_opt=%d effort=%.1f\n", subs[i].Agent.ID, o.Result.KOpt, o.Result.Response.Effort)
+	}
+	// Output:
+	// w0: k_opt=1 effort=0.3
+	// w1: k_opt=7 effort=25.5
+	// w2: k_opt=9 effort=33.9
+}

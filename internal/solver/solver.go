@@ -1,0 +1,146 @@
+// Package solver runs the decomposed contract-design problem in parallel.
+//
+// §IV-B shows the requester's bilevel program separates across workers and
+// collusive communities: each subproblem designs one agent's contract
+// independently. With tens of thousands of workers (the paper's trace has
+// 19,686 reviewers) the subproblems are fanned out across a bounded worker
+// pool; the pool honours context cancellation and aggregates per-subproblem
+// failures without losing the successes.
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dyncontract/internal/core"
+	"dyncontract/internal/worker"
+)
+
+// Subproblem is one decomposed contract-design task: an agent (worker or
+// collusive meta-worker) plus its design configuration.
+type Subproblem struct {
+	// Agent is the worker or community meta-worker to design for.
+	Agent *worker.Agent
+	// Config carries the partition, μ, and this agent's requester weight.
+	Config core.Config
+}
+
+// Options tunes the pool.
+type Options struct {
+	// Parallelism caps concurrent subproblems; 0 means GOMAXPROCS.
+	Parallelism int
+	// ContinueOnError keeps solving other subproblems after one fails;
+	// failures are reported per-entry in Outcome.Err. When false, the
+	// first failure cancels the remaining work.
+	ContinueOnError bool
+}
+
+// Outcome pairs one subproblem with its result or error.
+type Outcome struct {
+	// Index is the subproblem's position in the input slice.
+	Index int
+	// Result is the designed contract (nil when Err != nil).
+	Result *core.Result
+	// Err is the subproblem's failure, if any.
+	Err error
+}
+
+// ErrCancelled wraps context cancellation observed by the pool.
+var ErrCancelled = errors.New("solver: cancelled")
+
+// SolveAll designs contracts for every subproblem, in parallel, returning
+// outcomes in input order. With ContinueOnError=false (default) the first
+// error cancels outstanding work and is returned; with it set, SolveAll
+// returns all outcomes and a nil error, leaving per-entry errors in place.
+func SolveAll(ctx context.Context, subs []Subproblem, opts Options) ([]Outcome, error) {
+	n := len(subs)
+	outcomes := make([]Outcome, n)
+	if n == 0 {
+		return outcomes, nil
+	}
+	parallelism := opts.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if err := ctx.Err(); err != nil {
+					outcomes[i] = Outcome{Index: i, Err: fmt.Errorf("%w: %w", ErrCancelled, err)}
+					continue
+				}
+				res, err := core.Design(subs[i].Agent, subs[i].Config)
+				outcomes[i] = Outcome{Index: i, Result: res, Err: err}
+				if err != nil && !opts.ContinueOnError {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("solver: subproblem %d (%s): %w", i, subs[i].Agent.ID, err)
+						cancel()
+					})
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range subs {
+		select {
+		case indexes <- i:
+		case <-ctx.Done():
+			// Mark unfed subproblems as cancelled.
+			for j := i; j < n; j++ {
+				outcomes[j] = Outcome{Index: j, Err: fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())}
+			}
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+
+	if firstErr != nil {
+		return outcomes, firstErr
+	}
+	if err := ctx.Err(); err != nil && !opts.ContinueOnError {
+		return outcomes, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return outcomes, nil
+}
+
+// Results extracts the successful results from outcomes, preserving order
+// and skipping failures.
+func Results(outcomes []Outcome) []*core.Result {
+	out := make([]*core.Result, 0, len(outcomes))
+	for _, o := range outcomes {
+		if o.Err == nil && o.Result != nil {
+			out = append(out, o.Result)
+		}
+	}
+	return out
+}
+
+// Errs collects the failures from outcomes (nil when none).
+func Errs(outcomes []Outcome) error {
+	var errs []error
+	for _, o := range outcomes {
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("subproblem %d: %w", o.Index, o.Err))
+		}
+	}
+	return errors.Join(errs...)
+}

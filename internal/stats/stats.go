@@ -1,0 +1,227 @@
+// Package stats provides the descriptive statistics used throughout the
+// evaluation harness: means, variances, percentiles, histograms, and
+// compact five-number summaries.
+//
+// All functions treat their input as read-only; where sorting is required a
+// copy is made. Percentile definitions follow the "linear interpolation
+// between closest ranks" convention (the same convention NumPy's default
+// uses), which matches how the paper reports 5th/95th percentile
+// compensations in Fig. 8(b).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("mean: %w", ErrEmpty)
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n−1) sample variance of xs. A single
+// observation has variance 0.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("variance: %w", ErrEmpty)
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, _ := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("percentile: %w", ErrEmpty)
+	}
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, fmt.Errorf("percentile: p=%v out of [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (minVal, maxVal float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("minmax: %w", ErrEmpty)
+	}
+	minVal, maxVal = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minVal {
+			minVal = x
+		}
+		if x > maxVal {
+			maxVal = x
+		}
+	}
+	return minVal, maxVal, nil
+}
+
+// Summary is a compact description of a sample, mirroring the aggregates the
+// paper reports (mean with 5th/95th percentile whiskers).
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	P5   float64
+	P50  float64
+	P95  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("summarize: %w", ErrEmpty)
+	}
+	mean, _ := Mean(xs)
+	std, _ := StdDev(xs)
+	minV, maxV, _ := MinMax(xs)
+	p5, _ := Percentile(xs, 5)
+	p50, _ := Percentile(xs, 50)
+	p95, _ := Percentile(xs, 95)
+	return Summary{
+		N:    len(xs),
+		Mean: mean,
+		Std:  std,
+		Min:  minV,
+		P5:   p5,
+		P50:  p50,
+		P95:  p95,
+		Max:  maxV,
+	}, nil
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g p5=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.P5, s.P50, s.P95, s.Max)
+}
+
+// Histogram counts observations into uniform-width bins over [lo, hi). Values
+// outside the range are clamped into the first/last bin, which is the
+// behaviour the experiment plots want (nothing silently dropped).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram of xs with the given number of bins.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("histogram: bins=%d must be positive", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("histogram: invalid range [%v, %v)", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// Total returns the number of observations in the histogram.
+func (h *Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fractions returns per-bin fractions of the total. An empty histogram
+// yields all zeros.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	total := h.Total()
+	if total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples xs and ys. It errs on mismatched lengths, fewer than two pairs,
+// or zero variance in either sample.
+func Correlation(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("correlation: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return 0, fmt.Errorf("correlation: need >= 2 pairs: %w", ErrEmpty)
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("correlation: zero variance")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

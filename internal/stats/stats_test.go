@@ -1,0 +1,291 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("Mean: %v", err)
+	}
+	if got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	got, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatalf("Variance: %v", err)
+	}
+	want := 32.0 / 7.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceSingleton(t *testing.T) {
+	got, err := Variance([]float64{42})
+	if err != nil || got != 0 {
+		t.Errorf("Variance singleton = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got, err := StdDev([]float64{1, 1, 1})
+	if err != nil || got != 0 {
+		t.Errorf("StdDev constant = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},
+		{25, 2},
+		{50, 3},
+		{75, 4},
+		{100, 5},
+		{10, 1.4},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: err = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("p=-1: want error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p=101: want error")
+	}
+	if _, err := Percentile([]float64{1}, math.NaN()); err == nil {
+		t.Error("p=NaN: want error")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMedianSingleton(t *testing.T) {
+	got, err := Median([]float64{7})
+	if err != nil || got != 7 {
+		t.Errorf("Median = %v, %v; want 7, nil", got, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 4, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = %v, %v; want -1, 5", lo, hi)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("Summary basics wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-12 {
+		t.Errorf("Mean = %v, want 50.5", s.Mean)
+	}
+	if s.P5 < 5 || s.P5 > 7 {
+		t.Errorf("P5 = %v, want ~5.95", s.P5)
+	}
+	if s.P95 < 94 || s.P95 > 96 {
+		t.Errorf("P95 = %v, want ~95.05", s.P95)
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.5, 0.9, 1.5, -0.3}
+	h, err := NewHistogram(xs, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -0.3 clamps into bin 0; 1.5 clamps into bin 3.
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Counts[0] != 3 { // 0.1, 0.2, -0.3
+		t.Errorf("Counts[0] = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[3] != 2 { // 0.9, 1.5
+		t.Errorf("Counts[3] = %d, want 2", h.Counts[3])
+	}
+	fr := h.Fractions()
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum = %v, want 1", sum)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("bins=0: want error")
+	}
+	if _, err := NewHistogram(nil, 1, 1, 3); err == nil {
+		t.Error("lo==hi: want error")
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h, err := NewHistogram(nil, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Errorf("fraction of empty histogram = %v, want 0", f)
+		}
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v, err := Percentile(xs, p)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		lo, hi, _ := MinMax(xs)
+		p0, _ := Percentile(xs, 0)
+		p100, _ := Percentile(xs, 100)
+		return p0 == lo && p100 == hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max] and matches sort-invariant.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(30))
+		for i := range xs {
+			xs[i] = rng.Float64()*200 - 100
+		}
+		m, err := Mean(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi, _ := MinMax(xs)
+		if m < lo-1e-9 || m > hi+1e-9 {
+			return false
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		m2, _ := Mean(sorted)
+		return math.Abs(m-m2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	perfect, err := Correlation([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || math.Abs(perfect-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v, %v; want 1", perfect, err)
+	}
+	inverse, err := Correlation([]float64{1, 2, 3}, []float64{6, 4, 2})
+	if err != nil || math.Abs(inverse+1) > 1e-12 {
+		t.Errorf("inverse correlation = %v, %v; want -1", inverse, err)
+	}
+	if _, err := Correlation([]float64{1}, []float64{1}); err == nil {
+		t.Error("single pair accepted")
+	}
+	if _, err := Correlation([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Correlation([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("zero variance accepted")
+	}
+}
+
+// Property: correlation is symmetric and bounded in [-1, 1].
+func TestCorrelationBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		r1, err1 := Correlation(xs, ys)
+		r2, err2 := Correlation(ys, xs)
+		if err1 != nil || err2 != nil {
+			return true // degenerate draw
+		}
+		return math.Abs(r1-r2) < 1e-12 && r1 >= -1-1e-12 && r1 <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

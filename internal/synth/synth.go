@@ -1,0 +1,377 @@
+// Package synth generates synthetic review traces calibrated to the
+// published statistics of the paper's Amazon dataset ([13]; §V), which is
+// proprietary. The generator reproduces every quantity the evaluation
+// consumes:
+//
+//   - worker population: 18,176 honest, 1,312 non-collusive malicious, and
+//     212 collusive malicious workers in 47 communities (PaperScale);
+//   - Table II's collusive-community size distribution;
+//   - ≈118k reviews over ≈75.5k products;
+//   - Fig. 7's class profiles: similar effort levels across classes but
+//     much higher feedback for collusive workers (partners upvote each
+//     other);
+//   - a concave effort→feedback relationship per class so the §IV-B
+//     quadratic fits are meaningful.
+//
+// Generation is deterministic given Config.Seed.
+package synth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dyncontract/internal/trace"
+)
+
+// ErrBadConfig is returned when a generator configuration fails validation.
+var ErrBadConfig = errors.New("synth: invalid config")
+
+// ClassShape controls the latent concave effort→feedback curve of one
+// worker class: E[upvotes | latent effort y] = A·y − B·y², plus noise.
+type ClassShape struct {
+	// A is the linear gain of upvotes in latent effort.
+	A float64
+	// B is the concavity (diminishing returns); must keep the curve
+	// increasing over the latent effort range.
+	B float64
+	// Noise is the standard deviation of the additive Gaussian noise.
+	Noise float64
+}
+
+// Config parameterizes trace generation.
+type Config struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// Honest is the number of honest workers.
+	Honest int
+	// NonCollusive is the number of non-collusive malicious workers.
+	NonCollusive int
+	// CommunitySizes lists the size of each collusive community
+	// (each ≥ 2); the total collusive worker count is the sum.
+	CommunitySizes []int
+	// Products is the size of the product catalogue.
+	Products int
+	// MeanReviews is the mean number of reviews per worker; counts are
+	// 1 + Exponential(MeanReviews−1), giving the heavy tail Fig. 8(a)'s
+	// "≥ 20 reviews" selection needs.
+	MeanReviews float64
+	// Rounds spreads reviews across task rounds (≥ 1).
+	Rounds int
+	// UpvoteProb is the probability a collusive partner upvotes a fellow
+	// member's review — the mechanism behind Fig. 7's feedback gap.
+	UpvoteProb float64
+	// HonestShape, MaliciousShape control the latent feedback curves.
+	HonestShape, MaliciousShape ClassShape
+	// ScoreNoise is the honest reviewers' rating noise (std dev, stars).
+	ScoreNoise float64
+}
+
+// PaperScale returns the full-size configuration matching the dataset
+// statistics in §V: 19,700 workers (the paper's own class counts), 47
+// communities with Table II's size distribution, and ≈118k reviews over a
+// 75,508-product catalogue.
+func PaperScale(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Honest:         18176,
+		NonCollusive:   1312,
+		CommunitySizes: paperCommunitySizes(),
+		Products:       75508,
+		MeanReviews:    6,
+		Rounds:         10,
+		UpvoteProb:     0.8,
+		HonestShape:    ClassShape{A: 2.0, B: 0.015, Noise: 1.2},
+		MaliciousShape: ClassShape{A: 1.8, B: 0.013, Noise: 1.0},
+		ScoreNoise:     0.5,
+	}
+}
+
+// paperCommunitySizes reproduces Table II: 47 communities, 212 members,
+// with fractions size-2 ≈ 51%, size-3 ≈ 22%, size-4 ≈ 7%, size-5 ≈ 2%,
+// size-6 ≈ 10%, size ≥ 10 ≈ 5%.
+func paperCommunitySizes() []int {
+	sizes := make([]int, 0, 47)
+	appendN := func(size, n int) {
+		for i := 0; i < n; i++ {
+			sizes = append(sizes, size)
+		}
+	}
+	appendN(2, 24) // 48 workers
+	appendN(3, 10) // 30
+	appendN(4, 4)  // 16
+	appendN(5, 1)  // 5
+	appendN(6, 5)  // 30
+	appendN(7, 1)  // 7
+	appendN(38, 2) // 76 — the ">= 10" bucket
+	return sizes   // 47 communities, 212 workers
+}
+
+// SmallScale returns a test-friendly configuration (hundreds of workers,
+// seconds to generate) preserving the qualitative structure.
+func SmallScale(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		Honest:         300,
+		NonCollusive:   40,
+		CommunitySizes: []int{2, 2, 2, 3, 3, 4, 6, 10},
+		Products:       1200,
+		MeanReviews:    6,
+		Rounds:         5,
+		UpvoteProb:     0.8,
+		HonestShape:    ClassShape{A: 2.0, B: 0.015, Noise: 1.2},
+		MaliciousShape: ClassShape{A: 1.8, B: 0.013, Noise: 1.0},
+		ScoreNoise:     0.5,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Honest < 0 || c.NonCollusive < 0 {
+		return fmt.Errorf("negative worker counts: %w", ErrBadConfig)
+	}
+	if c.Honest+c.NonCollusive+len(c.CommunitySizes) == 0 {
+		return fmt.Errorf("no workers at all: %w", ErrBadConfig)
+	}
+	total := 0
+	for i, s := range c.CommunitySizes {
+		if s < 2 {
+			return fmt.Errorf("community %d has size %d (< 2): %w", i, s, ErrBadConfig)
+		}
+		total += s
+	}
+	minProducts := len(c.CommunitySizes) + c.NonCollusive
+	if c.Products < minProducts || c.Products < 1 {
+		return fmt.Errorf("products=%d too few (need >= %d for disjoint targets): %w",
+			c.Products, minProducts, ErrBadConfig)
+	}
+	if !(c.MeanReviews >= 1) {
+		return fmt.Errorf("meanReviews=%v must be >= 1: %w", c.MeanReviews, ErrBadConfig)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("rounds=%d must be >= 1: %w", c.Rounds, ErrBadConfig)
+	}
+	if c.UpvoteProb < 0 || c.UpvoteProb > 1 {
+		return fmt.Errorf("upvoteProb=%v outside [0,1]: %w", c.UpvoteProb, ErrBadConfig)
+	}
+	for _, sh := range []ClassShape{c.HonestShape, c.MaliciousShape} {
+		if sh.A <= 0 || sh.B < 0 || sh.Noise < 0 {
+			return fmt.Errorf("class shape %+v invalid: %w", sh, ErrBadConfig)
+		}
+	}
+	if c.ScoreNoise < 0 {
+		return fmt.Errorf("scoreNoise=%v negative: %w", c.ScoreNoise, ErrBadConfig)
+	}
+	return nil
+}
+
+// Generate produces a trace from the configuration.
+func Generate(cfg Config) (*trace.Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Product catalogue with latent qualities; experts' scores track the
+	// latent quality closely.
+	productIDs := make([]string, cfg.Products)
+	quality := make([]float64, cfg.Products)
+	expert := make(map[string]float64, cfg.Products)
+	for i := range productIDs {
+		productIDs[i] = fmt.Sprintf("p%06d", i)
+		quality[i] = clamp(1+4*rng.Float64(), 1, 5)
+		expert[productIDs[i]] = clamp(quality[i]+0.1*rng.NormFloat64(), 1, 5)
+	}
+
+	workers := make(map[string]trace.Worker)
+	t := &trace.Trace{Workers: workers, ExpertScores: expert}
+
+	// Reserve the front of the catalogue for disjoint malicious targets:
+	// first one product per community, then one per non-collusive worker.
+	// Honest (and filler) reviews draw from the whole catalogue, so target
+	// products still receive organic reviews. Target products get mediocre
+	// latent quality — manipulation campaigns promote products that do not
+	// already rate highly — which is what makes promotional reviews
+	// detectable (score far above the experts' consensus).
+	next := 0
+	takeProduct := func() string {
+		id := productIDs[next]
+		quality[next] = 1.5 + 1.8*rng.Float64()
+		expert[id] = clamp(quality[next]+0.1*rng.NormFloat64(), 1, 5)
+		next++
+		return id
+	}
+
+	gen := &generator{cfg: cfg, rng: rng, trace: t, productIDs: productIDs, quality: quality}
+
+	// Collusive communities.
+	for ci, size := range cfg.CommunitySizes {
+		target := takeProduct()
+		memberIDs := make([]string, size)
+		for mi := 0; mi < size; mi++ {
+			id := fmt.Sprintf("cm%03d_%02d", ci, mi)
+			memberIDs[mi] = id
+			workers[id] = trace.Worker{ID: id, Malicious: true, TargetProducts: []string{target}}
+		}
+		gen.emitCommunityReviews(memberIDs, target, size)
+	}
+
+	// Non-collusive malicious workers, each with a private target.
+	for i := 0; i < cfg.NonCollusive; i++ {
+		id := fmt.Sprintf("ncm%05d", i)
+		target := takeProduct()
+		workers[id] = trace.Worker{ID: id, Malicious: true, TargetProducts: []string{target}}
+		gen.emitWorkerReviews(id, target, cfg.MaliciousShape, 0)
+	}
+
+	// Honest workers.
+	for i := 0; i < cfg.Honest; i++ {
+		id := fmt.Sprintf("h%06d", i)
+		workers[id] = trace.Worker{ID: id}
+		gen.emitWorkerReviews(id, "", cfg.HonestShape, 0)
+	}
+
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated invalid trace: %w", err)
+	}
+	return t, nil
+}
+
+// generator carries shared state while emitting reviews.
+type generator struct {
+	cfg        Config
+	rng        *rand.Rand
+	trace      *trace.Trace
+	productIDs []string
+	quality    []float64
+	reviewSeq  int
+}
+
+// reviewCount draws a heavy-tailed per-worker review count:
+// 1 + Exponential with the configured mean.
+func (g *generator) reviewCount() int {
+	mean := g.cfg.MeanReviews - 1
+	if mean <= 0 {
+		return 1
+	}
+	return 1 + int(g.rng.ExpFloat64()*mean)
+}
+
+// latentEffort draws a worker's latent per-review effort, shared shape
+// across classes (Fig. 7: effort levels are similar between classes).
+func (g *generator) latentEffort() float64 {
+	// Log-normal-ish positive effort with mean ≈ 20.
+	return math.Exp(2.5 + 0.6*g.rng.NormFloat64())
+}
+
+// upvotesFor converts latent effort into upvotes via the class's concave
+// curve plus noise, truncated at zero.
+func (g *generator) upvotesFor(shape ClassShape, y float64) int {
+	// Keep the concave curve increasing: clamp effort at the apex.
+	if shape.B > 0 {
+		if apex := shape.A / (2 * shape.B); y > apex {
+			y = apex
+		}
+	}
+	mean := shape.A*math.Sqrt(y) - shape.B*y // concave in y
+	v := mean + shape.Noise*g.rng.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return int(v)
+}
+
+// lengthFor derives review length from latent effort with noise: longer
+// reviews for higher effort (length is the paper's effort proxy input).
+func (g *generator) lengthFor(y float64) int {
+	l := int(y*20*(0.8+0.4*g.rng.Float64())) + 20
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// emit appends one review.
+func (g *generator) emit(workerID, productID string, score float64, length, upvotes int) {
+	g.reviewSeq++
+	g.trace.Reviews = append(g.trace.Reviews, trace.Review{
+		ID:        fmt.Sprintf("r%08d", g.reviewSeq),
+		WorkerID:  workerID,
+		ProductID: productID,
+		Score:     clamp(score, 1, 5),
+		Length:    length,
+		Upvotes:   upvotes,
+		Round:     g.rng.Intn(g.cfg.Rounds),
+	})
+}
+
+// emitWorkerReviews generates reviews for an individual worker. When
+// target is non-empty the first review hits the target with a promotional
+// (high) score; remaining reviews are organic.
+func (g *generator) emitWorkerReviews(workerID, target string, shape ClassShape, extraUpvotes int) {
+	n := g.reviewCount()
+	for r := 0; r < n; r++ {
+		y := g.latentEffort()
+		length := g.lengthFor(y)
+		upvotes := g.upvotesFor(shape, y) + extraUpvotes
+		var productID string
+		var score float64
+		if r == 0 && target != "" {
+			productID = target
+			score = 4.5 + 0.5*g.rng.Float64() // promotional bias
+		} else {
+			idx := g.rng.Intn(len(g.productIDs))
+			productID = g.productIDs[idx]
+			// Filler reviews score honestly (noise only): malicious
+			// workers blend in outside their campaign.
+			score = g.quality[idx] + g.cfg.ScoreNoise*g.rng.NormFloat64()
+		}
+		g.emit(workerID, productID, score, length, upvotes)
+	}
+}
+
+// emitCommunityReviews generates reviews for a collusive community: every
+// member reviews the shared target with a promotional score and receives
+// upvotes from partners (Binomial(size−1, UpvoteProb)), which inflates the
+// community's feedback (Fig. 7), then writes organic filler reviews.
+func (g *generator) emitCommunityReviews(memberIDs []string, target string, size int) {
+	for _, id := range memberIDs {
+		// Target review with collusive boost.
+		y := g.latentEffort()
+		boost := 0
+		for p := 0; p < size-1; p++ {
+			if g.rng.Float64() < g.cfg.UpvoteProb {
+				boost++
+			}
+		}
+		upvotes := g.upvotesFor(g.cfg.MaliciousShape, y) + boost
+		g.emit(id, target, 4.5+0.5*g.rng.Float64(), g.lengthFor(y), upvotes)
+
+		// Filler reviews, still collusively boosted (partners keep
+		// upvoting each other wherever they post).
+		n := g.reviewCount() - 1
+		for r := 0; r < n; r++ {
+			y := g.latentEffort()
+			idx := g.rng.Intn(len(g.productIDs))
+			score := g.quality[idx] + g.cfg.ScoreNoise*g.rng.NormFloat64()
+			boost := 0
+			for p := 0; p < size-1; p++ {
+				if g.rng.Float64() < g.cfg.UpvoteProb/2 {
+					boost++
+				}
+			}
+			g.emit(id, g.productIDs[idx], score, g.lengthFor(y), g.upvotesFor(g.cfg.MaliciousShape, y)+boost)
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

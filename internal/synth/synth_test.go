@@ -1,0 +1,236 @@
+package synth
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dyncontract/internal/stats"
+)
+
+func TestPaperCommunitySizes(t *testing.T) {
+	sizes := paperCommunitySizes()
+	if len(sizes) != 47 {
+		t.Errorf("communities = %d, want 47", len(sizes))
+	}
+	total := 0
+	counts := map[int]int{}
+	for _, s := range sizes {
+		total += s
+		counts[s]++
+	}
+	if total != 212 {
+		t.Errorf("collusive workers = %d, want 212", total)
+	}
+	// Table II shape: size 2 dominates at ~51%.
+	if frac := float64(counts[2]) / 47; frac < 0.45 || frac > 0.56 {
+		t.Errorf("size-2 fraction = %v, want ~0.51", frac)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := SmallScale(1).Validate(); err != nil {
+		t.Errorf("SmallScale invalid: %v", err)
+	}
+	if err := PaperScale(1).Validate(); err != nil {
+		t.Errorf("PaperScale invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Honest = -1 },
+		func(c *Config) { c.CommunitySizes = []int{1} },
+		func(c *Config) { c.Products = 0 },
+		func(c *Config) { c.MeanReviews = 0.5 },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.UpvoteProb = 1.5 },
+		func(c *Config) { c.HonestShape.A = 0 },
+		func(c *Config) { c.ScoreNoise = -1 },
+		func(c *Config) { c.Honest, c.NonCollusive, c.CommunitySizes = 0, 0, nil },
+	}
+	for i, mutate := range bad {
+		cfg := SmallScale(1)
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("bad config %d: err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestGenerateSmallScaleStructure(t *testing.T) {
+	cfg := SmallScale(42)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	wantCollusive := 0
+	for _, s := range cfg.CommunitySizes {
+		wantCollusive += s
+	}
+	if got := len(tr.Workers); got != cfg.Honest+cfg.NonCollusive+wantCollusive {
+		t.Errorf("workers = %d, want %d", got, cfg.Honest+cfg.NonCollusive+wantCollusive)
+	}
+	if got := len(tr.MaliciousWorkerIDs()); got != cfg.NonCollusive+wantCollusive {
+		t.Errorf("malicious = %d, want %d", got, cfg.NonCollusive+wantCollusive)
+	}
+	if len(tr.Reviews) < len(tr.Workers) {
+		t.Errorf("reviews = %d < workers = %d; every worker writes at least one",
+			len(tr.Reviews), len(tr.Workers))
+	}
+	// Every worker must have at least one review.
+	statsByWorker := tr.ComputeWorkerStats()
+	for id := range tr.Workers {
+		if _, ok := statsByWorker[id]; !ok {
+			t.Fatalf("worker %s has no reviews", id)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(SmallScale(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SmallScale(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Reviews, b.Reviews) {
+		t.Error("same seed produced different reviews")
+	}
+	c, err := Generate(SmallScale(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Reviews, c.Reviews) {
+		t.Error("different seeds produced identical reviews")
+	}
+}
+
+func TestGenerateCollusiveTargetsShared(t *testing.T) {
+	tr, err := Generate(SmallScale(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers named cm<ci>_<mi> in the same community share one target;
+	// different communities never share targets.
+	targetsByComm := map[string]string{}
+	for id, w := range tr.Workers {
+		if !strings.HasPrefix(id, "cm") {
+			continue
+		}
+		comm := strings.SplitN(id, "_", 2)[0]
+		if len(w.TargetProducts) != 1 {
+			t.Fatalf("%s has %d targets, want 1", id, len(w.TargetProducts))
+		}
+		target := w.TargetProducts[0]
+		if prev, ok := targetsByComm[comm]; ok && prev != target {
+			t.Errorf("community %s has two targets %s, %s", comm, prev, target)
+		}
+		targetsByComm[comm] = target
+	}
+	seen := map[string]string{}
+	for comm, target := range targetsByComm {
+		if other, dup := seen[target]; dup {
+			t.Errorf("communities %s and %s share target %s", comm, other, target)
+		}
+		seen[target] = comm
+	}
+}
+
+func TestGenerateNonCollusiveTargetsDisjoint(t *testing.T) {
+	tr, err := Generate(SmallScale(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]string{}
+	for id, w := range tr.Workers {
+		if !w.Malicious {
+			continue
+		}
+		for _, target := range w.TargetProducts {
+			if other, dup := seen[target]; dup && !sameCommunity(id, other) {
+				t.Errorf("%s and %s share target %s but are not one community", id, other, target)
+			}
+			seen[target] = id
+		}
+	}
+}
+
+func sameCommunity(a, b string) bool {
+	if !strings.HasPrefix(a, "cm") || !strings.HasPrefix(b, "cm") {
+		return false
+	}
+	return strings.SplitN(a, "_", 2)[0] == strings.SplitN(b, "_", 2)[0]
+}
+
+func TestGenerateFig7FeedbackGap(t *testing.T) {
+	// Fig. 7: collusive workers' average feedback clearly exceeds honest
+	// and non-collusive workers'; average efforts are comparable.
+	tr, err := Generate(SmallScale(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeWorkerStats()
+	var honest, ncm, cm []float64
+	var honestEff, cmEff []float64
+	for id := range tr.Workers {
+		s, ok := st[id]
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(id, "h"):
+			honest = append(honest, s.AvgFeedback)
+			honestEff = append(honestEff, s.AvgEffort)
+		case strings.HasPrefix(id, "ncm"):
+			ncm = append(ncm, s.AvgFeedback)
+		case strings.HasPrefix(id, "cm"):
+			cm = append(cm, s.AvgFeedback)
+			cmEff = append(cmEff, s.AvgEffort)
+		}
+	}
+	mh, _ := stats.Mean(honest)
+	mn, _ := stats.Mean(ncm)
+	mc, _ := stats.Mean(cm)
+	if !(mc > mh && mc > mn) {
+		t.Errorf("collusive feedback %v not above honest %v / ncm %v", mc, mh, mn)
+	}
+	if mc < 1.2*mh {
+		t.Errorf("collusive feedback gap too small: %v vs %v", mc, mh)
+	}
+	// Efforts comparable: within a factor of two.
+	eh, _ := stats.Mean(honestEff)
+	ec, _ := stats.Mean(cmEff)
+	if ec > 2*eh || eh > 2*ec {
+		t.Errorf("efforts not comparable: honest %v vs collusive %v", eh, ec)
+	}
+}
+
+func TestGenerateHeavyTailReviewCounts(t *testing.T) {
+	// Fig. 8(a) needs workers with >= 20 reviews; the exponential tail
+	// must deliver some at small scale too.
+	tr, err := Generate(SmallScale(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prolific := tr.WorkersWithAtLeast(20)
+	if len(prolific) == 0 {
+		t.Error("no workers with >= 20 reviews; review-count tail too thin")
+	}
+}
+
+func TestGenerateExpertScoresCoverCatalogue(t *testing.T) {
+	cfg := SmallScale(17)
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.ExpertScores) != cfg.Products {
+		t.Errorf("expert scores = %d, want %d", len(tr.ExpertScores), cfg.Products)
+	}
+	for _, r := range tr.Reviews {
+		if _, ok := tr.ExpertScores[r.ProductID]; !ok {
+			t.Fatalf("review %s product %s lacks expert score", r.ID, r.ProductID)
+		}
+	}
+}

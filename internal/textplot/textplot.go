@@ -1,0 +1,155 @@
+// Package textplot renders small ASCII charts for the experiment reports:
+// scatter/line charts for figure-style results (Fig. 6's convergence,
+// Fig. 8's comparisons) and horizontal bar charts for distribution tables.
+// Terminal-only output keeps the benchmark harness dependency-free while
+// still giving figures a visual form.
+package textplot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrBadPlot is returned for unplottable input.
+var ErrBadPlot = errors.New("textplot: invalid plot input")
+
+// Series is one named line on a chart.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the data points (equal length, ≥ 1).
+	X, Y []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Options tunes chart rendering.
+type Options struct {
+	// Width and Height are the plot-area dimensions in characters
+	// (default 60×16).
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// XLabel is printed below the x axis.
+	XLabel string
+}
+
+// Chart renders the series as an ASCII scatter chart with a legend.
+func Chart(series []Series, opts Options) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("no series: %w", ErrBadPlot)
+	}
+	if len(series) > len(markers) {
+		return "", fmt.Errorf("%d series exceeds %d markers: %w", len(series), len(markers), ErrBadPlot)
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 60
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 16
+	}
+	if width < 8 || height < 4 {
+		return "", fmt.Errorf("plot area %dx%d too small: %w", width, height, ErrBadPlot)
+	}
+
+	// Data bounds across all series.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("series %q has %d x vs %d y: %w", s.Name, len(s.X), len(s.Y), ErrBadPlot)
+		}
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return "", fmt.Errorf("series %q has non-finite point %d: %w", s.Name, i, ErrBadPlot)
+			}
+			xMin, xMax = math.Min(xMin, s.X[i]), math.Max(xMax, s.X[i])
+			yMin, yMax = math.Min(yMin, s.Y[i]), math.Max(yMax, s.Y[i])
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xMin) / (xMax - xMin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - yMin) / (yMax - yMin) * float64(height-1)))
+			grid[height-1-row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yLabelW := 10
+	for r := 0; r < height; r++ {
+		// Label the top, middle, and bottom rows with y values.
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", yMax)
+		case height / 2:
+			label = fmt.Sprintf("%.4g", (yMax+yMin)/2)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", yMin)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yLabelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*.4g%*.4g\n", yLabelW, "", width/2, xMin, width-width/2, xMax)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%*s  %s\n", yLabelW, "", opts.XLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%*s  %c %s\n", yLabelW, "", markers[si], s.Name)
+	}
+	return b.String(), nil
+}
+
+// Bar renders a horizontal bar chart: one row per label, bars scaled to
+// the maximum value.
+func Bar(labels []string, values []float64, width int) (string, error) {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return "", fmt.Errorf("%d labels vs %d values: %w", len(labels), len(values), ErrBadPlot)
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return "", fmt.Errorf("value %d (%v) not plottable: %w", i, v, ErrBadPlot)
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(math.Round(v / maxVal * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g\n", maxLabel, labels[i], strings.Repeat("#", bar), v)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,129 @@
+package textplot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out, err := Chart([]Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}, Options{Title: "test chart", XLabel: "x axis"})
+	if err != nil {
+		t.Fatalf("Chart: %v", err)
+	}
+	for _, want := range []string{"test chart", "x axis", "* up", "o down", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Rising series: '*' appears in both the top and bottom plot rows.
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines = append(plotLines, l)
+		}
+	}
+	if len(plotLines) < 4 {
+		t.Fatalf("too few plot rows: %d", len(plotLines))
+	}
+	if !strings.Contains(plotLines[0], "*") {
+		t.Error("max of rising series not in top row")
+	}
+	if !strings.Contains(plotLines[len(plotLines)-1], "*") {
+		t.Error("min of rising series not in bottom row")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	out, err := Chart([]Series{{Name: "dot", X: []float64{5}, Y: []float64{7}}}, Options{})
+	if err != nil {
+		t.Fatalf("single point: %v", err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	if _, err := Chart(nil, Options{}); !errors.Is(err, ErrBadPlot) {
+		t.Error("empty series accepted")
+	}
+	if _, err := Chart([]Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}, Options{}); !errors.Is(err, ErrBadPlot) {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Chart([]Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}}}, Options{}); !errors.Is(err, ErrBadPlot) {
+		t.Error("NaN accepted")
+	}
+	if _, err := Chart([]Series{{Name: "x", X: []float64{1}, Y: []float64{1}}}, Options{Width: 2, Height: 2}); !errors.Is(err, ErrBadPlot) {
+		t.Error("tiny plot area accepted")
+	}
+	seven := make([]Series, 7)
+	for i := range seven {
+		seven[i] = Series{Name: "s", X: []float64{1}, Y: []float64{1}}
+	}
+	if _, err := Chart(seven, Options{}); !errors.Is(err, ErrBadPlot) {
+		t.Error("too many series accepted")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x or y) must not divide by zero.
+	out, err := Chart([]Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}}, Options{})
+	if err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("flat series not plotted")
+	}
+}
+
+func TestBar(t *testing.T) {
+	out, err := Bar([]string{"a", "bb"}, []float64{1, 2}, 10)
+	if err != nil {
+		t.Fatalf("Bar: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.HasPrefix(lines[1], "bb") {
+		t.Errorf("labels misaligned:\n%s", out)
+	}
+	// The larger value gets the full-width bar.
+	if !strings.Contains(lines[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Errorf("half bar = %d #s, want 5:\n%s", strings.Count(lines[0], "#"), out)
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	out, err := Bar([]string{"z"}, []float64{0}, 10)
+	if err != nil {
+		t.Fatalf("zero bar: %v", err)
+	}
+	if strings.Contains(out, "#") {
+		t.Error("zero value drew a bar")
+	}
+}
+
+func TestBarErrors(t *testing.T) {
+	if _, err := Bar(nil, nil, 10); !errors.Is(err, ErrBadPlot) {
+		t.Error("empty accepted")
+	}
+	if _, err := Bar([]string{"a"}, []float64{1, 2}, 10); !errors.Is(err, ErrBadPlot) {
+		t.Error("mismatch accepted")
+	}
+	if _, err := Bar([]string{"a"}, []float64{-1}, 10); !errors.Is(err, ErrBadPlot) {
+		t.Error("negative accepted")
+	}
+	if _, err := Bar([]string{"a"}, []float64{math.Inf(1)}, 10); !errors.Is(err, ErrBadPlot) {
+		t.Error("Inf accepted")
+	}
+}

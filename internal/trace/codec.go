@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// reviewHeader is the column layout of the reviews CSV.
+var reviewHeader = []string{"id", "worker_id", "product_id", "score", "length", "upvotes", "round"}
+
+// workerHeader is the column layout of the workers CSV.
+var workerHeader = []string{"id", "malicious", "target_products"}
+
+// WriteReviewsCSV writes the trace's reviews as CSV with a header row.
+func WriteReviewsCSV(w io.Writer, reviews []Review) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(reviewHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range reviews {
+		rec := []string{
+			r.ID, r.WorkerID, r.ProductID,
+			strconv.FormatFloat(r.Score, 'g', -1, 64),
+			strconv.Itoa(r.Length),
+			strconv.Itoa(r.Upvotes),
+			strconv.Itoa(r.Round),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write review %q: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush reviews: %w", err)
+	}
+	return nil
+}
+
+// ReadReviewsCSV parses reviews from CSV written by WriteReviewsCSV.
+func ReadReviewsCSV(r io.Reader) ([]Review, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(reviewHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, col := range reviewHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q: %w", i, header[i], col, ErrInvalid)
+		}
+	}
+	var out []Review
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		score, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d score: %w", line, err)
+		}
+		length, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d length: %w", line, err)
+		}
+		upvotes, err := strconv.Atoi(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d upvotes: %w", line, err)
+		}
+		round, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d round: %w", line, err)
+		}
+		review := Review{
+			ID: rec[0], WorkerID: rec[1], ProductID: rec[2],
+			Score: score, Length: length, Upvotes: upvotes, Round: round,
+		}
+		if err := review.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, review)
+	}
+	return out, nil
+}
+
+// WriteWorkersCSV writes worker records as CSV; target products are
+// semicolon-joined.
+func WriteWorkersCSV(w io.Writer, workers map[string]Worker) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(workerHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	ids := make([]string, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		wk := workers[id]
+		rec := []string{
+			wk.ID,
+			strconv.FormatBool(wk.Malicious),
+			strings.Join(wk.TargetProducts, ";"),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write worker %q: %w", wk.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush workers: %w", err)
+	}
+	return nil
+}
+
+// ReadWorkersCSV parses worker records from CSV written by WriteWorkersCSV.
+func ReadWorkersCSV(r io.Reader) (map[string]Worker, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(workerHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, col := range workerHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("trace: column %d is %q, want %q: %w", i, header[i], col, ErrInvalid)
+		}
+	}
+	out := make(map[string]Worker)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		malicious, err := strconv.ParseBool(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d malicious: %w", line, err)
+		}
+		var targets []string
+		if rec[2] != "" {
+			targets = strings.Split(rec[2], ";")
+		}
+		wk := Worker{ID: rec[0], Malicious: malicious, TargetProducts: targets}
+		if err := wk.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if _, dup := out[wk.ID]; dup {
+			return nil, fmt.Errorf("trace: line %d: duplicate worker %q: %w", line, wk.ID, ErrInvalid)
+		}
+		out[wk.ID] = wk
+	}
+	return out, nil
+}
+
+// WriteJSONL streams the trace as JSON Lines: one header object with the
+// workers and expert scores, then one line per review. The format suits
+// very large traces (reviews stream without buffering the whole slice).
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	head := struct {
+		Workers      map[string]Worker  `json:"workers"`
+		ExpertScores map[string]float64 `json:"expert_scores"`
+	}{t.Workers, t.ExpertScores}
+	if err := enc.Encode(head); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for _, r := range t.Reviews {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("trace: encode review %q: %w", r.ID, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadJSONL parses a trace written by WriteJSONL and validates it.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var head struct {
+		Workers      map[string]Worker  `json:"workers"`
+		ExpertScores map[string]float64 `json:"expert_scores"`
+	}
+	if err := dec.Decode(&head); err != nil {
+		return nil, fmt.Errorf("trace: decode header: %w", err)
+	}
+	t := &Trace{Workers: head.Workers, ExpertScores: head.ExpertScores}
+	for i := 0; ; i++ {
+		var rv Review
+		if err := dec.Decode(&rv); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode review %d: %w", i, err)
+		}
+		t.Reviews = append(t.Reviews, rv)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReviewsCSVRoundTrip(t *testing.T) {
+	tr := validTrace(t)
+	var buf bytes.Buffer
+	if err := WriteReviewsCSV(&buf, tr.Reviews); err != nil {
+		t.Fatalf("WriteReviewsCSV: %v", err)
+	}
+	back, err := ReadReviewsCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadReviewsCSV: %v", err)
+	}
+	if !reflect.DeepEqual(back, tr.Reviews) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, tr.Reviews)
+	}
+}
+
+func TestReadReviewsCSVBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong header":  "a,b,c,d,e,f,g\n",
+		"bad score":     "id,worker_id,product_id,score,length,upvotes,round\nr1,w1,p1,abc,1,1,0\n",
+		"bad length":    "id,worker_id,product_id,score,length,upvotes,round\nr1,w1,p1,3,xx,1,0\n",
+		"bad upvotes":   "id,worker_id,product_id,score,length,upvotes,round\nr1,w1,p1,3,1,xx,0\n",
+		"bad round":     "id,worker_id,product_id,score,length,upvotes,round\nr1,w1,p1,3,1,1,xx\n",
+		"invalid score": "id,worker_id,product_id,score,length,upvotes,round\nr1,w1,p1,9,1,1,0\n",
+		"short row":     "id,worker_id,product_id,score,length,upvotes,round\nr1,w1\n",
+		"empty":         "",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadReviewsCSV(strings.NewReader(input)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestWorkersCSVRoundTrip(t *testing.T) {
+	tr := validTrace(t)
+	var buf bytes.Buffer
+	if err := WriteWorkersCSV(&buf, tr.Workers); err != nil {
+		t.Fatalf("WriteWorkersCSV: %v", err)
+	}
+	back, err := ReadWorkersCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadWorkersCSV: %v", err)
+	}
+	if !reflect.DeepEqual(back, tr.Workers) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, tr.Workers)
+	}
+}
+
+func TestWorkersCSVMultiTarget(t *testing.T) {
+	workers := map[string]Worker{
+		"m1": {ID: "m1", Malicious: true, TargetProducts: []string{"p1", "p2", "p3"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkersCSV(&buf, workers); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkersCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back["m1"].TargetProducts, []string{"p1", "p2", "p3"}) {
+		t.Errorf("targets = %v", back["m1"].TargetProducts)
+	}
+}
+
+func TestReadWorkersCSVBadInput(t *testing.T) {
+	cases := map[string]string{
+		"wrong header":  "x,y,z\n",
+		"bad bool":      "id,malicious,target_products\nw1,maybe,\n",
+		"honest target": "id,malicious,target_products\nw1,false,p1\n",
+		"duplicate":     "id,malicious,target_products\nw1,false,\nw1,false,\n",
+		"empty":         "",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadWorkersCSV(strings.NewReader(input)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := validTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(back.Reviews, tr.Reviews) {
+		t.Error("reviews mismatch after JSONL round trip")
+	}
+	if !reflect.DeepEqual(back.Workers, tr.Workers) {
+		t.Error("workers mismatch after JSONL round trip")
+	}
+	if !reflect.DeepEqual(back.ExpertScores, tr.ExpertScores) {
+		t.Error("expert scores mismatch after JSONL round trip")
+	}
+}
+
+func TestReadJSONLValidates(t *testing.T) {
+	// Review referencing a worker missing from the header must fail.
+	input := `{"workers":{"w1":{"id":"w1"}},"expert_scores":{}}
+{"id":"r1","worker_id":"ghost","product_id":"p1","score":3,"length":1,"upvotes":0,"round":0}
+`
+	if _, err := ReadJSONL(strings.NewReader(input)); err == nil {
+		t.Error("unknown worker accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json")); err == nil {
+		t.Error("malformed header accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"workers":{"w1":{"id":"w1"}}}` + "\nnope\n")); err == nil {
+		t.Error("malformed review line accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadReviewsCSV feeds arbitrary bytes through the reviews CSV parser:
+// it must either error cleanly or produce reviews that re-serialize and
+// re-parse to the same values (never panic, never accept invalid rows).
+func FuzzReadReviewsCSV(f *testing.F) {
+	f.Add("id,worker_id,product_id,score,length,upvotes,round\nr1,w1,p1,3.5,100,4,0\n")
+	f.Add("id,worker_id,product_id,score,length,upvotes,round\n")
+	f.Add("")
+	f.Add("id,worker_id,product_id,score,length,upvotes,round\nr1,w1,p1,9,1,1,0\n")
+	f.Add("a,b\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		reviews, err := ReadReviewsCSV(strings.NewReader(input))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		for _, r := range reviews {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("parser accepted invalid review %+v: %v", r, err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteReviewsCSV(&buf, reviews); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadReviewsCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(back) != len(reviews) {
+			t.Fatalf("round trip changed count: %d vs %d", len(back), len(reviews))
+		}
+	})
+}
+
+// FuzzReadJSONL exercises the JSONL trace decoder the same way.
+func FuzzReadJSONL(f *testing.F) {
+	f.Add(`{"workers":{"w1":{"id":"w1"}},"expert_scores":{}}` + "\n" +
+		`{"id":"r1","worker_id":"w1","product_id":"p1","score":3,"length":1,"upvotes":0,"round":0}` + "\n")
+	f.Add(`{"workers":{}}`)
+	f.Add("not json at all")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must satisfy the full validator.
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,301 @@
+// Package trace defines the review-trace data model the evaluation runs
+// on: reviews, workers with ground-truth labels, expert scores per product,
+// and the derived per-worker statistics (§V "Dataset") that parameterize
+// the contract-design pipeline:
+//
+//  1. feedback of a review = its positive upvotes;
+//  2. expertise of a worker = average feedback over the worker's reviews;
+//  3. length of a review = its character count;
+//  4. effort level of a review = expertise × length.
+//
+// The package also provides CSV and JSONL codecs so traces round-trip
+// through files (cmd/tracegen writes them, examples and experiments read
+// them back).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInvalid is returned for structurally invalid traces.
+var ErrInvalid = errors.New("trace: invalid")
+
+// Review is one crowdsourced product review.
+type Review struct {
+	// ID uniquely identifies the review.
+	ID string `json:"id"`
+	// WorkerID identifies the author.
+	WorkerID string `json:"worker_id"`
+	// ProductID identifies the reviewed product.
+	ProductID string `json:"product_id"`
+	// Score is the star rating in [1, 5].
+	Score float64 `json:"score"`
+	// Length is the review length in characters.
+	Length int `json:"length"`
+	// Upvotes is the number of positive ("helpful") endorsements — the
+	// feedback q of the model.
+	Upvotes int `json:"upvotes"`
+	// Round is the 0-based task round the review belongs to.
+	Round int `json:"round"`
+}
+
+// Validate checks a single review.
+func (r Review) Validate() error {
+	if r.ID == "" || r.WorkerID == "" || r.ProductID == "" {
+		return fmt.Errorf("review %q: empty identifier: %w", r.ID, ErrInvalid)
+	}
+	if r.Score < 1 || r.Score > 5 || math.IsNaN(r.Score) {
+		return fmt.Errorf("review %q: score %v outside [1,5]: %w", r.ID, r.Score, ErrInvalid)
+	}
+	if r.Length < 0 {
+		return fmt.Errorf("review %q: negative length %d: %w", r.ID, r.Length, ErrInvalid)
+	}
+	if r.Upvotes < 0 {
+		return fmt.Errorf("review %q: negative upvotes %d: %w", r.ID, r.Upvotes, ErrInvalid)
+	}
+	if r.Round < 0 {
+		return fmt.Errorf("review %q: negative round %d: %w", r.ID, r.Round, ErrInvalid)
+	}
+	return nil
+}
+
+// Worker is a reviewer with its ground-truth label.
+type Worker struct {
+	// ID uniquely identifies the worker.
+	ID string `json:"id"`
+	// Malicious is the ground-truth label (true for both non-collusive and
+	// collusive malicious workers).
+	Malicious bool `json:"malicious"`
+	// TargetProducts lists the products a malicious worker was hired to
+	// promote; empty for honest workers. Two malicious workers sharing a
+	// target are considered collusive (§IV-A).
+	TargetProducts []string `json:"target_products,omitempty"`
+}
+
+// Validate checks a single worker record.
+func (w Worker) Validate() error {
+	if w.ID == "" {
+		return fmt.Errorf("worker with empty ID: %w", ErrInvalid)
+	}
+	if !w.Malicious && len(w.TargetProducts) > 0 {
+		return fmt.Errorf("worker %q: honest worker with targets: %w", w.ID, ErrInvalid)
+	}
+	return nil
+}
+
+// Trace is a complete review trace.
+type Trace struct {
+	// Reviews holds every review.
+	Reviews []Review `json:"reviews"`
+	// Workers maps worker ID to its record.
+	Workers map[string]Worker `json:"workers"`
+	// ExpertScores maps product ID to the experts' average review score
+	// l̄ — the "ground truth" the requester measures accuracy against.
+	ExpertScores map[string]float64 `json:"expert_scores"`
+}
+
+// Validate checks referential integrity of the whole trace.
+func (t *Trace) Validate() error {
+	if len(t.Workers) == 0 {
+		return fmt.Errorf("no workers: %w", ErrInvalid)
+	}
+	for id, w := range t.Workers {
+		if err := w.Validate(); err != nil {
+			return err
+		}
+		if id != w.ID {
+			return fmt.Errorf("worker map key %q != record ID %q: %w", id, w.ID, ErrInvalid)
+		}
+	}
+	seen := make(map[string]bool, len(t.Reviews))
+	for _, r := range t.Reviews {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if seen[r.ID] {
+			return fmt.Errorf("duplicate review ID %q: %w", r.ID, ErrInvalid)
+		}
+		seen[r.ID] = true
+		if _, ok := t.Workers[r.WorkerID]; !ok {
+			return fmt.Errorf("review %q references unknown worker %q: %w", r.ID, r.WorkerID, ErrInvalid)
+		}
+	}
+	for p, s := range t.ExpertScores {
+		if s < 1 || s > 5 || math.IsNaN(s) {
+			return fmt.Errorf("expert score %v for product %q outside [1,5]: %w", s, p, ErrInvalid)
+		}
+	}
+	return nil
+}
+
+// NumProducts returns the number of distinct products reviewed.
+func (t *Trace) NumProducts() int {
+	set := make(map[string]struct{})
+	for _, r := range t.Reviews {
+		set[r.ProductID] = struct{}{}
+	}
+	return len(set)
+}
+
+// WorkerStats are the derived per-worker quantities of §V.
+type WorkerStats struct {
+	// WorkerID identifies the worker.
+	WorkerID string
+	// Reviews is the number of reviews written.
+	Reviews int
+	// Expertise is the average upvotes over the worker's reviews.
+	Expertise float64
+	// AvgLength is the average review length.
+	AvgLength float64
+	// AvgFeedback equals Expertise (kept separate for readability at call
+	// sites that mean "feedback", not "expertise").
+	AvgFeedback float64
+	// AvgEffort is the average per-review effort proxy
+	// expertise × length.
+	AvgEffort float64
+	// AvgScore is the average review score.
+	AvgScore float64
+	// AvgAccuracyDist is the average |l_i − l̄| over reviews whose product
+	// has an expert score (NaN when none do).
+	AvgAccuracyDist float64
+}
+
+// ComputeWorkerStats derives per-worker statistics for every worker with at
+// least one review. Results are keyed by worker ID.
+func (t *Trace) ComputeWorkerStats() map[string]WorkerStats {
+	byWorker := make(map[string][]Review)
+	for _, r := range t.Reviews {
+		byWorker[r.WorkerID] = append(byWorker[r.WorkerID], r)
+	}
+	out := make(map[string]WorkerStats, len(byWorker))
+	for id, reviews := range byWorker {
+		var upvotes, length, score float64
+		var accDist float64
+		var accN int
+		for _, r := range reviews {
+			upvotes += float64(r.Upvotes)
+			length += float64(r.Length)
+			score += r.Score
+			if expert, ok := t.ExpertScores[r.ProductID]; ok {
+				accDist += math.Abs(r.Score - expert)
+				accN++
+			}
+		}
+		n := float64(len(reviews))
+		expertise := upvotes / n
+		st := WorkerStats{
+			WorkerID:    id,
+			Reviews:     len(reviews),
+			Expertise:   expertise,
+			AvgLength:   length / n,
+			AvgFeedback: expertise,
+			AvgEffort:   expertise * (length / n),
+			AvgScore:    score / n,
+		}
+		if accN > 0 {
+			st.AvgAccuracyDist = accDist / float64(accN)
+		} else {
+			st.AvgAccuracyDist = math.NaN()
+		}
+		out[id] = st
+	}
+	return out
+}
+
+// EffortFeedbackPoints returns the (effort, feedback) point cloud for the
+// given worker IDs — the input to effort-function fitting (§IV-B). One
+// point per review: effort = worker expertise × review length, feedback =
+// review upvotes.
+func (t *Trace) EffortFeedbackPoints(workerIDs []string) (efforts, feedbacks []float64) {
+	want := make(map[string]bool, len(workerIDs))
+	for _, id := range workerIDs {
+		want[id] = true
+	}
+	stats := t.ComputeWorkerStats()
+	for _, r := range t.Reviews {
+		if !want[r.WorkerID] {
+			continue
+		}
+		st, ok := stats[r.WorkerID]
+		if !ok {
+			continue
+		}
+		efforts = append(efforts, st.Expertise*float64(r.Length))
+		feedbacks = append(feedbacks, float64(r.Upvotes))
+	}
+	return efforts, feedbacks
+}
+
+// MaliciousWorkerIDs returns the IDs of all ground-truth malicious workers,
+// sorted.
+func (t *Trace) MaliciousWorkerIDs() []string {
+	var out []string
+	for id, w := range t.Workers {
+		if w.Malicious {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HonestWorkerIDs returns the IDs of all honest workers, sorted.
+func (t *Trace) HonestWorkerIDs() []string {
+	var out []string
+	for id, w := range t.Workers {
+		if !w.Malicious {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WorkersWithAtLeast returns the sorted IDs of workers having at least n
+// reviews — Fig. 8(a) selects "honest workers with at least 20 reviews".
+func (t *Trace) WorkersWithAtLeast(n int) []string {
+	counts := make(map[string]int)
+	for _, r := range t.Reviews {
+		counts[r.WorkerID]++
+	}
+	var out []string
+	for id, c := range counts {
+		if c >= n {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FilterRounds returns a new trace containing only reviews from rounds in
+// [from, to] (inclusive). Workers and expert scores are shared with the
+// original (they are round-independent); callers binning a campaign by
+// time use this to run the pipeline per period.
+func (t *Trace) FilterRounds(from, to int) (*Trace, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("invalid round range [%d, %d]: %w", from, to, ErrInvalid)
+	}
+	out := &Trace{Workers: t.Workers, ExpertScores: t.ExpertScores}
+	for _, r := range t.Reviews {
+		if r.Round >= from && r.Round <= to {
+			out.Reviews = append(out.Reviews, r)
+		}
+	}
+	return out, nil
+}
+
+// Rounds returns the highest round index present plus one (0 for an empty
+// trace).
+func (t *Trace) Rounds() int {
+	maxRound := -1
+	for _, r := range t.Reviews {
+		if r.Round > maxRound {
+			maxRound = r.Round
+		}
+	}
+	return maxRound + 1
+}

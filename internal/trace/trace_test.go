@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func validTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := &Trace{
+		Reviews: []Review{
+			{ID: "r1", WorkerID: "w1", ProductID: "p1", Score: 4, Length: 100, Upvotes: 6, Round: 0},
+			{ID: "r2", WorkerID: "w1", ProductID: "p2", Score: 5, Length: 200, Upvotes: 2, Round: 0},
+			{ID: "r3", WorkerID: "w2", ProductID: "p1", Score: 5, Length: 50, Upvotes: 10, Round: 1},
+		},
+		Workers: map[string]Worker{
+			"w1": {ID: "w1"},
+			"w2": {ID: "w2", Malicious: true, TargetProducts: []string{"p1"}},
+			"w3": {ID: "w3"},
+		},
+		ExpertScores: map[string]float64{"p1": 3.5, "p2": 5},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return tr
+}
+
+func TestReviewValidate(t *testing.T) {
+	bad := []Review{
+		{ID: "", WorkerID: "w", ProductID: "p", Score: 3},
+		{ID: "r", WorkerID: "", ProductID: "p", Score: 3},
+		{ID: "r", WorkerID: "w", ProductID: "", Score: 3},
+		{ID: "r", WorkerID: "w", ProductID: "p", Score: 0},
+		{ID: "r", WorkerID: "w", ProductID: "p", Score: 6},
+		{ID: "r", WorkerID: "w", ProductID: "p", Score: math.NaN()},
+		{ID: "r", WorkerID: "w", ProductID: "p", Score: 3, Length: -1},
+		{ID: "r", WorkerID: "w", ProductID: "p", Score: 3, Upvotes: -1},
+		{ID: "r", WorkerID: "w", ProductID: "p", Score: 3, Round: -1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("bad review %d: err = %v, want ErrInvalid", i, err)
+		}
+	}
+	ok := Review{ID: "r", WorkerID: "w", ProductID: "p", Score: 3, Length: 10, Upvotes: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid review rejected: %v", err)
+	}
+}
+
+func TestWorkerValidate(t *testing.T) {
+	if err := (Worker{ID: ""}).Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("empty ID accepted")
+	}
+	if err := (Worker{ID: "w", TargetProducts: []string{"p"}}).Validate(); !errors.Is(err, ErrInvalid) {
+		t.Error("honest worker with targets accepted")
+	}
+	if err := (Worker{ID: "w", Malicious: true, TargetProducts: []string{"p"}}).Validate(); err != nil {
+		t.Errorf("valid malicious worker rejected: %v", err)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := validTrace(t)
+
+	t.Run("duplicate review IDs", func(t *testing.T) {
+		bad := *tr
+		bad.Reviews = append(append([]Review(nil), tr.Reviews...), tr.Reviews[0])
+		if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("err = %v, want ErrInvalid", err)
+		}
+	})
+	t.Run("unknown worker", func(t *testing.T) {
+		bad := *tr
+		bad.Reviews = append(append([]Review(nil), tr.Reviews...),
+			Review{ID: "rX", WorkerID: "ghost", ProductID: "p1", Score: 3})
+		if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("err = %v, want ErrInvalid", err)
+		}
+	})
+	t.Run("bad expert score", func(t *testing.T) {
+		bad := *tr
+		bad.ExpertScores = map[string]float64{"p1": 9}
+		if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("err = %v, want ErrInvalid", err)
+		}
+	})
+	t.Run("key mismatch", func(t *testing.T) {
+		bad := *tr
+		bad.Workers = map[string]Worker{"other": {ID: "w1"}}
+		bad.Reviews = nil
+		if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("err = %v, want ErrInvalid", err)
+		}
+	})
+	t.Run("empty workers", func(t *testing.T) {
+		bad := &Trace{}
+		if err := bad.Validate(); !errors.Is(err, ErrInvalid) {
+			t.Errorf("err = %v, want ErrInvalid", err)
+		}
+	})
+}
+
+func TestNumProducts(t *testing.T) {
+	if got := validTrace(t).NumProducts(); got != 2 {
+		t.Errorf("NumProducts = %d, want 2", got)
+	}
+}
+
+func TestComputeWorkerStats(t *testing.T) {
+	tr := validTrace(t)
+	stats := tr.ComputeWorkerStats()
+	w1, ok := stats["w1"]
+	if !ok {
+		t.Fatal("w1 missing from stats")
+	}
+	if w1.Reviews != 2 {
+		t.Errorf("w1.Reviews = %d, want 2", w1.Reviews)
+	}
+	if w1.Expertise != 4 { // (6+2)/2
+		t.Errorf("w1.Expertise = %v, want 4", w1.Expertise)
+	}
+	if w1.AvgLength != 150 {
+		t.Errorf("w1.AvgLength = %v, want 150", w1.AvgLength)
+	}
+	if w1.AvgEffort != 600 { // 4 * 150
+		t.Errorf("w1.AvgEffort = %v, want 600", w1.AvgEffort)
+	}
+	if w1.AvgScore != 4.5 {
+		t.Errorf("w1.AvgScore = %v, want 4.5", w1.AvgScore)
+	}
+	// |4-3.5| and |5-5| → avg 0.25.
+	if math.Abs(w1.AvgAccuracyDist-0.25) > 1e-12 {
+		t.Errorf("w1.AvgAccuracyDist = %v, want 0.25", w1.AvgAccuracyDist)
+	}
+	// Worker w3 wrote nothing: absent from stats.
+	if _, ok := stats["w3"]; ok {
+		t.Error("w3 (no reviews) present in stats")
+	}
+}
+
+func TestComputeWorkerStatsNoExpertScores(t *testing.T) {
+	tr := validTrace(t)
+	tr.ExpertScores = nil
+	stats := tr.ComputeWorkerStats()
+	if !math.IsNaN(stats["w1"].AvgAccuracyDist) {
+		t.Errorf("AvgAccuracyDist = %v, want NaN with no expert scores", stats["w1"].AvgAccuracyDist)
+	}
+}
+
+func TestEffortFeedbackPoints(t *testing.T) {
+	tr := validTrace(t)
+	eff, fb := tr.EffortFeedbackPoints([]string{"w1"})
+	if len(eff) != 2 || len(fb) != 2 {
+		t.Fatalf("points = %d/%d, want 2/2", len(eff), len(fb))
+	}
+	// w1 expertise = 4; reviews have lengths 100, 200 → efforts 400, 800.
+	if eff[0] != 400 || eff[1] != 800 {
+		t.Errorf("efforts = %v, want [400 800]", eff)
+	}
+	if fb[0] != 6 || fb[1] != 2 {
+		t.Errorf("feedbacks = %v, want [6 2]", fb)
+	}
+	// Unknown worker yields nothing.
+	eff, fb = tr.EffortFeedbackPoints([]string{"ghost"})
+	if len(eff) != 0 || len(fb) != 0 {
+		t.Error("ghost worker produced points")
+	}
+}
+
+func TestWorkerIDPartitions(t *testing.T) {
+	tr := validTrace(t)
+	honest := tr.HonestWorkerIDs()
+	mal := tr.MaliciousWorkerIDs()
+	if len(honest) != 2 || honest[0] != "w1" || honest[1] != "w3" {
+		t.Errorf("honest = %v", honest)
+	}
+	if len(mal) != 1 || mal[0] != "w2" {
+		t.Errorf("malicious = %v", mal)
+	}
+}
+
+func TestWorkersWithAtLeast(t *testing.T) {
+	tr := validTrace(t)
+	if got := tr.WorkersWithAtLeast(2); len(got) != 1 || got[0] != "w1" {
+		t.Errorf("WorkersWithAtLeast(2) = %v, want [w1]", got)
+	}
+	if got := tr.WorkersWithAtLeast(1); len(got) != 2 {
+		t.Errorf("WorkersWithAtLeast(1) = %v, want 2 workers", got)
+	}
+	if got := tr.WorkersWithAtLeast(5); len(got) != 0 {
+		t.Errorf("WorkersWithAtLeast(5) = %v, want none", got)
+	}
+}
+
+func TestFilterRounds(t *testing.T) {
+	tr := validTrace(t)
+	// Fixture rounds: r1, r2 in round 0; r3 in round 1.
+	sub, err := tr.FilterRounds(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Reviews) != 2 {
+		t.Errorf("round-0 reviews = %d, want 2", len(sub.Reviews))
+	}
+	sub, err = tr.FilterRounds(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Reviews) != 1 || sub.Reviews[0].ID != "r3" {
+		t.Errorf("round-1+ reviews = %+v", sub.Reviews)
+	}
+	if sub.NumProducts() != 1 {
+		t.Errorf("NumProducts = %d, want 1", sub.NumProducts())
+	}
+	// Workers and expert scores are shared, not copied.
+	if len(sub.Workers) != len(tr.Workers) {
+		t.Error("workers not carried over")
+	}
+	if _, err := tr.FilterRounds(-1, 2); !errors.Is(err, ErrInvalid) {
+		t.Error("negative from accepted")
+	}
+	if _, err := tr.FilterRounds(3, 1); !errors.Is(err, ErrInvalid) {
+		t.Error("to < from accepted")
+	}
+}
+
+func TestRounds(t *testing.T) {
+	tr := validTrace(t)
+	if got := tr.Rounds(); got != 2 {
+		t.Errorf("Rounds = %d, want 2", got)
+	}
+	empty := &Trace{Workers: map[string]Worker{"w": {ID: "w"}}}
+	if got := empty.Rounds(); got != 0 {
+		t.Errorf("Rounds of empty = %d, want 0", got)
+	}
+}

@@ -1,0 +1,66 @@
+package worker_test
+
+import (
+	"fmt"
+	"log"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+// Example computes a worker's exact best response to a posted contract:
+// the effort level maximizing pay − β·effort.
+func Example() {
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part, err := effort.NewPartition(10, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := worker.NewHonest("alice", psi, 1, part.YMax())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A linear contract paying 1 per unit of feedback above ψ(0).
+	knots := part.Knots(psi)
+	comps := make([]float64, len(knots))
+	for i := range comps {
+		comps[i] = knots[i] - knots[0]
+	}
+	c, err := contract.New(knots, comps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	resp, err := alice.BestResponse(c, part)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Interior optimum at ψ′(y) = β/α = 1: y = (1−2)/(2·(−0.02)) = 25.
+	fmt.Printf("effort=%.1f interval=%d utility=%.2f\n", resp.Effort, resp.Interval, resp.Utility)
+	// Output:
+	// effort=25.0 interval=7 utility=12.50
+}
+
+// Example_malicious shows why malicious workers are cheaper to motivate:
+// the influence term ω·feedback subsidizes their effort.
+func Example_malicious() {
+	psi, _ := effort.NewQuadratic(-0.02, 2, 1, 40)
+	part, _ := effort.NewPartition(10, 4)
+	flat, _ := contract.Flat(psi.Eval(0), psi.Eval(part.YMax()), 0) // pays nothing
+
+	honest, _ := worker.NewHonest("h", psi, 1, part.YMax())
+	malicious, _ := worker.NewMalicious("m", psi, 1, 1, part.YMax())
+
+	hr, _ := honest.BestResponse(flat, part)
+	mr, _ := malicious.BestResponse(flat, part)
+	fmt.Printf("honest effort under zero pay:    %.1f\n", hr.Effort)
+	fmt.Printf("malicious effort under zero pay: %.1f\n", mr.Effort)
+	// Output:
+	// honest effort under zero pay:    0.0
+	// malicious effort under zero pay: 25.0
+}

@@ -1,0 +1,118 @@
+package worker
+
+import (
+	"testing"
+
+	"dyncontract/internal/contract"
+)
+
+func TestReservationValidation(t *testing.T) {
+	psi := testPsi(t)
+	a := &Agent{ID: "w", Class: Honest, Psi: psi, Beta: 1, Size: 1, Reservation: -1}
+	if err := a.Validate(10); err == nil {
+		t.Error("negative reservation accepted")
+	}
+	a.Reservation = 2
+	if err := a.Validate(10); err != nil {
+		t.Errorf("valid reservation rejected: %v", err)
+	}
+}
+
+func TestBestResponseDeclinesBelowReservation(t *testing.T) {
+	psi := testPsi(t)
+	part := testPart(t)
+	// A stingy contract: the worker's best utility under it is small.
+	stingy := linearContract(t, psi, part, 0.1)
+	a, err := NewHonest("picky", psi, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a reservation the worker takes whatever it can get.
+	free, err := a.BestResponse(stingy, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Declined {
+		t.Fatal("zero-reservation worker declined")
+	}
+
+	// With a reservation above that utility the worker walks away.
+	a.Reservation = free.Utility + 1
+	resp, err := a.BestResponse(stingy, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Declined {
+		t.Fatalf("worker accepted %v despite reservation %v", free.Utility, a.Reservation)
+	}
+	if resp.Effort != 0 || resp.Compensation != 0 || resp.Utility != 0 {
+		t.Errorf("declined response not zeroed: %+v", resp)
+	}
+}
+
+func TestBestResponseAcceptsAtReservation(t *testing.T) {
+	psi := testPsi(t)
+	part := testPart(t)
+	generous := linearContract(t, psi, part, 2)
+	a, err := NewHonest("fair", psi, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := a.BestResponse(generous, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reservation exactly at the achievable utility: still participates.
+	a.Reservation = free.Utility
+	resp, err := a.BestResponse(generous, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Declined {
+		t.Error("worker declined at exactly the reservation utility")
+	}
+}
+
+func TestMaliciousIntrinsicMotivationCoversReservation(t *testing.T) {
+	// A malicious worker's ω·feedback can clear the outside option even
+	// under a zero contract — the retention experiment's observed effect.
+	psi := testPsi(t)
+	part := testPart(t)
+	flat, err := contract.Flat(psi.Eval(0), psi.Eval(part.YMax()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMalicious("zealot", psi, 1, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := m.BestResponse(flat, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Utility <= 0 {
+		t.Fatalf("intrinsic utility %v, want positive", free.Utility)
+	}
+	m.Reservation = free.Utility / 2
+	resp, err := m.BestResponse(flat, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Declined {
+		t.Error("intrinsically motivated worker declined an affordable reservation")
+	}
+
+	h, err := NewHonest("mercenary", psi, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Reservation = free.Utility / 2
+	hresp, err := h.BestResponse(flat, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hresp.Declined {
+		t.Error("honest worker accepted a zero contract above its reservation")
+	}
+}

@@ -1,0 +1,258 @@
+// Package worker models the three worker classes of §II — honest,
+// non-collusive malicious, and collusive malicious communities — and
+// computes their exact best responses to a posted piecewise-linear contract.
+//
+// A worker facing contract ζ and effort function ψ solves
+//
+//	max_y  ζ(ψ(y)) − β·y + ω·ψ(y)
+//
+// (Eqs. (11) and (14); honest workers are the ω = 0 special case, and a
+// collusive community is a "single meta worker" over the members' summed
+// effort, Eq. (3)). Within each effort interval [(l−1)δ, lδ) the contract is
+// linear in feedback, so the utility is concave there and the global optimum
+// is found exactly by comparing each interval's interior stationary point
+// and edges.
+package worker
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+)
+
+// Class identifies the behavioural type of a worker.
+type Class int
+
+// Worker classes. Values start at one so the zero value is invalid and
+// cannot be mistaken for a real class.
+const (
+	// Honest workers maximize compensation minus effort cost (ω = 0).
+	Honest Class = iota + 1
+	// NonCollusiveMalicious workers additionally value the feedback
+	// (influence) of their own reviews (ω > 0).
+	NonCollusiveMalicious
+	// CollusiveMalicious marks a member of a collusive community; for
+	// contract purposes the community acts as one meta-worker.
+	CollusiveMalicious
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Honest:
+		return "honest"
+	case NonCollusiveMalicious:
+		return "non-collusive-malicious"
+	case CollusiveMalicious:
+		return "collusive-malicious"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool {
+	return c >= Honest && c <= CollusiveMalicious
+}
+
+// ErrInvalidAgent is returned when an Agent fails validation.
+var ErrInvalidAgent = errors.New("worker: invalid agent")
+
+// Agent is a worker (or collusive community acting as a meta-worker)
+// together with its behavioural parameters.
+type Agent struct {
+	// ID identifies the worker or community.
+	ID string
+	// Class is the behavioural type.
+	Class Class
+	// Psi is the effort→feedback function fitted for this agent's class.
+	Psi effort.Quadratic
+	// Beta is the effort-cost weight β in the worker utility.
+	Beta float64
+	// Omega is the feedback (influence) weight ω; must be 0 for Honest.
+	Omega float64
+	// Size is the number of physical workers the agent stands for: 1 for
+	// individuals, the community size for collusive meta-workers.
+	Size int
+	// Reservation is the worker's outside option u₀: the utility below
+	// which the worker declines the task altogether (§II "each worker
+	// decides whether to accept or decline the task requester's offer").
+	// Zero (the default) recovers the always-participate model.
+	Reservation float64
+}
+
+// Validate checks the agent's structural invariants over the working range
+// [0, yMax].
+func (a *Agent) Validate(yMax float64) error {
+	if !a.Class.Valid() {
+		return fmt.Errorf("class %v: %w", a.Class, ErrInvalidAgent)
+	}
+	if err := a.Psi.Validate(yMax); err != nil {
+		return fmt.Errorf("agent %q: %w", a.ID, err)
+	}
+	if a.Beta <= 0 || math.IsNaN(a.Beta) || math.IsInf(a.Beta, 0) {
+		return fmt.Errorf("agent %q: beta=%v must be positive: %w", a.ID, a.Beta, ErrInvalidAgent)
+	}
+	if a.Omega < 0 || math.IsNaN(a.Omega) || math.IsInf(a.Omega, 0) {
+		return fmt.Errorf("agent %q: omega=%v must be non-negative: %w", a.ID, a.Omega, ErrInvalidAgent)
+	}
+	if a.Class == Honest && a.Omega != 0 {
+		return fmt.Errorf("agent %q: honest worker with omega=%v: %w", a.ID, a.Omega, ErrInvalidAgent)
+	}
+	if a.Size < 1 {
+		return fmt.Errorf("agent %q: size=%d must be >= 1: %w", a.ID, a.Size, ErrInvalidAgent)
+	}
+	if a.Class != CollusiveMalicious && a.Size != 1 {
+		return fmt.Errorf("agent %q: non-community agent with size=%d: %w", a.ID, a.Size, ErrInvalidAgent)
+	}
+	if a.Reservation < 0 || math.IsNaN(a.Reservation) || math.IsInf(a.Reservation, 0) {
+		return fmt.Errorf("agent %q: reservation=%v must be finite and non-negative: %w", a.ID, a.Reservation, ErrInvalidAgent)
+	}
+	return nil
+}
+
+// Utility returns the agent's utility for effort y under contract c:
+// ζ(ψ(y)) − β·y + ω·ψ(y).
+func (a *Agent) Utility(c *contract.PiecewiseLinear, y float64) float64 {
+	q := a.Psi.Eval(y)
+	return c.Eval(q) - a.Beta*y + a.Omega*q
+}
+
+// Response is an agent's computed best response to a contract.
+type Response struct {
+	// Effort is the utility-maximizing effort level y*.
+	Effort float64
+	// Feedback is ψ(y*).
+	Feedback float64
+	// Compensation is ζ(ψ(y*)), the payment the contract awards.
+	Compensation float64
+	// Utility is the worker utility at y*.
+	Utility float64
+	// Interval is the 1-based effort interval containing y* (clamped to
+	// [1, m]).
+	Interval int
+	// Declined reports that even the best achievable utility fell below
+	// the worker's reservation, so the worker rejects the task: all other
+	// fields are zeroed.
+	Declined bool
+}
+
+// BestResponse computes the agent's exact global best response to contract
+// c over effort levels in [0, yCap], where yCap is normally the partition's
+// mδ (capped further by the apex of ψ — no rational worker works past the
+// point where extra effort reduces feedback).
+//
+// The search is exact: within each effort interval the utility is concave
+// (the contract is linear in q = ψ(y) there), so the maximum is at an edge
+// or at the interior stationary point ψ′(y) = β/(α_l + ω).
+func (a *Agent) BestResponse(c *contract.PiecewiseLinear, part effort.Partition) (Response, error) {
+	yCap := part.YMax()
+	if apex := a.Psi.Apex(); apex < yCap {
+		yCap = apex
+	}
+	// Validate strictly inside the increasing range: when the cap sits
+	// exactly at the apex, ψ′(cap) = 0 and the closed-range check would
+	// reject an otherwise well-formed agent.
+	if err := a.Validate(yCap * (1 - 1e-12)); err != nil {
+		return Response{}, err
+	}
+
+	best := Response{Effort: 0}
+	bestSet := false
+	consider := func(y float64) {
+		if y < 0 || y > yCap || math.IsNaN(y) {
+			return
+		}
+		u := a.Utility(c, y)
+		if !bestSet || u > best.Utility ||
+			// Tie-break toward lower effort: a worker indifferent between
+			// efforts exerts less.
+			(u == best.Utility && y < best.Effort) {
+			q := a.Psi.Eval(y)
+			best = Response{
+				Effort:       y,
+				Feedback:     q,
+				Compensation: c.Eval(q),
+				Utility:      u,
+				Interval:     part.IntervalOf(y),
+			}
+			bestSet = true
+		}
+	}
+
+	consider(0)
+	for l := 1; l <= part.M; l++ {
+
+		lo := part.Edge(l - 1)
+		hi := part.Edge(l)
+		if lo > yCap {
+			break
+		}
+		if hi > yCap {
+			hi = yCap
+		}
+		// Edges of the interval.
+		consider(lo)
+		consider(hi)
+		// Interior stationary point: ψ′(y) = β / (α_l + ω), where α_l is
+		// the contract slope on the feedback interval [d_{l−1}, d_l). When
+		// α_l + ω == 0 the utility is strictly decreasing; edges cover it.
+		alpha := pieceSlope(c, a.Psi, lo, hi)
+		denom := alpha + a.Omega
+		if denom > 0 {
+			if y, ok := a.Psi.InverseDeriv(a.Beta / denom); ok && y > lo && y < hi {
+				consider(y)
+			}
+		}
+	}
+	// Participation (individual rationality): a worker whose best utility
+	// cannot match the outside option declines the task outright.
+	if best.Utility < a.Reservation {
+		return Response{Declined: true}, nil
+	}
+	return best, nil
+}
+
+// pieceSlope returns the contract slope over the feedback image of effort
+// interval [lo, hi]: (ζ(ψ(hi)) − ζ(ψ(lo))) / (ψ(hi) − ψ(lo)). For contracts
+// built on the same partition this equals α_l exactly; for arbitrary
+// contracts it is the effective (secant) slope, which is what the concavity
+// argument needs within a linear piece.
+func pieceSlope(c *contract.PiecewiseLinear, psi effort.Quadratic, lo, hi float64) float64 {
+	qLo, qHi := psi.Eval(lo), psi.Eval(hi)
+	if qHi <= qLo {
+		return 0
+	}
+	return (c.Eval(qHi) - c.Eval(qLo)) / (qHi - qLo)
+}
+
+// NewHonest returns a validated honest worker agent.
+func NewHonest(id string, psi effort.Quadratic, beta, yMax float64) (*Agent, error) {
+	a := &Agent{ID: id, Class: Honest, Psi: psi, Beta: beta, Omega: 0, Size: 1}
+	if err := a.Validate(yMax); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewMalicious returns a validated non-collusive malicious worker agent.
+func NewMalicious(id string, psi effort.Quadratic, beta, omega, yMax float64) (*Agent, error) {
+	a := &Agent{ID: id, Class: NonCollusiveMalicious, Psi: psi, Beta: beta, Omega: omega, Size: 1}
+	if err := a.Validate(yMax); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewCommunity returns a validated collusive-community meta-agent of the
+// given size.
+func NewCommunity(id string, psi effort.Quadratic, beta, omega float64, size int, yMax float64) (*Agent, error) {
+	a := &Agent{ID: id, Class: CollusiveMalicious, Psi: psi, Beta: beta, Omega: omega, Size: size}
+	if err := a.Validate(yMax); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

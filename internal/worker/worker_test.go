@@ -1,0 +1,353 @@
+package worker
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+)
+
+func testPsi(t *testing.T) effort.Quadratic {
+	t.Helper()
+	q, err := effort.NewQuadratic(-0.05, 3, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func testPart(t *testing.T) effort.Partition {
+	t.Helper()
+	p, err := effort.NewPartition(10, 2) // [0,20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// linearContract returns a contract paying slope*q over the feedback range
+// of psi on [0, yMax].
+func linearContract(t *testing.T, psi effort.Quadratic, part effort.Partition, slope float64) *contract.PiecewiseLinear {
+	t.Helper()
+	knots := part.Knots(psi)
+	comps := make([]float64, len(knots))
+	for i, d := range knots {
+		comps[i] = slope * (d - knots[0])
+	}
+	c, err := contract.New(knots, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{Honest, "honest"},
+		{NonCollusiveMalicious, "non-collusive-malicious"},
+		{CollusiveMalicious, "collusive-malicious"},
+		{Class(0), "Class(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestClassValid(t *testing.T) {
+	if Class(0).Valid() || Class(4).Valid() {
+		t.Error("invalid classes reported valid")
+	}
+	if !Honest.Valid() || !CollusiveMalicious.Valid() {
+		t.Error("valid classes reported invalid")
+	}
+}
+
+func TestAgentValidate(t *testing.T) {
+	psi := testPsi(t)
+	tests := []struct {
+		name  string
+		agent Agent
+	}{
+		{"zero class", Agent{ID: "w", Psi: psi, Beta: 1, Size: 1}},
+		{"zero beta", Agent{ID: "w", Class: Honest, Psi: psi, Beta: 0, Size: 1}},
+		{"negative omega", Agent{ID: "w", Class: NonCollusiveMalicious, Psi: psi, Beta: 1, Omega: -1, Size: 1}},
+		{"honest with omega", Agent{ID: "w", Class: Honest, Psi: psi, Beta: 1, Omega: 0.5, Size: 1}},
+		{"zero size", Agent{ID: "w", Class: Honest, Psi: psi, Beta: 1, Size: 0}},
+		{"individual with size 3", Agent{ID: "w", Class: Honest, Psi: psi, Beta: 1, Size: 3}},
+		{"NaN beta", Agent{ID: "w", Class: Honest, Psi: psi, Beta: math.NaN(), Size: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.agent.Validate(10); err == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+	ok := Agent{ID: "w", Class: CollusiveMalicious, Psi: psi, Beta: 1, Omega: 0.3, Size: 4}
+	if err := ok.Validate(10); err != nil {
+		t.Errorf("valid community rejected: %v", err)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	psi := testPsi(t)
+	if _, err := NewHonest("h", psi, 1, 20); err != nil {
+		t.Errorf("NewHonest: %v", err)
+	}
+	if _, err := NewMalicious("m", psi, 1, 0.5, 20); err != nil {
+		t.Errorf("NewMalicious: %v", err)
+	}
+	if _, err := NewCommunity("c", psi, 1, 0.5, 5, 20); err != nil {
+		t.Errorf("NewCommunity: %v", err)
+	}
+	if _, err := NewHonest("bad", psi, -1, 20); !errors.Is(err, ErrInvalidAgent) {
+		t.Errorf("NewHonest bad beta: err = %v, want ErrInvalidAgent", err)
+	}
+}
+
+func TestUtilityComputation(t *testing.T) {
+	psi := testPsi(t)
+	part := testPart(t)
+	c := linearContract(t, psi, part, 1)
+	a, err := NewMalicious("m", psi, 2, 0.5, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := 3.0
+	q := psi.Eval(y)
+	want := c.Eval(q) - 2*y + 0.5*q
+	if got := a.Utility(c, y); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Utility = %v, want %v", got, want)
+	}
+}
+
+func TestBestResponseZeroContractHonest(t *testing.T) {
+	// Flat zero contract: an honest worker's best response is zero effort.
+	psi := testPsi(t)
+	part := testPart(t)
+	flat, err := contract.Flat(psi.Eval(0), psi.Eval(part.YMax()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewHonest("h", psi, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.BestResponse(flat, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Effort != 0 {
+		t.Errorf("Effort = %v, want 0", resp.Effort)
+	}
+	if resp.Compensation != 0 || resp.Utility != 0 {
+		t.Errorf("resp = %+v, want zero comp/utility", resp)
+	}
+	if resp.Interval != 1 {
+		t.Errorf("Interval = %d, want 1", resp.Interval)
+	}
+}
+
+func TestBestResponseFlatContractMalicious(t *testing.T) {
+	// With a flat contract, a malicious worker still works if ω·ψ′(0) > β:
+	// optimum at ψ′(y) = β/ω.
+	psi := testPsi(t) // psi'(0) = 3
+	part := testPart(t)
+	flat, err := contract.Flat(psi.Eval(0), psi.Eval(part.YMax()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewMalicious("m", psi, 1, 1, part.YMax()) // beta/omega = 1 < 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.BestResponse(flat, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantY, ok := psi.InverseDeriv(1)
+	if !ok {
+		t.Fatal("InverseDeriv out of range")
+	}
+	if math.Abs(resp.Effort-wantY) > 1e-9 {
+		t.Errorf("Effort = %v, want %v", resp.Effort, wantY)
+	}
+}
+
+func TestBestResponseLinearContractInterior(t *testing.T) {
+	// Steep linear contract: honest worker's optimum is interior at
+	// ψ′(y) = β/α.
+	psi := testPsi(t)
+	part := testPart(t)
+	alpha := 2.0
+	c := linearContract(t, psi, part, alpha)
+	a, err := NewHonest("h", psi, 3, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.BestResponse(c, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantY, _ := psi.InverseDeriv(3.0 / alpha) // psi'(y) = beta/alpha = 1.5 -> y = 15
+	if math.Abs(resp.Effort-wantY) > 1e-9 {
+		t.Errorf("Effort = %v, want %v", resp.Effort, wantY)
+	}
+	// Cross-check against a fine grid search.
+	gridBest, gridY := math.Inf(-1), 0.0
+	for i := 0; i <= 200000; i++ {
+		y := float64(i) * part.YMax() / 200000
+		if u := a.Utility(c, y); u > gridBest {
+			gridBest, gridY = u, y
+		}
+	}
+	if math.Abs(resp.Effort-gridY) > 1e-3 {
+		t.Errorf("analytic %v vs grid %v", resp.Effort, gridY)
+	}
+	if resp.Utility < gridBest-1e-9 {
+		t.Errorf("analytic utility %v below grid %v", resp.Utility, gridBest)
+	}
+}
+
+func TestBestResponseRespectsApex(t *testing.T) {
+	// Partition extends past the apex of psi; the worker must not work
+	// beyond the apex even under an absurdly generous contract.
+	psi, err := effort.NewQuadratic(-0.5, 3, 0, 2.9) // apex at 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(10, 1) // up to y=10, beyond apex
+	if err != nil {
+		t.Fatal(err)
+	}
+	knots := []float64{psi.Eval(0), psi.Eval(3) + 1}
+	comps := []float64{0, 1000}
+	c, err := contract.New(knots, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Agent{ID: "h", Class: Honest, Psi: psi, Beta: 0.01, Size: 1}
+	resp, err := a.BestResponse(c, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Effort > 3+1e-9 {
+		t.Errorf("Effort = %v exceeds apex 3", resp.Effort)
+	}
+}
+
+func TestBestResponseInvalidAgent(t *testing.T) {
+	psi := testPsi(t)
+	part := testPart(t)
+	c := linearContract(t, psi, part, 1)
+	bad := &Agent{ID: "x", Class: Honest, Psi: psi, Beta: -1, Size: 1}
+	if _, err := bad.BestResponse(c, part); err == nil {
+		t.Fatal("invalid agent: want error")
+	}
+}
+
+// Property: BestResponse is never beaten by any grid point, for random
+// monotone contracts and random worker parameters.
+func TestBestResponseGlobalOptimalityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		psi, err := effort.NewQuadratic(-(0.01 + rng.Float64()*0.1), 1+rng.Float64()*4, rng.Float64(), 10)
+		if err != nil {
+			return true // apex inside the working range; not a valid draw
+		}
+		part, err := effort.NewPartition(5+rng.Intn(6), 1)
+		if err != nil {
+			return false
+		}
+		if psi.Deriv(part.YMax()) <= 0 {
+			return true // partition beyond increasing range; skip
+		}
+		knots := part.Knots(psi)
+		comps := make([]float64, len(knots))
+		for i := 1; i < len(comps); i++ {
+			comps[i] = comps[i-1] + rng.Float64()*2
+		}
+		c, err := contract.New(knots, comps)
+		if err != nil {
+			return false
+		}
+		omega := 0.0
+		class := Honest
+		if rng.Intn(2) == 1 {
+			omega = rng.Float64()
+			class = NonCollusiveMalicious
+		}
+		a := &Agent{ID: "w", Class: class, Psi: psi, Beta: 0.2 + rng.Float64(), Omega: omega, Size: 1}
+		resp, err := a.BestResponse(c, part)
+		if err != nil {
+			return false
+		}
+		yCap := math.Min(part.YMax(), psi.Apex())
+		for i := 0; i <= 2000; i++ {
+			y := float64(i) * yCap / 2000
+			if a.Utility(c, y) > resp.Utility+1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under a steeper contract (pointwise higher slopes), the worker's
+// best-response utility cannot decrease.
+func TestBestResponseMonotoneInContractProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		psi, err := effort.NewQuadratic(-0.02, 2, 0.5, 12)
+		if err != nil {
+			return false
+		}
+		part, err := effort.NewPartition(6, 2)
+		if err != nil {
+			return false
+		}
+		knots := part.Knots(psi)
+		comps := make([]float64, len(knots))
+		for i := 1; i < len(comps); i++ {
+			comps[i] = comps[i-1] + rng.Float64()
+		}
+		lower, err := contract.New(knots, comps)
+		if err != nil {
+			return false
+		}
+		higher := make([]float64, len(comps))
+		copy(higher, comps)
+		for i := 1; i < len(higher); i++ {
+			higher[i] += float64(i) * 0.1 // pointwise >= lower, still monotone
+		}
+		upper, err := contract.New(knots, higher)
+		if err != nil {
+			return false
+		}
+		a := &Agent{ID: "w", Class: Honest, Psi: psi, Beta: 1, Size: 1}
+		r1, err := a.BestResponse(lower, part)
+		if err != nil {
+			return false
+		}
+		r2, err := a.BestResponse(upper, part)
+		if err != nil {
+			return false
+		}
+		return r2.Utility >= r1.Utility-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
