@@ -1,0 +1,24 @@
+# Standard-library Go module; no codegen, no vendoring. `make check` is
+# the pre-PR gate (ROADMAP.md).
+
+GO ?= go
+
+.PHONY: build test bench check fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+check:
+	./scripts/check.sh

@@ -10,13 +10,16 @@ package dyncontract
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
 	"dyncontract/internal/baseline"
 	"dyncontract/internal/cluster"
+	"dyncontract/internal/contract"
 	"dyncontract/internal/core"
 	"dyncontract/internal/effort"
+	"dyncontract/internal/engine"
 	"dyncontract/internal/experiments"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/polyfit"
@@ -279,4 +282,122 @@ func BenchmarkSynthGeneration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchArchetypePopulation builds n agents drawn from exactly three
+// archetypes (honest, non-collusive malicious, collusive community), each
+// archetype sharing cost parameters and requester weight — so the whole
+// population collapses to three design fingerprints.
+func benchArchetypePopulation(b *testing.B, n int) *platform.Population {
+	b.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pop := &platform.Population{
+		Weights:    make(map[string]float64, n),
+		MaliceProb: make(map[string]float64, n),
+		Part:       part,
+		Mu:         1,
+	}
+	for i := 0; i < n; i++ {
+		var a *worker.Agent
+		var w float64
+		switch i % 3 {
+		case 0:
+			a, err = worker.NewHonest(fmt.Sprintf("h%05d", i), psi, 1, part.YMax())
+			w = 1
+		case 1:
+			a, err = worker.NewMalicious(fmt.Sprintf("m%05d", i), psi, 1, 0.5, part.YMax())
+			w = 0.8
+		default:
+			a, err = worker.NewCommunity(fmt.Sprintf("c%05d", i), psi, 1, 0.5, 3, part.YMax())
+			w = 0.5
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = w
+		pop.MaliceProb[a.ID] = 0.1
+	}
+	return pop
+}
+
+// perAgentPolicy replicates the pre-engine design path: one solver
+// subproblem per agent, no fingerprint dedup, no cache. It is the baseline
+// the engine's Designer is measured against.
+type perAgentPolicy struct{}
+
+func (perAgentPolicy) Name() string { return "per-agent-design" }
+
+func (perAgentPolicy) Contracts(ctx context.Context, pop *platform.Population) (map[string]*contract.PiecewiseLinear, error) {
+	subs := make([]solver.Subproblem, len(pop.Agents))
+	for i, a := range pop.Agents {
+		subs[i] = solver.Subproblem{Agent: a, Config: core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]}}
+	}
+	outs, err := solver.SolveAll(ctx, subs, solver.Options{})
+	if err != nil {
+		return nil, err
+	}
+	contracts := make(map[string]*contract.PiecewiseLinear, len(subs))
+	for _, o := range outs {
+		contracts[subs[o.Index].Agent.ID] = o.Result.Contract
+	}
+	return contracts, nil
+}
+
+// BenchmarkEngineRound1k measures one engine round over a 1000-agent,
+// 3-archetype population in three design regimes:
+//
+//   - nodedup: the pre-engine baseline, 1000 core.Design calls per round;
+//   - dedup-cold: fingerprint dedup with a fresh cache per round, 3 calls;
+//   - dedup-warm: a warmed cross-round cache, 0 calls.
+func BenchmarkEngineRound1k(b *testing.B) {
+	pop := benchArchetypePopulation(b, 1000)
+	ctx := context.Background()
+
+	runRound := func(b *testing.B, cfg engine.Config) {
+		b.Helper()
+		cfg.Rounds = 1
+		if _, err := engine.RunLedger(ctx, pop, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("nodedup", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runRound(b, engine.Config{Policy: perAgentPolicy{}})
+		}
+	})
+	b.Run("dedup-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache := engine.NewCache()
+			runRound(b, engine.Config{Policy: &platform.DynamicPolicy{}, Cache: cache})
+			if s := cache.Stats(); s.Misses != 3 {
+				b.Fatalf("cold round Design calls = %d, want 3", s.Misses)
+			}
+		}
+	})
+	b.Run("dedup-warm", func(b *testing.B) {
+		cache := engine.NewCache()
+		pol := &platform.DynamicPolicy{}
+		runRound(b, engine.Config{Policy: pol, Cache: cache}) // warm the cache
+		warmed := cache.Stats().Misses
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runRound(b, engine.Config{Policy: pol, Cache: cache})
+		}
+		b.StopTimer()
+		if s := cache.Stats(); s.Misses != warmed {
+			b.Fatalf("warm rounds performed %d Design calls, want 0", s.Misses-warmed)
+		}
+	})
 }

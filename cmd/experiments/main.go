@@ -43,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		plot      = fs.Bool("plot", false, "render ASCII charts below figure-style reports")
 		asJSON    = fs.Bool("json", false, "emit reports as JSON instead of text tables")
 		outDir    = fs.String("out", "", "also write one report file per experiment into this directory")
+		noCache   = fs.Bool("nocache", false, "disable the engine's cross-round design cache in simulation experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +102,7 @@ func run(args []string, out io.Writer) error {
 	if *m > 0 {
 		params.M = *m
 	}
+	params.NoDesignCache = *noCache
 
 	ids := strings.Split(*runIDs, ",")
 	if *runIDs == "all" {

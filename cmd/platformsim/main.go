@@ -7,6 +7,7 @@
 //
 //	platformsim [-scale small|paper] [-seed n] [-rounds n]
 //	            [-policies dynamic,exclude,fixed] [-threshold p] [-amount c]
+//	            [-engine seq|actor] [-nocache] [-cachestats]
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"dyncontract/internal/actor"
 	"dyncontract/internal/baseline"
+	"dyncontract/internal/engine"
 	"dyncontract/internal/experiments"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/synth"
@@ -34,14 +36,16 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("platformsim", flag.ContinueOnError)
 	var (
-		scale     = fs.String("scale", "small", "trace scale: small or paper")
-		seed      = fs.Int64("seed", 42, "generation seed")
-		rounds    = fs.Int("rounds", 5, "number of task rounds")
-		policies  = fs.String("policies", "dynamic,exclude,fixed", "comma-separated policies")
-		threshold = fs.Float64("threshold", 0.5, "exclusion threshold on malice probability")
-		amount    = fs.Float64("amount", 1, "fixed-payment amount")
-		perClass  = fs.Int("perclass", 200, "max agents sampled per class")
-		engine    = fs.String("engine", "seq", "simulation engine: seq (sequential) or actor (message-passing)")
+		scale      = fs.String("scale", "small", "trace scale: small or paper")
+		seed       = fs.Int64("seed", 42, "generation seed")
+		rounds     = fs.Int("rounds", 5, "number of task rounds")
+		policies   = fs.String("policies", "dynamic,exclude,fixed", "comma-separated policies")
+		threshold  = fs.Float64("threshold", 0.5, "exclusion threshold on malice probability")
+		amount     = fs.Float64("amount", 1, "fixed-payment amount")
+		perClass   = fs.Int("perclass", 200, "max agents sampled per class")
+		engineName = fs.String("engine", "seq", "simulation engine: seq (sequential) or actor (message-passing)")
+		cacheStats = fs.Bool("cachestats", false, "report design-cache hits/misses per policy (seq engine only)")
+		noCache    = fs.Bool("nocache", false, "disable the cross-round design cache (seq engine only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,9 +87,18 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown policy %q (want dynamic, exclude, or fixed)", name)
 		}
 		var ledger []platform.Round
-		switch *engine {
+		var cache *engine.Cache
+		switch *engineName {
 		case "seq":
-			ledger, err = platform.Simulate(ctx, pop, pol, *rounds, platform.Options{})
+			// The sequential path runs on internal/engine with a per-policy
+			// design cache: agents sharing an archetype share one design,
+			// and static rounds after the first cost zero design calls.
+			cfg := engine.Config{Policy: pol, Rounds: *rounds}
+			if !*noCache {
+				cache = engine.NewCache()
+				cfg.Cache = cache
+			}
+			ledger, err = engine.RunLedger(ctx, pop, cfg)
 		case "actor":
 			var eng *actor.Engine
 			eng, err = actor.NewEngine(pop, pol)
@@ -93,7 +106,7 @@ func run(args []string, out io.Writer) error {
 				ledger, err = eng.Run(ctx, *rounds)
 			}
 		default:
-			return fmt.Errorf("unknown engine %q (want seq or actor)", *engine)
+			return fmt.Errorf("unknown engine %q (want seq or actor)", *engineName)
 		}
 		if err != nil {
 			return fmt.Errorf("simulate %s: %w", pol.Name(), err)
@@ -109,7 +122,13 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  round %d: benefit=%10.2f cost=%10.2f utility=%10.2f excluded=%d\n",
 				r.Index, r.Benefit, r.Cost, r.Utility, excluded)
 		}
-		fmt.Fprintf(out, "  total utility over %d rounds: %.2f\n\n", *rounds, platform.TotalUtility(ledger))
+		fmt.Fprintf(out, "  total utility over %d rounds: %.2f\n", *rounds, platform.TotalUtility(ledger))
+		if *cacheStats && cache != nil {
+			s := cache.Stats()
+			fmt.Fprintf(out, "  design cache: %d hits, %d misses (%d distinct designs held)\n",
+				s.Hits, s.Misses, s.Entries)
+		}
+		fmt.Fprintln(out)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"dyncontract/internal/contract"
+	"dyncontract/internal/engine"
 	"dyncontract/internal/experiments"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/synth"
@@ -69,7 +70,10 @@ func main() {
 		}
 	}
 
-	run := func(pol platform.Policy) []platform.Round {
+	// The engine's design cache composes with drift: the drifted workers'
+	// weights change every round (fresh fingerprints, honest misses) while
+	// the stable majority's designs are reused round after round.
+	run := func(pol platform.Policy) ([]platform.Round, engine.CacheStats) {
 		pop, err := pipe.BuildPopulation(params, 120)
 		if err != nil {
 			log.Fatalf("population: %v", err)
@@ -78,17 +82,21 @@ func main() {
 		for _, a := range pop.Agents[:4] {
 			turned = append(turned, a.ID)
 		}
-		ledger, err := platform.Simulate(context.Background(), pop, pol, rounds, platform.Options{
-			Drift: drift(turned),
+		cache := engine.NewCache()
+		ledger, err := engine.RunLedger(context.Background(), pop, engine.Config{
+			Policy: pol,
+			Rounds: rounds,
+			Drift:  drift(turned),
+			Cache:  cache,
 		})
 		if err != nil {
 			log.Fatalf("simulate %s: %v", pol.Name(), err)
 		}
-		return ledger
+		return ledger, cache.Stats()
 	}
 
-	dynamic := run(&platform.DynamicPolicy{})
-	frozen := run(&frozenPolicy{inner: &platform.DynamicPolicy{}})
+	dynamic, stats := run(&platform.DynamicPolicy{})
+	frozen, _ := run(&frozenPolicy{inner: &platform.DynamicPolicy{}})
 
 	fmt.Println("four workers drift malicious from round 1 onward")
 	fmt.Println("\nround  dynamic-utility  frozen-utility  (dynamic reprices, frozen overpays)")
@@ -97,6 +105,8 @@ func main() {
 	}
 	fmt.Printf("\ntotals: dynamic %.2f vs frozen %.2f\n",
 		platform.TotalUtility(dynamic), platform.TotalUtility(frozen))
+	fmt.Printf("dynamic policy design cache: %d hits, %d misses over %d rounds\n",
+		stats.Hits, stats.Misses, rounds)
 
 	// Show the repricing on one drifted worker (populations are built
 	// deterministically, so the first agent is the same in both runs).

@@ -18,6 +18,7 @@ import (
 	"log"
 
 	"dyncontract/internal/baseline"
+	"dyncontract/internal/engine"
 	"dyncontract/internal/experiments"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/synth"
@@ -50,17 +51,25 @@ func main() {
 	}
 	fmt.Printf("\nsimulating %d agents over 4 rounds...\n", len(pop.Agents))
 
+	// Stage 6: run the marketplace on the engine. Each policy gets its own
+	// design cache: workers fitted per class share effort functions, so a
+	// whole class dedups to a handful of core.Design calls, and rounds
+	// after the first are design-free.
 	ctx := context.Background()
 	for _, pol := range []platform.Policy{
 		&platform.DynamicPolicy{},
 		&baseline.ExcludeMalicious{Threshold: 0.5},
 	} {
-		ledger, err := platform.Simulate(ctx, pop, pol, 4, platform.Options{})
+		cache := engine.NewCache()
+		ledger, err := engine.RunLedger(ctx, pop, engine.Config{Policy: pol, Rounds: 4, Cache: cache})
 		if err != nil {
 			log.Fatalf("simulate %s: %v", pol.Name(), err)
 		}
 		total := platform.TotalUtility(ledger)
 		fmt.Printf("\npolicy %-25s total utility %10.2f\n", pol.Name(), total)
+		s := cache.Stats()
+		fmt.Printf("  design cache: %d hits, %d misses over 4 rounds (%d distinct contracts)\n",
+			s.Hits, s.Misses, s.Entries)
 
 		// Who earned what, by class, in the last round?
 		perClass := map[worker.Class][]float64{}

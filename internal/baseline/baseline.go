@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"dyncontract/internal/contract"
+	"dyncontract/internal/engine"
 	"dyncontract/internal/platform"
 )
 
@@ -27,14 +28,25 @@ type ExcludeMalicious struct {
 	Threshold float64
 	// Parallelism caps the inner solver pool; 0 means GOMAXPROCS.
 	Parallelism int
+
+	// inner persists across rounds so the engine's design dedup, scratch
+	// buffers, and any attached cache carry over.
+	inner platform.DynamicPolicy
 }
 
-var _ platform.Policy = (*ExcludeMalicious)(nil)
+var (
+	_ platform.Policy  = (*ExcludeMalicious)(nil)
+	_ engine.CacheUser = (*ExcludeMalicious)(nil)
+)
 
 // Name implements platform.Policy.
 func (p *ExcludeMalicious) Name() string {
 	return fmt.Sprintf("exclude-malicious(>%.2f)", p.Threshold)
 }
+
+// UseCache implements engine.CacheUser by forwarding the design cache to
+// the inner dynamic policy.
+func (p *ExcludeMalicious) UseCache(c *engine.Cache) { p.inner.UseCache(c) }
 
 // Contracts implements platform.Policy: nil contracts for excluded agents,
 // dynamic contracts for the rest.
@@ -53,8 +65,8 @@ func (p *ExcludeMalicious) Contracts(ctx context.Context, pop *platform.Populati
 	}
 	contracts := make(map[string]*contract.PiecewiseLinear, len(pop.Agents))
 	if len(kept.Agents) > 0 {
-		inner := platform.DynamicPolicy{Parallelism: p.Parallelism}
-		designed, err := inner.Contracts(ctx, kept)
+		p.inner.Parallelism = p.Parallelism
+		designed, err := p.inner.Contracts(ctx, kept)
 		if err != nil {
 			return nil, fmt.Errorf("baseline: inner dynamic design: %w", err)
 		}

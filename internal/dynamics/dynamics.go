@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"dyncontract/internal/engine"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/reputation"
 )
@@ -92,6 +93,12 @@ type Result struct {
 // Run iterates the closed loop on the population until the weights stop
 // moving or MaxRounds is reached. The population's weights and malice
 // probabilities are updated in place, exactly as a live deployment would.
+//
+// The loop runs on internal/engine with a streaming observer: each
+// completed round feeds the tracker and refreshes the beliefs before the
+// next round's contracts are designed, and no ledger accumulates. A design
+// cache is attached, so once the weights settle near the fixed point the
+// per-round contract designs dedup to (nearly) zero core.Design calls.
 func Run(ctx context.Context, pop *platform.Population, pol platform.Policy, tracker *reputation.Tracker, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -99,50 +106,53 @@ func Run(ctx context.Context, pop *platform.Population, pol platform.Policy, tra
 	if tracker == nil {
 		return nil, fmt.Errorf("nil tracker: %w", ErrBadRun)
 	}
-	if err := pop.Validate(); err != nil {
-		return nil, err
-	}
 	observe := cfg.Observe
 	if observe == nil {
 		observe = HonestObservations(0.3)
 	}
 
 	res := &Result{ConvergedAt: -1, FinalWeights: make(map[string]float64)}
-	for r := 0; r < cfg.MaxRounds; r++ {
-		var lastRound platform.Round
-		opts := platform.Options{
-			Observer: func(round platform.Round) { lastRound = round },
-		}
-		ledger, err := platform.Simulate(ctx, pop, pol, 1, opts)
-		if err != nil {
-			return nil, fmt.Errorf("dynamics: round %d: %w", r, err)
-		}
-		res.Utilities = append(res.Utilities, ledger[0].Utility)
-
-		if err := tracker.Observe(observe(lastRound)); err != nil {
-			return nil, fmt.Errorf("dynamics: observe round %d: %w", r, err)
-		}
-
-		// Belief refresh; track the largest movement.
-		delta := 0.0
-		for _, a := range pop.Agents {
-			w, err := tracker.Weight(a.ID)
-			if err != nil {
-				return nil, fmt.Errorf("dynamics: weight for %s: %w", a.ID, err)
+	hooks := engine.Hooks{
+		RoundEnd: func(round platform.Round) error {
+			r := round.Index
+			res.Utilities = append(res.Utilities, round.Utility)
+			if err := tracker.Observe(observe(round)); err != nil {
+				return fmt.Errorf("dynamics: observe round %d: %w", r, err)
 			}
-			if d := math.Abs(w - pop.Weights[a.ID]); d > delta {
-				delta = d
+			// Belief refresh; track the largest movement.
+			delta := 0.0
+			for _, a := range pop.Agents {
+				w, err := tracker.Weight(a.ID)
+				if err != nil {
+					return fmt.Errorf("dynamics: weight for %s: %w", a.ID, err)
+				}
+				if d := math.Abs(w - pop.Weights[a.ID]); d > delta {
+					delta = d
+				}
+				pop.Weights[a.ID] = w
+				pop.MaliceProb[a.ID] = tracker.MaliceProb(a.ID)
 			}
-			pop.Weights[a.ID] = w
-			pop.MaliceProb[a.ID] = tracker.MaliceProb(a.ID)
-		}
-		res.WeightDeltas = append(res.WeightDeltas, delta)
-		res.Rounds = r + 1
-		if delta < cfg.Tol {
-			res.Converged = true
-			res.ConvergedAt = r
-			break
-		}
+			res.WeightDeltas = append(res.WeightDeltas, delta)
+			res.Rounds = r + 1
+			if delta < cfg.Tol {
+				res.Converged = true
+				res.ConvergedAt = r
+				return engine.ErrStop
+			}
+			return nil
+		},
+	}
+	eng, err := engine.New(pop, engine.Config{
+		Policy:    pol,
+		Rounds:    cfg.MaxRounds,
+		Observers: []engine.Observer{hooks},
+		Cache:     engine.NewCache(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(ctx); err != nil {
+		return nil, err
 	}
 	for id, w := range pop.Weights {
 		res.FinalWeights[id] = w

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dyncontract/internal/core"
+	"dyncontract/internal/worker"
+)
+
+// Fingerprint identifies a contract-design problem up to equality of its
+// inputs: everything core.Design reads from the agent and the config. Two
+// agents with equal fingerprints receive the same designed contract, so
+// populations drawn from a handful of archetypes collapse to a handful of
+// core.Design calls per round.
+//
+// Size is deliberately absent: the community size never enters the design
+// (a community's ψ already aggregates its members' effort), so communities
+// of different sizes sharing parameters still share a contract.
+type Fingerprint struct {
+	// Class is the behavioural class (it constrains ω in validation).
+	Class worker.Class
+	// R2, R1, R0 are the agent's ψ coefficients.
+	R2, R1, R0 float64
+	// Beta, Omega, Reservation are the agent's utility parameters.
+	Beta, Omega, Reservation float64
+	// M, Delta describe the effort partition.
+	M int
+	// Delta is the partition's interval width δ.
+	Delta float64
+	// Mu, W are the requester-side weights of the design config.
+	Mu, W float64
+}
+
+// FingerprintOf computes the design fingerprint of one decomposed
+// subproblem.
+func FingerprintOf(a *worker.Agent, cfg core.Config) Fingerprint {
+	return Fingerprint{
+		Class:       a.Class,
+		R2:          a.Psi.R2,
+		R1:          a.Psi.R1,
+		R0:          a.Psi.R0,
+		Beta:        a.Beta,
+		Omega:       a.Omega,
+		Reservation: a.Reservation,
+		M:           cfg.Part.M,
+		Delta:       cfg.Part.Delta,
+		Mu:          cfg.Mu,
+		W:           cfg.W,
+	}
+}
+
+// CacheStats is a snapshot of a cache's counters.
+type CacheStats struct {
+	// Hits counts fingerprint lookups served from the cache — each one a
+	// core.Design call that did not happen.
+	Hits uint64
+	// Misses counts lookups that required a fresh core.Design call.
+	Misses uint64
+	// Entries is the number of distinct fingerprints currently held.
+	Entries int
+}
+
+// defaultCacheCap bounds the entry map: weight drift mints a new
+// fingerprint per (agent, weight) pair, so a long adaptive run would grow
+// without bound. Crossing the cap flushes the whole map (the next round
+// repopulates the live fingerprints); counters are preserved.
+const defaultCacheCap = 1 << 16
+
+// Cache is a deduplicating design cache keyed by Fingerprint. It is safe
+// for concurrent use; the zero value is ready to use.
+//
+// Correctness is automatic: every input core.Design reads is part of the
+// key, so mutating an agent or shifting a weight simply misses and
+// redesigns. Invalidate exists for explicit control over memory and for
+// callers that want a cold start (benchmark baselines, A/B comparisons).
+type Cache struct {
+	// MaxEntries caps the map; 0 means the package default (65536).
+	MaxEntries int
+
+	mu      sync.RWMutex
+	entries map[Fingerprint]*core.Result
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewCache returns an empty cache with the default size cap.
+func NewCache() *Cache { return &Cache{} }
+
+// Get looks up a fingerprint, counting a hit or a miss.
+func (c *Cache) Get(fp Fingerprint) (*core.Result, bool) {
+	c.mu.RLock()
+	res, ok := c.entries[fp]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return res, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a design result under its fingerprint, flushing the map first
+// if it would exceed the cap.
+func (c *Cache) Put(fp Fingerprint, res *core.Result) {
+	if res == nil {
+		return
+	}
+	max := c.MaxEntries
+	if max <= 0 {
+		max = defaultCacheCap
+	}
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[Fingerprint]*core.Result)
+	} else if len(c.entries) >= max {
+		c.entries = make(map[Fingerprint]*core.Result)
+	}
+	c.entries[fp] = res
+	c.mu.Unlock()
+}
+
+// Invalidate drops every cached design. Call it when beliefs shift through
+// state the fingerprint cannot see (there is none today — weights, ψ, and
+// cost parameters are all keyed) or to force a cold redesign. Counters are
+// preserved.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	c.entries = nil
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the hit/miss counters and current size.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

@@ -1,0 +1,166 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"dyncontract/internal/core"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/engine"
+	"dyncontract/internal/worker"
+)
+
+// TestCacheDedupAcrossRounds is the acceptance check for the design cache:
+// on a population drawn from three archetypes, a cold engine round performs
+// exactly as many core.Design calls as there are distinct fingerprints
+// (three — the Designer only solves on a cache miss, so Misses counts
+// Design calls), and warm rounds perform zero.
+func TestCacheDedupAcrossRounds(t *testing.T) {
+	pop := archetypePopulation(t, 30)
+	cache := engine.NewCache()
+	ctx := context.Background()
+
+	eng, err := engine.New(pop, engine.Config{Policy: &designPolicy{}, Rounds: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.CacheStats()
+	if cold.Misses != 3 {
+		t.Errorf("cold round Design calls (misses) = %d, want 3 (= distinct fingerprints)", cold.Misses)
+	}
+	if cold.Hits != 0 {
+		t.Errorf("cold round hits = %d, want 0", cold.Hits)
+	}
+	if cold.Entries != 3 {
+		t.Errorf("entries after cold round = %d, want 3", cold.Entries)
+	}
+
+	// Two warm rounds on the same cache: every distinct fingerprint hits,
+	// nothing is redesigned.
+	eng2, err := engine.New(pop, engine.Config{Policy: &designPolicy{}, Rounds: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	warm := cache.Stats()
+	if warm.Misses != cold.Misses {
+		t.Errorf("warm rounds added %d Design calls, want 0", warm.Misses-cold.Misses)
+	}
+	if want := uint64(2 * 3); warm.Hits != want {
+		t.Errorf("warm hits = %d, want %d (distinct fingerprints × rounds)", warm.Hits, want)
+	}
+}
+
+// TestWithinRoundDedup pins the unconditional round-level sharing: agents
+// with equal fingerprints receive the same designed contract (pointer
+// equality — one core.Design call served them all), even with no cache.
+func TestWithinRoundDedup(t *testing.T) {
+	pop := archetypePopulation(t, 30)
+	pol := &designPolicy{}
+	contracts, err := pol.Contracts(context.Background(), pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(contracts) != 30 {
+		t.Fatalf("contracts = %d, want 30", len(contracts))
+	}
+	distinct := make(map[interface{}]bool)
+	for _, c := range contracts {
+		distinct[c] = true
+	}
+	if len(distinct) != 3 {
+		t.Errorf("distinct contract objects = %d, want 3 (one per archetype)", len(distinct))
+	}
+}
+
+func TestFingerprintOf(t *testing.T) {
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := effort.NewPartition(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Part: part, Mu: 1, W: 1}
+	a1, err := worker.NewHonest("a1", psi, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := worker.NewHonest("a2", psi, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.FingerprintOf(a1, cfg) != engine.FingerprintOf(a2, cfg) {
+		t.Error("identical design problems produced different fingerprints (ID must not enter the key)")
+	}
+	heavier := cfg
+	heavier.W = 2
+	if engine.FingerprintOf(a1, cfg) == engine.FingerprintOf(a1, heavier) {
+		t.Error("weight change did not change the fingerprint")
+	}
+	comm3, err := worker.NewCommunity("c3", psi, 1, 0.5, 3, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm9, err := worker.NewCommunity("c9", psi, 1, 0.5, 9, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engine.FingerprintOf(comm3, cfg) != engine.FingerprintOf(comm9, cfg) {
+		t.Error("community size entered the fingerprint (the design never reads it)")
+	}
+}
+
+func TestCacheZeroValueAndInvalidate(t *testing.T) {
+	var c engine.Cache // zero value must be usable
+	fp := engine.Fingerprint{Class: worker.Honest, W: 1}
+	if _, ok := c.Get(fp); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	res := &core.Result{}
+	c.Put(fp, res)
+	got, ok := c.Get(fp)
+	if !ok || got != res {
+		t.Fatal("Put/Get roundtrip failed")
+	}
+	c.Put(fp, nil) // nil results are not cacheable
+	if got, _ := c.Get(fp); got != res {
+		t.Error("Put(nil) clobbered a cached design")
+	}
+
+	before := c.Stats()
+	c.Invalidate()
+	after := c.Stats()
+	if after.Entries != 0 {
+		t.Errorf("entries after Invalidate = %d, want 0", after.Entries)
+	}
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Error("Invalidate reset the counters; they must be preserved")
+	}
+	if _, ok := c.Get(fp); ok {
+		t.Error("invalidated cache still serves designs")
+	}
+}
+
+func TestCacheMaxEntriesFlush(t *testing.T) {
+	c := engine.Cache{MaxEntries: 2}
+	res := &core.Result{}
+	c.Put(engine.Fingerprint{W: 1}, res)
+	c.Put(engine.Fingerprint{W: 2}, res)
+	if got := c.Stats().Entries; got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	c.Put(engine.Fingerprint{W: 3}, res) // crossing the cap flushes first
+	if got := c.Stats().Entries; got != 1 {
+		t.Errorf("entries after overflow = %d, want 1 (flush-then-insert)", got)
+	}
+	if _, ok := c.Get(engine.Fingerprint{W: 3}); !ok {
+		t.Error("the entry that triggered the flush was lost")
+	}
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/core"
+	"dyncontract/internal/solver"
+	"dyncontract/internal/worker"
+)
+
+// Designer turns a set of agents into per-agent contracts through the
+// deduplicating cache and the parallel solver fan-out.
+//
+// Within one call, agents sharing a fingerprint are designed once (the
+// round-level dedup is unconditional — it is pure, deterministic sharing).
+// With a Cache attached, distinct fingerprints that were designed in a
+// previous round cost nothing. Scratch buffers for the solver fan-out are
+// retained across calls, so a long-running loop stops allocating
+// per-round.
+//
+// The zero value is ready to use. A Designer is safe for concurrent use,
+// but calls are serialized; share a Cache, not a Designer, when fanning
+// out whole simulations.
+type Designer struct {
+	// Parallelism caps the solver pool; 0 means GOMAXPROCS.
+	Parallelism int
+	// Cache, when non-nil, carries designs across rounds.
+	Cache *Cache
+
+	mu   sync.Mutex
+	subs []solver.Subproblem
+	fps  []Fingerprint
+	outs []solver.Outcome
+}
+
+// Contracts designs one contract per agent, deduplicating by fingerprint.
+// Agents not in the population's weight map design with w = 0 (matching
+// the zero-value semantics of map lookups used throughout).
+func (d *Designer) Contracts(ctx context.Context, pop *Population, agents []*worker.Agent) (map[string]*contract.PiecewiseLinear, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	results := make(map[Fingerprint]*core.Result, 8)
+	d.subs = d.subs[:0]
+	d.fps = d.fps[:0]
+	for _, a := range agents {
+		cfg := core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]}
+		fp := FingerprintOf(a, cfg)
+		if _, seen := results[fp]; seen {
+			continue
+		}
+		if d.Cache != nil {
+			if res, ok := d.Cache.Get(fp); ok {
+				results[fp] = res
+				continue
+			}
+		}
+		results[fp] = nil // pending: solved below
+		d.subs = append(d.subs, solver.Subproblem{Agent: a, Config: cfg})
+		d.fps = append(d.fps, fp)
+	}
+
+	if len(d.subs) > 0 {
+		if cap(d.outs) < len(d.subs) {
+			d.outs = make([]solver.Outcome, len(d.subs))
+		}
+		d.outs = d.outs[:len(d.subs)]
+		if err := solver.SolveAllInto(ctx, d.subs, d.outs, solver.Options{Parallelism: d.Parallelism}); err != nil {
+			return nil, err
+		}
+		for i := range d.subs {
+			results[d.fps[i]] = d.outs[i].Result
+			if d.Cache != nil {
+				d.Cache.Put(d.fps[i], d.outs[i].Result)
+			}
+		}
+	}
+
+	contracts := make(map[string]*contract.PiecewiseLinear, len(agents))
+	for _, a := range agents {
+		cfg := core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]}
+		res := results[FingerprintOf(a, cfg)]
+		if res == nil {
+			return nil, fmt.Errorf("engine: no design produced for agent %s", a.ID)
+		}
+		contracts[a.ID] = res.Contract
+	}
+	return contracts, nil
+}

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+// ErrStop is returned by an Observer's OnRoundEnd to halt the run cleanly
+// (Engine.Run returns nil). Any other observer error aborts the run and is
+// returned verbatim.
+var ErrStop = errors.New("engine: stop requested")
+
+// ErrBadConfig is returned when an engine configuration fails validation.
+var ErrBadConfig = errors.New("engine: invalid configuration")
+
+// Observer receives streamed per-round events. Implementations that only
+// care about a subset should embed Hooks or leave methods empty; events
+// fire in order OnContracts → OnOutcome (per agent, by ID) → OnRoundEnd.
+//
+// Observers let callers stream instead of accumulating ledgers: a
+// million-round run with a streaming observer holds one Round in memory.
+type Observer interface {
+	// OnContracts fires after the policy posts the round's contracts. The
+	// map is the engine's working copy — treat it as read-only.
+	OnContracts(round int, contracts map[string]*contract.PiecewiseLinear)
+	// OnOutcome fires once per agent, in agent-ID order.
+	OnOutcome(round int, oc AgentOutcome)
+	// OnRoundEnd fires with the completed round. Returning ErrStop ends
+	// the run cleanly; any other error aborts it.
+	OnRoundEnd(round Round) error
+}
+
+// Hooks adapts optional funcs into an Observer; nil funcs are skipped.
+type Hooks struct {
+	Contracts func(round int, contracts map[string]*contract.PiecewiseLinear)
+	Outcome   func(round int, oc AgentOutcome)
+	RoundEnd  func(round Round) error
+}
+
+var _ Observer = Hooks{}
+
+// OnContracts implements Observer.
+func (h Hooks) OnContracts(round int, contracts map[string]*contract.PiecewiseLinear) {
+	if h.Contracts != nil {
+		h.Contracts(round, contracts)
+	}
+}
+
+// OnOutcome implements Observer.
+func (h Hooks) OnOutcome(round int, oc AgentOutcome) {
+	if h.Outcome != nil {
+		h.Outcome(round, oc)
+	}
+}
+
+// OnRoundEnd implements Observer.
+func (h Hooks) OnRoundEnd(round Round) error {
+	if h.RoundEnd != nil {
+		return h.RoundEnd(round)
+	}
+	return nil
+}
+
+// Ledger is the accumulating Observer: it collects every completed round,
+// reproducing the []Round return of the pre-engine simulators.
+type Ledger struct {
+	Rounds []Round
+}
+
+var _ Observer = (*Ledger)(nil)
+
+// OnContracts implements Observer.
+func (l *Ledger) OnContracts(int, map[string]*contract.PiecewiseLinear) {}
+
+// OnOutcome implements Observer.
+func (l *Ledger) OnOutcome(int, AgentOutcome) {}
+
+// OnRoundEnd implements Observer.
+func (l *Ledger) OnRoundEnd(round Round) error {
+	l.Rounds = append(l.Rounds, round)
+	return nil
+}
+
+// Total sums the requester's utility over the collected rounds.
+func (l *Ledger) Total() float64 { return TotalUtility(l.Rounds) }
+
+// Responder chooses an agent's effort for a round instead of the exact
+// myopic best response — the hook strategic adversaries plug into. The
+// returned effort is clamped to [0, min(mδ, apex)].
+type Responder func(round int, a *worker.Agent, c *contract.PiecewiseLinear, part effort.Partition) (float64, error)
+
+// Config assembles one engine run.
+type Config struct {
+	// Policy prices each round. Required.
+	Policy Policy
+	// Rounds is the number of rounds to run. Required (> 0); observers can
+	// end the run earlier through ErrStop.
+	Rounds int
+	// Drift, when non-nil, runs before each round and may mutate the
+	// population (behaviour drift, weight re-estimation, …).
+	Drift func(round int, pop *Population)
+	// Responder, when non-nil, overrides the exact best response.
+	Responder Responder
+	// Observers receive the streamed events of every round.
+	Observers []Observer
+	// Cache, when non-nil, is wired into the policy (if it implements
+	// CacheUser) and surfaced through Engine.CacheStats. Designs then
+	// dedup across rounds, not just within one.
+	Cache *Cache
+}
+
+// Engine drives the repeated Stackelberg round loop of §II over one
+// population: drift → contracts → best responses → accounting → observers.
+type Engine struct {
+	pop    *Population
+	cfg    Config
+	agents []*worker.Agent // sorted scratch, rebuilt per round
+}
+
+// New validates the population and configuration and wires the cache into
+// the policy when supported.
+func New(pop *Population, cfg Config) (*Engine, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("nil policy: %w", ErrBadConfig)
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("rounds=%d must be positive: %w", cfg.Rounds, ErrBadConfig)
+	}
+	if err := pop.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cache != nil {
+		if cu, ok := cfg.Policy.(CacheUser); ok {
+			cu.UseCache(cfg.Cache)
+		}
+	}
+	return &Engine{pop: pop, cfg: cfg}, nil
+}
+
+// CacheStats snapshots the configured cache's counters (zero when no cache
+// was configured).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cfg.Cache == nil {
+		return CacheStats{}
+	}
+	return e.cfg.Cache.Stats()
+}
+
+// Run executes the configured number of rounds, streaming events to the
+// observers. It returns nil on completion or clean ErrStop, and the first
+// error otherwise (context cancellation, policy/design failure, a drift
+// that broke the population, or an observer error).
+func (e *Engine) Run(ctx context.Context) error {
+	for r := 0; r < e.cfg.Rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("engine: round %d: %w", r, err)
+		}
+		if e.cfg.Drift != nil {
+			e.cfg.Drift(r, e.pop)
+			if err := e.pop.Validate(); err != nil {
+				return fmt.Errorf("engine: drift broke population at round %d: %w", r, err)
+			}
+		}
+		contracts, err := e.cfg.Policy.Contracts(ctx, e.pop)
+		if err != nil {
+			return fmt.Errorf("engine: policy %s round %d: %w", e.cfg.Policy.Name(), r, err)
+		}
+		for _, ob := range e.cfg.Observers {
+			ob.OnContracts(r, contracts)
+		}
+
+		round := Round{Index: r, Outcomes: make([]AgentOutcome, 0, len(e.pop.Agents))}
+		for _, a := range e.sortedAgents() {
+			oc := AgentOutcome{
+				AgentID: a.ID,
+				Class:   a.Class,
+				Size:    a.Size,
+				Weight:  e.pop.Weights[a.ID],
+			}
+			c := contracts[a.ID]
+			if c == nil {
+				oc.Excluded = true
+			} else {
+				if e.cfg.Responder != nil {
+					y, err := e.cfg.Responder(r, a, c, e.pop.Part)
+					if err != nil {
+						return fmt.Errorf("engine: responder for %s round %d: %w", a.ID, r, err)
+					}
+					y = clampEffort(y, a, e.pop.Part)
+					q := a.Psi.Eval(y)
+					oc.Effort = y
+					oc.Feedback = q
+					oc.Compensation = c.Eval(q)
+				} else {
+					resp, err := a.BestResponse(c, e.pop.Part)
+					if err != nil {
+						return fmt.Errorf("engine: agent %s round %d: %w", a.ID, r, err)
+					}
+					if resp.Declined {
+						oc.Declined = true
+					} else {
+						oc.Effort = resp.Effort
+						oc.Feedback = resp.Feedback
+						oc.Compensation = resp.Compensation
+					}
+				}
+				if !oc.Declined {
+					round.Benefit += oc.Weight * oc.Feedback
+					round.Cost += oc.Compensation
+				}
+			}
+			for _, ob := range e.cfg.Observers {
+				ob.OnOutcome(r, oc)
+			}
+			round.Outcomes = append(round.Outcomes, oc)
+		}
+		round.Utility = round.Benefit - e.pop.Mu*round.Cost
+
+		for _, ob := range e.cfg.Observers {
+			if err := ob.OnRoundEnd(round); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortedAgents rebuilds the ID-ordered agent view. The backing slice is
+// reused across rounds (drift may add, remove, or reorder agents, so the
+// view cannot be computed once).
+func (e *Engine) sortedAgents() []*worker.Agent {
+	e.agents = append(e.agents[:0], e.pop.Agents...)
+	sort.Slice(e.agents, func(i, j int) bool { return e.agents[i].ID < e.agents[j].ID })
+	return e.agents
+}
+
+// RunLedger runs a configured engine to completion and returns the
+// accumulated per-round ledger — the convenience path for callers that
+// want the classic []Round result. On error the rounds completed so far
+// are returned alongside it.
+func RunLedger(ctx context.Context, pop *Population, cfg Config) ([]Round, error) {
+	led := &Ledger{Rounds: make([]Round, 0, cfg.Rounds)}
+	cfg.Observers = append(append([]Observer(nil), cfg.Observers...), led)
+	e, err := New(pop, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Run(ctx); err != nil {
+		return led.Rounds, err
+	}
+	return led.Rounds, nil
+}

@@ -1,0 +1,158 @@
+// Package engine is the single round-loop behind every marketplace
+// simulation in this repository. The paper's decomposition result (§IV-B)
+// makes contract design separate per worker/community, and real
+// populations are drawn from a handful of behavioural archetypes — so the
+// engine pairs the loop with a deduplicating design cache: agents sharing
+// a design fingerprint (class, ψ, β, ω, reservation, partition, μ, w) cost
+// one core.Design call per round, and an unchanged fingerprint across
+// rounds costs zero.
+//
+// Layering (see DESIGN.md "Engine architecture"):
+//
+//	loop (Engine.Run) → policy (Policy / Designer) → cache (Cache) → solver fan-out
+//
+// internal/platform.Simulate and internal/dynamics.Run are thin adapters
+// over this package; callers that want streaming instead of accumulated
+// ledgers attach Observers.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/worker"
+)
+
+// ErrBadPopulation is returned when a population fails validation.
+var ErrBadPopulation = errors.New("engine: invalid population")
+
+// Population is the fixed cast of a simulation: the agents, the requester's
+// per-agent feedback weights, malice estimates, and the market parameters.
+type Population struct {
+	// Agents are individual workers plus one meta-agent per collusive
+	// community.
+	Agents []*worker.Agent
+	// Weights maps agent ID to the requester's feedback weight w_i
+	// (Eq. (5), already evaluated).
+	Weights map[string]float64
+	// MaliceProb maps agent ID to the estimated malice probability
+	// e_i^mal; policies that exclude workers threshold on it.
+	MaliceProb map[string]float64
+	// Part is the effort-axis partition contracts are designed on.
+	Part effort.Partition
+	// Mu is the requester's compensation weight μ.
+	Mu float64
+}
+
+// Validate checks internal consistency.
+func (p *Population) Validate() error {
+	if len(p.Agents) == 0 {
+		return fmt.Errorf("no agents: %w", ErrBadPopulation)
+	}
+	if !(p.Mu > 0) || math.IsInf(p.Mu, 0) {
+		return fmt.Errorf("mu=%v: %w", p.Mu, ErrBadPopulation)
+	}
+	seen := make(map[string]bool, len(p.Agents))
+	for _, a := range p.Agents {
+		if a == nil {
+			return fmt.Errorf("nil agent: %w", ErrBadPopulation)
+		}
+		if seen[a.ID] {
+			return fmt.Errorf("duplicate agent %q: %w", a.ID, ErrBadPopulation)
+		}
+		seen[a.ID] = true
+		if err := a.Validate(p.Part.YMax()); err != nil {
+			return err
+		}
+		if _, ok := p.Weights[a.ID]; !ok {
+			return fmt.Errorf("agent %q has no weight: %w", a.ID, ErrBadPopulation)
+		}
+	}
+	return nil
+}
+
+// Policy produces one round's contracts. A nil contract for an agent means
+// the agent is excluded this round: no payment, and its feedback is not
+// counted in the requester's benefit.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Contracts returns the per-agent contract map for the coming round.
+	Contracts(ctx context.Context, pop *Population) (map[string]*contract.PiecewiseLinear, error)
+}
+
+// CacheUser is implemented by policies that can route their contract
+// design through a shared Cache. Engine wires Config.Cache into the policy
+// at construction when the policy implements it.
+type CacheUser interface {
+	UseCache(*Cache)
+}
+
+// AgentOutcome is one agent's realized round outcome.
+type AgentOutcome struct {
+	// AgentID identifies the agent.
+	AgentID string
+	// Class is the agent's behavioural class.
+	Class worker.Class
+	// Size is 1 for individuals, the member count for communities.
+	Size int
+	// Excluded reports that the policy offered no contract.
+	Excluded bool
+	// Declined reports that the worker rejected the offered contract
+	// (best achievable utility below the reservation).
+	Declined bool
+	// Effort, Feedback, Compensation are the agent's best response; zero
+	// when excluded.
+	Effort, Feedback, Compensation float64
+	// Weight is the requester's w_i applied to the feedback.
+	Weight float64
+}
+
+// Round aggregates one simulated round.
+type Round struct {
+	// Index is the 0-based round number.
+	Index int
+	// Outcomes lists per-agent results, ordered by agent ID.
+	Outcomes []AgentOutcome
+	// Benefit is Σ w_i·q_i over included agents.
+	Benefit float64
+	// Cost is Σ c_i over included agents.
+	Cost float64
+	// Utility is Benefit − μ·Cost (Eq. (7)).
+	Utility float64
+}
+
+// TotalUtility sums the requester's utility over a ledger. A nil or empty
+// ledger totals 0, and non-finite round utilities (NaN/±Inf, e.g. from a
+// poisoned observer-fed ledger) are skipped so one bad round cannot turn
+// the campaign total into NaN.
+func TotalUtility(ledger []Round) float64 {
+	var total float64
+	for _, r := range ledger {
+		if math.IsNaN(r.Utility) || math.IsInf(r.Utility, 0) {
+			continue
+		}
+		total += r.Utility
+	}
+	return total
+}
+
+// clampEffort restricts a strategy-chosen effort to the feasible range
+// [0, min(mδ, apex of ψ)].
+func clampEffort(y float64, a *worker.Agent, part effort.Partition) float64 {
+	if y < 0 || math.IsNaN(y) {
+		return 0
+	}
+	cap := part.YMax()
+	if apex := a.Psi.Apex(); apex < cap {
+		cap = apex
+	}
+	if y > cap {
+		return cap
+	}
+	return y
+}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,8 @@ import (
 
 	"dyncontract/internal/cluster"
 	"dyncontract/internal/effort"
+	"dyncontract/internal/engine"
+	"dyncontract/internal/platform"
 	"dyncontract/internal/requester"
 	"dyncontract/internal/stats"
 	"dyncontract/internal/synth"
@@ -139,6 +142,21 @@ type Params struct {
 	M int
 	// Weight holds the Eq. (5) coefficients.
 	Weight requester.WeightParams
+	// NoDesignCache disables the engine's cross-round design cache in the
+	// simulation-driven experiments (fig8c, sensitivity, retention);
+	// results are identical either way — designs are deterministic — so
+	// this exists for A/B timing and debugging.
+	NoDesignCache bool
+}
+
+// runLedger simulates rounds through the engine, attaching a fresh design
+// cache unless the params disable it.
+func runLedger(ctx context.Context, pop *platform.Population, pol platform.Policy, rounds int, params Params) ([]platform.Round, error) {
+	cfg := engine.Config{Policy: pol, Rounds: rounds}
+	if !params.NoDesignCache {
+		cfg.Cache = engine.NewCache()
+	}
+	return engine.RunLedger(ctx, pop, cfg)
 }
 
 // DefaultParams returns the paper's setting.

@@ -42,7 +42,7 @@ func RunFig8c(p *Pipeline, params Params) (*Report, error) {
 	}
 	totals := make(map[string]float64, len(policies))
 	for _, pol := range policies {
-		ledger, err := platform.Simulate(ctx, pop, pol, fig8cRounds, platform.Options{})
+		ledger, err := runLedger(ctx, pop, pol, fig8cRounds, params)
 		if err != nil {
 			return nil, fmt.Errorf("fig8c: %s: %w", pol.Name(), err)
 		}

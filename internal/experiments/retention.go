@@ -44,7 +44,7 @@ func RunRetention(p *Pipeline, params Params) (*Report, error) {
 			&platform.DynamicPolicy{},
 			&baseline.FixedPayment{Amount: 1},
 		} {
-			ledger, err := platform.Simulate(ctx, pop, pol, 1, platform.Options{})
+			ledger, err := runLedger(ctx, pop, pol, 1, params)
 			if err != nil {
 				return nil, fmt.Errorf("retention u0=%v %s: %w", u0, pol.Name(), err)
 			}

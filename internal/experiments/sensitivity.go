@@ -55,11 +55,11 @@ func RunSensitivity(p *Pipeline, params Params) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sensitivity %s: %w", s.label, err)
 		}
-		dynLedger, err := platform.Simulate(ctx, pop, &platform.DynamicPolicy{}, sensitivityRounds, platform.Options{})
+		dynLedger, err := runLedger(ctx, pop, &platform.DynamicPolicy{}, sensitivityRounds, params)
 		if err != nil {
 			return nil, fmt.Errorf("sensitivity %s dynamic: %w", s.label, err)
 		}
-		exclLedger, err := platform.Simulate(ctx, pop, &baseline.ExcludeMalicious{Threshold: 0.5}, sensitivityRounds, platform.Options{})
+		exclLedger, err := runLedger(ctx, pop, &baseline.ExcludeMalicious{Threshold: 0.5}, sensitivityRounds, params)
 		if err != nil {
 			return nil, fmt.Errorf("sensitivity %s exclusion: %w", s.label, err)
 		}

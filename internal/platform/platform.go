@@ -4,116 +4,40 @@
 // with effort levels, feedback realizes, and the requester's utility
 // accrues round by round.
 //
-// Pricing strategies are pluggable through the Policy interface; the
-// paper's dynamic contract design is DynamicPolicy, and the comparison
-// baselines of Fig. 8(c) live in internal/baseline.
+// The round loop itself lives in internal/engine; this package is the
+// classic ledger-returning adapter over it, kept as the stable entry point
+// for examples, experiments, and tests. Pricing strategies are pluggable
+// through the Policy interface; the paper's dynamic contract design is
+// DynamicPolicy, and the comparison baselines of Fig. 8(c) live in
+// internal/baseline.
 package platform
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"math"
-	"sort"
 
 	"dyncontract/internal/contract"
-	"dyncontract/internal/core"
 	"dyncontract/internal/effort"
-	"dyncontract/internal/solver"
+	"dyncontract/internal/engine"
 	"dyncontract/internal/worker"
 )
 
 // ErrBadPopulation is returned when a population fails validation.
-var ErrBadPopulation = errors.New("platform: invalid population")
+var ErrBadPopulation = engine.ErrBadPopulation
 
-// Population is the fixed cast of a simulation: the agents, the requester's
-// per-agent feedback weights, malice estimates, and the market parameters.
-type Population struct {
-	// Agents are individual workers plus one meta-agent per collusive
-	// community.
-	Agents []*worker.Agent
-	// Weights maps agent ID to the requester's feedback weight w_i
-	// (Eq. (5), already evaluated).
-	Weights map[string]float64
-	// MaliceProb maps agent ID to the estimated malice probability
-	// e_i^mal; policies that exclude workers threshold on it.
-	MaliceProb map[string]float64
-	// Part is the effort-axis partition contracts are designed on.
-	Part effort.Partition
-	// Mu is the requester's compensation weight μ.
-	Mu float64
-}
-
-// Validate checks internal consistency.
-func (p *Population) Validate() error {
-	if len(p.Agents) == 0 {
-		return fmt.Errorf("no agents: %w", ErrBadPopulation)
-	}
-	if !(p.Mu > 0) || math.IsInf(p.Mu, 0) {
-		return fmt.Errorf("mu=%v: %w", p.Mu, ErrBadPopulation)
-	}
-	seen := make(map[string]bool, len(p.Agents))
-	for _, a := range p.Agents {
-		if a == nil {
-			return fmt.Errorf("nil agent: %w", ErrBadPopulation)
-		}
-		if seen[a.ID] {
-			return fmt.Errorf("duplicate agent %q: %w", a.ID, ErrBadPopulation)
-		}
-		seen[a.ID] = true
-		if err := a.Validate(p.Part.YMax()); err != nil {
-			return err
-		}
-		if _, ok := p.Weights[a.ID]; !ok {
-			return fmt.Errorf("agent %q has no weight: %w", a.ID, ErrBadPopulation)
-		}
-	}
-	return nil
-}
-
-// Policy produces one round's contracts. A nil contract for an agent means
-// the agent is excluded this round: no payment, and its feedback is not
-// counted in the requester's benefit.
-type Policy interface {
-	// Name identifies the policy in reports.
-	Name() string
-	// Contracts returns the per-agent contract map for the coming round.
-	Contracts(ctx context.Context, pop *Population) (map[string]*contract.PiecewiseLinear, error)
-}
-
-// AgentOutcome is one agent's realized round outcome.
-type AgentOutcome struct {
-	// AgentID identifies the agent.
-	AgentID string
-	// Class is the agent's behavioural class.
-	Class worker.Class
-	// Size is 1 for individuals, the member count for communities.
-	Size int
-	// Excluded reports that the policy offered no contract.
-	Excluded bool
-	// Declined reports that the worker rejected the offered contract
-	// (best achievable utility below the reservation).
-	Declined bool
-	// Effort, Feedback, Compensation are the agent's best response; zero
-	// when excluded.
-	Effort, Feedback, Compensation float64
-	// Weight is the requester's w_i applied to the feedback.
-	Weight float64
-}
-
-// Round aggregates one simulated round.
-type Round struct {
-	// Index is the 0-based round number.
-	Index int
-	// Outcomes lists per-agent results, ordered by agent ID.
-	Outcomes []AgentOutcome
-	// Benefit is Σ w_i·q_i over included agents.
-	Benefit float64
-	// Cost is Σ c_i over included agents.
-	Cost float64
-	// Utility is Benefit − μ·Cost (Eq. (7)).
-	Utility float64
-}
+// Core marketplace types are defined in internal/engine; the aliases keep
+// every existing caller (and the Policy implementations spread across
+// internal/baseline, internal/budget, internal/adversary, …) compiling
+// unchanged while the engine owns the loop.
+type (
+	// Population is the fixed cast of a simulation.
+	Population = engine.Population
+	// Policy produces one round's contracts.
+	Policy = engine.Policy
+	// AgentOutcome is one agent's realized round outcome.
+	AgentOutcome = engine.AgentOutcome
+	// Round aggregates one simulated round.
+	Round = engine.Round
+)
 
 // Options tunes the simulation.
 type Options struct {
@@ -131,136 +55,62 @@ type Options struct {
 }
 
 // Simulate runs the marketplace for the given number of rounds under the
-// policy and returns the per-round ledger.
+// policy and returns the per-round ledger. It is a thin adapter over
+// engine.RunLedger; callers that want streaming events, early stopping, or
+// an explicit design cache should use internal/engine directly.
 func Simulate(ctx context.Context, pop *Population, pol Policy, rounds int, opts Options) ([]Round, error) {
-	if rounds <= 0 {
-		return nil, fmt.Errorf("platform: rounds=%d must be positive", rounds)
+	cfg := engine.Config{
+		Policy:    pol,
+		Rounds:    rounds,
+		Drift:     opts.Drift,
+		Responder: engine.Responder(opts.Responder),
 	}
-	if err := pop.Validate(); err != nil {
-		return nil, err
+	if opts.Observer != nil {
+		observer := opts.Observer
+		cfg.Observers = []engine.Observer{engine.Hooks{
+			RoundEnd: func(round Round) error {
+				observer(round)
+				return nil
+			},
+		}}
 	}
-	ledger := make([]Round, 0, rounds)
-	for r := 0; r < rounds; r++ {
-		if err := ctx.Err(); err != nil {
-			return ledger, fmt.Errorf("platform: round %d: %w", r, err)
-		}
-		if opts.Drift != nil {
-			opts.Drift(r, pop)
-			if err := pop.Validate(); err != nil {
-				return ledger, fmt.Errorf("platform: drift broke population at round %d: %w", r, err)
-			}
-		}
-		contracts, err := pol.Contracts(ctx, pop)
-		if err != nil {
-			return ledger, fmt.Errorf("platform: policy %s round %d: %w", pol.Name(), r, err)
-		}
-		round := Round{Index: r}
-		agents := append([]*worker.Agent(nil), pop.Agents...)
-		sort.Slice(agents, func(i, j int) bool { return agents[i].ID < agents[j].ID })
-		for _, a := range agents {
-			oc := AgentOutcome{
-				AgentID: a.ID,
-				Class:   a.Class,
-				Size:    a.Size,
-				Weight:  pop.Weights[a.ID],
-			}
-			c := contracts[a.ID]
-			if c == nil {
-				oc.Excluded = true
-			} else {
-				if opts.Responder != nil {
-					y, err := opts.Responder(r, a, c, pop.Part)
-					if err != nil {
-						return ledger, fmt.Errorf("platform: responder for %s round %d: %w", a.ID, r, err)
-					}
-					y = clampEffort(y, a, pop.Part)
-					q := a.Psi.Eval(y)
-					oc.Effort = y
-					oc.Feedback = q
-					oc.Compensation = c.Eval(q)
-				} else {
-					resp, err := a.BestResponse(c, pop.Part)
-					if err != nil {
-						return ledger, fmt.Errorf("platform: agent %s round %d: %w", a.ID, r, err)
-					}
-					if resp.Declined {
-						oc.Declined = true
-					} else {
-						oc.Effort = resp.Effort
-						oc.Feedback = resp.Feedback
-						oc.Compensation = resp.Compensation
-					}
-				}
-				if !oc.Declined {
-					round.Benefit += oc.Weight * oc.Feedback
-					round.Cost += oc.Compensation
-				}
-			}
-			round.Outcomes = append(round.Outcomes, oc)
-		}
-		round.Utility = round.Benefit - pop.Mu*round.Cost
-		if opts.Observer != nil {
-			opts.Observer(round)
-		}
-		ledger = append(ledger, round)
-	}
-	return ledger, nil
+	return engine.RunLedger(ctx, pop, cfg)
 }
 
-// clampEffort restricts a strategy-chosen effort to the feasible range
-// [0, min(mδ, apex of ψ)].
-func clampEffort(y float64, a *worker.Agent, part effort.Partition) float64 {
-	if y < 0 || math.IsNaN(y) {
-		return 0
-	}
-	cap := part.YMax()
-	if apex := a.Psi.Apex(); apex < cap {
-		cap = apex
-	}
-	if y > cap {
-		return cap
-	}
-	return y
-}
-
-// TotalUtility sums the requester's utility over a ledger.
+// TotalUtility sums the requester's utility over a ledger. Nil and empty
+// ledgers total 0, and non-finite round utilities are skipped, so the
+// total is always NaN-free.
 func TotalUtility(ledger []Round) float64 {
-	var total float64
-	for _, r := range ledger {
-		total += r.Utility
-	}
-	return total
+	return engine.TotalUtility(ledger)
 }
 
 // DynamicPolicy is the paper's strategy: each round it designs a
 // near-optimal contract per agent with core.Design, solving the decomposed
-// subproblems in parallel.
+// subproblems in parallel. Agents sharing a design fingerprint share one
+// solve (engine.Designer), and attaching a cache (UseCache, or
+// engine.Config.Cache) makes repeated rounds on a stable population nearly
+// free.
 type DynamicPolicy struct {
 	// Parallelism caps the solver pool; 0 means GOMAXPROCS.
 	Parallelism int
+
+	designer engine.Designer
 }
 
-var _ Policy = (*DynamicPolicy)(nil)
+var (
+	_ Policy           = (*DynamicPolicy)(nil)
+	_ engine.CacheUser = (*DynamicPolicy)(nil)
+)
 
 // Name implements Policy.
 func (p *DynamicPolicy) Name() string { return "dynamic-contract" }
 
+// UseCache implements engine.CacheUser: subsequent rounds dedup designs
+// against the cache.
+func (p *DynamicPolicy) UseCache(c *engine.Cache) { p.designer.Cache = c }
+
 // Contracts implements Policy.
 func (p *DynamicPolicy) Contracts(ctx context.Context, pop *Population) (map[string]*contract.PiecewiseLinear, error) {
-	subs := make([]solver.Subproblem, len(pop.Agents))
-	for i, a := range pop.Agents {
-		subs[i] = solver.Subproblem{
-			Agent:  a,
-			Config: core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]},
-		}
-	}
-	outcomes, err := solver.SolveAll(ctx, subs, solver.Options{Parallelism: p.Parallelism})
-	if err != nil {
-		return nil, err
-	}
-	contracts := make(map[string]*contract.PiecewiseLinear, len(pop.Agents))
-	for i, o := range outcomes {
-		contracts[pop.Agents[i].ID] = o.Result.Contract
-	}
-	return contracts, nil
+	p.designer.Parallelism = p.Parallelism
+	return p.designer.Contracts(ctx, pop, pop.Agents)
 }

@@ -174,12 +174,29 @@ func TestSimulateDriftBreakingPopulationFails(t *testing.T) {
 }
 
 func TestTotalUtility(t *testing.T) {
-	ledger := []Round{{Utility: 2}, {Utility: 3.5}}
-	if got := TotalUtility(ledger); got != 5.5 {
-		t.Errorf("TotalUtility = %v, want 5.5", got)
+	tests := []struct {
+		name   string
+		ledger []Round
+		want   float64
+	}{
+		{"nil ledger", nil, 0},
+		{"empty ledger", []Round{}, 0},
+		{"sum", []Round{{Utility: 2}, {Utility: 3.5}}, 5.5},
+		{"negative rounds count", []Round{{Utility: 2}, {Utility: -5}}, -3},
+		{"NaN round skipped", []Round{{Utility: 1}, {Utility: math.NaN()}, {Utility: 2}}, 3},
+		{"Inf rounds skipped", []Round{{Utility: math.Inf(1)}, {Utility: math.Inf(-1)}, {Utility: 7}}, 7},
+		{"all poisoned", []Round{{Utility: math.NaN()}, {Utility: math.Inf(1)}}, 0},
 	}
-	if TotalUtility(nil) != 0 {
-		t.Error("TotalUtility(nil) != 0")
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := TotalUtility(tc.ledger)
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("TotalUtility = %v, must always be finite", got)
+			}
+			if got != tc.want {
+				t.Errorf("TotalUtility = %v, want %v", got, tc.want)
+			}
+		})
 	}
 }
 

@@ -56,10 +56,22 @@ var ErrCancelled = errors.New("solver: cancelled")
 // error cancels outstanding work and is returned; with it set, SolveAll
 // returns all outcomes and a nil error, leaving per-entry errors in place.
 func SolveAll(ctx context.Context, subs []Subproblem, opts Options) ([]Outcome, error) {
+	outcomes := make([]Outcome, len(subs))
+	err := SolveAllInto(ctx, subs, outcomes, opts)
+	return outcomes, err
+}
+
+// SolveAllInto is SolveAll writing into a caller-provided outcomes slice
+// (len(outcomes) must be at least len(subs)), so hot loops — the engine
+// solves every round — can reuse one buffer instead of allocating per
+// call. Entries are fully overwritten in input order.
+func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, opts Options) error {
 	n := len(subs)
-	outcomes := make([]Outcome, n)
+	if len(outcomes) < n {
+		return fmt.Errorf("solver: outcomes buffer %d shorter than %d subproblems", len(outcomes), n)
+	}
 	if n == 0 {
-		return outcomes, nil
+		return nil
 	}
 	parallelism := opts.Parallelism
 	if parallelism <= 0 {
@@ -114,12 +126,12 @@ feed:
 	wg.Wait()
 
 	if firstErr != nil {
-		return outcomes, firstErr
+		return firstErr
 	}
 	if err := ctx.Err(); err != nil && !opts.ContinueOnError {
-		return outcomes, fmt.Errorf("%w: %w", ErrCancelled, err)
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
-	return outcomes, nil
+	return nil
 }
 
 // Results extracts the successful results from outcomes, preserving order

@@ -167,3 +167,60 @@ func TestSolveAllManyMoreWorkersThanTasks(t *testing.T) {
 		t.Error("oversized pool lost results")
 	}
 }
+
+func TestSolveAllIntoMatchesSolveAll(t *testing.T) {
+	subs := solverFixture(t, 20)
+	ctx := context.Background()
+	want, err := SolveAll(ctx, subs, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oversized, poisoned buffer: every fed entry must be overwritten.
+	buf := make([]Outcome, 32)
+	for i := range buf {
+		buf[i] = Outcome{Index: -1, Err: errors.New("stale")}
+	}
+	if err := SolveAllInto(ctx, subs, buf, Options{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range subs {
+		got := buf[i]
+		if got.Index != i || got.Err != nil || got.Result == nil {
+			t.Fatalf("outcome %d = {Index:%d Err:%v Result:%v}", i, got.Index, got.Err, got.Result != nil)
+		}
+		if got.Result.Contract.Eval(1) != want[i].Result.Contract.Eval(1) {
+			t.Errorf("outcome %d diverges from SolveAll", i)
+		}
+	}
+	// The slack beyond len(subs) is untouched.
+	if buf[len(subs)].Index != -1 {
+		t.Error("buffer slack was overwritten")
+	}
+}
+
+func TestSolveAllIntoShortBuffer(t *testing.T) {
+	subs := solverFixture(t, 5)
+	buf := make([]Outcome, 3)
+	if err := SolveAllInto(context.Background(), subs, buf, Options{}); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestSolveAllIntoReuse(t *testing.T) {
+	// The engine's hot loop reuses one buffer across rounds; a second call
+	// with fewer subproblems must still fully overwrite its prefix.
+	ctx := context.Background()
+	buf := make([]Outcome, 16)
+	if err := SolveAllInto(ctx, solverFixture(t, 16), buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	subs := solverFixture(t, 4)
+	if err := SolveAllInto(ctx, subs, buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range subs {
+		if buf[i].Index != i || buf[i].Result == nil {
+			t.Fatalf("reused buffer entry %d not overwritten: %+v", i, buf[i])
+		}
+	}
+}
