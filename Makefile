@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench check fmt vet
+.PHONY: build test bench benchall check fmt vet
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Round-loop benchmarks (EngineRound1k + TelemetryOverhead) with -benchmem,
+# parsed into BENCH_engine.json; `make benchall` runs every benchmark.
 bench:
+	./scripts/bench.sh
+
+benchall:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 fmt:

@@ -1,0 +1,54 @@
+package dyncontract
+
+import (
+	"context"
+	"testing"
+
+	"dyncontract/internal/engine"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead measures the cost of full instrumentation on
+// the warmest, fastest round the engine has — a 1000-agent dedup-warm
+// round where contract design is pure cache hits — so the telemetry share
+// of the round is as large as it ever gets. The acceptance bar is ≤ 5%
+// overhead for "registry" over "nop": per round the engine spends ~8
+// monotonic clock reads, a handful of atomic stores, and one small
+// observer dispatch, against ~1ms of simulation.
+//
+// The "nop" arm passes telemetry.Nop explicitly (not just a zero Config)
+// to pin that a nil registry costs nothing beyond the nil check.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	pop := benchArchetypePopulation(b, 1000)
+	ctx := context.Background()
+
+	runWarm := func(b *testing.B, reg *telemetry.Registry) {
+		b.Helper()
+		cache := engine.NewCache()
+		pol := &platform.DynamicPolicy{}
+		cfg := engine.Config{Policy: pol, Rounds: 1, Cache: cache, Metrics: reg}
+		if _, err := engine.RunLedger(ctx, pop, cfg); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.RunLedger(ctx, pop, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("nop", func(b *testing.B) {
+		runWarm(b, telemetry.Nop)
+	})
+	b.Run("registry", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		runWarm(b, reg)
+		b.StopTimer()
+		if got := reg.Snapshot().Counters[engine.MetricRounds]; got == 0 {
+			b.Fatal("instrumented arm recorded no rounds")
+		}
+	})
+}

@@ -4,10 +4,17 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-scale small|paper] [-seed n] [-trace file.jsonl]
+//	            [-cachestats] [-metrics out.jsonl] [-metrics-listen addr]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	experiments -list
 //
 // Each experiment prints an aligned text table with shape-check notes; see
-// EXPERIMENTS.md for the mapping to the paper's figures.
+// EXPERIMENTS.md for the mapping to the paper's figures. The
+// observability flags attach a telemetry registry to the
+// simulation-driven experiments: -metrics appends one JSONL snapshot per
+// experiment, -metrics-listen serves /metrics (Prometheus text) plus
+// net/http/pprof, and -cachestats prints the design-cache counters each
+// experiment accumulated.
 package main
 
 import (
@@ -19,8 +26,11 @@ import (
 	"path/filepath"
 	"strings"
 
+	"dyncontract/internal/engine"
 	"dyncontract/internal/experiments"
+	"dyncontract/internal/obs"
 	"dyncontract/internal/synth"
+	"dyncontract/internal/telemetry"
 	"dyncontract/internal/trace"
 )
 
@@ -34,19 +44,37 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		runIDs    = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale     = fs.String("scale", "small", "trace scale: small or paper")
-		seed      = fs.Int64("seed", 42, "generation seed")
-		traceFile = fs.String("trace", "", "read the trace from this JSONL file instead of generating")
-		list      = fs.Bool("list", false, "list available experiments and exit")
-		m         = fs.Int("m", 0, "override the number of effort intervals (0 = default)")
-		plot      = fs.Bool("plot", false, "render ASCII charts below figure-style reports")
-		asJSON    = fs.Bool("json", false, "emit reports as JSON instead of text tables")
-		outDir    = fs.String("out", "", "also write one report file per experiment into this directory")
-		noCache   = fs.Bool("nocache", false, "disable the engine's cross-round design cache in simulation experiments")
+		runIDs     = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale      = fs.String("scale", "small", "trace scale: small or paper")
+		seed       = fs.Int64("seed", 42, "generation seed")
+		traceFile  = fs.String("trace", "", "read the trace from this JSONL file instead of generating")
+		list       = fs.Bool("list", false, "list available experiments and exit")
+		m          = fs.Int("m", 0, "override the number of effort intervals (0 = default)")
+		plot       = fs.Bool("plot", false, "render ASCII charts below figure-style reports")
+		asJSON     = fs.Bool("json", false, "emit reports as JSON instead of text tables")
+		outDir     = fs.String("out", "", "also write one report file per experiment into this directory")
+		noCache    = fs.Bool("nocache", false, "disable the engine's cross-round design cache in simulation experiments")
+		cacheStats = fs.Bool("cachestats", false, "report design-cache hits/misses per experiment")
+		obsFlags   obs.Flags
 	)
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The registry outlives all experiments; -cachestats alone is enough
+	// to want one (the cache counters live there, read back per run).
+	var reg *telemetry.Registry
+	if obsFlags.Enabled() || *cacheStats {
+		reg = telemetry.NewRegistry()
+	}
+	sess, err := obsFlags.Start(reg)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if addr := sess.Addr(); addr != "" && !*asJSON {
+		fmt.Fprintf(out, "metrics: serving http://%s/metrics (pprof under /debug/pprof/)\n", addr)
 	}
 
 	if *list {
@@ -60,7 +88,6 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-json and -plot are mutually exclusive")
 	}
 	var pipe *experiments.Pipeline
-	var err error
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
@@ -103,6 +130,7 @@ func run(args []string, out io.Writer) error {
 		params.M = *m
 	}
 	params.NoDesignCache = *noCache
+	params.Metrics = reg
 
 	ids := strings.Split(*runIDs, ",")
 	if *runIDs == "all" {
@@ -111,6 +139,7 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, e.ID)
 		}
 	}
+	var prevCache engine.CacheStats
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := experiments.Lookup(id)
@@ -120,6 +149,18 @@ func run(args []string, out io.Writer) error {
 		rep, err := runner(pipe, params)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		// One JSONL snapshot per experiment (the CLI's flush interval),
+		// and the same -cachestats line platformsim prints — here as the
+		// delta this experiment added to the shared registry's counters.
+		if err := sess.Flush(); err != nil {
+			return err
+		}
+		if *cacheStats && !*asJSON {
+			cur := obs.CacheStatsFrom(reg.Snapshot())
+			fmt.Fprintf(out, "%s:\n", id)
+			obs.FprintCacheStats(out, obs.DeltaCacheStats(prevCache, cur))
+			prevCache = cur
 		}
 		if *outDir != "" {
 			if err := writeReportFiles(*outDir, rep); err != nil {

@@ -8,6 +8,14 @@
 //	platformsim [-scale small|paper] [-seed n] [-rounds n]
 //	            [-policies dynamic,exclude,fixed] [-threshold p] [-amount c]
 //	            [-engine seq|actor] [-nocache] [-cachestats]
+//	            [-metrics out.jsonl] [-metrics-listen addr]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// The observability flags (seq engine only) attach a telemetry registry
+// to the run: -metrics appends one JSONL snapshot per simulated round,
+// -metrics-listen serves /metrics in Prometheus text format plus
+// net/http/pprof for live scraping and profiling, and -cpuprofile /
+// -memprofile write pprof profiles for offline analysis.
 package main
 
 import (
@@ -22,9 +30,16 @@ import (
 	"dyncontract/internal/baseline"
 	"dyncontract/internal/engine"
 	"dyncontract/internal/experiments"
+	"dyncontract/internal/obs"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/synth"
+	"dyncontract/internal/telemetry"
 )
+
+// testHookServe, when set by a test, is called with the metrics server's
+// bound address after every policy has run but before the session closes
+// — the seam that lets tests scrape a fully populated /metrics endpoint.
+var testHookServe func(addr string)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -46,9 +61,27 @@ func run(args []string, out io.Writer) error {
 		engineName = fs.String("engine", "seq", "simulation engine: seq (sequential) or actor (message-passing)")
 		cacheStats = fs.Bool("cachestats", false, "report design-cache hits/misses per policy (seq engine only)")
 		noCache    = fs.Bool("nocache", false, "disable the cross-round design cache (seq engine only)")
+		obsFlags   obs.Flags
 	)
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// One registry spans the whole invocation; each policy's run layers
+	// its rounds into the same metrics (the design cache re-registers per
+	// policy, so cache counters always describe the current policy).
+	var reg *telemetry.Registry
+	if obsFlags.Enabled() {
+		reg = telemetry.NewRegistry()
+	}
+	sess, err := obsFlags.Start(reg)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if addr := sess.Addr(); addr != "" {
+		fmt.Fprintf(out, "metrics: serving http://%s/metrics (pprof under /debug/pprof/)\n", addr)
 	}
 
 	var cfg synth.Config
@@ -93,10 +126,13 @@ func run(args []string, out io.Writer) error {
 			// The sequential path runs on internal/engine with a per-policy
 			// design cache: agents sharing an archetype share one design,
 			// and static rounds after the first cost zero design calls.
-			cfg := engine.Config{Policy: pol, Rounds: *rounds}
+			cfg := engine.Config{Policy: pol, Rounds: *rounds, Metrics: reg}
 			if !*noCache {
 				cache = engine.NewCache()
 				cfg.Cache = cache
+			}
+			if obsFlags.MetricsPath != "" {
+				cfg.Observers = []engine.Observer{sess.RoundObserver()}
 			}
 			ledger, err = engine.RunLedger(ctx, pop, cfg)
 		case "actor":
@@ -124,11 +160,12 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "  total utility over %d rounds: %.2f\n", *rounds, platform.TotalUtility(ledger))
 		if *cacheStats && cache != nil {
-			s := cache.Stats()
-			fmt.Fprintf(out, "  design cache: %d hits, %d misses (%d distinct designs held)\n",
-				s.Hits, s.Misses, s.Entries)
+			obs.FprintCacheStats(out, cache.Stats())
 		}
 		fmt.Fprintln(out)
 	}
-	return nil
+	if testHookServe != nil {
+		testHookServe(sess.Addr())
+	}
+	return sess.Close()
 }

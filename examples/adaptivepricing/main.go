@@ -22,6 +22,7 @@ import (
 	"dyncontract/internal/experiments"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/synth"
+	"dyncontract/internal/telemetry"
 )
 
 // frozenPolicy designs contracts once and re-serves them forever.
@@ -73,7 +74,7 @@ func main() {
 	// The engine's design cache composes with drift: the drifted workers'
 	// weights change every round (fresh fingerprints, honest misses) while
 	// the stable majority's designs are reused round after round.
-	run := func(pol platform.Policy) ([]platform.Round, engine.CacheStats) {
+	run := func(pol platform.Policy, reg *telemetry.Registry) ([]platform.Round, engine.CacheStats) {
 		pop, err := pipe.BuildPopulation(params, 120)
 		if err != nil {
 			log.Fatalf("population: %v", err)
@@ -84,10 +85,11 @@ func main() {
 		}
 		cache := engine.NewCache()
 		ledger, err := engine.RunLedger(context.Background(), pop, engine.Config{
-			Policy: pol,
-			Rounds: rounds,
-			Drift:  drift(turned),
-			Cache:  cache,
+			Policy:  pol,
+			Rounds:  rounds,
+			Drift:   drift(turned),
+			Cache:   cache,
+			Metrics: reg,
 		})
 		if err != nil {
 			log.Fatalf("simulate %s: %v", pol.Name(), err)
@@ -95,8 +97,12 @@ func main() {
 		return ledger, cache.Stats()
 	}
 
-	dynamic, stats := run(&platform.DynamicPolicy{})
-	frozen, _ := run(&frozenPolicy{inner: &platform.DynamicPolicy{}})
+	// The dynamic run carries a telemetry registry (engine.Config.Metrics):
+	// per-stage timings, ledger gauges, and the cache counters all land in
+	// one snapshot, without changing the simulated ledger.
+	reg := telemetry.NewRegistry()
+	dynamic, stats := run(&platform.DynamicPolicy{}, reg)
+	frozen, _ := run(&frozenPolicy{inner: &platform.DynamicPolicy{}}, telemetry.Nop)
 
 	fmt.Println("four workers drift malicious from round 1 onward")
 	fmt.Println("\nround  dynamic-utility  frozen-utility  (dynamic reprices, frozen overpays)")
@@ -107,6 +113,24 @@ func main() {
 		platform.TotalUtility(dynamic), platform.TotalUtility(frozen))
 	fmt.Printf("dynamic policy design cache: %d hits, %d misses over %d rounds\n",
 		stats.Hits, stats.Misses, rounds)
+
+	// What the instrumented run measured: mean per-round stage timings and
+	// the registry's view of the cache (identical to stats above — the
+	// registry adopts the cache's own counters via ExportTo).
+	snap := reg.Snapshot()
+	fmt.Println("\ntelemetry (dynamic run):")
+	for _, stage := range []struct{ label, metric string }{
+		{"design ", engine.MetricStageDesignSeconds},
+		{"respond", engine.MetricStageRespondSeconds},
+		{"settle ", engine.MetricStageSettleSeconds},
+		{"observe", engine.MetricStageObserveSeconds},
+		{"round  ", engine.MetricRoundSeconds},
+	} {
+		h := snap.Histograms[stage.metric]
+		fmt.Printf("  %s  mean %8.3f ms over %d rounds\n", stage.label, h.Mean()*1e3, h.Count)
+	}
+	fmt.Printf("  cache    %d hits, %d misses (registry view)\n",
+		snap.Counters[engine.MetricCacheHits], snap.Counters[engine.MetricCacheMisses])
 
 	// Show the repricing on one drifted worker (populations are built
 	// deterministically, so the first agent is the same in both runs).

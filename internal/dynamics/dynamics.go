@@ -18,6 +18,7 @@ import (
 	"dyncontract/internal/engine"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/reputation"
+	"dyncontract/internal/telemetry"
 )
 
 // ErrBadRun is returned for invalid run parameters.
@@ -58,6 +59,9 @@ type Config struct {
 	// Observe converts rounds into tracker observations; nil means
 	// HonestObservations(0.3).
 	Observe ObservationFunc
+	// Metrics, when non-nil, instruments the underlying engine run (see
+	// engine.Config.Metrics). The trajectory is identical either way.
+	Metrics *telemetry.Registry
 }
 
 // Validate checks the configuration.
@@ -147,6 +151,7 @@ func Run(ctx context.Context, pop *platform.Population, pol platform.Policy, tra
 		Rounds:    cfg.MaxRounds,
 		Observers: []engine.Observer{hooks},
 		Cache:     engine.NewCache(),
+		Metrics:   cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

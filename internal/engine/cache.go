@@ -2,9 +2,9 @@ package engine
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"dyncontract/internal/core"
+	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
 )
 
@@ -80,8 +80,14 @@ type Cache struct {
 
 	mu      sync.RWMutex
 	entries map[Fingerprint]*core.Result
-	hits    atomic.Uint64
-	misses  atomic.Uint64
+	// hits/misses are telemetry counters so a registry can adopt them
+	// directly (ExportTo); Stats() stays a thin view over the same
+	// atomics, with or without a registry attached.
+	hits   telemetry.Counter
+	misses telemetry.Counter
+	// size mirrors len(entries) into the registry; nil (a no-op gauge)
+	// until ExportTo attaches one. Guarded by mu.
+	size *telemetry.Gauge
 }
 
 // NewCache returns an empty cache with the default size cap.
@@ -93,10 +99,10 @@ func (c *Cache) Get(fp Fingerprint) (*core.Result, bool) {
 	res, ok := c.entries[fp]
 	c.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		c.hits.Inc()
 		return res, true
 	}
-	c.misses.Add(1)
+	c.misses.Inc()
 	return nil, false
 }
 
@@ -117,6 +123,7 @@ func (c *Cache) Put(fp Fingerprint, res *core.Result) {
 		c.entries = make(map[Fingerprint]*core.Result)
 	}
 	c.entries[fp] = res
+	c.size.Set(float64(len(c.entries)))
 	c.mu.Unlock()
 }
 
@@ -127,13 +134,36 @@ func (c *Cache) Put(fp Fingerprint, res *core.Result) {
 func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	c.entries = nil
+	c.size.Set(0)
 	c.mu.Unlock()
 }
 
-// Stats returns a snapshot of the hit/miss counters and current size.
+// Stats returns a snapshot of the hit/miss counters and current size. It
+// is a thin view over the cache's live telemetry counters — the same
+// atomics a registry adopts through ExportTo — so printed stats and
+// scraped metrics can never disagree.
 func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
 	n := len(c.entries)
 	c.mu.RUnlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	return CacheStats{Hits: c.hits.Value(), Misses: c.misses.Value(), Entries: n}
+}
+
+// ExportTo registers the cache's live hit/miss counters in reg under the
+// MetricCache* names and attaches an entries gauge that tracks the map
+// size from then on. Engines wire this automatically when both
+// Config.Cache and Config.Metrics are set. Exporting a second cache to
+// the same registry re-points the registered names at the newer cache
+// (telemetry's replacement semantics); a nil registry is a no-op.
+func (c *Cache) ExportTo(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(MetricCacheHits, &c.hits)
+	reg.RegisterCounter(MetricCacheMisses, &c.misses)
+	size := reg.Gauge(MetricCacheEntries)
+	c.mu.Lock()
+	c.size = size
+	c.size.Set(float64(len(c.entries)))
+	c.mu.Unlock()
 }

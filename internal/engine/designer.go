@@ -8,6 +8,7 @@ import (
 	"dyncontract/internal/contract"
 	"dyncontract/internal/core"
 	"dyncontract/internal/solver"
+	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
 )
 
@@ -29,6 +30,9 @@ type Designer struct {
 	Parallelism int
 	// Cache, when non-nil, carries designs across rounds.
 	Cache *Cache
+	// Metrics, when non-nil, is forwarded to the solver fan-out
+	// (dyncontract_solver_* counters and per-design timings).
+	Metrics *telemetry.Registry
 
 	mu   sync.Mutex
 	subs []solver.Subproblem
@@ -68,7 +72,7 @@ func (d *Designer) Contracts(ctx context.Context, pop *Population, agents []*wor
 			d.outs = make([]solver.Outcome, len(d.subs))
 		}
 		d.outs = d.outs[:len(d.subs)]
-		if err := solver.SolveAllInto(ctx, d.subs, d.outs, solver.Options{Parallelism: d.Parallelism}); err != nil {
+		if err := solver.SolveAllInto(ctx, d.subs, d.outs, solver.Options{Parallelism: d.Parallelism, Metrics: d.Metrics}); err != nil {
 			return nil, err
 		}
 		for i := range d.subs {

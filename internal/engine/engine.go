@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"dyncontract/internal/contract"
 	"dyncontract/internal/effort"
+	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
 )
 
@@ -113,6 +115,13 @@ type Config struct {
 	// CacheUser) and surfaced through Engine.CacheStats. Designs then
 	// dedup across rounds, not just within one.
 	Cache *Cache
+	// Metrics, when non-nil, instruments the run: per-stage round timing
+	// histograms, per-round ledger gauges (the same set TelemetryObserver
+	// exports), the design cache's counters (Cache.ExportTo), and — for
+	// policies implementing MetricsUser — the solver fan-out.
+	// telemetry.Nop (a nil registry) leaves the run un-instrumented;
+	// enabling metrics never changes the simulated ledger.
+	Metrics *telemetry.Registry
 }
 
 // Engine drives the repeated Stackelberg round loop of §II over one
@@ -120,11 +129,13 @@ type Config struct {
 type Engine struct {
 	pop    *Population
 	cfg    Config
-	agents []*worker.Agent // sorted scratch, rebuilt per round
+	m      *stageMetrics      // nil when Config.Metrics is unset
+	telObs *telemetryObserver // nil when Config.Metrics is unset
+	agents []*worker.Agent    // sorted scratch, rebuilt per round
 }
 
-// New validates the population and configuration and wires the cache into
-// the policy when supported.
+// New validates the population and configuration and wires the cache and
+// metrics registry into the policy when supported.
 func New(pop *Population, cfg Config) (*Engine, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("nil policy: %w", ErrBadConfig)
@@ -140,7 +151,24 @@ func New(pop *Population, cfg Config) (*Engine, error) {
 			cu.UseCache(cfg.Cache)
 		}
 	}
-	return &Engine{pop: pop, cfg: cfg}, nil
+	e := &Engine{pop: pop, cfg: cfg}
+	if cfg.Metrics != nil {
+		if mu, ok := cfg.Policy.(MetricsUser); ok {
+			mu.UseMetrics(cfg.Metrics)
+		}
+		if cfg.Cache != nil {
+			cfg.Cache.ExportTo(cfg.Metrics)
+		}
+		e.m = newStageMetrics(cfg.Metrics)
+		// Ledger metrics are exported directly in Run rather than by
+		// stacking TelemetryObserver into Observers: the per-agent
+		// OnOutcome dispatch loop stays exactly as long as the caller made
+		// it, which keeps instrumentation overhead off the hot path. The
+		// export happens before user observers fire, so a per-round
+		// metrics flush reads the registry already updated for the round.
+		e.telObs = newTelemetryObserver(cfg.Metrics)
+	}
+	return e, nil
 }
 
 // CacheStats snapshots the configured cache's counters (zero when no cache
@@ -156,7 +184,14 @@ func (e *Engine) CacheStats() CacheStats {
 // observers. It returns nil on completion or clean ErrStop, and the first
 // error otherwise (context cancellation, policy/design failure, a drift
 // that broke the population, or an observer error).
+//
+// Each round is four stages — contract design, worker best-response,
+// outcome settlement, observer dispatch — and when Config.Metrics is set
+// each stage's duration is observed into its _seconds histogram. The
+// observable event order is unchanged either way: OnContracts, then one
+// OnOutcome per agent in ID order, then OnRoundEnd.
 func (e *Engine) Run(ctx context.Context) error {
+	timed := e.m != nil
 	for r := 0; r < e.cfg.Rounds; r++ {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("engine: round %d: %w", r, err)
@@ -167,15 +202,33 @@ func (e *Engine) Run(ctx context.Context) error {
 				return fmt.Errorf("engine: drift broke population at round %d: %w", r, err)
 			}
 		}
+
+		// Stage 1: contract design.
+		var roundTimer, stageTimer telemetry.Timer
+		if timed {
+			roundTimer = telemetry.StartTimer()
+			stageTimer = roundTimer
+		}
 		contracts, err := e.cfg.Policy.Contracts(ctx, e.pop)
 		if err != nil {
 			return fmt.Errorf("engine: policy %s round %d: %w", e.cfg.Policy.Name(), r, err)
 		}
+		var observeDur time.Duration
+		if timed {
+			e.m.design.Observe(stageTimer.Seconds())
+			stageTimer = telemetry.StartTimer()
+		}
 		for _, ob := range e.cfg.Observers {
 			ob.OnContracts(r, contracts)
 		}
+		if timed {
+			observeDur += stageTimer.Elapsed()
+			stageTimer = telemetry.StartTimer()
+		}
 
+		// Stage 2: worker best responses.
 		round := Round{Index: r, Outcomes: make([]AgentOutcome, 0, len(e.pop.Agents))}
+		var workerUtility float64
 		for _, a := range e.sortedAgents() {
 			oc := AgentOutcome{
 				AgentID: a.ID,
@@ -186,49 +239,85 @@ func (e *Engine) Run(ctx context.Context) error {
 			c := contracts[a.ID]
 			if c == nil {
 				oc.Excluded = true
+			} else if e.cfg.Responder != nil {
+				y, err := e.cfg.Responder(r, a, c, e.pop.Part)
+				if err != nil {
+					return fmt.Errorf("engine: responder for %s round %d: %w", a.ID, r, err)
+				}
+				y = clampEffort(y, a, e.pop.Part)
+				q := a.Psi.Eval(y)
+				oc.Effort = y
+				oc.Feedback = q
+				oc.Compensation = c.Eval(q)
+				if timed {
+					workerUtility += a.Utility(c, y)
+				}
 			} else {
-				if e.cfg.Responder != nil {
-					y, err := e.cfg.Responder(r, a, c, e.pop.Part)
-					if err != nil {
-						return fmt.Errorf("engine: responder for %s round %d: %w", a.ID, r, err)
-					}
-					y = clampEffort(y, a, e.pop.Part)
-					q := a.Psi.Eval(y)
-					oc.Effort = y
-					oc.Feedback = q
-					oc.Compensation = c.Eval(q)
+				resp, err := a.BestResponse(c, e.pop.Part)
+				if err != nil {
+					return fmt.Errorf("engine: agent %s round %d: %w", a.ID, r, err)
+				}
+				if resp.Declined {
+					oc.Declined = true
 				} else {
-					resp, err := a.BestResponse(c, e.pop.Part)
-					if err != nil {
-						return fmt.Errorf("engine: agent %s round %d: %w", a.ID, r, err)
-					}
-					if resp.Declined {
-						oc.Declined = true
-					} else {
-						oc.Effort = resp.Effort
-						oc.Feedback = resp.Feedback
-						oc.Compensation = resp.Compensation
+					oc.Effort = resp.Effort
+					oc.Feedback = resp.Feedback
+					oc.Compensation = resp.Compensation
+					if timed {
+						workerUtility += resp.Utility
 					}
 				}
-				if !oc.Declined {
-					round.Benefit += oc.Weight * oc.Feedback
-					round.Cost += oc.Compensation
-				}
-			}
-			for _, ob := range e.cfg.Observers {
-				ob.OnOutcome(r, oc)
 			}
 			round.Outcomes = append(round.Outcomes, oc)
 		}
-		round.Utility = round.Benefit - e.pop.Mu*round.Cost
+		if timed {
+			e.m.respond.Observe(stageTimer.Seconds())
+			stageTimer = telemetry.StartTimer()
+		}
 
-		for _, ob := range e.cfg.Observers {
-			if err := ob.OnRoundEnd(round); err != nil {
-				if errors.Is(err, ErrStop) {
-					return nil
-				}
-				return err
+		// Stage 3: outcome settlement (Eq. (7) accounting).
+		for i := range round.Outcomes {
+			oc := &round.Outcomes[i]
+			if oc.Excluded || oc.Declined {
+				continue
 			}
+			round.Benefit += oc.Weight * oc.Feedback
+			round.Cost += oc.Compensation
+		}
+		round.Utility = round.Benefit - e.pop.Mu*round.Cost
+		if timed {
+			e.m.settle.Observe(stageTimer.Seconds())
+			e.m.workerUtility.Set(workerUtility)
+			stageTimer = telemetry.StartTimer()
+		}
+
+		// Stage 4: observer dispatch. The registry export runs first so
+		// observers that read Config.Metrics (e.g. a per-round JSONL
+		// flush) see the completed round's values.
+		if timed {
+			_ = e.telObs.OnRoundEnd(round) // never errors
+		}
+		for i := range round.Outcomes {
+			for _, ob := range e.cfg.Observers {
+				ob.OnOutcome(r, round.Outcomes[i])
+			}
+		}
+		var endErr error
+		for _, ob := range e.cfg.Observers {
+			if endErr = ob.OnRoundEnd(round); endErr != nil {
+				break
+			}
+		}
+		if timed {
+			observeDur += stageTimer.Elapsed()
+			e.m.observe.Observe(observeDur.Seconds())
+			e.m.round.Observe(roundTimer.Seconds())
+		}
+		if endErr != nil {
+			if errors.Is(endErr, ErrStop) {
+				return nil
+			}
+			return endErr
 		}
 	}
 	return nil

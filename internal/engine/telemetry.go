@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"dyncontract/internal/contract"
+	"dyncontract/internal/telemetry"
+)
+
+// Metric names exported by the engine, following the repo-wide
+// dyncontract_<pkg>_<name> scheme (DESIGN.md § Telemetry). Stage
+// histograms observe seconds; round gauges are overwritten every round
+// and read as "latest round" levels.
+const (
+	// MetricRounds counts completed rounds.
+	MetricRounds = "dyncontract_engine_rounds_total"
+	// MetricOutcomes counts per-agent outcomes across all rounds.
+	MetricOutcomes = "dyncontract_engine_outcomes_total"
+	// MetricRoundUtility is the latest round's requester utility (Eq. 7).
+	MetricRoundUtility = "dyncontract_engine_round_utility"
+	// MetricRoundBenefit is the latest round's Σ w_i·q_i.
+	MetricRoundBenefit = "dyncontract_engine_round_benefit"
+	// MetricRoundCompensation is the latest round's total worker pay
+	// (the requester's Cost).
+	MetricRoundCompensation = "dyncontract_engine_round_compensation"
+	// MetricRoundWorkerUtility is the latest round's summed worker
+	// utility over accepting agents (only exported by instrumented
+	// engines — observers cannot reconstruct it from the ledger).
+	MetricRoundWorkerUtility = "dyncontract_engine_round_worker_utility"
+	// MetricRoundDeclined / MetricRoundExcluded count the latest round's
+	// declined and excluded agents.
+	MetricRoundDeclined = "dyncontract_engine_round_declined"
+	MetricRoundExcluded = "dyncontract_engine_round_excluded"
+	// MetricRoundAgents is the latest round's population size.
+	MetricRoundAgents = "dyncontract_engine_round_agents"
+
+	// Per-stage timings of one engine round (histograms, seconds):
+	// contract design (the Policy.Contracts call), worker best-response,
+	// outcome settlement (ledger accounting), and observer dispatch.
+	MetricStageDesignSeconds  = "dyncontract_engine_stage_design_seconds"
+	MetricStageRespondSeconds = "dyncontract_engine_stage_respond_seconds"
+	MetricStageSettleSeconds  = "dyncontract_engine_stage_settle_seconds"
+	MetricStageObserveSeconds = "dyncontract_engine_stage_observe_seconds"
+	// MetricRoundSeconds times the whole round.
+	MetricRoundSeconds = "dyncontract_engine_round_seconds"
+
+	// Design-cache counters (adopted from Cache via ExportTo; Stats()
+	// remains a thin view over the same counters).
+	MetricCacheHits    = "dyncontract_engine_cache_hits_total"
+	MetricCacheMisses  = "dyncontract_engine_cache_misses_total"
+	MetricCacheEntries = "dyncontract_engine_cache_entries"
+)
+
+// Stage-timing histograms bin uniformly over [0, 250ms) in 5ms steps —
+// the stats.Histogram bucket convention (out-of-range observations clamp
+// into the edge bins; exact sums ride alongside, so means are not
+// quantized). A warm deduplicated round sits in the first bin; a cold
+// 1k-agent per-agent design round (~11ms, BENCH_engine.json) is resolved
+// to its bin.
+const (
+	stageSecondsLo   = 0
+	stageSecondsHi   = 0.25
+	stageSecondsBins = 50
+)
+
+// stageMetrics holds the engine's pre-resolved instrument handles; one
+// registry lookup per metric at construction, zero allocations per round
+// afterwards.
+type stageMetrics struct {
+	design, respond, settle, observe, round *telemetry.Histogram
+	workerUtility                           *telemetry.Gauge
+}
+
+func newStageMetrics(reg *telemetry.Registry) *stageMetrics {
+	return &stageMetrics{
+		design:        reg.Histogram(MetricStageDesignSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		respond:       reg.Histogram(MetricStageRespondSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		settle:        reg.Histogram(MetricStageSettleSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		observe:       reg.Histogram(MetricStageObserveSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		round:         reg.Histogram(MetricRoundSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		workerUtility: reg.Gauge(MetricRoundWorkerUtility),
+	}
+}
+
+// MetricsUser is implemented by policies that can route their internals
+// (e.g. the solver fan-out) through a telemetry registry. Engine wires
+// Config.Metrics into the policy at construction when implemented,
+// mirroring CacheUser.
+type MetricsUser interface {
+	UseMetrics(*telemetry.Registry)
+}
+
+// telemetryObserver exports the round ledger into a registry; see
+// TelemetryObserver.
+type telemetryObserver struct {
+	rounds, outcomes               *telemetry.Counter
+	utility, benefit, compensation *telemetry.Gauge
+	declined, excluded, agents     *telemetry.Gauge
+}
+
+// TelemetryObserver returns a ready-made Observer that exports per-round
+// ledger metrics (requester utility/benefit/compensation gauges,
+// declined/excluded counts, rounds and outcomes totals) into reg. Stack
+// it alongside your own observers when you control only the observer
+// list; engines constructed with Config.Metrics set export the same
+// metrics directly, so do not also stack it there — the round counters
+// would double. It never mutates the round and never returns an error,
+// so stacking it cannot alter a run's ledger or termination.
+func TelemetryObserver(reg *telemetry.Registry) Observer {
+	return newTelemetryObserver(reg)
+}
+
+func newTelemetryObserver(reg *telemetry.Registry) *telemetryObserver {
+	return &telemetryObserver{
+		rounds:       reg.Counter(MetricRounds),
+		outcomes:     reg.Counter(MetricOutcomes),
+		utility:      reg.Gauge(MetricRoundUtility),
+		benefit:      reg.Gauge(MetricRoundBenefit),
+		compensation: reg.Gauge(MetricRoundCompensation),
+		declined:     reg.Gauge(MetricRoundDeclined),
+		excluded:     reg.Gauge(MetricRoundExcluded),
+		agents:       reg.Gauge(MetricRoundAgents),
+	}
+}
+
+// OnContracts implements Observer.
+func (t *telemetryObserver) OnContracts(int, map[string]*contract.PiecewiseLinear) {}
+
+// OnOutcome implements Observer.
+func (t *telemetryObserver) OnOutcome(int, AgentOutcome) {}
+
+// OnRoundEnd implements Observer.
+func (t *telemetryObserver) OnRoundEnd(round Round) error {
+	var declined, excluded int
+	for i := range round.Outcomes {
+		if round.Outcomes[i].Declined {
+			declined++
+		}
+		if round.Outcomes[i].Excluded {
+			excluded++
+		}
+	}
+	t.rounds.Inc()
+	t.outcomes.Add(uint64(len(round.Outcomes)))
+	t.utility.Set(round.Utility)
+	t.benefit.Set(round.Benefit)
+	t.compensation.Set(round.Cost)
+	t.declined.Set(float64(declined))
+	t.excluded.Set(float64(excluded))
+	t.agents.Set(float64(len(round.Outcomes)))
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"dyncontract/internal/requester"
 	"dyncontract/internal/stats"
 	"dyncontract/internal/synth"
+	"dyncontract/internal/telemetry"
 	"dyncontract/internal/textplot"
 	"dyncontract/internal/trace"
 	"dyncontract/internal/worker"
@@ -147,12 +148,16 @@ type Params struct {
 	// results are identical either way — designs are deterministic — so
 	// this exists for A/B timing and debugging.
 	NoDesignCache bool
+	// Metrics, when non-nil, instruments the simulation-driven experiments'
+	// engine runs (see engine.Config.Metrics). Reports are identical either
+	// way.
+	Metrics *telemetry.Registry
 }
 
 // runLedger simulates rounds through the engine, attaching a fresh design
 // cache unless the params disable it.
 func runLedger(ctx context.Context, pop *platform.Population, pol platform.Policy, rounds int, params Params) ([]platform.Round, error) {
-	cfg := engine.Config{Policy: pol, Rounds: rounds}
+	cfg := engine.Config{Policy: pol, Rounds: rounds, Metrics: params.Metrics}
 	if !params.NoDesignCache {
 		cfg.Cache = engine.NewCache()
 	}

@@ -1,0 +1,245 @@
+// Package obs is the shared observability glue for this repository's
+// command-line binaries: one flag set (-metrics, -metrics-listen,
+// -cpuprofile, -memprofile), one Session that owns the resulting sinks —
+// a JSONL snapshot file, an HTTP endpoint serving /metrics in Prometheus
+// text format plus net/http/pprof, and CPU/heap profiles — and one
+// cache-stats printer, so cmd/platformsim and cmd/experiments stay
+// wiring-identical instead of growing two copies.
+package obs
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"dyncontract/internal/engine"
+	"dyncontract/internal/telemetry"
+)
+
+// Flags is the standard observability flag block. Register it on a
+// FlagSet, parse, then Start a Session.
+type Flags struct {
+	// MetricsPath, when non-empty, appends one JSONL snapshot line per
+	// Flush (the CLIs flush per round or per experiment) to this file.
+	MetricsPath string
+	// MetricsListen, when non-empty, serves /metrics (Prometheus text
+	// format) and /debug/pprof/ on this TCP address for live scraping
+	// and profiling; ":0" picks a free port (see Session.Addr).
+	MetricsListen string
+	// CPUProfile / MemProfile, when non-empty, write pprof profiles on
+	// Session.Close.
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the flag block on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.MetricsPath, "metrics", "", "append one JSONL metrics snapshot per round/flush to this file")
+	fs.StringVar(&f.MetricsListen, "metrics-listen", "", "serve /metrics (Prometheus text) and /debug/pprof/ on this address")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file on exit")
+}
+
+// Enabled reports whether any observability flag was set.
+func (f *Flags) Enabled() bool {
+	return f.MetricsPath != "" || f.MetricsListen != "" || f.CPUProfile != "" || f.MemProfile != ""
+}
+
+// Handler returns the HTTP handler a Session serves: GET /metrics renders
+// reg's current snapshot in Prometheus text exposition format, and the
+// standard net/http/pprof handlers are mounted under /debug/pprof/ so a
+// long simulation can be profiled live (e.g. `go tool pprof
+// http://addr/debug/pprof/profile`).
+func Handler(reg *telemetry.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = telemetry.WriteText(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+// Session owns the sinks a Flags block requested. All methods tolerate a
+// nil receiver and an all-flags-off session, so call sites need no
+// "observability enabled?" branching. Close it exactly once.
+type Session struct {
+	reg       *telemetry.Registry
+	sink      *telemetry.JSONLSink
+	sinkFile  *os.File
+	srv       *http.Server
+	lis       net.Listener
+	srvClosed chan error
+	cpuFile   *os.File
+	memPath   string
+}
+
+// Start opens every requested sink against reg and returns the live
+// session. With no flags set it returns an inert (still closeable)
+// session. On error, anything already opened is released.
+func (f *Flags) Start(reg *telemetry.Registry) (*Session, error) {
+	s := &Session{reg: reg, memPath: f.MemProfile}
+	fail := func(err error) (*Session, error) {
+		_ = s.Close()
+		return nil, err
+	}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("obs: create cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return fail(fmt.Errorf("obs: start cpu profile: %w", err))
+		}
+		s.cpuFile = file
+	}
+	if f.MetricsPath != "" {
+		file, err := os.Create(f.MetricsPath)
+		if err != nil {
+			return fail(fmt.Errorf("obs: create metrics file: %w", err))
+		}
+		s.sinkFile = file
+		s.sink = telemetry.NewJSONLSink(file)
+	}
+	if f.MetricsListen != "" {
+		lis, err := net.Listen("tcp", f.MetricsListen)
+		if err != nil {
+			return fail(fmt.Errorf("obs: listen %s: %w", f.MetricsListen, err))
+		}
+		s.lis = lis
+		s.srv = &http.Server{Handler: Handler(reg)}
+		s.srvClosed = make(chan error, 1)
+		go func() { s.srvClosed <- s.srv.Serve(lis) }()
+	}
+	return s, nil
+}
+
+// Addr returns the metrics server's bound address ("" when not
+// listening) — with "-metrics-listen :0" this is where the free port
+// landed.
+func (s *Session) Addr() string {
+	if s == nil || s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Flush appends one JSONL snapshot line (no-op without -metrics).
+func (s *Session) Flush() error {
+	if s == nil || s.sink == nil {
+		return nil
+	}
+	return s.sink.Write(s.reg.Snapshot())
+}
+
+// RoundObserver returns an engine observer that flushes one JSONL line at
+// the end of every round — the "one line per round" mode of the sink. A
+// flush failure aborts the run with the write error (disk-full should not
+// silently truncate a metrics trail).
+func (s *Session) RoundObserver() engine.Observer {
+	return engine.Hooks{RoundEnd: func(engine.Round) error { return s.Flush() }}
+}
+
+// Close releases every sink: stops the CPU profile, writes the heap
+// profile, closes the JSONL file, and shuts down the metrics server. It
+// returns the first error encountered but always attempts every release.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var errs []error
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpuFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: close cpu profile: %w", err))
+		}
+		s.cpuFile = nil
+	}
+	if s.memPath != "" {
+		if err := writeHeapProfile(s.memPath); err != nil {
+			errs = append(errs, err)
+		}
+		s.memPath = ""
+	}
+	if s.sinkFile != nil {
+		if err := s.sinkFile.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: close metrics file: %w", err))
+		}
+		s.sinkFile, s.sink = nil, nil
+	}
+	if s.srv != nil {
+		if err := s.srv.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs: close metrics server: %w", err))
+		}
+		select {
+		case err := <-s.srvClosed:
+			if err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errs = append(errs, fmt.Errorf("obs: metrics server: %w", err))
+			}
+		case <-time.After(5 * time.Second):
+			errs = append(errs, errors.New("obs: metrics server did not shut down"))
+		}
+		s.srv, s.lis = nil, nil
+	}
+	return errors.Join(errs...)
+}
+
+// writeHeapProfile snapshots the heap after a GC, the shape `go tool
+// pprof` expects for -memprofile flags.
+func writeHeapProfile(path string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("obs: write mem profile: %w", err)
+	}
+	if err := file.Close(); err != nil {
+		return fmt.Errorf("obs: close mem profile: %w", err)
+	}
+	return nil
+}
+
+// FprintCacheStats renders design-cache counters the way both CLIs print
+// them — the one shared copy of the `-cachestats` output format.
+func FprintCacheStats(w io.Writer, s engine.CacheStats) {
+	fmt.Fprintf(w, "  design cache: %d hits, %d misses (%d distinct designs held)\n",
+		s.Hits, s.Misses, s.Entries)
+}
+
+// CacheStatsFrom reconstructs a CacheStats view from a registry snapshot
+// (the MetricCache* names), for call sites that observe a run through its
+// registry rather than holding the *engine.Cache.
+func CacheStatsFrom(s telemetry.Snapshot) engine.CacheStats {
+	return engine.CacheStats{
+		Hits:    s.Counters[engine.MetricCacheHits],
+		Misses:  s.Counters[engine.MetricCacheMisses],
+		Entries: int(s.Gauges[engine.MetricCacheEntries]),
+	}
+}
+
+// DeltaCacheStats returns cur−prev on the counters (Entries stays
+// absolute): the per-run view when several simulations share one
+// registry, as cmd/experiments does across experiments.
+func DeltaCacheStats(prev, cur engine.CacheStats) engine.CacheStats {
+	return engine.CacheStats{
+		Hits:    cur.Hits - prev.Hits,
+		Misses:  cur.Misses - prev.Misses,
+		Entries: cur.Entries,
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dyncontract/internal/engine"
+	"dyncontract/internal/telemetry"
+)
+
+func TestHandlerServesPrometheusText(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(engine.MetricRounds).Add(7)
+	reg.Gauge(engine.MetricRoundUtility).Set(12.5)
+	reg.Histogram(engine.MetricRoundSeconds, 0, 0.25, 50).Observe(0.01)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		engine.MetricRounds + " 7\n",
+		engine.MetricRoundUtility + " 12.5\n",
+		engine.MetricRoundSeconds + `_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q\n---\n%s", want, text)
+		}
+	}
+	assertParseableExposition(t, text)
+}
+
+func TestHandlerServesPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(Handler(telemetry.NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: %s", resp.Status)
+	}
+}
+
+// assertParseableExposition walks every line the way a Prometheus scraper
+// would: comments pass through, every sample line splits into a name (with
+// optional {labels}) and a parseable float value.
+func assertParseableExposition(t *testing.T, text string) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Errorf("unparseable sample line %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Errorf("sample %q: bad value: %v", line, err)
+		}
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	reg.Counter("dyncontract_test_total").Add(5)
+
+	f := Flags{
+		MetricsPath:   filepath.Join(dir, "out.jsonl"),
+		MetricsListen: "127.0.0.1:0",
+		MemProfile:    filepath.Join(dir, "mem.pprof"),
+	}
+	sess, err := f.Start(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sess.Addr()
+	if addr == "" {
+		t.Fatal("Addr() empty with -metrics-listen set")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("live /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op, got %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+
+	data, err := os.ReadFile(f.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec telemetry.JSONLRecord
+	if err := json.Unmarshal(bytes.TrimSpace(data), &rec); err != nil {
+		t.Fatalf("metrics file line is not JSON: %v", err)
+	}
+	if rec.Counters["dyncontract_test_total"] != 5 {
+		t.Errorf("flushed snapshot wrong: %+v", rec.Counters)
+	}
+	if fi, err := os.Stat(f.MemProfile); err != nil || fi.Size() == 0 {
+		t.Errorf("heap profile not written: err=%v", err)
+	}
+}
+
+func TestSessionInertWhenDisabled(t *testing.T) {
+	var f Flags
+	if f.Enabled() {
+		t.Fatal("zero Flags reports enabled")
+	}
+	sess, err := f.Start(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Addr() != "" {
+		t.Error("inert session has an address")
+	}
+	if err := sess.Flush(); err != nil {
+		t.Error(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Error(err)
+	}
+	var nilSess *Session
+	if nilSess.Addr() != "" || nilSess.Flush() != nil || nilSess.Close() != nil {
+		t.Error("nil Session methods must be no-ops")
+	}
+}
+
+func TestFlagsRegister(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var f Flags
+	f.Register(fs)
+	err := fs.Parse([]string{
+		"-metrics", "m.jsonl", "-metrics-listen", ":9", "-cpuprofile", "c.pprof", "-memprofile", "m.pprof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MetricsPath != "m.jsonl" || f.MetricsListen != ":9" || f.CPUProfile != "c.pprof" || f.MemProfile != "m.pprof" {
+		t.Fatalf("flags not bound: %+v", f)
+	}
+	if !f.Enabled() {
+		t.Error("Enabled() false with every flag set")
+	}
+}
+
+func TestCacheStatsHelpers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(engine.MetricCacheHits).Add(10)
+	reg.Counter(engine.MetricCacheMisses).Add(4)
+	reg.Gauge(engine.MetricCacheEntries).Set(3)
+	got := CacheStatsFrom(reg.Snapshot())
+	want := engine.CacheStats{Hits: 10, Misses: 4, Entries: 3}
+	if got != want {
+		t.Fatalf("CacheStatsFrom = %+v, want %+v", got, want)
+	}
+
+	delta := DeltaCacheStats(engine.CacheStats{Hits: 6, Misses: 1, Entries: 2}, got)
+	if (delta != engine.CacheStats{Hits: 4, Misses: 3, Entries: 3}) {
+		t.Fatalf("DeltaCacheStats = %+v", delta)
+	}
+
+	var buf bytes.Buffer
+	FprintCacheStats(&buf, got)
+	want2 := "  design cache: 10 hits, 4 misses (3 distinct designs held)\n"
+	if buf.String() != want2 {
+		t.Fatalf("FprintCacheStats = %q, want %q", buf.String(), want2)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"dyncontract/internal/contract"
 	"dyncontract/internal/effort"
 	"dyncontract/internal/engine"
+	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
 )
 
@@ -52,6 +53,11 @@ type Options struct {
 	// Observer, when non-nil, receives each completed round before the
 	// next begins (for online reputation tracking).
 	Observer func(round Round)
+	// Metrics, when non-nil, instruments the underlying engine run
+	// (per-stage timings, per-round ledger gauges; see engine.Config).
+	// telemetry.Nop disables collection; the ledger is identical either
+	// way.
+	Metrics *telemetry.Registry
 }
 
 // Simulate runs the marketplace for the given number of rounds under the
@@ -64,6 +70,7 @@ func Simulate(ctx context.Context, pop *Population, pol Policy, rounds int, opts
 		Rounds:    rounds,
 		Drift:     opts.Drift,
 		Responder: engine.Responder(opts.Responder),
+		Metrics:   opts.Metrics,
 	}
 	if opts.Observer != nil {
 		observer := opts.Observer
@@ -98,8 +105,9 @@ type DynamicPolicy struct {
 }
 
 var (
-	_ Policy           = (*DynamicPolicy)(nil)
-	_ engine.CacheUser = (*DynamicPolicy)(nil)
+	_ Policy             = (*DynamicPolicy)(nil)
+	_ engine.CacheUser   = (*DynamicPolicy)(nil)
+	_ engine.MetricsUser = (*DynamicPolicy)(nil)
 )
 
 // Name implements Policy.
@@ -108,6 +116,10 @@ func (p *DynamicPolicy) Name() string { return "dynamic-contract" }
 // UseCache implements engine.CacheUser: subsequent rounds dedup designs
 // against the cache.
 func (p *DynamicPolicy) UseCache(c *engine.Cache) { p.designer.Cache = c }
+
+// UseMetrics implements engine.MetricsUser: the designer forwards the
+// registry to the solver fan-out (dyncontract_solver_* metrics).
+func (p *DynamicPolicy) UseMetrics(reg *telemetry.Registry) { p.designer.Metrics = reg }
 
 // Contracts implements Policy.
 func (p *DynamicPolicy) Contracts(ctx context.Context, pop *Population) (map[string]*contract.PiecewiseLinear, error) {

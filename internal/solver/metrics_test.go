@@ -1,0 +1,76 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dyncontract/internal/telemetry"
+)
+
+// TestSolveAllMetrics pins the pool's instrumentation: with Options.Metrics
+// set, every subproblem that actually runs increments MetricDesigns,
+// failures increment MetricDesignErrors, and each design's latency lands in
+// MetricDesignSeconds.
+func TestSolveAllMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	subs := solverFixture(t, 12)
+	subs[3].Config.Mu = -1
+	subs[9].Config.Mu = -1
+	outcomes, err := SolveAll(context.Background(), subs, Options{
+		Parallelism:     3,
+		ContinueOnError: true,
+		Metrics:         reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[MetricDesigns]; got != uint64(len(subs)) {
+		t.Errorf("%s = %d, want %d", MetricDesigns, got, len(subs))
+	}
+	if got := s.Counters[MetricDesignErrors]; got != 2 {
+		t.Errorf("%s = %d, want 2", MetricDesignErrors, got)
+	}
+	h, ok := s.Histograms[MetricDesignSeconds]
+	if !ok {
+		t.Fatalf("missing histogram %s", MetricDesignSeconds)
+	}
+	if h.Count != uint64(len(subs)) {
+		t.Errorf("%s count = %d, want %d", MetricDesignSeconds, h.Count, len(subs))
+	}
+	if h.Sum < 0 || math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+		t.Errorf("%s sum = %v, want finite ≥ 0", MetricDesignSeconds, h.Sum)
+	}
+
+	// The instrumented outcomes must match an un-instrumented run.
+	clean := solverFixture(t, 12)
+	want, err := SolveAll(context.Background(), clean, Options{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, oc := range outcomes {
+		if i == 3 || i == 9 {
+			continue
+		}
+		if oc.Result.RequesterUtility != want[i].Result.RequesterUtility {
+			t.Errorf("outcome %d: instrumented utility %v != plain %v",
+				i, oc.Result.RequesterUtility, want[i].Result.RequesterUtility)
+		}
+	}
+}
+
+// TestSolveAllNopMetrics checks the disabled path: telemetry.Nop behaves
+// exactly like no registry at all.
+func TestSolveAllNopMetrics(t *testing.T) {
+	subs := solverFixture(t, 6)
+	outcomes, err := SolveAll(context.Background(), subs, Options{Metrics: telemetry.Nop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, oc := range outcomes {
+		if oc.Err != nil || oc.Result == nil {
+			t.Errorf("outcome %d: %+v", i, oc)
+		}
+	}
+}

@@ -16,7 +16,30 @@ import (
 	"sync"
 
 	"dyncontract/internal/core"
+	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
+)
+
+// Metric names exported by the solver pool when Options.Metrics is set,
+// following the repo-wide dyncontract_<pkg>_<name> scheme.
+const (
+	// MetricDesigns counts completed core.Design calls (success or
+	// failure); cache hits upstream never reach the pool, so this is the
+	// number of designs that actually ran.
+	MetricDesigns = "dyncontract_solver_designs_total"
+	// MetricDesignErrors counts failed core.Design calls.
+	MetricDesignErrors = "dyncontract_solver_design_errors_total"
+	// MetricDesignSeconds is the per-subproblem design latency histogram.
+	MetricDesignSeconds = "dyncontract_solver_design_seconds"
+)
+
+// Design-latency bins: uniform over [0, 10ms) in 0.2ms steps (the
+// stats.Histogram clamping convention; a m=20 design runs ~10µs, the m
+// sweep in bench_ext_test.go tops out well under the clamp).
+const (
+	designSecondsLo   = 0
+	designSecondsHi   = 0.01
+	designSecondsBins = 50
 )
 
 // Subproblem is one decomposed contract-design task: an agent (worker or
@@ -36,6 +59,10 @@ type Options struct {
 	// failures are reported per-entry in Outcome.Err. When false, the
 	// first failure cancels the remaining work.
 	ContinueOnError bool
+	// Metrics, when non-nil, receives the pool's MetricDesigns /
+	// MetricDesignErrors counters and MetricDesignSeconds latency
+	// histogram. telemetry.Nop (nil) disables collection.
+	Metrics *telemetry.Registry
 }
 
 // Outcome pairs one subproblem with its result or error.
@@ -81,6 +108,20 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 		parallelism = n
 	}
 
+	// Resolve metric handles once per call, not per subproblem; with
+	// Metrics unset the nil handles make every observation a no-op and
+	// the pool skips the per-design clock reads entirely.
+	var (
+		designs, designErrs *telemetry.Counter
+		designSec           *telemetry.Histogram
+	)
+	timed := opts.Metrics != nil
+	if timed {
+		designs = opts.Metrics.Counter(MetricDesigns)
+		designErrs = opts.Metrics.Counter(MetricDesignErrors)
+		designSec = opts.Metrics.Histogram(MetricDesignSeconds, designSecondsLo, designSecondsHi, designSecondsBins)
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -98,7 +139,18 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 					outcomes[i] = Outcome{Index: i, Err: fmt.Errorf("%w: %w", ErrCancelled, err)}
 					continue
 				}
+				var t telemetry.Timer
+				if timed {
+					t = telemetry.StartTimer()
+				}
 				res, err := core.Design(subs[i].Agent, subs[i].Config)
+				if timed {
+					designSec.Observe(t.Seconds())
+					designs.Inc()
+					if err != nil {
+						designErrs.Inc()
+					}
+				}
 				outcomes[i] = Outcome{Index: i, Result: res, Err: err}
 				if err != nil && !opts.ContinueOnError {
 					errOnce.Do(func() {

@@ -1,0 +1,112 @@
+package stats
+
+import "testing"
+
+// TestHistogramEdgeCases is the table-driven pin on the bucket-boundary
+// convention's corners — the same convention internal/telemetry.Histogram
+// reuses, so these cases double as the contract both packages share.
+func TestHistogramEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		xs         []float64
+		lo, hi     float64
+		bins       int
+		wantCounts []int
+		wantTotal  int
+	}{
+		{
+			name:       "empty sample",
+			xs:         nil,
+			lo:         0,
+			hi:         1,
+			bins:       4,
+			wantCounts: []int{0, 0, 0, 0},
+			wantTotal:  0,
+		},
+		{
+			name:       "empty slice sample",
+			xs:         []float64{},
+			lo:         0,
+			hi:         1,
+			bins:       3,
+			wantCounts: []int{0, 0, 0},
+			wantTotal:  0,
+		},
+		{
+			name:       "single bucket swallows everything",
+			xs:         []float64{-100, 0, 0.5, 0.999, 1, 100},
+			lo:         0,
+			hi:         1,
+			bins:       1,
+			wantCounts: []int{6},
+			wantTotal:  6,
+		},
+		{
+			name:       "all-equal values land in one bin",
+			xs:         []float64{2.5, 2.5, 2.5, 2.5, 2.5},
+			lo:         0,
+			hi:         10,
+			bins:       4,
+			wantCounts: []int{0, 5, 0, 0},
+			wantTotal:  5,
+		},
+		{
+			name:       "all equal to lo",
+			xs:         []float64{0, 0, 0},
+			lo:         0,
+			hi:         1,
+			bins:       2,
+			wantCounts: []int{3, 0},
+			wantTotal:  3,
+		},
+		{
+			name:       "all equal to hi clamp into last bin",
+			xs:         []float64{1, 1, 1},
+			lo:         0,
+			hi:         1,
+			bins:       2,
+			wantCounts: []int{0, 3},
+			wantTotal:  3,
+		},
+		{
+			name:       "bin boundary goes right",
+			xs:         []float64{0.5},
+			lo:         0,
+			hi:         1,
+			bins:       2,
+			wantCounts: []int{0, 1},
+			wantTotal:  1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := NewHistogram(tc.xs, tc.lo, tc.hi, tc.bins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(h.Counts) != len(tc.wantCounts) {
+				t.Fatalf("bins = %d, want %d", len(h.Counts), len(tc.wantCounts))
+			}
+			for i, want := range tc.wantCounts {
+				if h.Counts[i] != want {
+					t.Errorf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], want, h.Counts)
+				}
+			}
+			if got := h.Total(); got != tc.wantTotal {
+				t.Errorf("Total = %d, want %d", got, tc.wantTotal)
+			}
+			fr := h.Fractions()
+			var sum float64
+			for _, f := range fr {
+				sum += f
+			}
+			if tc.wantTotal == 0 {
+				if sum != 0 {
+					t.Errorf("empty histogram fractions sum to %v, want 0", sum)
+				}
+			} else if sum < 0.999999 || sum > 1.000001 {
+				t.Errorf("fractions sum to %v, want 1", sum)
+			}
+		})
+	}
+}

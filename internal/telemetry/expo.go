@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// WriteText renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): one "# TYPE" comment per metric followed by its
+// samples, names sorted for deterministic output. Histograms are emitted
+// cumulatively: the bucket for upper bound "le" counts every observation
+// ≤ le, the last bucket is le="+Inf" (the clamping bin), and _sum/_count
+// carry the exact totals.
+func WriteText(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteString(" counter\n")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatUint(s.Counters[name], 10))
+		bw.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteString(" gauge\n")
+		bw.WriteString(name)
+		bw.WriteByte(' ')
+		bw.WriteString(formatFloat(s.Gauges[name]))
+		bw.WriteByte('\n')
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		bw.WriteString("# TYPE ")
+		bw.WriteString(name)
+		bw.WriteString(" histogram\n")
+		width := (h.Hi - h.Lo) / float64(len(h.Counts))
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			bw.WriteString(name)
+			bw.WriteString(`_bucket{le="`)
+			if i == len(h.Counts)-1 {
+				bw.WriteString("+Inf")
+			} else {
+				bw.WriteString(formatFloat(h.Lo + width*float64(i+1)))
+			}
+			bw.WriteString(`"} `)
+			bw.WriteString(strconv.FormatUint(cum, 10))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString(name)
+		bw.WriteString("_sum ")
+		bw.WriteString(formatFloat(h.Sum))
+		bw.WriteByte('\n')
+		bw.WriteString(name)
+		bw.WriteString("_count ")
+		bw.WriteString(strconv.FormatUint(h.Count, 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a sample value the way Prometheus text parsers
+// expect ("NaN", "+Inf", "-Inf" for the non-finite values).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JSONLRecord is one line of the JSONL sink: a timestamp plus the
+// snapshot taken at that instant.
+type JSONLRecord struct {
+	// TS is the flush time in RFC 3339 format with nanoseconds.
+	TS string `json:"ts"`
+	Snapshot
+}
+
+// JSONLSink appends snapshots to a writer as JSON Lines: one
+// self-contained JSON object per Write call, so a per-round flush yields
+// one line per round and the file tails cleanly while a simulation runs.
+// Non-finite gauge values and histogram sums are dropped/zeroed before
+// encoding (encoding/json cannot represent them); counters and bin counts
+// are always exact. Safe for concurrent use.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a sink writing to w. The caller retains ownership
+// of w (close files yourself).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Write appends one timestamped snapshot line.
+func (s *JSONLSink) Write(snap Snapshot) error {
+	rec := JSONLRecord{TS: time.Now().Format(time.RFC3339Nano), Snapshot: sanitize(snap)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(rec)
+}
+
+// sanitize returns a copy of snap with non-finite floats removed: gauges
+// holding NaN/±Inf are dropped, non-finite histogram sums are zeroed.
+// Maps are only copied when something actually needs fixing.
+func sanitize(snap Snapshot) Snapshot {
+	dirtyGauge := false
+	for _, v := range snap.Gauges {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dirtyGauge = true
+			break
+		}
+	}
+	if dirtyGauge {
+		clean := make(map[string]float64, len(snap.Gauges))
+		for name, v := range snap.Gauges {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean[name] = v
+			}
+		}
+		snap.Gauges = clean
+	}
+	dirtyHist := false
+	for _, h := range snap.Histograms {
+		if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+			dirtyHist = true
+			break
+		}
+	}
+	if dirtyHist {
+		clean := make(map[string]HistogramSnapshot, len(snap.Histograms))
+		for name, h := range snap.Histograms {
+			if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+				h.Sum = 0
+			}
+			clean[name] = h
+		}
+		snap.Histograms = clean
+	}
+	return snap
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are safe for concurrent use and tolerate a
+// nil receiver (a nil counter is a no-op that reads 0), so instrumented
+// code can hold unresolved handles without branching.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can go up and down (a level, not a
+// count). The zero value reads 0 and is ready to use; all methods are
+// safe for concurrent use and nil-receiver-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta to the gauge (CAS loop; lock-free).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed uniform-width bins over
+// [lo, hi), following exactly the bucket-boundary convention of
+// internal/stats.Histogram: bin i covers [lo+i·width, lo+(i+1)·width) and
+// out-of-range observations are clamped into the first/last bin, so
+// nothing is silently dropped and a telemetry snapshot's bin counts agree
+// with a stats.NewHistogram over the same samples. NaN observations are
+// ignored (they have no bin). The exact Sum and Count are tracked
+// alongside the bins, so means are not quantized.
+//
+// All methods are safe for concurrent use and nil-receiver-safe.
+type Histogram struct {
+	lo, hi, width float64
+	counts        []atomic.Uint64
+	count         atomic.Uint64
+	sumBits       atomic.Uint64
+}
+
+// NewHistogram builds an empty histogram with the given number of uniform
+// bins over [lo, hi). It mirrors stats.NewHistogram's validation: bins
+// must be positive and lo < hi (both finite).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("histogram: bins=%d must be positive", bins)
+	}
+	if !(lo < hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return nil, fmt.Errorf("histogram: invalid range [%v, %v)", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]atomic.Uint64, bins),
+	}, nil
+}
+
+// Observe records one observation. Zero allocations; safe for concurrent
+// use; a nil histogram or a NaN value is a no-op.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := int((v - h.lo) / h.width)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations recorded so far.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Snapshot captures the histogram's bins and totals. The per-bin counts
+// are read without a global lock, so a snapshot taken during concurrent
+// observation is a consistent-enough view (each bin is individually
+// atomic); Count may momentarily exceed the bin total by in-flight
+// observations. A nil histogram snapshots empty.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Lo:     h.lo,
+		Hi:     h.hi,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Timer measures elapsed wall time using Go's monotonic clock reading
+// (time.Now captures one; time.Time.Sub uses it when both operands carry
+// one), so timings are immune to wall-clock steps. The zero Timer is not
+// started — use StartTimer.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer starts a timer now.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since the timer started.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// Seconds returns the elapsed time in seconds — the unit every _seconds
+// histogram in this repo observes.
+func (t Timer) Seconds() float64 { return time.Since(t.start).Seconds() }

@@ -1,0 +1,101 @@
+package telemetry
+
+import "fmt"
+
+// Snapshot is a point-in-time copy of a registry's metrics: plain data,
+// safe to serialize, compare, and merge. The zero Snapshot is empty.
+type Snapshot struct {
+	// Counters maps name to cumulative count.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges maps name to current level.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms maps name to bins and totals.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's frozen state. Counts follow the
+// stats.Histogram convention: Counts[i] is the number of observations in
+// [Lo+i·width, Lo+(i+1)·width), width = (Hi−Lo)/len(Counts), with
+// out-of-range observations clamped into the edge bins.
+type HistogramSnapshot struct {
+	// Lo, Hi bound the binned range [Lo, Hi).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Counts holds per-bin observation counts.
+	Counts []uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// Sum is the exact (unquantized) sum of observations.
+	Sum float64 `json:"sum"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Merge combines two histogram snapshots bin by bin. Both must share the
+// same bucket layout (Lo, Hi, bin count); merging an empty (zero-value)
+// snapshot on either side returns the other unchanged.
+func (h HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error) {
+	if len(h.Counts) == 0 {
+		return o, nil
+	}
+	if len(o.Counts) == 0 {
+		return h, nil
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Counts) != len(o.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf(
+			"telemetry: merge histogram [%v,%v)x%d with [%v,%v)x%d: bucket layouts differ",
+			h.Lo, h.Hi, len(h.Counts), o.Lo, o.Hi, len(o.Counts))
+	}
+	out := HistogramSnapshot{
+		Lo:     h.Lo,
+		Hi:     h.Hi,
+		Counts: make([]uint64, len(h.Counts)),
+		Count:  h.Count + o.Count,
+		Sum:    h.Sum + o.Sum,
+	}
+	for i := range h.Counts {
+		out.Counts[i] = h.Counts[i] + o.Counts[i]
+	}
+	return out, nil
+}
+
+// Merge combines two snapshots, e.g. from parallel simulation shards:
+// counters add, histograms merge bin-wise (layouts must agree), and for
+// gauges — levels, not counts — the other snapshot's value wins where
+// both define one (treat the receiver as "earlier" and o as "later").
+func (s Snapshot) Merge(o Snapshot) (Snapshot, error) {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)+len(o.Counters)),
+		Gauges:     make(map[string]float64, len(s.Gauges)+len(o.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)+len(o.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v
+	}
+	for name, v := range o.Counters {
+		out.Counters[name] += v
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, v := range o.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = h
+	}
+	for name, h := range o.Histograms {
+		merged, err := out.Histograms[name].Merge(h)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("%w (metric %q)", err, name)
+		}
+		out.Histograms[name] = merged
+	}
+	return out, nil
+}

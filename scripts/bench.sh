@@ -1,0 +1,41 @@
+#!/bin/sh
+# Engine benchmark runner (`make bench`): runs the round-loop benchmarks —
+# BenchmarkEngineRound1k (design-dedup regimes) and
+# BenchmarkTelemetryOverhead (instrumented vs telemetry.Nop) — with
+# -benchmem, prints the standard output, and writes the parsed results to
+# BENCH_engine.json as one JSON array of
+#   {"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"}
+# objects, so the telemetry-overhead acceptance bar (≤5% on the warm round)
+# can be checked from the file.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_engine.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkTelemetryOverhead' -benchmem . | tee "$raw"
+
+awk '
+BEGIN { print "["; n = 0 }
+/^Benchmark/ {
+	name = $1
+	iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "B/op") bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (ns == "") next
+	if (n++) printf ",\n"
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,23 +1,37 @@
 #!/bin/sh
-# The pre-PR gate (see ROADMAP.md): formatting, vet, and the full test
-# suite under the race detector. Run from anywhere; exits non-zero on the
-# first failure.
+# The pre-PR gate (see ROADMAP.md). Stages run in order, failing fast with
+# a clear stage name:
+#
+#   1. build  — go build ./... (compile errors first, not buried in vet)
+#   2. gofmt  — no unformatted files
+#   3. vet    — go vet ./...
+#   4. test   — the full suite under the race detector
+#
+# Run from anywhere; exits non-zero on the first failure.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> gofmt"
-unformatted=$(gofmt -l .)
+fail() {
+	echo "FAIL at stage: $1" >&2
+	exit 1
+}
+
+echo "==> [1/4] go build ./..."
+go build ./... || fail build
+
+echo "==> [2/4] gofmt"
+unformatted=$(gofmt -l .) || fail gofmt
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$unformatted" >&2
-	exit 1
+	fail gofmt
 fi
 
-echo "==> go vet ./..."
-go vet ./...
+echo "==> [3/4] go vet ./..."
+go vet ./... || fail vet
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> [4/4] go test -race ./..."
+go test -race ./... || fail test
 
 echo "OK"
