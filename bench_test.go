@@ -400,4 +400,48 @@ func BenchmarkEngineRound1k(b *testing.B) {
 			b.Fatalf("warm rounds performed %d Design calls, want 0", s.Misses-warmed)
 		}
 	})
+	b.Run("respond-memo-cold", func(b *testing.B) {
+		// Design cache and respond memo both cold each iteration: 3
+		// core.Design calls and 3 BestResponse calls per round.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			memo := engine.NewRespondMemo()
+			runRound(b, engine.Config{Policy: &platform.DynamicPolicy{}, Cache: engine.NewCache(), Memo: memo})
+			if s := memo.Stats(); s.Misses != 3 {
+				b.Fatalf("cold round BestResponse calls = %d, want 3", s.Misses)
+			}
+		}
+	})
+	b.Run("respond-memo-warm", func(b *testing.B) {
+		// Both layers warm on a persistent engine: zero core.Design and
+		// zero BestResponse calls per round, and every buffer — the
+		// sorted-agent view, the outcomes array, the contracts map, the
+		// respond scratch — reused, so the steady-state round allocates
+		// nothing.
+		memo := engine.NewRespondMemo()
+		eng, err := engine.New(pop, engine.Config{
+			Policy: &platform.DynamicPolicy{},
+			Rounds: 1,
+			Cache:  engine.NewCache(),
+			Memo:   memo,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(ctx); err != nil { // warm both layers
+			b.Fatal(err)
+		}
+		warmed := memo.Stats().Misses
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s := memo.Stats(); s.Misses != warmed {
+			b.Fatalf("warm rounds performed %d BestResponse calls, want 0", s.Misses-warmed)
+		}
+	})
 }

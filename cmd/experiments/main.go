@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-scale small|paper] [-seed n] [-trace file.jsonl]
-//	            [-cachestats] [-metrics out.jsonl] [-metrics-listen addr]
+//	            [-cachestats] [-respondstats] [-respond-parallel n]
+//	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	experiments -list
 //
@@ -13,8 +14,8 @@
 // observability flags attach a telemetry registry to the
 // simulation-driven experiments: -metrics appends one JSONL snapshot per
 // experiment, -metrics-listen serves /metrics (Prometheus text) plus
-// net/http/pprof, and -cachestats prints the design-cache counters each
-// experiment accumulated.
+// net/http/pprof, and -cachestats / -respondstats print the design-cache
+// and respond-memo counters each experiment accumulated.
 package main
 
 import (
@@ -55,6 +56,9 @@ func run(args []string, out io.Writer) error {
 		outDir     = fs.String("out", "", "also write one report file per experiment into this directory")
 		noCache    = fs.Bool("nocache", false, "disable the engine's cross-round design cache in simulation experiments")
 		cacheStats = fs.Bool("cachestats", false, "report design-cache hits/misses per experiment")
+		noMemo     = fs.Bool("nomemo", false, "disable the engine's cross-round best-response memo in simulation experiments")
+		memoStats  = fs.Bool("respondstats", false, "report respond-memo hits/misses per experiment")
+		respondPar = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
 		obsFlags   obs.Flags
 	)
 	obsFlags.Register(fs)
@@ -62,10 +66,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	// The registry outlives all experiments; -cachestats alone is enough
-	// to want one (the cache counters live there, read back per run).
+	// The registry outlives all experiments; -cachestats or -respondstats
+	// alone is enough to want one (the counters live there, read back per
+	// run).
 	var reg *telemetry.Registry
-	if obsFlags.Enabled() || *cacheStats {
+	if obsFlags.Enabled() || *cacheStats || *memoStats {
 		reg = telemetry.NewRegistry()
 	}
 	sess, err := obsFlags.Start(reg)
@@ -130,6 +135,8 @@ func run(args []string, out io.Writer) error {
 		params.M = *m
 	}
 	params.NoDesignCache = *noCache
+	params.NoRespondMemo = *noMemo
+	params.RespondParallelism = *respondPar
 	params.Metrics = reg
 
 	ids := strings.Split(*runIDs, ",")
@@ -140,6 +147,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	var prevCache engine.CacheStats
+	var prevMemo engine.RespondStats
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := experiments.Lookup(id)
@@ -156,11 +164,19 @@ func run(args []string, out io.Writer) error {
 		if err := sess.Flush(); err != nil {
 			return err
 		}
-		if *cacheStats && !*asJSON {
-			cur := obs.CacheStatsFrom(reg.Snapshot())
+		if (*cacheStats || *memoStats) && !*asJSON {
+			snap := reg.Snapshot()
 			fmt.Fprintf(out, "%s:\n", id)
-			obs.FprintCacheStats(out, obs.DeltaCacheStats(prevCache, cur))
-			prevCache = cur
+			if *cacheStats {
+				cur := obs.CacheStatsFrom(snap)
+				obs.FprintCacheStats(out, obs.DeltaCacheStats(prevCache, cur))
+				prevCache = cur
+			}
+			if *memoStats {
+				cur := obs.RespondStatsFrom(snap)
+				obs.FprintRespondStats(out, obs.DeltaRespondStats(prevMemo, cur))
+				prevMemo = cur
+			}
 		}
 		if *outDir != "" {
 			if err := writeReportFiles(*outDir, rep); err != nil {

@@ -146,3 +146,32 @@ func TestRunMOverride(t *testing.T) {
 		t.Errorf("shape check failed at m=8:\n%s", buf.String())
 	}
 }
+
+func TestRunRespondStats(t *testing.T) {
+	// fig8c drives simulations through the engine, so the respond memo
+	// accumulates counters the -respondstats delta printer reads back.
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig8c", "-seed", "7", "-respondstats", "-cachestats"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "respond memo:") {
+		t.Errorf("-respondstats output missing memo line:\n%s", out)
+	}
+	if !strings.Contains(out, "design cache:") {
+		t.Errorf("-cachestats output missing cache line:\n%s", out)
+	}
+}
+
+func TestRunNoMemoIdenticalReports(t *testing.T) {
+	var with, without bytes.Buffer
+	if err := run([]string{"-run", "fig8c", "-seed", "7"}, &with); err != nil {
+		t.Fatalf("memo run: %v", err)
+	}
+	if err := run([]string{"-run", "fig8c", "-seed", "7", "-nomemo", "-respond-parallel", "2"}, &without); err != nil {
+		t.Fatalf("nomemo run: %v", err)
+	}
+	if with.String() != without.String() {
+		t.Errorf("memoized and memo-free reports disagree")
+	}
+}

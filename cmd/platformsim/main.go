@@ -8,6 +8,7 @@
 //	platformsim [-scale small|paper] [-seed n] [-rounds n]
 //	            [-policies dynamic,exclude,fixed] [-threshold p] [-amount c]
 //	            [-engine seq|actor] [-nocache] [-cachestats]
+//	            [-nomemo] [-respondstats] [-respond-parallel n]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -61,6 +62,9 @@ func run(args []string, out io.Writer) error {
 		engineName = fs.String("engine", "seq", "simulation engine: seq (sequential) or actor (message-passing)")
 		cacheStats = fs.Bool("cachestats", false, "report design-cache hits/misses per policy (seq engine only)")
 		noCache    = fs.Bool("nocache", false, "disable the cross-round design cache (seq engine only)")
+		memoStats  = fs.Bool("respondstats", false, "report respond-memo hits/misses per policy (seq engine only)")
+		noMemo     = fs.Bool("nomemo", false, "disable the cross-round best-response memo (seq engine only)")
+		respondPar = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
 		obsFlags   obs.Flags
 	)
 	obsFlags.Register(fs)
@@ -121,15 +125,21 @@ func run(args []string, out io.Writer) error {
 		}
 		var ledger []platform.Round
 		var cache *engine.Cache
+		var memo *engine.RespondMemo
 		switch *engineName {
 		case "seq":
 			// The sequential path runs on internal/engine with a per-policy
-			// design cache: agents sharing an archetype share one design,
-			// and static rounds after the first cost zero design calls.
-			cfg := engine.Config{Policy: pol, Rounds: *rounds, Metrics: reg}
+			// design cache and respond memo: agents sharing an archetype
+			// share one design and one best response, and static rounds
+			// after the first cost zero Design/BestResponse calls.
+			cfg := engine.Config{Policy: pol, Rounds: *rounds, Metrics: reg, ParallelRespond: *respondPar}
 			if !*noCache {
 				cache = engine.NewCache()
 				cfg.Cache = cache
+			}
+			if !*noMemo {
+				memo = engine.NewRespondMemo()
+				cfg.Memo = memo
 			}
 			if obsFlags.MetricsPath != "" {
 				cfg.Observers = []engine.Observer{sess.RoundObserver()}
@@ -161,6 +171,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  total utility over %d rounds: %.2f\n", *rounds, platform.TotalUtility(ledger))
 		if *cacheStats && cache != nil {
 			obs.FprintCacheStats(out, cache.Stats())
+		}
+		if *memoStats && memo != nil {
+			obs.FprintRespondStats(out, memo.Stats())
 		}
 		fmt.Fprintln(out)
 	}

@@ -69,3 +69,33 @@ func TestRunErrors(t *testing.T) {
 		t.Error("rounds=0 accepted")
 	}
 }
+
+func TestRunRespondStats(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policies", "dynamic", "-rounds", "2", "-perclass", "30", "-respondstats", "-cachestats"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "respond memo:") {
+		t.Errorf("-respondstats output missing memo line:\n%s", out)
+	}
+	if !strings.Contains(out, "design cache:") {
+		t.Errorf("-cachestats output missing cache line:\n%s", out)
+	}
+}
+
+func TestRunNoMemoMatchesMemo(t *testing.T) {
+	var with, without bytes.Buffer
+	if err := run([]string{"-policies", "dynamic", "-rounds", "2", "-perclass", "25"}, &with); err != nil {
+		t.Fatalf("memo run: %v", err)
+	}
+	if err := run([]string{"-policies", "dynamic", "-rounds", "2", "-perclass", "25", "-nomemo", "-respond-parallel", "4"}, &without); err != nil {
+		t.Fatalf("nomemo run: %v", err)
+	}
+	// The memo is a pure optimization: identical ledgers either way, even
+	// against the parallel no-memo route.
+	if with.String() != without.String() {
+		t.Errorf("memoized and memo-free runs disagree:\nmemo:\n%s\nnomemo:\n%s", with.String(), without.String())
+	}
+}

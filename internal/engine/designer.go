@@ -18,13 +18,15 @@ import (
 // Within one call, agents sharing a fingerprint are designed once (the
 // round-level dedup is unconditional — it is pure, deterministic sharing).
 // With a Cache attached, distinct fingerprints that were designed in a
-// previous round cost nothing. Scratch buffers for the solver fan-out are
-// retained across calls, so a long-running loop stops allocating
-// per-round.
+// previous round cost nothing. Scratch buffers — the solver fan-out
+// inputs, the per-agent fingerprints, and both result maps, including the
+// returned contracts map — are retained across calls, so a long-running
+// loop stops allocating per-round.
 //
 // The zero value is ready to use. A Designer is safe for concurrent use,
-// but calls are serialized; share a Cache, not a Designer, when fanning
-// out whole simulations.
+// but calls are serialized and the returned map is reused by the next
+// call — never share a Designer across concurrently running simulations;
+// share a Cache instead.
 type Designer struct {
 	// Parallelism caps the solver pool; 0 means GOMAXPROCS.
 	Parallelism int
@@ -34,37 +36,78 @@ type Designer struct {
 	// (dyncontract_solver_* counters and per-design timings).
 	Metrics *telemetry.Registry
 
-	mu   sync.Mutex
-	subs []solver.Subproblem
-	fps  []Fingerprint
-	outs []solver.Outcome
+	mu        sync.Mutex
+	subs      []solver.Subproblem
+	subFPs    []Fingerprint
+	agentFPs  []Fingerprint
+	outs      []solver.Outcome
+	results   map[Fingerprint]*core.Result
+	contracts map[string]*contract.PiecewiseLinear
+	roundFPs  []Fingerprint
+	roundRes  []*core.Result
+}
+
+// maxScanFPs bounds the round's linear-scan fingerprint list: populations
+// built from a handful of archetypes (the common case) resolve every
+// agent with a few struct compares instead of hashing the full
+// Fingerprint into a map; rounds with more distinct fingerprints fall
+// back to the map beyond this bound.
+const maxScanFPs = 16
+
+// findFP returns fp's index in the round's distinct-fingerprint list, or
+// -1. The list never exceeds maxScanFPs entries.
+func (d *Designer) findFP(fp Fingerprint) int {
+	for j := range d.roundFPs {
+		if d.roundFPs[j] == fp {
+			return j
+		}
+	}
+	return -1
 }
 
 // Contracts designs one contract per agent, deduplicating by fingerprint.
 // Agents not in the population's weight map design with w = 0 (matching
 // the zero-value semantics of map lookups used throughout).
+//
+// The returned map is valid until the next Contracts call on the same
+// Designer — the engine hands it to observers under the same rule.
 func (d *Designer) Contracts(ctx context.Context, pop *Population, agents []*worker.Agent) (map[string]*contract.PiecewiseLinear, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	results := make(map[Fingerprint]*core.Result, 8)
+	if d.results == nil {
+		d.results = make(map[Fingerprint]*core.Result, 8)
+	} else {
+		clear(d.results)
+	}
 	d.subs = d.subs[:0]
-	d.fps = d.fps[:0]
+	d.subFPs = d.subFPs[:0]
+	// Fingerprint hashing is per-agent per-round work on the design path:
+	// compute each agent's fingerprint exactly once and reuse it in the
+	// assembly loop below.
+	d.agentFPs = d.agentFPs[:0]
+	d.roundFPs = d.roundFPs[:0]
 	for _, a := range agents {
 		cfg := core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]}
 		fp := FingerprintOf(a, cfg)
-		if _, seen := results[fp]; seen {
-			continue
+		d.agentFPs = append(d.agentFPs, fp)
+		if d.findFP(fp) >= 0 {
+			continue // already handled this round
+		}
+		if len(d.roundFPs) < maxScanFPs {
+			d.roundFPs = append(d.roundFPs, fp)
+		} else if _, seen := d.results[fp]; seen {
+			continue // beyond the scan bound: dedup through the map
 		}
 		if d.Cache != nil {
 			if res, ok := d.Cache.Get(fp); ok {
-				results[fp] = res
+				d.results[fp] = res
 				continue
 			}
 		}
-		results[fp] = nil // pending: solved below
+		d.results[fp] = nil // pending: solved below
 		d.subs = append(d.subs, solver.Subproblem{Agent: a, Config: cfg})
-		d.fps = append(d.fps, fp)
+		d.subFPs = append(d.subFPs, fp)
 	}
 
 	if len(d.subs) > 0 {
@@ -76,21 +119,37 @@ func (d *Designer) Contracts(ctx context.Context, pop *Population, agents []*wor
 			return nil, err
 		}
 		for i := range d.subs {
-			results[d.fps[i]] = d.outs[i].Result
+			d.results[d.subFPs[i]] = d.outs[i].Result
 			if d.Cache != nil {
-				d.Cache.Put(d.fps[i], d.outs[i].Result)
+				d.Cache.Put(d.subFPs[i], d.outs[i].Result)
 			}
 		}
 	}
 
-	contracts := make(map[string]*contract.PiecewiseLinear, len(agents))
-	for _, a := range agents {
-		cfg := core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]}
-		res := results[FingerprintOf(a, cfg)]
+	if d.contracts == nil {
+		d.contracts = make(map[string]*contract.PiecewiseLinear, len(agents))
+	} else {
+		clear(d.contracts)
+	}
+	// Resolve the scan list's results once (a handful of map lookups),
+	// then assemble per agent through the scan list, falling back to the
+	// map only for fingerprints beyond the scan bound.
+	d.roundRes = d.roundRes[:0]
+	for _, fp := range d.roundFPs {
+		d.roundRes = append(d.roundRes, d.results[fp])
+	}
+	for i, a := range agents {
+		fp := d.agentFPs[i]
+		var res *core.Result
+		if j := d.findFP(fp); j >= 0 {
+			res = d.roundRes[j]
+		} else {
+			res = d.results[fp]
+		}
 		if res == nil {
 			return nil, fmt.Errorf("engine: no design produced for agent %s", a.ID)
 		}
-		contracts[a.ID] = res.Contract
+		d.contracts[a.ID] = res.Contract
 	}
-	return contracts, nil
+	return d.contracts, nil
 }

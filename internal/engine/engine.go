@@ -29,7 +29,9 @@ var ErrBadConfig = errors.New("engine: invalid configuration")
 // million-round run with a streaming observer holds one Round in memory.
 type Observer interface {
 	// OnContracts fires after the policy posts the round's contracts. The
-	// map is the engine's working copy — treat it as read-only.
+	// map is the engine's working copy — treat it as read-only and valid
+	// only for the duration of the callback (policies reuse it across
+	// rounds); copy it to retain it.
 	OnContracts(round int, contracts map[string]*contract.PiecewiseLinear)
 	// OnOutcome fires once per agent, in agent-ID order.
 	OnOutcome(round int, oc AgentOutcome)
@@ -83,8 +85,11 @@ func (l *Ledger) OnContracts(int, map[string]*contract.PiecewiseLinear) {}
 // OnOutcome implements Observer.
 func (l *Ledger) OnOutcome(int, AgentOutcome) {}
 
-// OnRoundEnd implements Observer.
+// OnRoundEnd implements Observer. The engine reuses the round's Outcomes
+// backing array for the next round, so the ledger — which retains rounds
+// past the callback — copies it.
 func (l *Ledger) OnRoundEnd(round Round) error {
+	round.Outcomes = append([]AgentOutcome(nil), round.Outcomes...)
 	l.Rounds = append(l.Rounds, round)
 	return nil
 }
@@ -115,6 +120,22 @@ type Config struct {
 	// CacheUser) and surfaced through Engine.CacheStats. Designs then
 	// dedup across rounds, not just within one.
 	Cache *Cache
+	// Memo, when non-nil, memoizes exact best responses keyed by (design
+	// fingerprint, contract): a warm round with k distinct fingerprints
+	// performs k memo lookups and zero BestResponse calls. Misses are
+	// solved through the bounded parallel fan-out. Ignored when a custom
+	// Responder is set (hooks may be round-dependent). Like the design
+	// cache, the memo is a pure optimization — the ledger is byte-
+	// identical with or without it.
+	Memo *RespondMemo
+	// ParallelRespond caps the respond stage's parallel fan-out. For memo
+	// misses 0 means GOMAXPROCS (the fan-out is always on); for the
+	// non-memoized routes — per-agent BestResponse, or a custom Responder
+	// — parallelism is opt-in: 0 keeps the classic sequential loop, > 0
+	// fans out (a custom Responder must then be safe for concurrent
+	// calls). Outcomes are written into pre-assigned slots, so every
+	// setting produces the same ledger in the same order.
+	ParallelRespond int
 	// Metrics, when non-nil, instruments the run: per-stage round timing
 	// histograms, per-round ledger gauges (the same set TelemetryObserver
 	// exports), the design cache's counters (Cache.ExportTo), and — for
@@ -127,11 +148,15 @@ type Config struct {
 // Engine drives the repeated Stackelberg round loop of §II over one
 // population: drift → contracts → best responses → accounting → observers.
 type Engine struct {
-	pop    *Population
-	cfg    Config
-	m      *stageMetrics      // nil when Config.Metrics is unset
-	telObs *telemetryObserver // nil when Config.Metrics is unset
-	agents []*worker.Agent    // sorted scratch, rebuilt per round
+	pop       *Population
+	cfg       Config
+	m         *stageMetrics      // nil when Config.Metrics is unset
+	telObs    *telemetryObserver // nil when Config.Metrics is unset
+	agents    []*worker.Agent    // cached ID-sorted view (see roundAgents)
+	agentsOK  bool
+	agentsGen uint64
+	outs      []AgentOutcome // Round.Outcomes backing array, reused per round
+	rs        respondScratch // respond-stage buffers, reused per round
 }
 
 // New validates the population and configuration and wires the cache and
@@ -159,6 +184,9 @@ func New(pop *Population, cfg Config) (*Engine, error) {
 		if cfg.Cache != nil {
 			cfg.Cache.ExportTo(cfg.Metrics)
 		}
+		if cfg.Memo != nil {
+			cfg.Memo.ExportTo(cfg.Metrics)
+		}
 		e.m = newStageMetrics(cfg.Metrics)
 		// Ledger metrics are exported directly in Run rather than by
 		// stacking TelemetryObserver into Observers: the per-agent
@@ -178,6 +206,15 @@ func (e *Engine) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return e.cfg.Cache.Stats()
+}
+
+// RespondStats snapshots the configured respond memo's counters (zero
+// when no memo was configured).
+func (e *Engine) RespondStats() RespondStats {
+	if e.cfg.Memo == nil {
+		return RespondStats{}
+	}
+	return e.cfg.Memo.Stats()
 }
 
 // Run executes the configured number of rounds, streaming events to the
@@ -226,49 +263,17 @@ func (e *Engine) Run(ctx context.Context) error {
 			stageTimer = telemetry.StartTimer()
 		}
 
-		// Stage 2: worker best responses.
-		round := Round{Index: r, Outcomes: make([]AgentOutcome, 0, len(e.pop.Agents))}
-		var workerUtility float64
-		for _, a := range e.sortedAgents() {
-			oc := AgentOutcome{
-				AgentID: a.ID,
-				Class:   a.Class,
-				Size:    a.Size,
-				Weight:  e.pop.Weights[a.ID],
-			}
-			c := contracts[a.ID]
-			if c == nil {
-				oc.Excluded = true
-			} else if e.cfg.Responder != nil {
-				y, err := e.cfg.Responder(r, a, c, e.pop.Part)
-				if err != nil {
-					return fmt.Errorf("engine: responder for %s round %d: %w", a.ID, r, err)
-				}
-				y = clampEffort(y, a, e.pop.Part)
-				q := a.Psi.Eval(y)
-				oc.Effort = y
-				oc.Feedback = q
-				oc.Compensation = c.Eval(q)
-				if timed {
-					workerUtility += a.Utility(c, y)
-				}
-			} else {
-				resp, err := a.BestResponse(c, e.pop.Part)
-				if err != nil {
-					return fmt.Errorf("engine: agent %s round %d: %w", a.ID, r, err)
-				}
-				if resp.Declined {
-					oc.Declined = true
-				} else {
-					oc.Effort = resp.Effort
-					oc.Feedback = resp.Feedback
-					oc.Compensation = resp.Compensation
-					if timed {
-						workerUtility += resp.Utility
-					}
-				}
-			}
-			round.Outcomes = append(round.Outcomes, oc)
+		// Stage 2: worker best responses. The outcomes backing array is
+		// reused across rounds; observers that retain it past their
+		// callback (as Ledger does) must copy.
+		agents := e.roundAgents()
+		if cap(e.outs) < len(agents) {
+			e.outs = make([]AgentOutcome, len(agents))
+		}
+		round := Round{Index: r, Outcomes: e.outs[:len(agents)]}
+		workerUtility, err := e.respondAll(ctx, r, contracts, agents, round.Outcomes, timed)
+		if err != nil {
+			return err
 		}
 		if timed {
 			e.m.respond.Observe(stageTimer.Seconds())
@@ -323,12 +328,21 @@ func (e *Engine) Run(ctx context.Context) error {
 	return nil
 }
 
-// sortedAgents rebuilds the ID-ordered agent view. The backing slice is
-// reused across rounds (drift may add, remove, or reorder agents, so the
-// view cannot be computed once).
-func (e *Engine) sortedAgents() []*worker.Agent {
+// roundAgents returns the ID-ordered agent view. With no Drift configured
+// the view is cached across rounds (killing the per-round O(n log n)
+// sort) and rebuilt only when the population's generation counter moves —
+// callers mutating Agents outside Drift must call Population.Bump. With a
+// Drift the view is rebuilt every round, since the drift may have added,
+// removed, or reordered agents.
+func (e *Engine) roundAgents() []*worker.Agent {
+	gen := e.pop.Generation()
+	if e.cfg.Drift == nil && e.agentsOK && e.agentsGen == gen {
+		return e.agents
+	}
 	e.agents = append(e.agents[:0], e.pop.Agents...)
 	sort.Slice(e.agents, func(i, j int) bool { return e.agents[i].ID < e.agents[j].ID })
+	e.agentsOK = true
+	e.agentsGen = gen
 	return e.agents
 }
 

@@ -46,7 +46,23 @@ type Population struct {
 	Part effort.Partition
 	// Mu is the requester's compensation weight μ.
 	Mu float64
+
+	// generation counts structural mutations (see Bump). The engine's
+	// cached agent view keys off it when no Drift is configured.
+	generation uint64
 }
+
+// Bump advances the population's generation counter. Call it after
+// mutating the Agents slice (adding, removing, or reordering agents)
+// outside a Config.Drift hook, so engines with no Drift configured
+// rebuild their cached ID-sorted agent view. Mutating weights, malice
+// probabilities, or agent parameters in place never needs a Bump — the
+// engine reads those afresh every round, and the design cache and
+// respond memo key on them directly.
+func (p *Population) Bump() { p.generation++ }
+
+// Generation returns the current generation counter value.
+func (p *Population) Generation() uint64 { return p.generation }
 
 // Validate checks internal consistency.
 func (p *Population) Validate() error {
@@ -116,7 +132,10 @@ type AgentOutcome struct {
 type Round struct {
 	// Index is the 0-based round number.
 	Index int
-	// Outcomes lists per-agent results, ordered by agent ID.
+	// Outcomes lists per-agent results, ordered by agent ID. Inside an
+	// Observer callback the slice aliases the engine's reusable backing
+	// array — valid for the duration of the callback; copy it to retain
+	// it across rounds (Ledger does, so []Round ledgers are stable).
 	Outcomes []AgentOutcome
 	// Benefit is Σ w_i·q_i over included agents.
 	Benefit float64

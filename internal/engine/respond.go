@@ -1,0 +1,533 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/core"
+	"dyncontract/internal/telemetry"
+	"dyncontract/internal/worker"
+)
+
+// The respond stage is the lower level of the Stackelberg game: every
+// agent computes its exact best response (Lemma 4.1 interval case
+// analysis) to the contract it was offered. The paper's decomposition
+// argument (§IV-B) applies here exactly as it does to contract design —
+// a best response depends only on the agent's behavioural parameters,
+// the partition, and the contract, so agents sharing a design
+// fingerprint and a contract share one BestResponse call. This file
+// holds both halves of the acceleration: the cross-round RespondMemo
+// and the per-round stage (memoized dedup plus the bounded parallel
+// fan-out for misses).
+
+// respondKey identifies a best-response problem up to equality of its
+// inputs: the agent's design fingerprint (class, ψ, β, ω, reservation,
+// partition, μ, w — a superset of what BestResponse reads, so equal keys
+// imply equal responses) and the contract's identity. Keying on the
+// contract pointer is sound because the memo retains the key: a held
+// pointer can never be recycled for a different contract. The policies
+// that benefit (Designer-backed ones with a Cache) serve stable contract
+// pointers for stable fingerprints; a policy that re-allocates equal
+// contracts every round simply misses every round — correct, just not
+// accelerated.
+type respondKey struct {
+	fp Fingerprint
+	c  *contract.PiecewiseLinear
+}
+
+// RespondStats is a snapshot of a memo's counters.
+type RespondStats struct {
+	// Hits counts distinct (fingerprint, contract) lookups served from
+	// the memo — each one a BestResponse call that did not happen.
+	Hits uint64
+	// Misses counts lookups that required a fresh BestResponse call.
+	Misses uint64
+	// Entries is the number of distinct responses currently held.
+	Entries int
+}
+
+// defaultMemoCap bounds the entry map, mirroring the design cache:
+// weight drift mints a new key per (agent, weight, contract) triple, so
+// a long adaptive run would otherwise grow without bound. Crossing the
+// cap flushes the whole map; counters are preserved.
+const defaultMemoCap = 1 << 16
+
+// RespondMemo is a deduplicating best-response memo keyed by (design
+// fingerprint, contract). It is safe for concurrent use; the zero value
+// is ready to use.
+//
+// Correctness is automatic, by the same argument as Cache: every input
+// BestResponse reads is part of the key, so a drift that mutates an
+// agent's ψ, β, ω, or reservation mints a new fingerprint and the stale
+// entry is simply never looked up again. Invalidate exists for memory
+// control and cold-start comparisons.
+type RespondMemo struct {
+	// MaxEntries caps the map; 0 means the package default (65536).
+	MaxEntries int
+
+	mu      sync.RWMutex
+	entries map[respondKey]worker.Response
+	// hits/misses are telemetry counters so a registry can adopt them
+	// directly (ExportTo); Stats() stays a thin view over the same
+	// atomics, with or without a registry attached.
+	hits   telemetry.Counter
+	misses telemetry.Counter
+	// size mirrors len(entries) into the registry; nil (a no-op gauge)
+	// until ExportTo attaches one. Guarded by mu.
+	size *telemetry.Gauge
+}
+
+// NewRespondMemo returns an empty memo with the default size cap.
+func NewRespondMemo() *RespondMemo { return &RespondMemo{} }
+
+// Get looks up a best response, counting a hit or a miss.
+func (m *RespondMemo) Get(fp Fingerprint, c *contract.PiecewiseLinear) (worker.Response, bool) {
+	key := respondKey{fp: fp, c: c}
+	m.mu.RLock()
+	resp, ok := m.entries[key]
+	m.mu.RUnlock()
+	if ok {
+		m.hits.Inc()
+		return resp, true
+	}
+	m.misses.Inc()
+	return worker.Response{}, false
+}
+
+// Put stores a best response under its key, flushing the map first if it
+// would exceed the cap.
+func (m *RespondMemo) Put(fp Fingerprint, c *contract.PiecewiseLinear, resp worker.Response) {
+	if c == nil {
+		return
+	}
+	max := m.MaxEntries
+	if max <= 0 {
+		max = defaultMemoCap
+	}
+	key := respondKey{fp: fp, c: c}
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = make(map[respondKey]worker.Response)
+	} else if len(m.entries) >= max {
+		m.entries = make(map[respondKey]worker.Response)
+	}
+	m.entries[key] = resp
+	m.size.Set(float64(len(m.entries)))
+	m.mu.Unlock()
+}
+
+// Invalidate drops every memoized response. Parameter drift never needs
+// this (changed inputs mint new keys); it exists for memory control and
+// to force a cold re-respond. Counters are preserved.
+func (m *RespondMemo) Invalidate() {
+	m.mu.Lock()
+	m.entries = nil
+	m.size.Set(0)
+	m.mu.Unlock()
+}
+
+// Stats returns a snapshot of the hit/miss counters and current size —
+// a thin view over the memo's live telemetry counters, the same atomics
+// a registry adopts through ExportTo.
+func (m *RespondMemo) Stats() RespondStats {
+	m.mu.RLock()
+	n := len(m.entries)
+	m.mu.RUnlock()
+	return RespondStats{Hits: m.hits.Value(), Misses: m.misses.Value(), Entries: n}
+}
+
+// ExportTo registers the memo's live hit/miss counters in reg under the
+// MetricRespond* names and attaches an entries gauge. Engines wire this
+// automatically when both Config.Memo and Config.Metrics are set; a nil
+// registry is a no-op.
+func (m *RespondMemo) ExportTo(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(MetricRespondHits, &m.hits)
+	reg.RegisterCounter(MetricRespondMisses, &m.misses)
+	size := reg.Gauge(MetricRespondEntries)
+	m.mu.Lock()
+	m.size = size
+	m.size.Set(float64(len(m.entries)))
+	m.mu.Unlock()
+}
+
+// pendResponse is one distinct best-response problem this round that the
+// memo could not serve.
+type pendResponse struct {
+	// slot indexes the round-local responses slice the solved response
+	// is written into — pre-assigned, so the parallel fan-out preserves
+	// the sequential engine's outcome order bit for bit.
+	slot int32
+	// a is the representative agent: the first agent (in ID order) that
+	// produced this key, used for solving and for error attribution.
+	a   *worker.Agent
+	key respondKey
+	err error
+}
+
+// respondScratch holds the respond stage's retained buffers; after the
+// first round of a steady-state run, the stage allocates nothing.
+type respondScratch struct {
+	keys  map[respondKey]int32 // round-local: key → slot in resps
+	resps []worker.Response    // one per distinct key this round
+	slots []int32              // per agent: slot in resps, −1 when excluded
+	pend  []pendResponse       // distinct keys needing a fresh BestResponse
+	errs  []error              // per-task errors for the fan-out
+	utils []float64            // per-agent utilities (parallel paths, timed only)
+}
+
+// respondAll fills outs[i] for agents[i] (both ordered by agent ID) and
+// returns the summed worker utility over accepting agents (0 unless
+// timed). The route depends on the configuration:
+//
+//   - a custom Responder bypasses the memo — it may be round-dependent —
+//     and runs sequentially unless ParallelRespond opts into the fan-out;
+//   - with Config.Memo set, distinct (fingerprint, contract) keys are
+//     resolved through the memo and only the misses are solved, in
+//     parallel when there is more than one;
+//   - otherwise every agent's BestResponse runs as before, sequentially
+//     or (ParallelRespond > 0) fanned out.
+//
+// Every route produces byte-identical outcomes in the same order: results
+// are written into pre-assigned slots and dispatch stays sequential.
+func (e *Engine) respondAll(ctx context.Context, r int, contracts map[string]*contract.PiecewiseLinear, agents []*worker.Agent, outs []AgentOutcome, timed bool) (float64, error) {
+	switch {
+	case e.cfg.Responder != nil:
+		return e.respondHook(ctx, r, contracts, agents, outs, timed)
+	case e.cfg.Memo != nil:
+		return e.respondMemoized(ctx, r, contracts, agents, outs, timed)
+	case e.cfg.ParallelRespond > 0:
+		return e.respondParallel(ctx, r, contracts, agents, outs, timed)
+	default:
+		return e.respondSequential(r, contracts, agents, outs, timed)
+	}
+}
+
+// fillStatic populates the outcome fields that do not depend on the
+// response and reports the agent's contract (nil marks the outcome
+// excluded).
+func (e *Engine) fillStatic(contracts map[string]*contract.PiecewiseLinear, a *worker.Agent, oc *AgentOutcome) *contract.PiecewiseLinear {
+	*oc = AgentOutcome{
+		AgentID: a.ID,
+		Class:   a.Class,
+		Size:    a.Size,
+		Weight:  e.pop.Weights[a.ID],
+	}
+	c := contracts[a.ID]
+	if c == nil {
+		oc.Excluded = true
+	}
+	return c
+}
+
+// fillResponse copies a computed best response into an outcome and
+// returns the utility it contributes (0 when declined).
+func fillResponse(oc *AgentOutcome, resp worker.Response) float64 {
+	if resp.Declined {
+		oc.Declined = true
+		return 0
+	}
+	oc.Effort = resp.Effort
+	oc.Feedback = resp.Feedback
+	oc.Compensation = resp.Compensation
+	return resp.Utility
+}
+
+// respondSequential is the classic per-agent loop — the reference
+// behaviour every accelerated route must reproduce exactly.
+func (e *Engine) respondSequential(r int, contracts map[string]*contract.PiecewiseLinear, agents []*worker.Agent, outs []AgentOutcome, timed bool) (float64, error) {
+	var wu float64
+	for i, a := range agents {
+		c := e.fillStatic(contracts, a, &outs[i])
+		if c == nil {
+			continue
+		}
+		resp, err := a.BestResponse(c, e.pop.Part)
+		if err != nil {
+			return 0, fmt.Errorf("engine: agent %s round %d: %w", a.ID, r, err)
+		}
+		u := fillResponse(&outs[i], resp)
+		if timed {
+			wu += u
+		}
+	}
+	return wu, nil
+}
+
+// respondMemoized resolves each distinct (fingerprint, contract) key
+// once: a warm round with k distinct keys performs k memo lookups and
+// zero BestResponse calls; a cold round solves exactly the k misses,
+// fanning out when there is more than one.
+func (e *Engine) respondMemoized(ctx context.Context, r int, contracts map[string]*contract.PiecewiseLinear, agents []*worker.Agent, outs []AgentOutcome, timed bool) (float64, error) {
+	s := &e.rs
+	if s.keys == nil {
+		s.keys = make(map[respondKey]int32, 16)
+	} else {
+		clear(s.keys)
+	}
+	s.resps = s.resps[:0]
+	s.slots = s.slots[:0]
+	s.pend = s.pend[:0]
+
+	// Agents arrive sorted by ID, so archetypes are contiguous and most
+	// agents share the previous agent's key: a struct compare against the
+	// last key skips the (hash-heavy) map access for entire runs.
+	var lastKey respondKey
+	lastSlot := int32(-1)
+	for i, a := range agents {
+		c := e.fillStatic(contracts, a, &outs[i])
+		if c == nil {
+			s.slots = append(s.slots, -1)
+			continue
+		}
+		key := respondKey{
+			fp: FingerprintOf(a, core.Config{Part: e.pop.Part, Mu: e.pop.Mu, W: outs[i].Weight}),
+			c:  c,
+		}
+		if lastSlot >= 0 && key == lastKey {
+			s.slots = append(s.slots, lastSlot)
+			continue
+		}
+		slot, seen := s.keys[key]
+		if !seen {
+			slot = int32(len(s.resps))
+			s.keys[key] = slot
+			if resp, hit := e.cfg.Memo.Get(key.fp, c); hit {
+				s.resps = append(s.resps, resp)
+			} else {
+				s.resps = append(s.resps, worker.Response{})
+				s.pend = append(s.pend, pendResponse{slot: slot, a: a, key: key})
+			}
+		}
+		lastKey, lastSlot = key, slot
+		s.slots = append(s.slots, slot)
+	}
+
+	if err := e.solvePending(ctx, r); err != nil {
+		return 0, err
+	}
+
+	var wu float64
+	for i := range agents {
+		slot := s.slots[i]
+		if slot < 0 {
+			continue
+		}
+		u := fillResponse(&outs[i], s.resps[slot])
+		if timed {
+			wu += u
+		}
+	}
+	return wu, nil
+}
+
+// solvePending computes the round's memo misses into their pre-assigned
+// slots and publishes them to the memo. A single miss (the steady-state
+// shape: one drifted archetype) is solved inline; more fan out across a
+// bounded pool.
+func (e *Engine) solvePending(ctx context.Context, r int) error {
+	s := &e.rs
+	n := len(s.pend)
+	if n == 0 {
+		return nil
+	}
+	par := e.cfg.ParallelRespond
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	solve := func(pi int) error {
+		p := &s.pend[pi]
+		resp, err := p.a.BestResponse(p.key.c, e.pop.Part)
+		if err != nil {
+			return fmt.Errorf("engine: agent %s round %d: %w", p.a.ID, r, err)
+		}
+		s.resps[p.slot] = resp
+		e.cfg.Memo.Put(p.key.fp, p.key.c, resp)
+		return nil
+	}
+	if n == 1 || par == 1 {
+		for pi := 0; pi < n; pi++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("engine: round %d: %w", r, err)
+			}
+			if err := solve(pi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return e.fanOut(ctx, r, n, par, solve)
+}
+
+// respondParallel fans every agent's BestResponse across the pool —
+// the no-memo opt-in for populations with little fingerprint sharing.
+func (e *Engine) respondParallel(ctx context.Context, r int, contracts map[string]*contract.PiecewiseLinear, agents []*worker.Agent, outs []AgentOutcome, timed bool) (float64, error) {
+	e.prepUtils(len(agents), timed)
+	err := e.fanOut(ctx, r, len(agents), e.cfg.ParallelRespond, func(i int) error {
+		a := agents[i]
+		c := e.fillStatic(contracts, a, &outs[i])
+		if c == nil {
+			return nil
+		}
+		resp, err := a.BestResponse(c, e.pop.Part)
+		if err != nil {
+			return fmt.Errorf("engine: agent %s round %d: %w", a.ID, r, err)
+		}
+		u := fillResponse(&outs[i], resp)
+		if timed {
+			e.rs.utils[i] = u
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return e.sumUtils(len(agents), timed), nil
+}
+
+// respondHook runs a custom Responder — sequentially by default, or
+// fanned out when ParallelRespond opts in (the Responder must then be
+// safe for concurrent calls).
+func (e *Engine) respondHook(ctx context.Context, r int, contracts map[string]*contract.PiecewiseLinear, agents []*worker.Agent, outs []AgentOutcome, timed bool) (float64, error) {
+	hook := func(i int) error {
+		a := agents[i]
+		c := e.fillStatic(contracts, a, &outs[i])
+		if c == nil {
+			return nil
+		}
+		y, err := e.cfg.Responder(r, a, c, e.pop.Part)
+		if err != nil {
+			return fmt.Errorf("engine: responder for %s round %d: %w", a.ID, r, err)
+		}
+		y = clampEffort(y, a, e.pop.Part)
+		q := a.Psi.Eval(y)
+		outs[i].Effort = y
+		outs[i].Feedback = q
+		outs[i].Compensation = c.Eval(q)
+		if timed {
+			e.rs.utils[i] = a.Utility(c, y)
+		}
+		return nil
+	}
+	e.prepUtils(len(agents), timed)
+	if e.cfg.ParallelRespond > 0 {
+		if err := e.fanOut(ctx, r, len(agents), e.cfg.ParallelRespond, hook); err != nil {
+			return 0, err
+		}
+	} else {
+		for i := range agents {
+			if err := hook(i); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return e.sumUtils(len(agents), timed), nil
+}
+
+// prepUtils sizes and zeroes the per-agent utility scratch (timed runs
+// only — untimed runs never read it).
+func (e *Engine) prepUtils(n int, timed bool) {
+	if !timed {
+		return
+	}
+	if cap(e.rs.utils) < n {
+		e.rs.utils = make([]float64, n)
+	}
+	e.rs.utils = e.rs.utils[:n]
+	for i := range e.rs.utils {
+		e.rs.utils[i] = 0
+	}
+}
+
+func (e *Engine) sumUtils(n int, timed bool) float64 {
+	if !timed {
+		return 0
+	}
+	var wu float64
+	for _, u := range e.rs.utils[:n] {
+		wu += u
+	}
+	return wu
+}
+
+// fanOut runs fn(i) for i in [0, n) across a bounded pool, mirroring
+// solver.SolveAllInto: context-aware, first failure cancels outstanding
+// work, and every task writes only its own pre-assigned state so results
+// are position-deterministic. Error selection is deterministic too: the
+// lowest-indexed non-cancellation error wins (exactly the error the
+// sequential loop would have returned, since equal inputs fail equally),
+// with pure cancellation reported only when no task failed on its own.
+func (e *Engine) fanOut(ctx context.Context, r, n, par int, fn func(i int) error) error {
+	s := &e.rs
+	if cap(s.errs) < n {
+		s.errs = make([]error, n)
+	}
+	errs := s.errs[:n]
+	for i := range errs {
+		errs[i] = nil
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				if err := fanCtx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case indexes <- i:
+		case <-fanCtx.Done():
+			for j := i; j < n; j++ {
+				errs[j] = fanCtx.Err()
+			}
+			break feed
+		}
+	}
+	close(indexes)
+	wg.Wait()
+
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return err
+	}
+	if cancelErr != nil {
+		return fmt.Errorf("engine: round %d: %w", r, cancelErr)
+	}
+	return nil
+}

@@ -47,6 +47,14 @@ const (
 	MetricCacheHits    = "dyncontract_engine_cache_hits_total"
 	MetricCacheMisses  = "dyncontract_engine_cache_misses_total"
 	MetricCacheEntries = "dyncontract_engine_cache_entries"
+
+	// Respond-memo counters (adopted from RespondMemo via ExportTo,
+	// mirroring the design cache's wiring). Misses count BestResponse
+	// calls the respond stage actually performed; hits count distinct
+	// (fingerprint, contract) keys per round served from the memo.
+	MetricRespondHits    = "dyncontract_engine_respond_hits_total"
+	MetricRespondMisses  = "dyncontract_engine_respond_misses_total"
+	MetricRespondEntries = "dyncontract_engine_respond_entries"
 )
 
 // Stage-timing histograms bin uniformly over [0, 250ms) in 5ms steps —

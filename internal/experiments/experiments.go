@@ -148,6 +148,14 @@ type Params struct {
 	// results are identical either way — designs are deterministic — so
 	// this exists for A/B timing and debugging.
 	NoDesignCache bool
+	// NoRespondMemo disables the engine's cross-round best-response memo
+	// in the same experiments; like NoDesignCache it never changes a
+	// report — the memo is a pure optimization — and exists for A/B
+	// timing and debugging.
+	NoRespondMemo bool
+	// RespondParallelism caps the respond stage's parallel fan-out (see
+	// engine.Config.ParallelRespond); 0 keeps the defaults.
+	RespondParallelism int
 	// Metrics, when non-nil, instruments the simulation-driven experiments'
 	// engine runs (see engine.Config.Metrics). Reports are identical either
 	// way.
@@ -155,11 +163,14 @@ type Params struct {
 }
 
 // runLedger simulates rounds through the engine, attaching a fresh design
-// cache unless the params disable it.
+// cache and respond memo unless the params disable them.
 func runLedger(ctx context.Context, pop *platform.Population, pol platform.Policy, rounds int, params Params) ([]platform.Round, error) {
-	cfg := engine.Config{Policy: pol, Rounds: rounds, Metrics: params.Metrics}
+	cfg := engine.Config{Policy: pol, Rounds: rounds, Metrics: params.Metrics, ParallelRespond: params.RespondParallelism}
 	if !params.NoDesignCache {
 		cfg.Cache = engine.NewCache()
+	}
+	if !params.NoRespondMemo {
+		cfg.Memo = engine.NewRespondMemo()
 	}
 	return engine.RunLedger(ctx, pop, cfg)
 }

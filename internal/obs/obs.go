@@ -222,6 +222,13 @@ func FprintCacheStats(w io.Writer, s engine.CacheStats) {
 		s.Hits, s.Misses, s.Entries)
 }
 
+// FprintRespondStats renders respond-memo counters the way both CLIs
+// print them — the one shared copy of the `-respondstats` output format.
+func FprintRespondStats(w io.Writer, s engine.RespondStats) {
+	fmt.Fprintf(w, "  respond memo: %d hits, %d misses (%d responses held)\n",
+		s.Hits, s.Misses, s.Entries)
+}
+
 // CacheStatsFrom reconstructs a CacheStats view from a registry snapshot
 // (the MetricCache* names), for call sites that observe a run through its
 // registry rather than holding the *engine.Cache.
@@ -238,6 +245,27 @@ func CacheStatsFrom(s telemetry.Snapshot) engine.CacheStats {
 // registry, as cmd/experiments does across experiments.
 func DeltaCacheStats(prev, cur engine.CacheStats) engine.CacheStats {
 	return engine.CacheStats{
+		Hits:    cur.Hits - prev.Hits,
+		Misses:  cur.Misses - prev.Misses,
+		Entries: cur.Entries,
+	}
+}
+
+// RespondStatsFrom reconstructs a RespondStats view from a registry
+// snapshot (the MetricRespond* names), mirroring CacheStatsFrom.
+func RespondStatsFrom(s telemetry.Snapshot) engine.RespondStats {
+	return engine.RespondStats{
+		Hits:    s.Counters[engine.MetricRespondHits],
+		Misses:  s.Counters[engine.MetricRespondMisses],
+		Entries: int(s.Gauges[engine.MetricRespondEntries]),
+	}
+}
+
+// DeltaRespondStats returns cur−prev on the counters (Entries stays
+// absolute), mirroring DeltaCacheStats for runs sharing one memo or
+// registry.
+func DeltaRespondStats(prev, cur engine.RespondStats) engine.RespondStats {
+	return engine.RespondStats{
 		Hits:    cur.Hits - prev.Hits,
 		Misses:  cur.Misses - prev.Misses,
 		Entries: cur.Entries,

@@ -204,3 +204,27 @@ func TestCacheStatsHelpers(t *testing.T) {
 		t.Fatalf("FprintCacheStats = %q, want %q", buf.String(), want2)
 	}
 }
+
+func TestRespondStatsHelpers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter(engine.MetricRespondHits).Add(12)
+	reg.Counter(engine.MetricRespondMisses).Add(3)
+	reg.Gauge(engine.MetricRespondEntries).Set(3)
+	got := RespondStatsFrom(reg.Snapshot())
+	want := engine.RespondStats{Hits: 12, Misses: 3, Entries: 3}
+	if got != want {
+		t.Fatalf("RespondStatsFrom = %+v, want %+v", got, want)
+	}
+
+	delta := DeltaRespondStats(engine.RespondStats{Hits: 5, Misses: 1, Entries: 2}, got)
+	if (delta != engine.RespondStats{Hits: 7, Misses: 2, Entries: 3}) {
+		t.Fatalf("DeltaRespondStats = %+v", delta)
+	}
+
+	var buf bytes.Buffer
+	FprintRespondStats(&buf, got)
+	want2 := "  respond memo: 12 hits, 3 misses (3 responses held)\n"
+	if buf.String() != want2 {
+		t.Fatalf("FprintRespondStats = %q, want %q", buf.String(), want2)
+	}
+}

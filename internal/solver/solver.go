@@ -78,6 +78,15 @@ type Outcome struct {
 // ErrCancelled wraps context cancellation observed by the pool.
 var ErrCancelled = errors.New("solver: cancelled")
 
+// cancelErr is the one wrap shape for every cancellation the pool
+// reports — worker-observed, unfed subproblems, and the pool-level
+// return all produce `ErrCancelled: cause`, so errors.Is(err,
+// ErrCancelled) and errors.Is(err, context.Canceled) both hold no
+// matter which path marked the entry.
+func cancelErr(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, cause)
+}
+
 // SolveAll designs contracts for every subproblem, in parallel, returning
 // outcomes in input order. With ContinueOnError=false (default) the first
 // error cancels outstanding work and is returned; with it set, SolveAll
@@ -136,7 +145,7 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 			defer wg.Done()
 			for i := range indexes {
 				if err := ctx.Err(); err != nil {
-					outcomes[i] = Outcome{Index: i, Err: fmt.Errorf("%w: %w", ErrCancelled, err)}
+					outcomes[i] = Outcome{Index: i, Err: cancelErr(err)}
 					continue
 				}
 				var t telemetry.Timer
@@ -169,7 +178,7 @@ feed:
 		case <-ctx.Done():
 			// Mark unfed subproblems as cancelled.
 			for j := i; j < n; j++ {
-				outcomes[j] = Outcome{Index: j, Err: fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())}
+				outcomes[j] = Outcome{Index: j, Err: cancelErr(ctx.Err())}
 			}
 			break feed
 		}
@@ -181,7 +190,7 @@ feed:
 		return firstErr
 	}
 	if err := ctx.Err(); err != nil && !opts.ContinueOnError {
-		return fmt.Errorf("%w: %w", ErrCancelled, err)
+		return cancelErr(err)
 	}
 	return nil
 }

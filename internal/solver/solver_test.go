@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"dyncontract/internal/core"
 	"dyncontract/internal/effort"
@@ -221,6 +222,67 @@ func TestSolveAllIntoReuse(t *testing.T) {
 	for i := range subs {
 		if buf[i].Index != i || buf[i].Result == nil {
 			t.Fatalf("reused buffer entry %d not overwritten: %+v", i, buf[i])
+		}
+	}
+}
+
+// Both cancellation paths — worker-observed (a worker pulled the index but
+// saw ctx.Err before designing) and unfed (the feeder marked the tail after
+// cancellation) — must produce errors satisfying errors.Is for BOTH
+// ErrCancelled and the underlying context cause.
+func TestCancellationErrorsWrapBothSentinels(t *testing.T) {
+	subs := solverFixture(t, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// ContinueOnError keeps per-entry errors in place without a pool-level
+	// short-circuit, so every entry is marked by whichever path saw it.
+	outcomes, err := SolveAll(ctx, subs, Options{Parallelism: 4, ContinueOnError: true})
+	if err != nil {
+		t.Fatalf("ContinueOnError returned top-level error: %v", err)
+	}
+	for _, o := range outcomes {
+		if o.Err == nil {
+			t.Fatalf("subproblem %d ran under pre-cancelled context", o.Index)
+		}
+		if !errors.Is(o.Err, ErrCancelled) {
+			t.Errorf("subproblem %d: %v does not wrap ErrCancelled", o.Index, o.Err)
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("subproblem %d: %v does not wrap context.Canceled", o.Index, o.Err)
+		}
+	}
+}
+
+// The pool-level return for a cancelled run wraps the same way.
+func TestPoolLevelCancellationWrapsBothSentinels(t *testing.T) {
+	subs := solverFixture(t, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveAll(ctx, subs, Options{Parallelism: 2})
+	if err == nil {
+		t.Fatal("cancelled context: want error")
+	}
+	if !errors.Is(err, ErrCancelled) {
+		t.Errorf("err = %v, want wrapped ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want wrapped context.Canceled", err)
+	}
+}
+
+// A deadline-based cancellation surfaces context.DeadlineExceeded through
+// the same wrap, and unfed entries carry it too.
+func TestDeadlineCancellationWrapsCause(t *testing.T) {
+	subs := solverFixture(t, 32)
+	ctx, cancel := context.WithTimeout(context.Background(), -time.Millisecond)
+	defer cancel()
+	outcomes, err := SolveAll(ctx, subs, Options{Parallelism: 3, ContinueOnError: true})
+	if err != nil {
+		t.Fatalf("ContinueOnError returned top-level error: %v", err)
+	}
+	for _, o := range outcomes {
+		if !errors.Is(o.Err, ErrCancelled) || !errors.Is(o.Err, context.DeadlineExceeded) {
+			t.Errorf("subproblem %d: %v, want ErrCancelled wrapping DeadlineExceeded", o.Index, o.Err)
 		}
 	}
 }

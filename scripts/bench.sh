@@ -1,19 +1,28 @@
 #!/bin/sh
 # Engine benchmark runner (`make bench`): runs the round-loop benchmarks —
-# BenchmarkEngineRound1k (design-dedup regimes) and
+# BenchmarkEngineRound1k (design-dedup and respond-memo regimes) and
 # BenchmarkTelemetryOverhead (instrumented vs telemetry.Nop) — with
 # -benchmem, prints the standard output, and writes the parsed results to
 # BENCH_engine.json as one JSON array of
 #   {"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"}
-# objects, so the telemetry-overhead acceptance bar (≤5% on the warm round)
-# can be checked from the file.
+# objects, so the acceptance bars (telemetry overhead ≤5%, respond-memo
+# warm-round speedup) can be checked from the file.
+#
+# Before overwriting, the fresh run is diffed against the committed
+# BENCH_engine.json: every benchmark's ns/op delta is printed, a >10%
+# regression warns, and a >25% regression on a warm-round benchmark
+# (dedup-warm, respond-memo-warm, TelemetryOverhead) fails the run without
+# touching the committed baseline. Set BENCH_ALLOW_REGRESSION=1 to record
+# the new numbers anyway (e.g. after an intentional trade-off or on a
+# slower machine).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out=BENCH_engine.json
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+fresh=$(mktemp)
+trap 'rm -f "$raw" "$fresh"' EXIT
 
 go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkTelemetryOverhead' -benchmem . | tee "$raw"
 
@@ -21,6 +30,7 @@ awk '
 BEGIN { print "["; n = 0 }
 /^Benchmark/ {
 	name = $1
+	sub(/-[0-9]+$/, "", name)
 	iters = $2
 	ns = ""; bytes = ""; allocs = ""
 	for (i = 3; i < NF; i++) {
@@ -36,6 +46,51 @@ BEGIN { print "["; n = 0 }
 	printf "}"
 }
 END { print "\n]" }
-' "$raw" > "$out"
+' "$raw" > "$fresh"
 
+if [ -f "$out" ]; then
+	echo
+	echo "ns/op vs committed $out:"
+	awk -v allow="${BENCH_ALLOW_REGRESSION:-0}" '
+	FNR == NR {
+		# Parse the committed baseline: one object per line.
+		if (match($0, /"name": "[^"]+"/)) {
+			name = substr($0, RSTART + 9, RLENGTH - 10)
+			if (match($0, /"ns_per_op": [0-9.e+]+/))
+				base[name] = substr($0, RSTART + 13, RLENGTH - 13) + 0
+		}
+		next
+	}
+	{
+		if (!match($0, /"name": "[^"]+"/)) next
+		name = substr($0, RSTART + 9, RLENGTH - 10)
+		if (!match($0, /"ns_per_op": [0-9.e+]+/)) next
+		ns = substr($0, RSTART + 13, RLENGTH - 13) + 0
+		if (!(name in base)) {
+			printf "  %-55s %12.0f ns/op  (new, no baseline)\n", name, ns
+			next
+		}
+		delta = (ns - base[name]) / base[name] * 100
+		printf "  %-55s %12.0f ns/op  %+7.1f%%\n", name, ns, delta
+		warm = (name ~ /dedup-warm|respond-memo-warm|TelemetryOverhead/)
+		if (warm && delta > 25) {
+			printf "  FAIL: %s regressed %.1f%% (>25%% on a warm-round benchmark)\n", name, delta
+			failed = 1
+		} else if (delta > 10) {
+			printf "  WARN: %s regressed %.1f%% (>10%%)\n", name, delta
+		}
+	}
+	END {
+		if (failed && allow != "1") {
+			print "  benchmark regression: baseline left untouched (set BENCH_ALLOW_REGRESSION=1 to record anyway)"
+			exit 1
+		}
+		if (failed)
+			print "  BENCH_ALLOW_REGRESSION=1: recording regressed numbers"
+	}
+	' "$out" "$fresh"
+fi
+
+mv "$fresh" "$out"
+trap 'rm -f "$raw"' EXIT
 echo "wrote $out"
