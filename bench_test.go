@@ -445,3 +445,57 @@ func BenchmarkEngineRound1k(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkEngineRound100k measures one warm engine round over a
+// 100,000-agent, 3-archetype population on the sequential pipeline vs the
+// sharded pipeline (Config.Shards = 8). Both run a persistent engine with
+// the design cache and respond memo warmed. The sequential warm round
+// still walks every agent through the memo in design and respond; the
+// sharded warm round validates each shard's plan in O(distinct
+// fingerprints) and skips the respond stage outright on retained
+// outcomes, so only settle remains O(n) — the speedup is algorithmic and
+// does not depend on spare cores. Ledgers are byte-identical (pinned by
+// TestShardedLedgerIdentical in internal/engine).
+func BenchmarkEngineRound100k(b *testing.B) {
+	pop := benchArchetypePopulation(b, 100_000)
+	ctx := context.Background()
+
+	warmEngine := func(b *testing.B, shards int) *engine.Engine {
+		b.Helper()
+		eng, err := engine.New(pop, engine.Config{
+			Policy: &platform.DynamicPolicy{},
+			Rounds: 1,
+			Cache:  engine.NewCache(),
+			Memo:   engine.NewRespondMemo(),
+			Shards: shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(ctx); err != nil { // warm caches, views, buffers
+			b.Fatal(err)
+		}
+		return eng
+	}
+
+	b.Run("sequential-warm", func(b *testing.B) {
+		eng := warmEngine(b, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded-warm", func(b *testing.B) {
+		eng := warmEngine(b, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-scale small|paper] [-seed n] [-trace file.jsonl]
-//	            [-cachestats] [-respondstats] [-respond-parallel n]
+//	            [-cachestats] [-respondstats] [-respond-parallel n] [-shards n]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	experiments -list
@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		noMemo     = fs.Bool("nomemo", false, "disable the engine's cross-round best-response memo in simulation experiments")
 		memoStats  = fs.Bool("respondstats", false, "report respond-memo hits/misses per experiment")
 		respondPar = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
+		shards     = fs.Int("shards", 0, "shard count for the engine's sharded round pipeline; 0 = sequential (reports are identical)")
 		obsFlags   obs.Flags
 	)
 	obsFlags.Register(fs)
@@ -137,6 +138,7 @@ func run(args []string, out io.Writer) error {
 	params.NoDesignCache = *noCache
 	params.NoRespondMemo = *noMemo
 	params.RespondParallelism = *respondPar
+	params.Shards = *shards
 	params.Metrics = reg
 
 	ids := strings.Split(*runIDs, ",")

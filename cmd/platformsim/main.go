@@ -9,6 +9,7 @@
 //	            [-policies dynamic,exclude,fixed] [-threshold p] [-amount c]
 //	            [-engine seq|actor] [-nocache] [-cachestats]
 //	            [-nomemo] [-respondstats] [-respond-parallel n]
+//	            [-shards n] [-shardstats]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -65,6 +66,8 @@ func run(args []string, out io.Writer) error {
 		memoStats  = fs.Bool("respondstats", false, "report respond-memo hits/misses per policy (seq engine only)")
 		noMemo     = fs.Bool("nomemo", false, "disable the cross-round best-response memo (seq engine only)")
 		respondPar = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
+		shards     = fs.Int("shards", 0, "shard count for the sharded round pipeline (seq engine only); 0 = sequential (ledgers are identical)")
+		shardStats = fs.Bool("shardstats", false, "report per-shard stage timings per policy (seq engine only, needs -shards)")
 		obsFlags   obs.Flags
 	)
 	obsFlags.Register(fs)
@@ -76,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	// its rounds into the same metrics (the design cache re-registers per
 	// policy, so cache counters always describe the current policy).
 	var reg *telemetry.Registry
-	if obsFlags.Enabled() {
+	if obsFlags.Enabled() || *shardStats {
 		reg = telemetry.NewRegistry()
 	}
 	sess, err := obsFlags.Start(reg)
@@ -111,6 +114,7 @@ func run(args []string, out io.Writer) error {
 		len(pop.Agents), len(pipe.Communities))
 
 	ctx := context.Background()
+	var prevShard obs.ShardStats
 	for _, name := range strings.Split(*policies, ",") {
 		var pol platform.Policy
 		switch strings.TrimSpace(name) {
@@ -132,7 +136,7 @@ func run(args []string, out io.Writer) error {
 			// design cache and respond memo: agents sharing an archetype
 			// share one design and one best response, and static rounds
 			// after the first cost zero Design/BestResponse calls.
-			cfg := engine.Config{Policy: pol, Rounds: *rounds, Metrics: reg, ParallelRespond: *respondPar}
+			cfg := engine.Config{Policy: pol, Rounds: *rounds, Metrics: reg, ParallelRespond: *respondPar, Shards: *shards}
 			if !*noCache {
 				cache = engine.NewCache()
 				cfg.Cache = cache
@@ -174,6 +178,12 @@ func run(args []string, out io.Writer) error {
 		}
 		if *memoStats && memo != nil {
 			obs.FprintRespondStats(out, memo.Stats())
+		}
+		if *shardStats {
+			// Policies share one registry; the delta isolates this run.
+			cur := obs.ShardStatsFrom(reg.Snapshot())
+			obs.FprintShardStats(out, obs.DeltaShardStats(prevShard, cur))
+			prevShard = cur
 		}
 		fmt.Fprintln(out)
 	}

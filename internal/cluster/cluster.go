@@ -13,7 +13,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"dyncontract/internal/graph"
@@ -226,7 +226,7 @@ func (e Estimator) Estimate(tr *trace.Trace) (map[string]float64, error) {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	rng := rand.New(rand.NewSource(e.Seed))
+	rng := rand.New(rand.NewPCG(uint64(e.Seed), uint64(e.Seed)))
 	out := make(map[string]float64, len(ids))
 	for _, id := range ids {
 		mean := e.FalsePositive

@@ -227,3 +227,28 @@ func TestEstimatorDeterministic(t *testing.T) {
 		t.Error("same seed produced different estimates")
 	}
 }
+
+// TestEstimatorSeedStability pins the exact estimates for a fixed seed.
+// The estimator draws from math/rand/v2's PCG seeded with (Seed, Seed) over
+// ID-sorted workers; this golden locks that stream so a silent change to
+// the RNG source or the iteration order shows up as a test failure, not as
+// quietly shifted experiment outputs.
+func TestEstimatorSeedStability(t *testing.T) {
+	tr := clusterTrace(t)
+	est, err := DefaultEstimator(42).Estimate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"h1": 0.030501455934940958,
+		"m1": 0.8886131570813631,
+		"m2": 0.9362084650873629,
+		"m3": 0.8931148219619871,
+		"m4": 0.8766850102154172,
+		"m5": 0.8558144788868146,
+		"m6": 0.9142510263639188,
+	}
+	if !reflect.DeepEqual(est, want) {
+		t.Errorf("estimates drifted from pinned seed-42 golden:\n got %v\nwant %v", est, want)
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dyncontract/internal/core"
 	"dyncontract/internal/telemetry"
@@ -88,6 +89,11 @@ type Cache struct {
 	// size mirrors len(entries) into the registry; nil (a no-op gauge)
 	// until ExportTo attaches one. Guarded by mu.
 	size *telemetry.Gauge
+	// gen counts whole-map drops (Invalidate and cap flushes). Segments
+	// compare it against their own snapshot to clear their local maps
+	// lazily, so an Invalidate on the shared cache reaches every segment
+	// without the cache knowing who they are.
+	gen atomic.Uint64
 }
 
 // NewCache returns an empty cache with the default size cap.
@@ -121,6 +127,7 @@ func (c *Cache) Put(fp Fingerprint, res *core.Result) {
 		c.entries = make(map[Fingerprint]*core.Result)
 	} else if len(c.entries) >= max {
 		c.entries = make(map[Fingerprint]*core.Result)
+		c.gen.Add(1)
 	}
 	c.entries[fp] = res
 	c.size.Set(float64(len(c.entries)))
@@ -135,6 +142,7 @@ func (c *Cache) Invalidate() {
 	c.mu.Lock()
 	c.entries = nil
 	c.size.Set(0)
+	c.gen.Add(1)
 	c.mu.Unlock()
 }
 
@@ -166,4 +174,76 @@ func (c *Cache) ExportTo(reg *telemetry.Registry) {
 	c.size = size
 	c.size.Set(float64(len(c.entries)))
 	c.mu.Unlock()
+}
+
+// CacheSegment is a shard-local view over a shared Cache: reads consult a
+// private map first — lock-free, since exactly one goroutine uses a
+// segment at a time — and fall back to (and repopulate from) the shared
+// read-mostly table, so distinct shards holding the same archetype dedup
+// through the parent while their warm rounds never touch its lock. Writes
+// publish to both layers. Hits and misses count on the parent's atomic
+// counters, so Stats/ExportTo aggregate across every segment for free.
+//
+// A segment never outlives its cache's contents: Invalidate (or a cap
+// flush) bumps the parent's generation, and the segment clears its local
+// map on its next access.
+type CacheSegment struct {
+	parent *Cache
+	gen    uint64
+	local  map[Fingerprint]*core.Result
+}
+
+// Segment returns a new shard-local view of the cache. Each segment is
+// single-owner: safe for use from one goroutine at a time, concurrently
+// with other segments of the same cache.
+func (c *Cache) Segment() *CacheSegment {
+	return &CacheSegment{parent: c, gen: c.gen.Load(), local: make(map[Fingerprint]*core.Result)}
+}
+
+// sync drops the local map when the parent has been invalidated or
+// flushed since the last access.
+func (s *CacheSegment) sync() {
+	if g := s.parent.gen.Load(); g != s.gen {
+		clear(s.local)
+		s.gen = g
+	}
+}
+
+// store caps the local map by the parent's limit, mirroring its
+// flush-when-full policy.
+func (s *CacheSegment) store(fp Fingerprint, res *core.Result) {
+	max := s.parent.MaxEntries
+	if max <= 0 {
+		max = defaultCacheCap
+	}
+	if len(s.local) >= max {
+		clear(s.local)
+	}
+	s.local[fp] = res
+}
+
+// Get looks up a fingerprint — local map first, then the shared table —
+// counting one hit or miss on the parent.
+func (s *CacheSegment) Get(fp Fingerprint) (*core.Result, bool) {
+	s.sync()
+	if res, ok := s.local[fp]; ok {
+		s.parent.hits.Inc()
+		return res, true
+	}
+	res, ok := s.parent.Get(fp)
+	if ok {
+		s.store(fp, res)
+	}
+	return res, ok
+}
+
+// Put stores a design result in the segment and publishes it to the
+// shared table, where sibling segments will find it.
+func (s *CacheSegment) Put(fp Fingerprint, res *core.Result) {
+	if res == nil {
+		return
+	}
+	s.sync()
+	s.store(fp, res)
+	s.parent.Put(fp, res)
 }

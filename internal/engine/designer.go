@@ -45,6 +45,7 @@ type Designer struct {
 	contracts map[string]*contract.PiecewiseLinear
 	roundFPs  []Fingerprint
 	roundRes  []*core.Result
+	shards    []*ShardDesigner // lazily built per-shard designers (Shard)
 }
 
 // maxScanFPs bounds the round's linear-scan fingerprint list: populations
@@ -152,4 +153,178 @@ func (d *Designer) Contracts(ctx context.Context, pop *Population, agents []*wor
 		d.contracts[a.ID] = res.Contract
 	}
 	return d.contracts, nil
+}
+
+// Shard returns the designer for shard i, creating it on first use. Each
+// ShardDesigner is single-owner (the engine calls one shard from one
+// goroutine at a time) and shares the Designer's Cache through its own
+// lock-free segment, so concurrent shards dedup cross-shard archetypes
+// without contending on a lock in the warm path.
+func (d *Designer) Shard(i int) *ShardDesigner {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.shards) <= i {
+		d.shards = append(d.shards, nil)
+	}
+	if d.shards[i] == nil {
+		sd := &ShardDesigner{metrics: d.Metrics}
+		if d.Cache != nil {
+			sd.seg = d.Cache.Segment()
+		}
+		d.shards[i] = sd
+	}
+	return d.shards[i]
+}
+
+// ShardDesigner designs contracts for one shard of a sharded engine run.
+// It retains a per-epoch plan — the shard's distinct fingerprints and
+// each agent's slot into them, computed from the Shard's cached FPs — so
+// a warm round costs one cache-segment lookup per distinct fingerprint to
+// validate that the served contracts are still current, and reports
+// changed = false without touching dst. Scratch is retained across
+// rounds; steady-state calls allocate nothing.
+type ShardDesigner struct {
+	metrics *telemetry.Registry
+	seg     *CacheSegment // nil without a Cache: every round redesigns
+
+	built    bool
+	shard    int
+	epoch    uint64
+	slots    []int32 // per agent: index into distinct
+	distinct []Fingerprint
+	reps     []*worker.Agent // representative agent per distinct fingerprint
+	res      []*core.Result  // resolved result per distinct fingerprint
+	served   []*contract.PiecewiseLinear
+	keys     map[Fingerprint]int32
+	subs     []solver.Subproblem
+	souts    []solver.Outcome
+	pendIdx  []int32
+}
+
+// Contracts implements the ShardPolicy work for one shard: fill dst[i]
+// with the contract for sh.Agents[i], reporting whether anything changed
+// since the previous call for this (shard, epoch).
+func (d *ShardDesigner) Contracts(ctx context.Context, pop *Population, sh *Shard, dst []*contract.PiecewiseLinear) (bool, error) {
+	if len(dst) != len(sh.Agents) {
+		return false, fmt.Errorf("engine: shard %d: %d contract slots for %d agents", sh.Index, len(dst), len(sh.Agents))
+	}
+	if d.built && d.shard == sh.Index && d.epoch == sh.Epoch && d.seg != nil {
+		// Warm validation: the plan is current (same view epoch); the
+		// round is unchanged iff every distinct fingerprint still resolves
+		// to the contract dst already holds.
+		same := true
+		for k := range d.distinct {
+			res, ok := d.seg.Get(d.distinct[k])
+			if !ok || res.Contract != d.served[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false, nil
+		}
+	}
+	if !d.built || d.shard != sh.Index || d.epoch != sh.Epoch {
+		d.plan(sh)
+		d.built = true
+		d.shard = sh.Index
+		d.epoch = sh.Epoch
+	}
+	if err := d.fill(ctx, pop, sh, dst); err != nil {
+		// served is now inconsistent with dst; force a full refill next
+		// round rather than trusting a warm validation.
+		d.built = false
+		return true, err
+	}
+	return true, nil
+}
+
+// plan rebuilds the shard's dedup plan from its cached fingerprints.
+func (d *ShardDesigner) plan(sh *Shard) {
+	if d.keys == nil {
+		d.keys = make(map[Fingerprint]int32, 16)
+	} else {
+		clear(d.keys)
+	}
+	d.slots = d.slots[:0]
+	d.distinct = d.distinct[:0]
+	d.reps = d.reps[:0]
+	// Agents are ID-sorted, so archetypes are contiguous: a struct compare
+	// against the previous fingerprint skips the map for entire runs.
+	var lastFP Fingerprint
+	lastSlot := int32(-1)
+	for i := range sh.Agents {
+		fp := sh.FPs[i]
+		if lastSlot >= 0 && fp == lastFP {
+			d.slots = append(d.slots, lastSlot)
+			continue
+		}
+		k, seen := d.keys[fp]
+		if !seen {
+			k = int32(len(d.distinct))
+			d.keys[fp] = k
+			d.distinct = append(d.distinct, fp)
+			d.reps = append(d.reps, sh.Agents[i])
+		}
+		lastFP, lastSlot = fp, k
+		d.slots = append(d.slots, k)
+	}
+}
+
+// fill resolves every distinct fingerprint — cache segment first, solver
+// for the misses — and writes the shard's contracts through the plan.
+func (d *ShardDesigner) fill(ctx context.Context, pop *Population, sh *Shard, dst []*contract.PiecewiseLinear) error {
+	nd := len(d.distinct)
+	if cap(d.res) < nd {
+		d.res = make([]*core.Result, nd)
+	}
+	d.res = d.res[:nd]
+	if cap(d.served) < nd {
+		d.served = make([]*contract.PiecewiseLinear, nd)
+	}
+	d.served = d.served[:nd]
+	d.subs = d.subs[:0]
+	d.pendIdx = d.pendIdx[:0]
+	for k := 0; k < nd; k++ {
+		if d.seg != nil {
+			if res, ok := d.seg.Get(d.distinct[k]); ok {
+				d.res[k] = res
+				continue
+			}
+		}
+		d.res[k] = nil
+		d.pendIdx = append(d.pendIdx, int32(k))
+		d.subs = append(d.subs, solver.Subproblem{
+			Agent:  d.reps[k],
+			Config: core.Config{Part: pop.Part, Mu: pop.Mu, W: d.distinct[k].W},
+		})
+	}
+	if len(d.subs) > 0 {
+		if cap(d.souts) < len(d.subs) {
+			d.souts = make([]solver.Outcome, len(d.subs))
+		}
+		d.souts = d.souts[:len(d.subs)]
+		// Shard-level parallelism comes from the engine's pool; the inner
+		// solve stays sequential so shards never oversubscribe it.
+		if err := solver.SolveAllInto(ctx, d.subs, d.souts, solver.Options{Parallelism: 1, Metrics: d.metrics}); err != nil {
+			return err
+		}
+		for j, k := range d.pendIdx {
+			res := d.souts[j].Result
+			if res == nil {
+				return fmt.Errorf("engine: no design produced for agent %s", d.subs[j].Agent.ID)
+			}
+			d.res[k] = res
+			if d.seg != nil {
+				d.seg.Put(d.distinct[k], res)
+			}
+		}
+	}
+	for k := 0; k < nd; k++ {
+		d.served[k] = d.res[k].Contract
+	}
+	for i := range sh.Agents {
+		dst[i] = d.res[d.slots[i]].Contract
+	}
+	return nil
 }

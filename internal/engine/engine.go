@@ -136,6 +136,26 @@ type Config struct {
 	// calls). Outcomes are written into pre-assigned slots, so every
 	// setting produces the same ledger in the same order.
 	ParallelRespond int
+	// Shards switches the round pipeline to per-shard execution: 0 keeps
+	// today's sequential loop; n > 0 partitions the ID-sorted agent view
+	// into min(n, agents) deterministic shards by ID hash (ShardOf — the
+	// same agent lands in the same shard across rounds and processes).
+	// Design and respond run per shard — concurrently on a bounded pool
+	// when there is real work — and results merge in global ID order, so
+	// the ledger is byte-identical to the sequential engine for every
+	// value of Shards. Policies implementing ShardPolicy additionally get
+	// per-shard design with warm-round skipping; plain policies keep their
+	// single Contracts call and shard only the respond stage.
+	//
+	// Sharding extends the Bump contract: each shard carries indexed
+	// views of Weights, MaliceProb, and the design fingerprints, rebuilt
+	// under the same rule as the cached agent view. With no Drift
+	// configured, mutating weights, malice probabilities, or agent
+	// parameters in place therefore requires a Population.Bump for a
+	// sharded engine to observe it (the sequential engine re-reads the
+	// maps every round); with a Drift the views rebuild every round and no
+	// Bump is needed.
+	Shards int
 	// Metrics, when non-nil, instruments the run: per-stage round timing
 	// histograms, per-round ledger gauges (the same set TelemetryObserver
 	// exports), the design cache's counters (Cache.ExportTo), and — for
@@ -157,6 +177,62 @@ type Engine struct {
 	agentsGen uint64
 	outs      []AgentOutcome // Round.Outcomes backing array, reused per round
 	rs        respondScratch // respond-stage buffers, reused per round
+	rt        roundState     // per-round pipeline state, reused per round
+
+	// Sharded-pipeline state (Config.Shards > 0); see shard.go.
+	shardPol  ShardPolicy // non-nil when the policy supports per-shard design
+	shards    []shardRun
+	shardPtrs []*Shard // scratch for shardAssign, aliasing shards
+	shardsOK  bool
+	shardsGen uint64
+	viewEpoch uint64 // advances on every shard-view rebuild (Shard.Epoch)
+	merged    map[string]*contract.PiecewiseLinear
+}
+
+// roundState carries one round through the pipeline's stages. The engine
+// keeps a single instance and resets it per round, so the pipeline
+// allocates nothing in steady state.
+type roundState struct {
+	r         int
+	timed     bool
+	agents    []*worker.Agent
+	contracts map[string]*contract.PiecewiseLinear
+	round     Round
+	// workerUtility is the respond stage's summed accepted-agent utility
+	// (only computed for instrumented runs on the sequential routes).
+	workerUtility float64
+	// observeDur accumulates observer-dispatch time recorded outside the
+	// observe stage proper (the OnContracts fan-out runs between design
+	// and respond but bills to the observe histogram).
+	observeDur time.Duration
+}
+
+// stage is one step of the engine's round pipeline. Stages run in order;
+// instrumented engines observe each stage's duration into its histogram.
+type stage struct {
+	name string
+	// hist selects the stage's histogram (nil for fold/final stages).
+	hist func(*stageMetrics) *telemetry.Histogram
+	// fold accumulates the stage's duration into roundState.observeDur
+	// instead of observing a histogram (the OnContracts dispatch).
+	fold bool
+	// final marks the observe stage: its duration (plus the folded
+	// observer time) and the whole round's duration are observed even
+	// when the stage errors — a stopped round was still a full round.
+	final bool
+	run   func(*Engine, context.Context, *roundState) error
+}
+
+// roundPipeline is the engine's round body: contract design, OnContracts
+// dispatch, worker best responses, outcome settlement (Eq. (7)), observer
+// dispatch. Design and respond switch between the sequential and sharded
+// routes on Config.Shards; the other stages are shared.
+var roundPipeline = [...]stage{
+	{name: "design", hist: func(m *stageMetrics) *telemetry.Histogram { return m.design }, run: (*Engine).stageDesign},
+	{name: "contracts", fold: true, run: (*Engine).stageContracts},
+	{name: "respond", hist: func(m *stageMetrics) *telemetry.Histogram { return m.respond }, run: (*Engine).stageRespond},
+	{name: "settle", hist: func(m *stageMetrics) *telemetry.Histogram { return m.settle }, run: (*Engine).stageSettle},
+	{name: "observe", final: true, run: (*Engine).stageObserve},
 }
 
 // New validates the population and configuration and wires the cache and
@@ -168,6 +244,9 @@ func New(pop *Population, cfg Config) (*Engine, error) {
 	if cfg.Rounds <= 0 {
 		return nil, fmt.Errorf("rounds=%d must be positive: %w", cfg.Rounds, ErrBadConfig)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("shards=%d must be >= 0: %w", cfg.Shards, ErrBadConfig)
+	}
 	if err := pop.Validate(); err != nil {
 		return nil, err
 	}
@@ -177,6 +256,11 @@ func New(pop *Population, cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{pop: pop, cfg: cfg}
+	if cfg.Shards > 0 {
+		if sp, ok := cfg.Policy.(ShardPolicy); ok {
+			e.shardPol = sp
+		}
+	}
 	if cfg.Metrics != nil {
 		if mu, ok := cfg.Policy.(MetricsUser); ok {
 			mu.UseMetrics(cfg.Metrics)
@@ -222,11 +306,13 @@ func (e *Engine) RespondStats() RespondStats {
 // error otherwise (context cancellation, policy/design failure, a drift
 // that broke the population, or an observer error).
 //
-// Each round is four stages — contract design, worker best-response,
-// outcome settlement, observer dispatch — and when Config.Metrics is set
-// each stage's duration is observed into its _seconds histogram. The
-// observable event order is unchanged either way: OnContracts, then one
-// OnOutcome per agent in ID order, then OnRoundEnd.
+// Each round walks the stage pipeline — contract design, worker
+// best-response, outcome settlement, observer dispatch — and when
+// Config.Metrics is set each stage's duration is observed into its
+// _seconds histogram (observer dispatch on either side of respond bills
+// to the observe histogram). The observable event order is the same on
+// every route, sequential or sharded: OnContracts, then one OnOutcome per
+// agent in ID order, then OnRoundEnd.
 func (e *Engine) Run(ctx context.Context) error {
 	timed := e.m != nil
 	for r := 0; r < e.cfg.Rounds; r++ {
@@ -240,89 +326,125 @@ func (e *Engine) Run(ctx context.Context) error {
 			}
 		}
 
-		// Stage 1: contract design.
-		var roundTimer, stageTimer telemetry.Timer
+		e.rt = roundState{r: r, timed: timed}
+		st := &e.rt
+		var roundTimer telemetry.Timer
 		if timed {
 			roundTimer = telemetry.StartTimer()
-			stageTimer = roundTimer
 		}
-		contracts, err := e.cfg.Policy.Contracts(ctx, e.pop)
-		if err != nil {
-			return fmt.Errorf("engine: policy %s round %d: %w", e.cfg.Policy.Name(), r, err)
+		for si := range roundPipeline {
+			sg := &roundPipeline[si]
+			var stageTimer telemetry.Timer
+			if timed {
+				stageTimer = telemetry.StartTimer()
+			}
+			err := sg.run(e, ctx, st)
+			if timed && (err == nil || sg.final) {
+				d := stageTimer.Elapsed()
+				switch {
+				case sg.fold:
+					st.observeDur += d
+				case sg.final:
+					e.m.observe.Observe((d + st.observeDur).Seconds())
+					e.m.round.Observe(roundTimer.Seconds())
+				default:
+					sg.hist(e.m).Observe(d.Seconds())
+				}
+			}
+			if err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
 		}
-		var observeDur time.Duration
-		if timed {
-			e.m.design.Observe(stageTimer.Seconds())
-			stageTimer = telemetry.StartTimer()
-		}
-		for _, ob := range e.cfg.Observers {
-			ob.OnContracts(r, contracts)
-		}
-		if timed {
-			observeDur += stageTimer.Elapsed()
-			stageTimer = telemetry.StartTimer()
-		}
+	}
+	return nil
+}
 
-		// Stage 2: worker best responses. The outcomes backing array is
-		// reused across rounds; observers that retain it past their
-		// callback (as Ledger does) must copy.
-		agents := e.roundAgents()
-		if cap(e.outs) < len(agents) {
-			e.outs = make([]AgentOutcome, len(agents))
+// stageDesign resolves the round's agent view and asks the policy for
+// contracts — whole-population on the sequential route, per shard under
+// Config.Shards.
+func (e *Engine) stageDesign(ctx context.Context, st *roundState) error {
+	st.agents = e.roundAgents()
+	if e.cfg.Shards > 0 {
+		return e.designSharded(ctx, st)
+	}
+	contracts, err := e.cfg.Policy.Contracts(ctx, e.pop)
+	if err != nil {
+		return fmt.Errorf("engine: policy %s round %d: %w", e.cfg.Policy.Name(), st.r, err)
+	}
+	st.contracts = contracts
+	return nil
+}
+
+// stageContracts dispatches OnContracts. (On the sharded dense route with
+// no observers the merged map is never built and st.contracts is nil.)
+func (e *Engine) stageContracts(_ context.Context, st *roundState) error {
+	for _, ob := range e.cfg.Observers {
+		ob.OnContracts(st.r, st.contracts)
+	}
+	return nil
+}
+
+// stageRespond computes worker best responses into the reused outcomes
+// backing array; observers that retain it past their callback (as Ledger
+// does) must copy.
+func (e *Engine) stageRespond(ctx context.Context, st *roundState) error {
+	agents := st.agents
+	if cap(e.outs) < len(agents) {
+		e.outs = make([]AgentOutcome, len(agents))
+		e.invalidateShardOuts()
+	}
+	st.round = Round{Index: st.r, Outcomes: e.outs[:len(agents)]}
+	var wu float64
+	var err error
+	if e.cfg.Shards > 0 {
+		wu, err = e.respondSharded(ctx, st)
+	} else {
+		wu, err = e.respondAll(ctx, st.r, st.contracts, agents, st.round.Outcomes, st.timed)
+	}
+	if err != nil {
+		return err
+	}
+	st.workerUtility = wu
+	return nil
+}
+
+// stageSettle runs the Eq. (7) accounting — always one sequential pass in
+// global ID order, so sharded and sequential rounds sum bit-identically.
+func (e *Engine) stageSettle(_ context.Context, st *roundState) error {
+	round := &st.round
+	for i := range round.Outcomes {
+		oc := &round.Outcomes[i]
+		if oc.Excluded || oc.Declined {
+			continue
 		}
-		round := Round{Index: r, Outcomes: e.outs[:len(agents)]}
-		workerUtility, err := e.respondAll(ctx, r, contracts, agents, round.Outcomes, timed)
-		if err != nil {
+		round.Benefit += oc.Weight * oc.Feedback
+		round.Cost += oc.Compensation
+	}
+	round.Utility = round.Benefit - e.pop.Mu*round.Cost
+	if st.timed {
+		e.m.workerUtility.Set(st.workerUtility)
+	}
+	return nil
+}
+
+// stageObserve dispatches per-agent outcomes and the round end. The
+// registry export runs first so observers that read Config.Metrics (e.g.
+// a per-round JSONL flush) see the completed round's values.
+func (e *Engine) stageObserve(_ context.Context, st *roundState) error {
+	if st.timed {
+		_ = e.telObs.OnRoundEnd(st.round) // never errors
+	}
+	for i := range st.round.Outcomes {
+		for _, ob := range e.cfg.Observers {
+			ob.OnOutcome(st.r, st.round.Outcomes[i])
+		}
+	}
+	for _, ob := range e.cfg.Observers {
+		if err := ob.OnRoundEnd(st.round); err != nil {
 			return err
-		}
-		if timed {
-			e.m.respond.Observe(stageTimer.Seconds())
-			stageTimer = telemetry.StartTimer()
-		}
-
-		// Stage 3: outcome settlement (Eq. (7) accounting).
-		for i := range round.Outcomes {
-			oc := &round.Outcomes[i]
-			if oc.Excluded || oc.Declined {
-				continue
-			}
-			round.Benefit += oc.Weight * oc.Feedback
-			round.Cost += oc.Compensation
-		}
-		round.Utility = round.Benefit - e.pop.Mu*round.Cost
-		if timed {
-			e.m.settle.Observe(stageTimer.Seconds())
-			e.m.workerUtility.Set(workerUtility)
-			stageTimer = telemetry.StartTimer()
-		}
-
-		// Stage 4: observer dispatch. The registry export runs first so
-		// observers that read Config.Metrics (e.g. a per-round JSONL
-		// flush) see the completed round's values.
-		if timed {
-			_ = e.telObs.OnRoundEnd(round) // never errors
-		}
-		for i := range round.Outcomes {
-			for _, ob := range e.cfg.Observers {
-				ob.OnOutcome(r, round.Outcomes[i])
-			}
-		}
-		var endErr error
-		for _, ob := range e.cfg.Observers {
-			if endErr = ob.OnRoundEnd(round); endErr != nil {
-				break
-			}
-		}
-		if timed {
-			observeDur += stageTimer.Elapsed()
-			e.m.observe.Observe(observeDur.Seconds())
-			e.m.round.Observe(roundTimer.Seconds())
-		}
-		if endErr != nil {
-			if errors.Is(endErr, ErrStop) {
-				return nil
-			}
-			return endErr
 		}
 	}
 	return nil

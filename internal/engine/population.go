@@ -64,7 +64,13 @@ func (p *Population) Bump() { p.generation++ }
 // Generation returns the current generation counter value.
 func (p *Population) Generation() uint64 { return p.generation }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency: at least one agent, a positive
+// finite μ, no nil or duplicate agents, per-agent validity, a finite
+// weight for every agent, malice probabilities within [0, 1], and no
+// orphan Weights/MaliceProb entries whose IDs match no agent (orphans are
+// almost always a drift hook that removed an agent but not its map
+// entries — silent on the sequential engine, but a stale-view hazard for
+// anything holding indexed views).
 func (p *Population) Validate() error {
 	if len(p.Agents) == 0 {
 		return fmt.Errorf("no agents: %w", ErrBadPopulation)
@@ -73,6 +79,7 @@ func (p *Population) Validate() error {
 		return fmt.Errorf("mu=%v: %w", p.Mu, ErrBadPopulation)
 	}
 	seen := make(map[string]bool, len(p.Agents))
+	malice := 0 // agents with a MaliceProb entry
 	for _, a := range p.Agents {
 		if a == nil {
 			return fmt.Errorf("nil agent: %w", ErrBadPopulation)
@@ -84,8 +91,34 @@ func (p *Population) Validate() error {
 		if err := a.Validate(p.Part.YMax()); err != nil {
 			return err
 		}
-		if _, ok := p.Weights[a.ID]; !ok {
+		w, ok := p.Weights[a.ID]
+		if !ok {
 			return fmt.Errorf("agent %q has no weight: %w", a.ID, ErrBadPopulation)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("agent %q weight=%v: %w", a.ID, w, ErrBadPopulation)
+		}
+		if mp, ok := p.MaliceProb[a.ID]; ok {
+			malice++
+			if !(mp >= 0 && mp <= 1) {
+				return fmt.Errorf("agent %q malice probability=%v: %w", a.ID, mp, ErrBadPopulation)
+			}
+		}
+	}
+	// Every agent has a weight and the matched malice entries are counted,
+	// so any surplus entry is an orphan; the scans only run on mismatch.
+	if len(p.Weights) > len(p.Agents) {
+		for id := range p.Weights {
+			if !seen[id] {
+				return fmt.Errorf("weight for unknown agent %q: %w", id, ErrBadPopulation)
+			}
+		}
+	}
+	if len(p.MaliceProb) > malice {
+		for id := range p.MaliceProb {
+			if !seen[id] {
+				return fmt.Errorf("malice probability for unknown agent %q: %w", id, ErrBadPopulation)
+			}
 		}
 	}
 	return nil

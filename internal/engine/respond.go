@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dyncontract/internal/contract"
 	"dyncontract/internal/core"
@@ -79,6 +80,9 @@ type RespondMemo struct {
 	// size mirrors len(entries) into the registry; nil (a no-op gauge)
 	// until ExportTo attaches one. Guarded by mu.
 	size *telemetry.Gauge
+	// gen counts whole-map drops (Invalidate and cap flushes), clearing
+	// segments lazily — see Cache.gen for the protocol.
+	gen atomic.Uint64
 }
 
 // NewRespondMemo returns an empty memo with the default size cap.
@@ -114,6 +118,7 @@ func (m *RespondMemo) Put(fp Fingerprint, c *contract.PiecewiseLinear, resp work
 		m.entries = make(map[respondKey]worker.Response)
 	} else if len(m.entries) >= max {
 		m.entries = make(map[respondKey]worker.Response)
+		m.gen.Add(1)
 	}
 	m.entries[key] = resp
 	m.size.Set(float64(len(m.entries)))
@@ -127,6 +132,7 @@ func (m *RespondMemo) Invalidate() {
 	m.mu.Lock()
 	m.entries = nil
 	m.size.Set(0)
+	m.gen.Add(1)
 	m.mu.Unlock()
 }
 
@@ -155,6 +161,72 @@ func (m *RespondMemo) ExportTo(reg *telemetry.Registry) {
 	m.size = size
 	m.size.Set(float64(len(m.entries)))
 	m.mu.Unlock()
+}
+
+// RespondMemoSegment is a shard-local view over a shared RespondMemo,
+// mirroring CacheSegment: a private lock-free map in front of the shared
+// read-mostly table, single-owner per shard, hits/misses counted on the
+// parent's atomics, cleared lazily when the parent's generation moves.
+type RespondMemoSegment struct {
+	parent *RespondMemo
+	gen    uint64
+	local  map[respondKey]worker.Response
+}
+
+// Segment returns a new shard-local view of the memo. Each segment is
+// single-owner: safe for use from one goroutine at a time, concurrently
+// with other segments of the same memo.
+func (m *RespondMemo) Segment() *RespondMemoSegment {
+	return &RespondMemoSegment{parent: m, gen: m.gen.Load(), local: make(map[respondKey]worker.Response)}
+}
+
+// sync drops the local map when the parent has been invalidated or
+// flushed since the last access.
+func (s *RespondMemoSegment) sync() {
+	if g := s.parent.gen.Load(); g != s.gen {
+		clear(s.local)
+		s.gen = g
+	}
+}
+
+// store caps the local map by the parent's limit, mirroring its
+// flush-when-full policy.
+func (s *RespondMemoSegment) store(key respondKey, resp worker.Response) {
+	max := s.parent.MaxEntries
+	if max <= 0 {
+		max = defaultMemoCap
+	}
+	if len(s.local) >= max {
+		clear(s.local)
+	}
+	s.local[key] = resp
+}
+
+// Get looks up a best response — local map first, then the shared table —
+// counting one hit or miss on the parent.
+func (s *RespondMemoSegment) Get(fp Fingerprint, c *contract.PiecewiseLinear) (worker.Response, bool) {
+	s.sync()
+	key := respondKey{fp: fp, c: c}
+	if resp, ok := s.local[key]; ok {
+		s.parent.hits.Inc()
+		return resp, true
+	}
+	resp, ok := s.parent.Get(fp, c)
+	if ok {
+		s.store(key, resp)
+	}
+	return resp, ok
+}
+
+// Put stores a best response in the segment and publishes it to the
+// shared table, where sibling segments will find it.
+func (s *RespondMemoSegment) Put(fp Fingerprint, c *contract.PiecewiseLinear, resp worker.Response) {
+	if c == nil {
+		return
+	}
+	s.sync()
+	s.store(respondKey{fp: fp, c: c}, resp)
+	s.parent.Put(fp, c, resp)
 }
 
 // pendResponse is one distinct best-response problem this round that the

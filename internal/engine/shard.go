@@ -1,0 +1,513 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/core"
+	"dyncontract/internal/telemetry"
+	"dyncontract/internal/worker"
+)
+
+// This file is the sharded round pipeline. The paper's decomposition
+// result (§IV-B) makes both contract design and best responses separable
+// per worker/community, so the engine can partition the population into
+// shards and run the design and respond stages per shard on a bounded
+// pool, merging results back in global agent-ID order — the ledger stays
+// byte-identical to the sequential engine (settlement remains one
+// sequential pass: float addition is not associative, so per-shard
+// partial sums would drift in the last ulp).
+//
+// Shard assignment hashes agent IDs (FNV-1a), so it is stable across
+// rounds and across processes: the same population shards the same way
+// everywhere, and adding an agent moves no settled agent's outcome slot —
+// outcomes are written to each agent's position in the global ID-sorted
+// order, not to contiguous per-shard blocks.
+
+// ShardOf returns the shard index for an agent ID under an n-way
+// partition: FNV-1a over the ID, reduced mod n. It is a pure function of
+// (id, n) — stable across rounds, runs, and machines — so shard-local
+// state (caches, scratch) stays warm for as long as the population does.
+func ShardOf(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// Shard is one partition of a population's ID-sorted agent view. Agents
+// within a shard keep their global ID order, and every per-agent datum
+// the hot loop needs — weight, malice estimate, design fingerprint — is
+// carried as an indexed slice aligned with Agents, so shard loops never
+// touch the population's string-keyed maps.
+type Shard struct {
+	// Index is the shard's position in the partition.
+	Index int
+	// Epoch identifies the population view this shard was built from.
+	// Engine-built shards use a counter that advances on every view
+	// rebuild (generation bump, or every round under Drift);
+	// Population.Shards uses the population's generation. Consumers that
+	// cache per-shard plans (ShardDesigner) key them on (Index, Epoch).
+	Epoch uint64
+	// Agents is the shard's slice of the ID-sorted population view.
+	Agents []*worker.Agent
+	// Global maps each shard position to the agent's index in the global
+	// ID-sorted view — the slot its outcome is written to.
+	Global []int32
+	// Weights is the indexed view of Population.Weights for Agents.
+	Weights []float64
+	// Malice is the indexed view of Population.MaliceProb for Agents
+	// (zero for agents with no entry, matching map-lookup semantics).
+	Malice []float64
+	// FPs caches each agent's design fingerprint, computed once per view
+	// rebuild and shared by the design and respond stages.
+	FPs []Fingerprint
+}
+
+// shardAssign distributes the ID-sorted agents across the reset shards by
+// ID hash, filling every indexed view.
+func shardAssign(p *Population, agents []*worker.Agent, shards []*Shard) {
+	n := len(shards)
+	for gi, a := range agents {
+		s := shards[ShardOf(a.ID, n)]
+		w := p.Weights[a.ID]
+		s.Agents = append(s.Agents, a)
+		s.Global = append(s.Global, int32(gi))
+		s.Weights = append(s.Weights, w)
+		s.Malice = append(s.Malice, p.MaliceProb[a.ID])
+		s.FPs = append(s.FPs, FingerprintOf(a, core.Config{Part: p.Part, Mu: p.Mu, W: w}))
+	}
+}
+
+// Shards partitions the population into n deterministic shards of its
+// ID-sorted agent view (see ShardOf for the assignment; it is stable
+// across rounds and processes). n is clamped to the number of agents;
+// n <= 0 returns nil. The shards are built fresh from the population's
+// current state — they are indexed snapshots, not live views.
+func (p *Population) Shards(n int) []Shard {
+	if n <= 0 || len(p.Agents) == 0 {
+		return nil
+	}
+	agents := append([]*worker.Agent(nil), p.Agents...)
+	sort.Slice(agents, func(i, j int) bool { return agents[i].ID < agents[j].ID })
+	if n > len(agents) {
+		n = len(agents)
+	}
+	shards := make([]Shard, n)
+	ptrs := make([]*Shard, n)
+	for i := range shards {
+		shards[i].Index = i
+		shards[i].Epoch = p.generation
+		ptrs[i] = &shards[i]
+	}
+	shardAssign(p, agents, ptrs)
+	return shards
+}
+
+// ShardPolicy is implemented by policies that can design one shard at a
+// time — the fast path of the sharded pipeline. ShardContracts fills
+// dst[i] with the contract for sh.Agents[i] (nil excludes the agent this
+// round) and reports whether any entry changed since its previous call
+// for this shard and epoch; false on a shard whose population view did
+// not move lets the engine skip that shard's respond stage outright, as
+// its retained outcomes are already this round's exact values.
+//
+// The engine calls ShardContracts once per shard per round; calls for
+// different shards may run concurrently, so implementations must confine
+// per-shard state to the shard (ShardDesigner does) or lock shared state.
+// Policies that implement only Policy still work under Config.Shards —
+// the engine designs through the whole-population Contracts call and runs
+// just the respond stage per shard.
+type ShardPolicy interface {
+	Policy
+	ShardContracts(ctx context.Context, pop *Population, sh *Shard, dst []*contract.PiecewiseLinear) (changed bool, err error)
+}
+
+// shardRun is the engine's retained per-shard state: the shard view, the
+// policy's dense contract slots, the memo segment, respond scratch, and
+// the warm-skip bookkeeping.
+type shardRun struct {
+	sh        Shard
+	contracts []*contract.PiecewiseLinear
+	memoSeg   *RespondMemoSegment
+	scratch   respondScratch
+	// outsOK records that the engine's outcome buffer already holds this
+	// shard's outcomes for its current contracts — set after a dense-route
+	// respond, cleared whenever the view, the contracts, or the buffer
+	// change. A round where every shard is warm skips respond entirely.
+	outsOK bool
+	// changed is ShardContracts' report for the current round.
+	changed bool
+	// wu is the shard's summed worker utility from its last respond.
+	wu float64
+}
+
+// invalidateShardOuts marks every shard's retained outcomes stale — the
+// outcome backing array was replaced.
+func (e *Engine) invalidateShardOuts() {
+	for i := range e.shards {
+		e.shards[i].outsOK = false
+	}
+}
+
+// ensureShards (re)builds the per-shard views over the ID-sorted agent
+// view, under the same caching contract as roundAgents: rebuilt when the
+// population's generation moves, every round under Drift, and never
+// otherwise. Reports whether a rebuild happened.
+func (e *Engine) ensureShards(agents []*worker.Agent) bool {
+	gen := e.pop.Generation()
+	if e.shardsOK && e.cfg.Drift == nil && e.shardsGen == gen {
+		return false
+	}
+	e.viewEpoch++
+	n := e.cfg.Shards
+	if n > len(agents) {
+		n = len(agents)
+	}
+	if len(e.shards) != n {
+		e.shards = make([]shardRun, n)
+		e.shardPtrs = make([]*Shard, n)
+	}
+	for i := range e.shards {
+		sr := &e.shards[i]
+		sr.sh.Index = i
+		sr.sh.Epoch = e.viewEpoch
+		sr.sh.Agents = sr.sh.Agents[:0]
+		sr.sh.Global = sr.sh.Global[:0]
+		sr.sh.Weights = sr.sh.Weights[:0]
+		sr.sh.Malice = sr.sh.Malice[:0]
+		sr.sh.FPs = sr.sh.FPs[:0]
+		sr.outsOK = false
+		sr.changed = false
+		if e.cfg.Memo != nil && sr.memoSeg == nil {
+			sr.memoSeg = e.cfg.Memo.Segment()
+		}
+		e.shardPtrs[i] = &sr.sh
+	}
+	shardAssign(e.pop, agents, e.shardPtrs)
+	for i := range e.shards {
+		sr := &e.shards[i]
+		na := len(sr.sh.Agents)
+		if cap(sr.contracts) < na {
+			sr.contracts = make([]*contract.PiecewiseLinear, na)
+		}
+		sr.contracts = sr.contracts[:na]
+		for j := range sr.contracts {
+			sr.contracts[j] = nil
+		}
+	}
+	e.shardsOK = true
+	e.shardsGen = gen
+	if e.m != nil {
+		e.m.shards.Set(float64(n))
+	}
+	return true
+}
+
+// designSharded is the design stage under Config.Shards > 0. With a
+// ShardPolicy each shard designs independently (on the pool when the
+// views were just rebuilt — warm validations are too cheap to fan out);
+// otherwise the whole-population Contracts call runs once and only the
+// respond stage is sharded.
+func (e *Engine) designSharded(ctx context.Context, st *roundState) error {
+	rebuilt := e.ensureShards(st.agents)
+	if e.shardPol == nil {
+		contracts, err := e.cfg.Policy.Contracts(ctx, e.pop)
+		if err != nil {
+			return fmt.Errorf("engine: policy %s round %d: %w", e.cfg.Policy.Name(), st.r, err)
+		}
+		st.contracts = contracts
+		return nil
+	}
+	if rebuilt && len(e.shards) > 1 {
+		if err := e.fanOut(ctx, st.r, len(e.shards), 0, func(i int) error {
+			return e.designShard(ctx, st, i)
+		}); err != nil {
+			return err
+		}
+	} else {
+		for i := range e.shards {
+			if err := e.designShard(ctx, st, i); err != nil {
+				return err
+			}
+		}
+	}
+	// The merged per-ID map exists only for observers (OnContracts); the
+	// sharded respond stage reads the dense slots directly.
+	if len(e.cfg.Observers) > 0 {
+		st.contracts = e.mergeContracts(st, rebuilt)
+	}
+	return nil
+}
+
+// designShard designs one shard through the ShardPolicy.
+func (e *Engine) designShard(ctx context.Context, st *roundState, i int) error {
+	sr := &e.shards[i]
+	var t telemetry.Timer
+	if st.timed {
+		t = telemetry.StartTimer()
+	}
+	changed, err := e.shardPol.ShardContracts(ctx, e.pop, &sr.sh, sr.contracts)
+	if err != nil {
+		return fmt.Errorf("engine: policy %s shard %d round %d: %w", e.cfg.Policy.Name(), i, st.r, err)
+	}
+	sr.changed = changed
+	if changed {
+		sr.outsOK = false
+	}
+	if st.timed {
+		e.m.shardDesign.Observe(t.Seconds())
+	}
+	return nil
+}
+
+// mergeContracts assembles the observer-facing per-ID contract map from
+// the dense shard slots: a full rewrite after a view rebuild, and only
+// the changed shards' entries otherwise.
+func (e *Engine) mergeContracts(st *roundState, rebuilt bool) map[string]*contract.PiecewiseLinear {
+	if e.merged == nil {
+		e.merged = make(map[string]*contract.PiecewiseLinear, len(st.agents))
+		rebuilt = true
+	}
+	if rebuilt {
+		clear(e.merged)
+	}
+	for si := range e.shards {
+		sr := &e.shards[si]
+		if !rebuilt && !sr.changed {
+			continue
+		}
+		for i, a := range sr.sh.Agents {
+			if c := sr.contracts[i]; c != nil {
+				e.merged[a.ID] = c
+			} else if !rebuilt {
+				delete(e.merged, a.ID)
+			}
+		}
+	}
+	return e.merged
+}
+
+// respondSharded is the respond stage under Config.Shards > 0. Dirty
+// shards (new views, changed contracts, replaced outcome buffer) respond
+// on the pool; a fully warm round — every shard's retained outcomes
+// already exact — skips the stage. Outcomes land in each agent's global
+// ID-order slot, so the merge order is exactly the sequential engine's.
+func (e *Engine) respondSharded(ctx context.Context, st *roundState) (float64, error) {
+	if e.cfg.Responder != nil {
+		return e.respondShardedHook(ctx, st)
+	}
+	fromMap := e.shardPol == nil
+	dirty := 0
+	for i := range e.shards {
+		if fromMap {
+			// Map-route contracts carry no change signal: respond every
+			// round, exactly like the sequential engine.
+			e.shards[i].outsOK = false
+		}
+		if !e.shards[i].outsOK {
+			dirty++
+		}
+	}
+	if dirty == 0 {
+		return e.sumShardUtility(), nil
+	}
+	if dirty > 1 && len(e.shards) > 1 {
+		if err := e.fanOut(ctx, st.r, len(e.shards), 0, func(i int) error {
+			return e.respondShard(st, i)
+		}); err != nil {
+			return 0, err
+		}
+	} else {
+		for i := range e.shards {
+			if err := e.respondShard(st, i); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return e.sumShardUtility(), nil
+}
+
+// respondShard computes one dirty shard's best responses (clean shards
+// return immediately), deduplicating through the shard's memo segment.
+func (e *Engine) respondShard(st *roundState, i int) error {
+	sr := &e.shards[i]
+	if sr.outsOK {
+		return nil
+	}
+	var t telemetry.Timer
+	if st.timed {
+		t = telemetry.StartTimer()
+	}
+	if err := e.respondShardSolve(sr, st); err != nil {
+		return err
+	}
+	// Retained outcomes are exact until the view or the contracts change —
+	// but only the dense route can see contracts change (the changed
+	// report); map-route shards re-mark dirty every round above.
+	sr.outsOK = true
+	if st.timed {
+		e.m.shardRespond.Observe(t.Seconds())
+	}
+	return nil
+}
+
+// respondShardSolve is the per-shard respond loop: the memoized dedup of
+// respondMemoized, reading the shard's indexed views (no string-map
+// lookups) and writing outcomes to pre-assigned global slots. Pending
+// misses solve inline — shard-level parallelism comes from the pool.
+func (e *Engine) respondShardSolve(sr *shardRun, st *roundState) error {
+	s := &sr.scratch
+	if s.keys == nil {
+		s.keys = make(map[respondKey]int32, 16)
+	} else {
+		clear(s.keys)
+	}
+	s.resps = s.resps[:0]
+	s.slots = s.slots[:0]
+	s.pend = s.pend[:0]
+
+	outs := st.round.Outcomes
+	fromMap := e.shardPol == nil
+	var lastKey respondKey
+	lastSlot := int32(-1)
+	for i, a := range sr.sh.Agents {
+		var c *contract.PiecewiseLinear
+		if fromMap {
+			c = st.contracts[a.ID]
+		} else {
+			c = sr.contracts[i]
+		}
+		oc := &outs[sr.sh.Global[i]]
+		*oc = AgentOutcome{AgentID: a.ID, Class: a.Class, Size: a.Size, Weight: sr.sh.Weights[i]}
+		if c == nil {
+			oc.Excluded = true
+			s.slots = append(s.slots, -1)
+			continue
+		}
+		key := respondKey{fp: sr.sh.FPs[i], c: c}
+		if lastSlot >= 0 && key == lastKey {
+			s.slots = append(s.slots, lastSlot)
+			continue
+		}
+		slot, seen := s.keys[key]
+		if !seen {
+			slot = int32(len(s.resps))
+			s.keys[key] = slot
+			var resp worker.Response
+			var hit bool
+			if sr.memoSeg != nil {
+				resp, hit = sr.memoSeg.Get(key.fp, key.c)
+			}
+			if hit {
+				s.resps = append(s.resps, resp)
+			} else {
+				s.resps = append(s.resps, worker.Response{})
+				s.pend = append(s.pend, pendResponse{slot: slot, a: a, key: key})
+			}
+		}
+		lastKey, lastSlot = key, slot
+		s.slots = append(s.slots, slot)
+	}
+
+	for pi := range s.pend {
+		p := &s.pend[pi]
+		resp, err := p.a.BestResponse(p.key.c, e.pop.Part)
+		if err != nil {
+			return fmt.Errorf("engine: agent %s round %d: %w", p.a.ID, st.r, err)
+		}
+		s.resps[p.slot] = resp
+		if sr.memoSeg != nil {
+			sr.memoSeg.Put(p.key.fp, p.key.c, resp)
+		}
+	}
+
+	var wu float64
+	for i := range sr.sh.Agents {
+		slot := s.slots[i]
+		if slot < 0 {
+			continue
+		}
+		wu += fillResponse(&outs[sr.sh.Global[i]], s.resps[slot])
+	}
+	sr.wu = wu
+	return nil
+}
+
+// sumShardUtility folds the per-shard worker-utility sums in shard order.
+// (The association differs from the sequential engine's global-order sum,
+// so the worker-utility gauge may differ in the last ulp; the ledger
+// itself settles in one sequential global pass and stays byte-identical.)
+func (e *Engine) sumShardUtility() float64 {
+	var wu float64
+	for i := range e.shards {
+		wu += e.shards[i].wu
+	}
+	return wu
+}
+
+// respondShardedHook runs a custom Responder per shard — hooks are
+// round-dependent, so there is no warm skip. Fanning out remains opt-in
+// through ParallelRespond (the Responder must then be concurrency-safe),
+// mirroring the sequential engine.
+func (e *Engine) respondShardedHook(ctx context.Context, st *roundState) (float64, error) {
+	if e.cfg.ParallelRespond > 0 && len(e.shards) > 1 {
+		if err := e.fanOut(ctx, st.r, len(e.shards), e.cfg.ParallelRespond, func(i int) error {
+			return e.respondShardHook(st, i)
+		}); err != nil {
+			return 0, err
+		}
+	} else {
+		for i := range e.shards {
+			if err := e.respondShardHook(st, i); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return e.sumShardUtility(), nil
+}
+
+// respondShardHook runs the Responder over one shard.
+func (e *Engine) respondShardHook(st *roundState, i int) error {
+	sr := &e.shards[i]
+	sr.outsOK = false
+	outs := st.round.Outcomes
+	var wu float64
+	for j, a := range sr.sh.Agents {
+		var c *contract.PiecewiseLinear
+		if e.shardPol != nil {
+			c = sr.contracts[j]
+		} else {
+			c = st.contracts[a.ID]
+		}
+		oc := &outs[sr.sh.Global[j]]
+		*oc = AgentOutcome{AgentID: a.ID, Class: a.Class, Size: a.Size, Weight: sr.sh.Weights[j]}
+		if c == nil {
+			oc.Excluded = true
+			continue
+		}
+		y, err := e.cfg.Responder(st.r, a, c, e.pop.Part)
+		if err != nil {
+			return fmt.Errorf("engine: responder for %s round %d: %w", a.ID, st.r, err)
+		}
+		y = clampEffort(y, a, e.pop.Part)
+		q := a.Psi.Eval(y)
+		oc.Effort = y
+		oc.Feedback = q
+		oc.Compensation = c.Eval(q)
+		wu += a.Utility(c, y)
+	}
+	sr.wu = wu
+	return nil
+}

@@ -55,6 +55,19 @@ const (
 	MetricRespondHits    = "dyncontract_engine_respond_hits_total"
 	MetricRespondMisses  = "dyncontract_engine_respond_misses_total"
 	MetricRespondEntries = "dyncontract_engine_respond_entries"
+
+	// MetricShards is the sharded pipeline's current shard count — the
+	// effective value after clamping Config.Shards to the population size;
+	// it stays 0 on sequential (Shards = 0) engines.
+	MetricShards = "dyncontract_engine_shards"
+	// Per-shard stage timings (histograms, seconds): the sharded pipeline
+	// observes one design and one executed respond duration per shard per
+	// round, so shard counts multiply the observation rate of the
+	// corresponding whole-stage histograms. Warm rounds skip shard respond
+	// entirely, which shows up as a shard-respond count below
+	// shards × rounds.
+	MetricShardDesignSeconds  = "dyncontract_engine_shard_design_seconds"
+	MetricShardRespondSeconds = "dyncontract_engine_shard_respond_seconds"
 )
 
 // Stage-timing histograms bin uniformly over [0, 250ms) in 5ms steps —
@@ -74,7 +87,8 @@ const (
 // afterwards.
 type stageMetrics struct {
 	design, respond, settle, observe, round *telemetry.Histogram
-	workerUtility                           *telemetry.Gauge
+	shardDesign, shardRespond               *telemetry.Histogram
+	workerUtility, shards                   *telemetry.Gauge
 }
 
 func newStageMetrics(reg *telemetry.Registry) *stageMetrics {
@@ -84,7 +98,10 @@ func newStageMetrics(reg *telemetry.Registry) *stageMetrics {
 		settle:        reg.Histogram(MetricStageSettleSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
 		observe:       reg.Histogram(MetricStageObserveSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
 		round:         reg.Histogram(MetricRoundSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		shardDesign:   reg.Histogram(MetricShardDesignSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		shardRespond:  reg.Histogram(MetricShardRespondSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
 		workerUtility: reg.Gauge(MetricRoundWorkerUtility),
+		shards:        reg.Gauge(MetricShards),
 	}
 }
 

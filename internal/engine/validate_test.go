@@ -1,0 +1,133 @@
+package engine_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"dyncontract/internal/engine"
+)
+
+// TestPopulationValidate table-drives the tightened Validate checks:
+// non-finite weights, out-of-range or NaN malice probabilities, and orphan
+// Weights/MaliceProb entries whose IDs match no agent.
+func TestPopulationValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(p *engine.Population)
+		wantErr string // substring of the error; "" means valid
+	}{
+		{
+			name:   "valid",
+			mutate: func(p *engine.Population) {},
+		},
+		{
+			name: "valid without malice entries",
+			mutate: func(p *engine.Population) {
+				p.MaliceProb = nil
+			},
+		},
+		{
+			name: "valid with partial malice entries",
+			mutate: func(p *engine.Population) {
+				delete(p.MaliceProb, p.Agents[0].ID)
+			},
+		},
+		{
+			name:    "no agents",
+			mutate:  func(p *engine.Population) { p.Agents = nil },
+			wantErr: "no agents",
+		},
+		{
+			name:    "NaN weight",
+			mutate:  func(p *engine.Population) { p.Weights[p.Agents[1].ID] = math.NaN() },
+			wantErr: "weight",
+		},
+		{
+			name:    "positive infinite weight",
+			mutate:  func(p *engine.Population) { p.Weights[p.Agents[0].ID] = math.Inf(1) },
+			wantErr: "weight",
+		},
+		{
+			name:    "negative infinite weight",
+			mutate:  func(p *engine.Population) { p.Weights[p.Agents[2].ID] = math.Inf(-1) },
+			wantErr: "weight",
+		},
+		{
+			name:    "missing weight",
+			mutate:  func(p *engine.Population) { delete(p.Weights, p.Agents[1].ID) },
+			wantErr: "has no weight",
+		},
+		{
+			name:    "malice probability below zero",
+			mutate:  func(p *engine.Population) { p.MaliceProb[p.Agents[0].ID] = -0.1 },
+			wantErr: "malice probability",
+		},
+		{
+			name:    "malice probability above one",
+			mutate:  func(p *engine.Population) { p.MaliceProb[p.Agents[1].ID] = 1.5 },
+			wantErr: "malice probability",
+		},
+		{
+			name:    "NaN malice probability",
+			mutate:  func(p *engine.Population) { p.MaliceProb[p.Agents[2].ID] = math.NaN() },
+			wantErr: "malice probability",
+		},
+		{
+			name:    "orphan weight entry",
+			mutate:  func(p *engine.Population) { p.Weights["ghost-w"] = 1 },
+			wantErr: `weight for unknown agent "ghost-w"`,
+		},
+		{
+			name: "orphan malice entry",
+			mutate: func(p *engine.Population) {
+				p.MaliceProb["ghost-m"] = 0.5
+			},
+			wantErr: `malice probability for unknown agent "ghost-m"`,
+		},
+		{
+			name: "orphan malice entry with partial coverage",
+			// Fewer malice entries than agents must not mask the orphan:
+			// the mismatch is against matched entries, not len(Agents).
+			mutate: func(p *engine.Population) {
+				for _, a := range p.Agents {
+					delete(p.MaliceProb, a.ID)
+				}
+				p.MaliceProb["ghost-m"] = 0.5
+			},
+			wantErr: `malice probability for unknown agent "ghost-m"`,
+		},
+		{
+			name: "orphan entries from drift removal",
+			// The motivating case: a drift hook dropped an agent from the
+			// slice but left both map entries behind.
+			mutate: func(p *engine.Population) {
+				p.Agents = p.Agents[1:]
+			},
+			wantErr: "unknown agent",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pop := archetypePopulation(t, 6)
+			tt.mutate(pop)
+			err := pop.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error containing %q", tt.wantErr)
+			}
+			if !errors.Is(err, engine.ErrBadPopulation) {
+				t.Errorf("Validate() = %v, want errors.Is ErrBadPopulation", err)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("Validate() = %q, want substring %q", err, tt.wantErr)
+			}
+		})
+	}
+}

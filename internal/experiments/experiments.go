@@ -156,6 +156,10 @@ type Params struct {
 	// RespondParallelism caps the respond stage's parallel fan-out (see
 	// engine.Config.ParallelRespond); 0 keeps the defaults.
 	RespondParallelism int
+	// Shards runs the simulation-driven experiments on the sharded round
+	// pipeline (see engine.Config.Shards); 0 keeps the sequential path.
+	// Ledgers — and therefore reports — are byte-identical either way.
+	Shards int
 	// Metrics, when non-nil, instruments the simulation-driven experiments'
 	// engine runs (see engine.Config.Metrics). Reports are identical either
 	// way.
@@ -165,7 +169,7 @@ type Params struct {
 // runLedger simulates rounds through the engine, attaching a fresh design
 // cache and respond memo unless the params disable them.
 func runLedger(ctx context.Context, pop *platform.Population, pol platform.Policy, rounds int, params Params) ([]platform.Round, error) {
-	cfg := engine.Config{Policy: pol, Rounds: rounds, Metrics: params.Metrics, ParallelRespond: params.RespondParallelism}
+	cfg := engine.Config{Policy: pol, Rounds: rounds, Metrics: params.Metrics, ParallelRespond: params.RespondParallelism, Shards: params.Shards}
 	if !params.NoDesignCache {
 		cfg.Cache = engine.NewCache()
 	}

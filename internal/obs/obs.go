@@ -271,3 +271,62 @@ func DeltaRespondStats(prev, cur engine.RespondStats) engine.RespondStats {
 		Entries: cur.Entries,
 	}
 }
+
+// ShardStats summarizes the sharded pipeline's per-shard stage activity
+// as read from a registry snapshot: the current shard count and, per
+// stage, how many per-shard executions ran and how long they took in
+// total. Design runs once per shard per rebuilt round; RespondRuns below
+// DesignRuns×rounds is warm rounds skipping the respond stage per shard.
+type ShardStats struct {
+	Shards                        int
+	DesignRuns, RespondRuns       uint64
+	DesignSeconds, RespondSeconds float64
+}
+
+// ShardStatsFrom reads the shard gauge and per-shard stage histograms
+// (the MetricShard* names) out of a registry snapshot, mirroring
+// CacheStatsFrom.
+func ShardStatsFrom(s telemetry.Snapshot) ShardStats {
+	design := s.Histograms[engine.MetricShardDesignSeconds]
+	respond := s.Histograms[engine.MetricShardRespondSeconds]
+	return ShardStats{
+		Shards:         int(s.Gauges[engine.MetricShards]),
+		DesignRuns:     design.Count,
+		RespondRuns:    respond.Count,
+		DesignSeconds:  design.Sum,
+		RespondSeconds: respond.Sum,
+	}
+}
+
+// DeltaShardStats returns cur−prev on the run counts and timings (Shards
+// stays absolute): the per-run view when several simulations share one
+// registry, mirroring DeltaCacheStats.
+func DeltaShardStats(prev, cur ShardStats) ShardStats {
+	return ShardStats{
+		Shards:         cur.Shards,
+		DesignRuns:     cur.DesignRuns - prev.DesignRuns,
+		RespondRuns:    cur.RespondRuns - prev.RespondRuns,
+		DesignSeconds:  cur.DesignSeconds - prev.DesignSeconds,
+		RespondSeconds: cur.RespondSeconds - prev.RespondSeconds,
+	}
+}
+
+// FprintShardStats renders the sharded pipeline's per-shard stage metrics
+// — the `-shardstats` output format. Stats with a zero shard count
+// (sequential run, or telemetry disabled) print a single explanatory
+// line.
+func FprintShardStats(w io.Writer, s ShardStats) {
+	if s.Shards == 0 {
+		fmt.Fprintf(w, "  shards: sequential pipeline (no shard metrics)\n")
+		return
+	}
+	mean := func(sum float64, n uint64) float64 {
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	fmt.Fprintf(w, "  shards: %d\n", s.Shards)
+	fmt.Fprintf(w, "  shard design:  %6d runs, mean %.6fs\n", s.DesignRuns, mean(s.DesignSeconds, s.DesignRuns))
+	fmt.Fprintf(w, "  shard respond: %6d runs, mean %.6fs\n", s.RespondRuns, mean(s.RespondSeconds, s.RespondRuns))
+}

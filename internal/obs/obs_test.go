@@ -228,3 +228,38 @@ func TestRespondStatsHelpers(t *testing.T) {
 		t.Fatalf("FprintRespondStats = %q, want %q", buf.String(), want2)
 	}
 }
+
+func TestShardStatsHelpers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge(engine.MetricShards).Set(4)
+	d := reg.Histogram(engine.MetricShardDesignSeconds, 0, 0.25, 50)
+	d.Observe(0.01)
+	d.Observe(0.03)
+	r := reg.Histogram(engine.MetricShardRespondSeconds, 0, 0.25, 50)
+	r.Observe(0.02)
+	got := ShardStatsFrom(reg.Snapshot())
+	want := ShardStats{Shards: 4, DesignRuns: 2, RespondRuns: 1, DesignSeconds: 0.04, RespondSeconds: 0.02}
+	if got != want {
+		t.Fatalf("ShardStatsFrom = %+v, want %+v", got, want)
+	}
+
+	delta := DeltaShardStats(ShardStats{Shards: 4, DesignRuns: 1, RespondRuns: 1, DesignSeconds: 0.01, RespondSeconds: 0.02}, got)
+	if (delta != ShardStats{Shards: 4, DesignRuns: 1, RespondRuns: 0, DesignSeconds: 0.03, RespondSeconds: 0}) {
+		t.Fatalf("DeltaShardStats = %+v", delta)
+	}
+
+	var buf bytes.Buffer
+	FprintShardStats(&buf, got)
+	want2 := "  shards: 4\n" +
+		"  shard design:       2 runs, mean 0.020000s\n" +
+		"  shard respond:      1 runs, mean 0.020000s\n"
+	if buf.String() != want2 {
+		t.Fatalf("FprintShardStats = %q, want %q", buf.String(), want2)
+	}
+
+	buf.Reset()
+	FprintShardStats(&buf, ShardStats{})
+	if want3 := "  shards: sequential pipeline (no shard metrics)\n"; buf.String() != want3 {
+		t.Fatalf("FprintShardStats(zero) = %q, want %q", buf.String(), want3)
+	}
+}

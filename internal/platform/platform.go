@@ -106,6 +106,7 @@ type DynamicPolicy struct {
 
 var (
 	_ Policy             = (*DynamicPolicy)(nil)
+	_ engine.ShardPolicy = (*DynamicPolicy)(nil)
 	_ engine.CacheUser   = (*DynamicPolicy)(nil)
 	_ engine.MetricsUser = (*DynamicPolicy)(nil)
 )
@@ -125,4 +126,13 @@ func (p *DynamicPolicy) UseMetrics(reg *telemetry.Registry) { p.designer.Metrics
 func (p *DynamicPolicy) Contracts(ctx context.Context, pop *Population) (map[string]*contract.PiecewiseLinear, error) {
 	p.designer.Parallelism = p.Parallelism
 	return p.designer.Contracts(ctx, pop, pop.Agents)
+}
+
+// ShardContracts implements engine.ShardPolicy: under engine.Config.Shards
+// each shard designs through its own engine.ShardDesigner, backed by a
+// lock-free segment of the shared design cache, and a warm shard — same
+// population view, same cached designs — reports changed = false so the
+// engine can skip its respond stage entirely.
+func (p *DynamicPolicy) ShardContracts(ctx context.Context, pop *Population, sh *engine.Shard, dst []*contract.PiecewiseLinear) (bool, error) {
+	return p.designer.Shard(sh.Index).Contracts(ctx, pop, sh, dst)
 }
