@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench benchall check fmt vet
+.PHONY: build test bench benchall check fmt vet serve loadgen smoke
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,16 @@ vet:
 
 check:
 	./scripts/check.sh
+
+# Serving layer: `make serve` runs the contract-design daemon on
+# localhost:8080, `make loadgen` fires a short burst at it, and
+# `make smoke` does the whole boot → burst → SIGTERM-drain cycle
+# unattended (same script CI runs).
+serve:
+	$(GO) run ./cmd/contractd
+
+loadgen:
+	$(GO) run ./cmd/loadgen -addr http://127.0.0.1:8080 -healthcheck -clients 4 -duration 3s -round-every 10
+
+smoke:
+	./scripts/smoke_server.sh

@@ -1,0 +1,104 @@
+package dyncontract
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"dyncontract/internal/server"
+)
+
+// BenchmarkServerDesignBatch measures the serving layer end to end:
+// concurrent clients posting design-only queries through the HTTP API,
+// coalesced by the micro-batcher into shared engine passes against a warm
+// design cache. Sub-benchmarks vary the client fan-in; cold solve cost is
+// paid once before the timer starts.
+//
+// This benchmark rides the network stack (httptest over loopback), so it
+// is intentionally excluded from bench.sh's warm-round regression bars —
+// track it for trend, not for the ±25% gate.
+func BenchmarkServerDesignBatch(b *testing.B) {
+	for _, clients := range []int{1, 8, 32} {
+		// Name deliberately avoids a trailing "-<digits>": bench.sh strips
+		// that pattern as the GOMAXPROCS suffix when building JSON names.
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			srv := server.New(server.Config{BatchWindow: 500 * time.Microsecond, BatchMax: 64})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			psi := server.PsiSpec{R2: -0.25, R1: 2}
+			create := server.CreateSessionRequest{
+				Agents: []server.AgentSpec{
+					{ID: "h1", Class: "honest", Psi: psi, Beta: 1, Weight: 1},
+					{ID: "m1", Class: "malicious", Psi: psi, Beta: 1, Omega: 0.5, Weight: 0.8},
+				},
+				M: 20, Delta: 0.1, Mu: 1,
+			}
+			var created server.CreateSessionResponse
+			post(b, ts, "/v1/sessions", create, &created, http.StatusCreated)
+
+			// Warm the cache: every weight the loop will query, solved once.
+			query := func(i int) server.DesignQueryRequest {
+				return server.DesignQueryRequest{Agent: &server.AgentSpec{
+					ID: "probe", Class: "honest", Psi: psi, Beta: 1,
+					Weight: 0.5 + 0.25*float64(i%4),
+				}}
+			}
+			path := "/v1/sessions/" + created.ID + "/design"
+			for i := 0; i < 4; i++ {
+				post(b, ts, path, query(i), nil, http.StatusOK)
+			}
+
+			b.ResetTimer()
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N / clients
+			extra := b.N % clients
+			for c := 0; c < clients; c++ {
+				n := per
+				if c < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						post(b, ts, path, query(i), nil, http.StatusOK)
+					}
+				}(n)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// post issues one JSON POST against the bench server and enforces the
+// expected status.
+func post(b *testing.B, ts *httptest.Server, path string, payload any, out any, want int) {
+	b.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		b.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, want)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			b.Fatal(err)
+		}
+	} else {
+		var sink json.RawMessage
+		_ = json.NewDecoder(resp.Body).Decode(&sink)
+	}
+}

@@ -1,0 +1,114 @@
+// Command contractd serves long-lived contract-design sessions over the
+// versioned JSON API of internal/server: create a session (synthetic or
+// explicit population), advance rounds, run design-only queries (coalesced
+// into micro-batches), and drift the population between rounds.
+//
+// Usage:
+//
+//	contractd [-listen addr] [-batch-window d] [-batch-max n]
+//	          [-queue n] [-design-queue n] [-max-inflight n]
+//	          [-max-sessions n] [-timeout d] [-drain-timeout d]
+//
+// The server exposes /metrics (Prometheus text) and /debug/pprof/ beside
+// the API. On SIGINT/SIGTERM it drains: in-flight work completes, queued
+// work is answered 503, then the listener closes and the per-route request
+// statistics are printed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyncontract/internal/obs"
+	"dyncontract/internal/server"
+	"dyncontract/internal/telemetry"
+)
+
+// testHookReady, when set by a test, is called with the bound address and
+// a function that triggers the same drain-and-exit path as SIGTERM.
+var testHookReady func(addr string, shutdown func())
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "contractd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("contractd", flag.ContinueOnError)
+	var (
+		listen       = fs.String("listen", "127.0.0.1:8080", "listen address")
+		batchWindow  = fs.Duration("batch-window", 2*time.Millisecond, "design micro-batch window")
+		batchMax     = fs.Int("batch-max", 64, "design micro-batch size trigger")
+		cmdQueue     = fs.Int("queue", 16, "per-session round/drift queue bound")
+		designQueue  = fs.Int("design-queue", 1024, "per-session design-query queue bound")
+		maxInFlight  = fs.Int("max-inflight", 256, "per-session in-flight request cap")
+		maxSessions  = fs.Int("max-sessions", 64, "live session cap")
+		timeout      = fs.Duration("timeout", 30*time.Second, "per-request server-side deadline")
+		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful drain deadline on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := telemetry.NewRegistry()
+	srv := server.New(server.Config{
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		CommandQueue:   *cmdQueue,
+		DesignQueue:    *designQueue,
+		MaxInFlight:    *maxInFlight,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *timeout,
+		Metrics:        reg,
+	})
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(out, "contractd: listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n", lis.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if testHookReady != nil {
+		testHookReady(lis.Addr().String(), stop)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(lis) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "contractd: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(out, "contractd: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+
+	obs.FprintHTTPStats(out, obs.HTTPStatsFrom(reg.Snapshot()))
+	fmt.Fprintln(out, "contractd: bye")
+	return nil
+}

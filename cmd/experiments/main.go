@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-run id[,id...]] [-scale small|paper] [-seed n] [-trace file.jsonl]
-//	            [-cachestats] [-respondstats] [-respond-parallel n] [-shards n]
+//	            [-cachestats] [-respondstats] [-respond-parallel n]
+//	            [-shards n] [-shardstats]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	experiments -list
@@ -60,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		memoStats  = fs.Bool("respondstats", false, "report respond-memo hits/misses per experiment")
 		respondPar = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
 		shards     = fs.Int("shards", 0, "shard count for the engine's sharded round pipeline; 0 = sequential (reports are identical)")
+		shardStats = fs.Bool("shardstats", false, "report per-shard stage timings per experiment (needs -shards)")
 		obsFlags   obs.Flags
 	)
 	obsFlags.Register(fs)
@@ -67,11 +69,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	// The registry outlives all experiments; -cachestats or -respondstats
-	// alone is enough to want one (the counters live there, read back per
-	// run).
+	// The registry outlives all experiments; -cachestats, -respondstats,
+	// or -shardstats alone is enough to want one (the counters live there,
+	// read back per run).
 	var reg *telemetry.Registry
-	if obsFlags.Enabled() || *cacheStats || *memoStats {
+	if obsFlags.Enabled() || *cacheStats || *memoStats || *shardStats {
 		reg = telemetry.NewRegistry()
 	}
 	sess, err := obsFlags.Start(reg)
@@ -150,6 +152,7 @@ func run(args []string, out io.Writer) error {
 	}
 	var prevCache engine.CacheStats
 	var prevMemo engine.RespondStats
+	var prevShard obs.ShardStats
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := experiments.Lookup(id)
@@ -166,7 +169,7 @@ func run(args []string, out io.Writer) error {
 		if err := sess.Flush(); err != nil {
 			return err
 		}
-		if (*cacheStats || *memoStats) && !*asJSON {
+		if (*cacheStats || *memoStats || *shardStats) && !*asJSON {
 			snap := reg.Snapshot()
 			fmt.Fprintf(out, "%s:\n", id)
 			if *cacheStats {
@@ -178,6 +181,12 @@ func run(args []string, out io.Writer) error {
 				cur := obs.RespondStatsFrom(snap)
 				obs.FprintRespondStats(out, obs.DeltaRespondStats(prevMemo, cur))
 				prevMemo = cur
+			}
+			if *shardStats {
+				// Experiments share one registry; the delta isolates this run.
+				cur := obs.ShardStatsFrom(snap)
+				obs.FprintShardStats(out, obs.DeltaShardStats(prevShard, cur))
+				prevShard = cur
 			}
 		}
 		if *outDir != "" {

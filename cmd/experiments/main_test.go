@@ -175,3 +175,48 @@ func TestRunNoMemoIdenticalReports(t *testing.T) {
 		t.Errorf("memoized and memo-free reports disagree")
 	}
 }
+
+func TestRunShardStats(t *testing.T) {
+	// fig8c runs simulations through the engine; with -shards the sharded
+	// pipeline records per-shard stage timings the -shardstats delta
+	// printer reads back. The report itself must not change.
+	var sharded, plain bytes.Buffer
+	if err := run([]string{"-run", "fig8c", "-seed", "7", "-shards", "2", "-shardstats"}, &sharded); err != nil {
+		t.Fatalf("run -shardstats: %v", err)
+	}
+	out := sharded.String()
+	if !strings.Contains(out, "shards: 2") {
+		t.Errorf("-shardstats output missing shard count:\n%s", out)
+	}
+	if !strings.Contains(out, "shard design:") || !strings.Contains(out, "shard respond:") {
+		t.Errorf("-shardstats output missing stage lines:\n%s", out)
+	}
+	if err := run([]string{"-run", "fig8c", "-seed", "7"}, &plain); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	// Strip the stats block: every remaining line must match the
+	// sequential run's report exactly.
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "shard") || strings.HasSuffix(line, "fig8c:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if strings.Join(kept, "\n") != plain.String() {
+		t.Errorf("sharded report differs from sequential:\n--- sharded ---\n%s\n--- plain ---\n%s",
+			strings.Join(kept, "\n"), plain.String())
+	}
+}
+
+func TestRunShardStatsSequential(t *testing.T) {
+	// Without -shards the printer reports the sequential pipeline rather
+	// than silence.
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "fig8c", "-seed", "7", "-shardstats"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "sequential pipeline (no shard metrics)") {
+		t.Errorf("-shardstats without -shards missing sequential note:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,307 @@
+// Command loadgen hammers a running contractd with a mixed workload of
+// round advances and design-only queries, then prints a latency and error
+// summary. It drives either closed-loop load (each client issues its next
+// request as soon as the previous answers) or open-loop load (-rate fixes
+// total request arrivals per second regardless of response times — the
+// honest way to measure latency under load).
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8080 [-clients n] [-duration d]
+//	        [-requests n] [-rate qps] [-round-every k] [-weights n]
+//	        [-scale small|paper] [-seed n] [-per-class n] [-strict]
+//	loadgen -addr ... -healthcheck [-healthcheck-timeout d]
+//
+// With -healthcheck it instead polls /healthz until the server answers 200
+// (exit 0) or the timeout passes (exit 1) — a curl-free readiness probe
+// for scripts.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dyncontract/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// result is one request's fate.
+type result struct {
+	kind    string // "round" or "design"
+	status  int    // 0 on transport error
+	latency time.Duration
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "contractd base URL")
+		healthcheck = fs.Bool("healthcheck", false, "poll /healthz until ready, then exit")
+		healthTO    = fs.Duration("healthcheck-timeout", 10*time.Second, "healthcheck deadline")
+		clients     = fs.Int("clients", 8, "concurrent clients")
+		duration    = fs.Duration("duration", 3*time.Second, "run length (ignored when -requests > 0)")
+		requests    = fs.Int("requests", 0, "requests per client (0 = run for -duration)")
+		rate        = fs.Float64("rate", 0, "open-loop total arrivals per second (0 = closed loop)")
+		roundEvery  = fs.Int("round-every", 10, "every k-th request advances a round (0 = designs only)")
+		weights     = fs.Int("weights", 4, "distinct feedback weights cycled through design queries")
+		scale       = fs.String("scale", "", "create a synthetic session (small or paper) instead of the inline population")
+		seed        = fs.Int64("seed", 42, "synthetic session seed")
+		perClass    = fs.Int("per-class", 50, "synthetic session agents per class")
+		strict      = fs.Bool("strict", false, "fail on any transport error or non-2xx/429 status")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if *healthcheck {
+		return waitHealthy(client, *addr, *healthTO, out)
+	}
+	if *weights < 1 {
+		*weights = 1
+	}
+
+	sessID, err := createSession(client, *addr, *scale, *seed, *perClass)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loadgen: session %s at %s; %d clients, ", sessID, *addr, *clients)
+	if *rate > 0 {
+		fmt.Fprintf(out, "open loop at %.0f req/s, ", *rate)
+	} else {
+		fmt.Fprint(out, "closed loop, ")
+	}
+	if *requests > 0 {
+		fmt.Fprintf(out, "%d requests/client\n", *requests)
+	} else {
+		fmt.Fprintf(out, "%s\n", *duration)
+	}
+
+	// Open loop: a token channel paced by a global ticker; clients consume
+	// tokens. A full channel means the fleet cannot keep up — those
+	// arrivals are counted, not silently absorbed into the pacing.
+	var tokens chan struct{}
+	var overload int64
+	var overloadMu sync.Mutex
+	stop := make(chan struct{})
+	if *rate > 0 {
+		tokens = make(chan struct{}, (*clients)*4)
+		interval := time.Duration(float64(time.Second) / *rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default:
+						overloadMu.Lock()
+						overload++
+						overloadMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	deadline := start.Add(*duration)
+	resCh := make(chan []result, *clients)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var res []result
+			for i := 0; ; i++ {
+				if *requests > 0 {
+					if i >= *requests {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(time.Until(deadline)):
+						break
+					}
+					if *requests == 0 && time.Now().After(deadline) {
+						break
+					}
+				}
+				n := c*1_000_000 + i
+				if *roundEvery > 0 && n%*roundEvery == 0 {
+					res = append(res, doJSON(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", server.AdvanceRoundRequest{}))
+				} else {
+					w := 0.5 + 0.25*float64(n%*weights)
+					q := server.DesignQueryRequest{Agent: &server.AgentSpec{
+						ID:    "probe",
+						Class: "honest",
+						Psi:   server.PsiSpec{R2: -0.25, R1: 2},
+						Beta:  1, Weight: w,
+					}}
+					res = append(res, doJSON(client, "design", *addr+"/v1/sessions/"+sessID+"/design", q))
+				}
+			}
+			resCh <- res
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	close(resCh)
+	elapsed := time.Since(start)
+
+	var all []result
+	for res := range resCh {
+		all = append(all, res...)
+	}
+	return summarize(out, all, elapsed, overload, *strict)
+}
+
+// waitHealthy polls /healthz until 200 or the deadline.
+func waitHealthy(client *http.Client, addr string, timeout time.Duration, out io.Writer) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Fprintln(out, "loadgen: server healthy")
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("healthcheck: %w", err)
+			}
+			return fmt.Errorf("healthcheck: server not healthy within %s", timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// createSession mints the session the load runs against.
+func createSession(client *http.Client, addr, scale string, seed int64, perClass int) (string, error) {
+	var req server.CreateSessionRequest
+	if scale != "" {
+		req = server.CreateSessionRequest{Scale: scale, Seed: seed, PerClass: perClass}
+	} else {
+		psi := server.PsiSpec{R2: -0.25, R1: 2}
+		req = server.CreateSessionRequest{
+			Agents: []server.AgentSpec{
+				{ID: "h1", Class: "honest", Psi: psi, Beta: 1, Weight: 1},
+				{ID: "h2", Class: "honest", Psi: psi, Beta: 1.2, Weight: 1},
+				{ID: "m1", Class: "malicious", Psi: psi, Beta: 1, Omega: 0.5, Weight: 0.8, Malice: 0.9},
+				{ID: "c1", Class: "community", Psi: psi, Beta: 1, Omega: 0.3, Size: 3, Weight: 0.5},
+			},
+			M: 10, Delta: 0.2, Mu: 1,
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Post(addr+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("create session: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("create session: status %d: %s", resp.StatusCode, raw)
+	}
+	var created server.CreateSessionResponse
+	if err := json.Unmarshal(raw, &created); err != nil {
+		return "", fmt.Errorf("create session: decode %q: %w", raw, err)
+	}
+	return created.ID, nil
+}
+
+// doJSON issues one POST and records its fate; bodies are drained so the
+// client reuses connections.
+func doJSON(client *http.Client, kind, url string, payload any) result {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return result{kind: kind}
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	lat := time.Since(start)
+	if err != nil {
+		return result{kind: kind, latency: lat}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return result{kind: kind, status: resp.StatusCode, latency: lat}
+}
+
+// summarize prints counts and latency percentiles, and enforces -strict.
+func summarize(out io.Writer, all []result, elapsed time.Duration, overload int64, strict bool) error {
+	type agg struct{ ok, rejected, errors int }
+	byKind := map[string]*agg{"round": {}, "design": {}}
+	var lats []time.Duration
+	for _, r := range all {
+		a := byKind[r.kind]
+		switch {
+		case r.status >= 200 && r.status < 300:
+			a.ok++
+			lats = append(lats, r.latency)
+		case r.status == http.StatusTooManyRequests:
+			a.rejected++
+		default:
+			a.errors++
+		}
+	}
+	fmt.Fprintf(out, "loadgen: %d requests in %.2fs (%.1f req/s)\n",
+		len(all), elapsed.Seconds(), float64(len(all))/elapsed.Seconds())
+	for _, kind := range []string{"round", "design"} {
+		a := byKind[kind]
+		fmt.Fprintf(out, "  %-7s %6d ok  %5d rejected (429)  %4d errors\n", kind+"s:", a.ok, a.rejected, a.errors)
+	}
+	if overload > 0 {
+		fmt.Fprintf(out, "  open loop: %d arrivals dropped (clients saturated)\n", overload)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(q float64) time.Duration {
+			i := int(q * float64(len(lats)-1))
+			return lats[i]
+		}
+		fmt.Fprintf(out, "  latency: p50 %s  p95 %s  p99 %s  max %s\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	bad := byKind["round"].errors + byKind["design"].errors
+	if strict && bad > 0 {
+		return fmt.Errorf("strict: %d requests failed with transport errors or non-2xx/429 statuses", bad)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests issued")
+	}
+	return nil
+}

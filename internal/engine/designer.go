@@ -7,6 +7,7 @@ import (
 
 	"dyncontract/internal/contract"
 	"dyncontract/internal/core"
+	"dyncontract/internal/effort"
 	"dyncontract/internal/solver"
 	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
@@ -153,6 +154,75 @@ func (d *Designer) Contracts(ctx context.Context, pop *Population, agents []*wor
 		d.contracts[a.ID] = res.Contract
 	}
 	return d.contracts, nil
+}
+
+// DesignRequest is one design-only query for DesignBatch: an agent (not
+// necessarily a member of any population) plus the requester-side feedback
+// weight to design for.
+type DesignRequest struct {
+	// Agent carries the behavioural parameters the design reads (class,
+	// ψ, β, ω, reservation). It is not retained past the call.
+	Agent *worker.Agent
+	// W is the requester's feedback weight w for this query.
+	W float64
+}
+
+// DesignBatch designs one contract per request against the given partition
+// and compensation weight — the batch entry point for serving layers that
+// coalesce concurrent design-only queries into a single engine pass.
+// Requests sharing a fingerprint within the batch share one solve, and the
+// designer's Cache (when set) carries designs across batches and across a
+// concurrently running round loop wired to the same cache, so a warm query
+// costs one cache lookup and zero solver calls.
+//
+// Unlike Contracts, DesignBatch touches none of the designer's per-round
+// scratch and allocates its results fresh, so concurrent DesignBatch calls
+// are safe with each other and with Contracts, provided Parallelism,
+// Cache, and Metrics are not mutated concurrently. The returned slice is
+// index-aligned with reqs.
+func (d *Designer) DesignBatch(ctx context.Context, part effort.Partition, mu float64, reqs []DesignRequest) ([]*contract.PiecewiseLinear, error) {
+	fps := make([]Fingerprint, len(reqs))
+	results := make(map[Fingerprint]*core.Result, len(reqs))
+	var subs []solver.Subproblem
+	var subFPs []Fingerprint
+	for i, rq := range reqs {
+		cfg := core.Config{Part: part, Mu: mu, W: rq.W}
+		fp := FingerprintOf(rq.Agent, cfg)
+		fps[i] = fp
+		if _, seen := results[fp]; seen {
+			continue
+		}
+		if d.Cache != nil {
+			if res, ok := d.Cache.Get(fp); ok {
+				results[fp] = res
+				continue
+			}
+		}
+		results[fp] = nil // pending: solved below
+		subs = append(subs, solver.Subproblem{Agent: rq.Agent, Config: cfg})
+		subFPs = append(subFPs, fp)
+	}
+	if len(subs) > 0 {
+		outs := make([]solver.Outcome, len(subs))
+		if err := solver.SolveAllInto(ctx, subs, outs, solver.Options{Parallelism: d.Parallelism, Metrics: d.Metrics}); err != nil {
+			return nil, err
+		}
+		for i := range subs {
+			results[subFPs[i]] = outs[i].Result
+			if d.Cache != nil {
+				d.Cache.Put(subFPs[i], outs[i].Result)
+			}
+		}
+	}
+	out := make([]*contract.PiecewiseLinear, len(reqs))
+	for i := range reqs {
+		res := results[fps[i]]
+		if res == nil {
+			return nil, fmt.Errorf("engine: no design produced for agent %s", reqs[i].Agent.ID)
+		}
+		out[i] = res.Contract
+	}
+	return out, nil
 }
 
 // Shard returns the designer for shard i, creating it on first use. Each

@@ -178,6 +178,7 @@ type Engine struct {
 	outs      []AgentOutcome // Round.Outcomes backing array, reused per round
 	rs        respondScratch // respond-stage buffers, reused per round
 	rt        roundState     // per-round pipeline state, reused per round
+	stepped   int            // rounds completed through Step (not Run)
 
 	// Sharded-pipeline state (Config.Shards > 0); see shard.go.
 	shardPol  ShardPolicy // non-nil when the policy supports per-shard design
@@ -314,49 +315,84 @@ func (e *Engine) RespondStats() RespondStats {
 // every route, sequential or sharded: OnContracts, then one OnOutcome per
 // agent in ID order, then OnRoundEnd.
 func (e *Engine) Run(ctx context.Context) error {
-	timed := e.m != nil
 	for r := 0; r < e.cfg.Rounds; r++ {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("engine: round %d: %w", r, err)
-		}
-		if e.cfg.Drift != nil {
-			e.cfg.Drift(r, e.pop)
-			if err := e.pop.Validate(); err != nil {
-				return fmt.Errorf("engine: drift broke population at round %d: %w", r, err)
+		if err := e.runRound(ctx, r); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
 			}
+			return err
 		}
+	}
+	return nil
+}
 
-		e.rt = roundState{r: r, timed: timed}
-		st := &e.rt
-		var roundTimer telemetry.Timer
-		if timed {
-			roundTimer = telemetry.StartTimer()
+// Step executes exactly one round — drift, design, respond, settle,
+// observe — using the engine's own step counter as the round index, and
+// advances the counter when the round completes. It is the entry point
+// for long-lived callers (servers, interactive drivers) that advance a
+// session on demand instead of running a fixed horizon; Config.Rounds is
+// ignored by Step (it must still validate as positive).
+//
+// Unlike Run, Step returns ErrStop verbatim when an observer requests a
+// stop — the caller owns the loop, so it also owns the decision. A failed
+// round (context cancellation, design error) does not advance the counter
+// and leaves no trace in the ledger, so retrying is safe. Mixing Run and
+// Step on one engine is not supported: Run always restarts from round 0.
+//
+// Step is not safe for concurrent use — serialize calls through a single
+// writer, as internal/server does.
+func (e *Engine) Step(ctx context.Context) error {
+	err := e.runRound(ctx, e.stepped)
+	if err == nil || errors.Is(err, ErrStop) {
+		e.stepped++
+	}
+	return err
+}
+
+// Stepped returns the number of rounds completed through Step.
+func (e *Engine) Stepped() int { return e.stepped }
+
+// runRound executes one round of the stage pipeline. ErrStop from an
+// observer is returned verbatim; callers decide whether it ends the run.
+func (e *Engine) runRound(ctx context.Context, r int) error {
+	timed := e.m != nil
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("engine: round %d: %w", r, err)
+	}
+	if e.cfg.Drift != nil {
+		e.cfg.Drift(r, e.pop)
+		if err := e.pop.Validate(); err != nil {
+			return fmt.Errorf("engine: drift broke population at round %d: %w", r, err)
 		}
-		for si := range roundPipeline {
-			sg := &roundPipeline[si]
-			var stageTimer telemetry.Timer
-			if timed {
-				stageTimer = telemetry.StartTimer()
+	}
+
+	e.rt = roundState{r: r, timed: timed}
+	st := &e.rt
+	var roundTimer telemetry.Timer
+	if timed {
+		roundTimer = telemetry.StartTimer()
+	}
+	for si := range roundPipeline {
+		sg := &roundPipeline[si]
+		var stageTimer telemetry.Timer
+		if timed {
+			stageTimer = telemetry.StartTimer()
+		}
+		err := sg.run(e, ctx, st)
+		if timed && (err == nil || sg.final) {
+			d := stageTimer.Elapsed()
+			switch {
+			case sg.fold:
+				st.observeDur += d
+			case sg.final:
+				e.m.observe.Observe((d + st.observeDur).Seconds())
+				e.m.round.Observe(roundTimer.Seconds())
+			default:
+				sg.hist(e.m).Observe(d.Seconds())
 			}
-			err := sg.run(e, ctx, st)
-			if timed && (err == nil || sg.final) {
-				d := stageTimer.Elapsed()
-				switch {
-				case sg.fold:
-					st.observeDur += d
-				case sg.final:
-					e.m.observe.Observe((d + st.observeDur).Seconds())
-					e.m.round.Observe(roundTimer.Seconds())
-				default:
-					sg.hist(e.m).Observe(d.Seconds())
-				}
-			}
-			if err != nil {
-				if errors.Is(err, ErrStop) {
-					return nil
-				}
-				return err
-			}
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil

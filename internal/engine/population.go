@@ -65,7 +65,9 @@ func (p *Population) Bump() { p.generation++ }
 func (p *Population) Generation() uint64 { return p.generation }
 
 // Validate checks internal consistency: at least one agent, a positive
-// finite μ, no nil or duplicate agents, per-agent validity, a finite
+// finite μ, no nil agents, no empty or duplicate agent IDs (the server
+// mints sessions from untrusted payloads, and an empty ID would collide
+// with the zero-value map lookups used throughout), per-agent validity, a finite
 // weight for every agent, malice probabilities within [0, 1], and no
 // orphan Weights/MaliceProb entries whose IDs match no agent (orphans are
 // almost always a drift hook that removed an agent but not its map
@@ -83,6 +85,9 @@ func (p *Population) Validate() error {
 	for _, a := range p.Agents {
 		if a == nil {
 			return fmt.Errorf("nil agent: %w", ErrBadPopulation)
+		}
+		if a.ID == "" {
+			return fmt.Errorf("agent with empty ID: %w", ErrBadPopulation)
 		}
 		if seen[a.ID] {
 			return fmt.Errorf("duplicate agent %q: %w", a.ID, ErrBadPopulation)

@@ -40,6 +40,24 @@ func TestPopulationValidate(t *testing.T) {
 			wantErr: "no agents",
 		},
 		{
+			name: "empty agent ID",
+			mutate: func(p *engine.Population) {
+				clone := *p.Agents[1]
+				clone.ID = ""
+				p.Agents[1] = &clone
+				p.Weights[""] = 1
+			},
+			wantErr: "empty ID",
+		},
+		{
+			name: "duplicate agent ID",
+			mutate: func(p *engine.Population) {
+				clone := *p.Agents[0]
+				p.Agents[2] = &clone
+			},
+			wantErr: "duplicate agent",
+		},
+		{
 			name:    "NaN weight",
 			mutate:  func(p *engine.Population) { p.Weights[p.Agents[1].ID] = math.NaN() },
 			wantErr: "weight",

@@ -18,6 +18,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"dyncontract/internal/engine"
@@ -308,6 +310,61 @@ func DeltaShardStats(prev, cur ShardStats) ShardStats {
 		RespondRuns:    cur.RespondRuns - prev.RespondRuns,
 		DesignSeconds:  cur.DesignSeconds - prev.DesignSeconds,
 		RespondSeconds: cur.RespondSeconds - prev.RespondSeconds,
+	}
+}
+
+// HTTPRouteStats summarizes one instrumented HTTP route (the
+// telemetry.InstrumentHandler metric set) as read from a registry
+// snapshot: request and status-class counts, the backpressure rejections,
+// and latency aggregates from the route's histogram.
+type HTTPRouteStats struct {
+	Route                   string
+	Requests, Rejected      uint64
+	Status2xx, Status3xx    uint64
+	Status4xx, Status5xx    uint64
+	MeanSeconds, P50Seconds float64
+	P95Seconds, P99Seconds  float64
+}
+
+// HTTPStatsFrom extracts every instrumented route from a registry
+// snapshot, sorted by route name — the serving-layer sibling of
+// CacheStatsFrom/ShardStatsFrom, used by contractd's exit summary.
+func HTTPStatsFrom(s telemetry.Snapshot) []HTTPRouteStats {
+	var out []HTTPRouteStats
+	for name, hist := range s.Histograms {
+		if !strings.HasPrefix(name, telemetry.HTTPMetricPrefix) || !strings.HasSuffix(name, telemetry.HTTPSuffixSeconds) {
+			continue
+		}
+		route := strings.TrimSuffix(strings.TrimPrefix(name, telemetry.HTTPMetricPrefix), telemetry.HTTPSuffixSeconds)
+		base := telemetry.HTTPMetricPrefix + route
+		out = append(out, HTTPRouteStats{
+			Route:       route,
+			Requests:    s.Counters[base+telemetry.HTTPSuffixRequests],
+			Rejected:    s.Counters[base+telemetry.HTTPSuffixRejected],
+			Status2xx:   s.Counters[base+telemetry.HTTPSuffix2xx],
+			Status3xx:   s.Counters[base+telemetry.HTTPSuffix3xx],
+			Status4xx:   s.Counters[base+telemetry.HTTPSuffix4xx],
+			Status5xx:   s.Counters[base+telemetry.HTTPSuffix5xx],
+			MeanSeconds: hist.Mean(),
+			P50Seconds:  hist.Quantile(0.50),
+			P95Seconds:  hist.Quantile(0.95),
+			P99Seconds:  hist.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// FprintHTTPStats renders per-route serving stats one line per route —
+// the shared format for contractd's drain summary and tests.
+func FprintHTTPStats(w io.Writer, stats []HTTPRouteStats) {
+	if len(stats) == 0 {
+		fmt.Fprintf(w, "  http: no instrumented routes\n")
+		return
+	}
+	for _, s := range stats {
+		fmt.Fprintf(w, "  http %-16s %8d reqs (%d rejected, %d 5xx)  mean %8.4fs  p50 %8.4fs  p95 %8.4fs  p99 %8.4fs\n",
+			s.Route, s.Requests, s.Rejected, s.Status5xx, s.MeanSeconds, s.P50Seconds, s.P95Seconds, s.P99Seconds)
 	}
 }
 

@@ -263,3 +263,53 @@ func TestShardStatsHelpers(t *testing.T) {
 		t.Fatalf("FprintShardStats(zero) = %q, want %q", buf.String(), want3)
 	}
 }
+
+// TestHTTPStatsHelpers drives requests through telemetry.InstrumentHandler
+// and checks HTTPStatsFrom recovers the route's counts and latency
+// aggregates, and FprintHTTPStats renders one line per route.
+func TestHTTPStatsHelpers(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	okHandler := telemetry.InstrumentHandler(reg, "design", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	busyHandler := telemetry.InstrumentHandler(reg, "rounds", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	for i := 0; i < 5; i++ {
+		okHandler.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/design", nil))
+	}
+	busyHandler.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/rounds", nil))
+
+	stats := HTTPStatsFrom(reg.Snapshot())
+	if len(stats) != 2 {
+		t.Fatalf("HTTPStatsFrom found %d routes, want 2: %+v", len(stats), stats)
+	}
+	if stats[0].Route != "design" || stats[1].Route != "rounds" {
+		t.Fatalf("routes not sorted: %+v", stats)
+	}
+	if stats[0].Requests != 5 || stats[0].Status2xx != 5 || stats[0].Rejected != 0 {
+		t.Errorf("design stats = %+v", stats[0])
+	}
+	if stats[1].Requests != 1 || stats[1].Rejected != 1 || stats[1].Status4xx != 1 {
+		t.Errorf("rounds stats = %+v", stats[1])
+	}
+	if stats[0].P95Seconds < stats[0].P50Seconds {
+		t.Errorf("p95 %v < p50 %v", stats[0].P95Seconds, stats[0].P50Seconds)
+	}
+
+	var buf bytes.Buffer
+	FprintHTTPStats(&buf, stats)
+	out := buf.String()
+	if !strings.Contains(out, "http design") || !strings.Contains(out, "http rounds") {
+		t.Errorf("FprintHTTPStats output missing routes:\n%s", out)
+	}
+	if !strings.Contains(out, "1 rejected") {
+		t.Errorf("FprintHTTPStats output missing rejected count:\n%s", out)
+	}
+
+	buf.Reset()
+	FprintHTTPStats(&buf, nil)
+	if !strings.Contains(buf.String(), "no instrumented routes") {
+		t.Errorf("empty FprintHTTPStats = %q", buf.String())
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/engine"
+)
+
+// gatedPolicy blocks every Contracts call until the gate opens — the test
+// seam for holding a round mid-flight. entered is buffered so the policy
+// never blocks on a test that stopped listening.
+type gatedPolicy struct {
+	inner   engine.Policy
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (p *gatedPolicy) Name() string { return p.inner.Name() }
+
+func (p *gatedPolicy) Contracts(ctx context.Context, pop *engine.Population) (map[string]*contract.PiecewiseLinear, error) {
+	select {
+	case p.entered <- struct{}{}:
+	default:
+	}
+	<-p.gate
+	return p.inner.Contracts(ctx, pop)
+}
+
+// gateServer builds a test server whose sessions run behind a gatedPolicy.
+func gateServer(t *testing.T, cfg Config) (*testServer, *gatedPolicy) {
+	t.Helper()
+	gp := &gatedPolicy{entered: make(chan struct{}, 64), gate: make(chan struct{})}
+	e := newTestServer(t, cfg)
+	e.srv.testWrapPolicy = func(pol engine.Policy) engine.Policy {
+		gp.inner = pol
+		return gp
+	}
+	return e, gp
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCommandQueueBackpressure fills the per-session command queue behind
+// a blocked round and requires the overflow request to bounce with 429 and
+// a Retry-After header.
+func TestCommandQueueBackpressure(t *testing.T) {
+	e, gp := gateServer(t, Config{CommandQueue: 1})
+	id := e.createSession(t)
+	sess := e.srv.sessions[id]
+
+	var wg sync.WaitGroup
+	codeA, codeB := 0, 0
+	wg.Add(1)
+	go func() { defer wg.Done(); codeA = e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, nil) }()
+	<-gp.entered // A is executing, queue empty
+
+	wg.Add(1)
+	go func() { defer wg.Done(); codeB = e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, nil) }()
+	waitFor(t, "B to queue", func() bool { return len(sess.cmds) == 1 })
+
+	// Queue full: C must be rejected immediately, not queued.
+	resp, err := e.ts.Client().Post(e.ts.URL+"/v1/sessions/"+id+"/rounds", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("overflow request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	close(gp.gate)
+	wg.Wait()
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Errorf("admitted requests: A=%d B=%d, want 200/200", codeA, codeB)
+	}
+	var info SessionInfo
+	if code := e.do(t, "GET", "/v1/sessions/"+id, nil, &info); code != http.StatusOK {
+		t.Fatalf("info: status %d", code)
+	}
+	if info.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2 (A and B, not C)", info.Rounds)
+	}
+}
+
+// TestInFlightCap rejects past the per-session in-flight limit even when
+// the queue has room.
+func TestInFlightCap(t *testing.T) {
+	e, gp := gateServer(t, Config{MaxInFlight: 1, CommandQueue: 16})
+	id := e.createSession(t)
+
+	var wg sync.WaitGroup
+	codeA := 0
+	wg.Add(1)
+	go func() { defer wg.Done(); codeA = e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, nil) }()
+	<-gp.entered
+
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, nil); code != http.StatusTooManyRequests {
+		t.Errorf("second in-flight request: status %d, want 429", code)
+	}
+	// Design queries share the cap.
+	q := DesignQueryRequest{AgentID: "h1"}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/design", &q, nil); code != http.StatusTooManyRequests {
+		t.Errorf("design past in-flight cap: status %d, want 429", code)
+	}
+
+	close(gp.gate)
+	wg.Wait()
+	if codeA != http.StatusOK {
+		t.Errorf("blocked round: status %d, want 200", codeA)
+	}
+	// The cap releases with the request: the session is usable again.
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, nil); code != http.StatusOK {
+		t.Errorf("round after release: status %d, want 200", code)
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"dyncontract/internal/core"
+	"dyncontract/internal/telemetry"
+)
+
+// TestDesignQueryMatchesCoreDesign pins the serving path to the math: a
+// design query for a session agent returns exactly the contract
+// core.Design produces for that agent's parameters.
+func TestDesignQueryMatchesCoreDesign(t *testing.T) {
+	e := newTestServer(t, Config{})
+	id := e.createSession(t)
+	var resp DesignQueryResponse
+	q := DesignQueryRequest{AgentID: "m1"}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/design", &q, &resp); code != http.StatusOK {
+		t.Fatalf("design: status %d", code)
+	}
+	if resp.AgentID != "m1" || resp.Contract == nil || resp.BatchSize < 1 {
+		t.Fatalf("bad response: %+v", resp)
+	}
+
+	req := testCreateReq()
+	pop, err := buildPopulation(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *core.Result
+	for _, a := range pop.Agents {
+		if a.ID == "m1" {
+			want, err = core.Design(a, core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !resp.Contract.Equal(want.Contract) {
+		t.Errorf("served contract differs from core.Design:\n got %+v\nwant %+v", resp.Contract, want.Contract)
+	}
+}
+
+// TestDesignQueryInlineAgent designs for an agent that is not a session
+// member, and rejects invalid inline agents.
+func TestDesignQueryInlineAgent(t *testing.T) {
+	e := newTestServer(t, Config{})
+	id := e.createSession(t)
+	q := DesignQueryRequest{Agent: &AgentSpec{
+		ID: "visitor", Class: "honest", Psi: PsiSpec{R2: -0.25, R1: 2}, Beta: 2, Weight: 1.5,
+	}}
+	var resp DesignQueryResponse
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/design", &q, &resp); code != http.StatusOK {
+		t.Fatalf("inline design: status %d", code)
+	}
+	if resp.Contract == nil {
+		t.Fatal("no contract")
+	}
+
+	for name, bad := range map[string]DesignQueryRequest{
+		"no form":    {},
+		"both forms": {AgentID: "h1", Agent: q.Agent},
+		"unknown id": {AgentID: "ghost"},
+		"bad psi":    {Agent: &AgentSpec{ID: "x", Class: "honest", Psi: PsiSpec{R2: 1, R1: 1}, Beta: 1, Weight: 1}},
+		"bad class":  {Agent: &AgentSpec{ID: "x", Class: "chaotic", Psi: PsiSpec{R2: -0.25, R1: 2}, Beta: 1, Weight: 1}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if code := e.do(t, "POST", "/v1/sessions/"+id+"/design", &bad, nil); code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", code)
+			}
+		})
+	}
+}
+
+// TestDesignBatchCoalesces fires concurrent design queries into a wide
+// batch window and requires that they share micro-batches (and that the
+// batch-size histogram observed it).
+func TestDesignBatchCoalesces(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := newTestServer(t, Config{BatchWindow: 200 * time.Millisecond, Metrics: reg})
+	id := e.createSession(t)
+
+	// Warm-up query: proves the path works before the concurrent burst.
+	q := DesignQueryRequest{AgentID: "h1"}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/design", &q, nil); code != http.StatusOK {
+		t.Fatalf("warm-up design: status %d", code)
+	}
+
+	const n = 8
+	ids := []string{"h1", "h2", "m1", "c1"}
+	var wg sync.WaitGroup
+	sizes := make([]int, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var resp DesignQueryResponse
+			codes[i] = e.do(t, "POST", "/v1/sessions/"+id+"/design",
+				&DesignQueryRequest{AgentID: ids[i%len(ids)]}, &resp)
+			sizes[i] = resp.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	maxSize := 0
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("query %d: status %d", i, codes[i])
+		}
+		if sizes[i] > maxSize {
+			maxSize = sizes[i]
+		}
+	}
+	if maxSize < 2 {
+		t.Errorf("no coalescing: max batch size %d over %d concurrent queries", maxSize, n)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[metricBatches]; got == 0 || got > n+1 {
+		t.Errorf("%s = %d, want in [1, %d]", metricBatches, got, n+1)
+	}
+	if snap.Histograms[metricBatchSize].Count == 0 {
+		t.Errorf("batch-size histogram empty")
+	}
+}
+
+// TestBatchMaxTriggersEarly pins the size trigger: with BatchMax=1 every
+// query flies alone no matter how wide the window is.
+func TestBatchMaxTriggersEarly(t *testing.T) {
+	e := newTestServer(t, Config{BatchWindow: time.Minute, BatchMax: 1})
+	id := e.createSession(t)
+	var resp DesignQueryResponse
+	q := DesignQueryRequest{AgentID: "h1"}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/design", &q, &resp); code != http.StatusOK {
+		t.Fatalf("design: status %d", code)
+	}
+	if resp.BatchSize != 1 {
+		t.Errorf("batch size = %d, want 1", resp.BatchSize)
+	}
+}
+
+// TestDesignServedFromWarmCache checks the cache hand-off between the
+// round loop and the design batcher: after one round, a design query for a
+// session agent is a pure cache hit (no new misses).
+func TestDesignServedFromWarmCache(t *testing.T) {
+	e := newTestServer(t, Config{})
+	id := e.createSession(t)
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, nil); code != http.StatusOK {
+		t.Fatalf("round: status %d", code)
+	}
+	var before SessionInfo
+	if code := e.do(t, "GET", "/v1/sessions/"+id, nil, &before); code != http.StatusOK {
+		t.Fatalf("info: status %d", code)
+	}
+	q := DesignQueryRequest{AgentID: "h1"}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/design", &q, nil); code != http.StatusOK {
+		t.Fatalf("design: status %d", code)
+	}
+	var after SessionInfo
+	if code := e.do(t, "GET", "/v1/sessions/"+id, nil, &after); code != http.StatusOK {
+		t.Fatalf("info: status %d", code)
+	}
+	if after.Cache.Misses != before.Cache.Misses {
+		t.Errorf("warm design query missed the cache: misses %d -> %d", before.Cache.Misses, after.Cache.Misses)
+	}
+	if after.Cache.Hits <= before.Cache.Hits {
+		t.Errorf("warm design query did not hit the cache: hits %d -> %d", before.Cache.Hits, after.Cache.Hits)
+	}
+}

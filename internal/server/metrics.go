@@ -1,0 +1,116 @@
+package server
+
+import "dyncontract/internal/telemetry"
+
+// Server-level metric names (the per-route request metrics use
+// telemetry.InstrumentHandler's dyncontract_http_* scheme on top of these).
+const (
+	// metricSessions is the number of live sessions.
+	metricSessions = "dyncontract_server_sessions"
+	// metricRoundQueueDepth / metricDesignQueueDepth are the summed queue
+	// occupancies across sessions — the backpressure dials.
+	metricRoundQueueDepth  = "dyncontract_server_round_queue_depth"
+	metricDesignQueueDepth = "dyncontract_server_design_queue_depth"
+	// metricInFlight counts admitted-but-unanswered requests across all
+	// sessions (queued or executing).
+	metricInFlight = "dyncontract_server_inflight"
+	// metricRejected counts requests turned away by backpressure (full
+	// queue, in-flight cap, or draining).
+	metricRejected = "dyncontract_server_rejected_total"
+	// metricRounds / metricDrifts count successfully applied commands.
+	metricRounds = "dyncontract_server_rounds_total"
+	metricDrifts = "dyncontract_server_drifts_total"
+	// metricBatches counts executed design micro-batches; metricBatchSize
+	// histograms how many queries each one coalesced.
+	metricBatches   = "dyncontract_server_design_batches_total"
+	metricBatchSize = "dyncontract_server_design_batch_size"
+)
+
+// batch-size histogram layout: unit bins over [0, 256); batches larger than
+// the size trigger can never exist, so the range is generous.
+const (
+	batchSizeLo   = 0
+	batchSizeHi   = 256
+	batchSizeBins = 256
+)
+
+// serverMetrics resolves the server's metric handles once. The nil
+// serverMetrics is fully operational as a no-op (telemetry's nil-is-off
+// rule), so an un-instrumented Server costs nothing.
+type serverMetrics struct {
+	sessions    *telemetry.Gauge
+	roundQueue  *telemetry.Gauge
+	designQueue *telemetry.Gauge
+	inFlight    *telemetry.Gauge
+	rejected    *telemetry.Counter
+	rounds      *telemetry.Counter
+	drifts      *telemetry.Counter
+	batches     *telemetry.Counter
+	batchSize   *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &serverMetrics{
+		sessions:    reg.Gauge(metricSessions),
+		roundQueue:  reg.Gauge(metricRoundQueueDepth),
+		designQueue: reg.Gauge(metricDesignQueueDepth),
+		inFlight:    reg.Gauge(metricInFlight),
+		rejected:    reg.Counter(metricRejected),
+		rounds:      reg.Counter(metricRounds),
+		drifts:      reg.Counter(metricDrifts),
+		batches:     reg.Counter(metricBatches),
+		batchSize:   reg.Histogram(metricBatchSize, batchSizeLo, batchSizeHi, batchSizeBins),
+	}
+}
+
+func (m *serverMetrics) addSessions(d float64) {
+	if m != nil {
+		m.sessions.Add(d)
+	}
+}
+
+func (m *serverMetrics) addRoundQueue(d float64) {
+	if m != nil {
+		m.roundQueue.Add(d)
+	}
+}
+
+func (m *serverMetrics) addDesignQueue(d float64) {
+	if m != nil {
+		m.designQueue.Add(d)
+	}
+}
+
+func (m *serverMetrics) addInFlight(d float64) {
+	if m != nil {
+		m.inFlight.Add(d)
+	}
+}
+
+func (m *serverMetrics) reject() {
+	if m != nil {
+		m.rejected.Inc()
+	}
+}
+
+func (m *serverMetrics) roundDone() {
+	if m != nil {
+		m.rounds.Inc()
+	}
+}
+
+func (m *serverMetrics) driftDone() {
+	if m != nil {
+		m.drifts.Inc()
+	}
+}
+
+func (m *serverMetrics) batchDone(size int) {
+	if m != nil {
+		m.batches.Inc()
+		m.batchSize.Observe(float64(size))
+	}
+}

@@ -1,0 +1,538 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dyncontract/internal/baseline"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/engine"
+	"dyncontract/internal/experiments"
+	"dyncontract/internal/obs"
+	"dyncontract/internal/platform"
+	"dyncontract/internal/synth"
+	"dyncontract/internal/telemetry"
+)
+
+// Config tunes a Server. The zero value is usable: Defaults fills every
+// unset field.
+type Config struct {
+	// BatchWindow is how long the design batcher holds the first query of
+	// a micro-batch open for company. Default 2ms.
+	BatchWindow time.Duration
+	// BatchMax closes a micro-batch early once this many queries have
+	// gathered. Default 64.
+	BatchMax int
+	// CommandQueue bounds each session's round/drift queue. Default 16.
+	CommandQueue int
+	// DesignQueue bounds each session's design-query queue. Default 1024.
+	DesignQueue int
+	// MaxInFlight caps admitted-but-unanswered requests per session
+	// (queued or executing); beyond it, 429. Default 256.
+	MaxInFlight int
+	// MaxSessions caps live sessions; beyond it, session creation 429s.
+	// Default 64.
+	MaxSessions int
+	// RequestTimeout bounds each request's server-side context. Default 30s.
+	RequestTimeout time.Duration
+	// Metrics instruments every route and the engine sessions; nil is off.
+	Metrics *telemetry.Registry
+}
+
+// Defaults returns cfg with every unset field at its default.
+func (cfg Config) Defaults() Config {
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.CommandQueue <= 0 {
+		cfg.CommandQueue = 16
+	}
+	if cfg.DesignQueue <= 0 {
+		cfg.DesignQueue = 1024
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	return cfg
+}
+
+// Server is the serving layer: a registry of long-lived engine sessions
+// behind the versioned JSON API. Create one with New, mount Handler, and
+// call Drain before exiting.
+type Server struct {
+	cfg     Config
+	metrics *serverMetrics
+	mux     *http.ServeMux
+
+	// baseCtx outlives any single request: design batches and the writer
+	// loops run under it so one client's deadline cannot cancel work other
+	// clients share. Drain cancels it last.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+	draining bool
+
+	// testWrapPolicy, when set (tests only), wraps each new session's
+	// policy — the seam shutdown tests use to hold a round mid-flight.
+	testWrapPolicy func(engine.Policy) engine.Policy
+}
+
+// New builds a Server and its route table.
+func New(cfg Config) *Server {
+	cfg = cfg.Defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		metrics:    newServerMetrics(cfg.Metrics),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		sessions:   make(map[string]*session),
+	}
+	s.mux = http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, telemetry.InstrumentHandler(cfg.Metrics, name, h))
+	}
+	route("GET /healthz", "healthz", s.handleHealthz)
+	route("POST /v1/sessions", "sessions_create", s.handleCreateSession)
+	route("GET /v1/sessions/{id}", "sessions_get", s.handleGetSession)
+	route("GET /v1/sessions/{id}/rounds", "rounds_list", s.handleListRounds)
+	route("POST /v1/sessions/{id}/rounds", "rounds_advance", s.handleAdvanceRound)
+	route("POST /v1/sessions/{id}/design", "design", s.handleDesign)
+	route("POST /v1/sessions/{id}/drift", "drift", s.handleDrift)
+	if cfg.Metrics != nil {
+		s.mux.Handle("/", obs.Handler(cfg.Metrics)) // /metrics + /debug/pprof/
+	}
+	return s
+}
+
+// Handler returns the server's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain shuts the server down gracefully: new work is refused (healthz
+// flips to 503), every session finishes its in-flight command and batch,
+// queued work is answered 503, and the call returns when all session
+// goroutines have exited or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range all {
+		sess.close()
+	}
+	defer s.cancelBase()
+	for _, sess := range all {
+		for _, ch := range []chan struct{}{sess.done, sess.batchDn} {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return fmt.Errorf("server: drain: session %s still busy: %w", sess.id, ctx.Err())
+			}
+		}
+	}
+	return nil
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.newSession(&req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		ID:     sess.id,
+		Agents: len(sess.pop.Agents),
+		Policy: sess.policyName,
+	})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleListRounds(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.rounds())
+}
+
+func (s *Server) handleAdvanceRound(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req AdvanceRoundRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	release, code, err := sess.admit()
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	cmd := command{ctx: ctx, kind: cmdRound, round: req, reply: make(chan cmdReply, 1)}
+	if code, err := sess.submit(cmd); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	// The writer always answers every queued command (drain included), so
+	// waiting on the reply alone cannot hang past the drain.
+	rep := <-cmd.reply
+	if rep.err != nil {
+		writeError(w, rep.code, rep.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.round)
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req DriftRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, code, err := sess.admit()
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	cmd := command{ctx: ctx, kind: cmdDrift, drift: &req, reply: make(chan cmdReply, 1)}
+	if code, err := sess.submit(cmd); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	rep := <-cmd.reply
+	if rep.err != nil {
+		writeError(w, rep.code, rep.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep.drift)
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req DesignQueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	dreq, agentID, err := sess.resolveDesign(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, code, err := sess.admit()
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	dc := &designCall{ctx: ctx, agentID: agentID, req: dreq, reply: make(chan designReply, 1)}
+	if code, err := sess.submitDesign(dc); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	rep := <-dc.reply
+	if rep.err != nil {
+		writeError(w, rep.code, rep.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DesignQueryResponse{
+		AgentID:   agentID,
+		Contract:  rep.contract,
+		BatchSize: rep.batch,
+	})
+}
+
+// lookup resolves {id} or writes 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+// newSession builds a population from the request, wires an engine around
+// it, and registers the running session.
+func (s *Server) newSession(req *CreateSessionRequest) (*session, error) {
+	pop, err := buildPopulation(req)
+	if err != nil {
+		return nil, err
+	}
+	pol, polName, err := buildPolicy(req)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.metrics.reject()
+		return nil, fmt.Errorf("server: %d sessions live (limit %d): %w",
+			len(s.sessions), s.cfg.MaxSessions, errTooMany)
+	}
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	wrap := s.testWrapPolicy
+	s.mu.Unlock()
+
+	if wrap != nil {
+		pol = wrap(pol)
+	}
+	cache := engine.NewCache()
+	capture := &captureObserver{}
+	eng, err := engine.New(pop, engine.Config{
+		Policy:    pol,
+		Rounds:    1, // Step ignores the horizon; New requires it positive
+		Observers: []engine.Observer{capture},
+		Cache:     cache,
+		Memo:      engine.NewRespondMemo(),
+		Shards:    req.Shards,
+		Metrics:   s.cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sess := &session{
+		id:         id,
+		name:       req.Name,
+		policyName: polName,
+		srv:        s,
+		pop:        pop,
+		eng:        eng,
+		capture:    capture,
+		designer:   &engine.Designer{Cache: cache, Metrics: s.cfg.Metrics},
+		cmds:       make(chan command, s.cfg.CommandQueue),
+		designCh:   make(chan *designCall, s.cfg.DesignQueue),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		batchDn:    make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.metrics.addSessions(1)
+	sess.start()
+	return sess, nil
+}
+
+// errTooMany marks capacity rejections; handlers map it to 429.
+var errTooMany = errors.New("server: too many")
+
+func buildPopulation(req *CreateSessionRequest) (*engine.Population, error) {
+	if req.Scale != "" {
+		return buildSynthetic(req)
+	}
+	return buildExplicit(req)
+}
+
+// buildSynthetic mints a population from the experiments pipeline — the
+// same synthetic traces the CLIs simulate, so server sessions are directly
+// comparable to offline runs with the same scale and seed.
+func buildSynthetic(req *CreateSessionRequest) (*engine.Population, error) {
+	var cfg synth.Config
+	switch req.Scale {
+	case "small":
+		cfg = synth.SmallScale(req.Seed)
+	case "paper":
+		cfg = synth.PaperScale(req.Seed)
+	}
+	pipe, err := experiments.BuildPipeline(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: synth pipeline: %w", err)
+	}
+	perClass := req.PerClass
+	if perClass == 0 {
+		perClass = 200
+	}
+	pop, err := pipe.BuildPopulation(experiments.DefaultParams(), perClass)
+	if err != nil {
+		return nil, fmt.Errorf("server: synth population: %w", err)
+	}
+	return pop, nil
+}
+
+// buildExplicit mints a population from inline agent specs.
+func buildExplicit(req *CreateSessionRequest) (*engine.Population, error) {
+	m := req.M
+	if m == 0 {
+		m = 20
+	}
+	part, err := effort.NewPartition(m, req.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrBadRequest)
+	}
+	mu := req.Mu
+	if mu == 0 {
+		mu = 1
+	}
+	pop := &engine.Population{
+		Weights:    make(map[string]float64, len(req.Agents)),
+		MaliceProb: make(map[string]float64),
+		Part:       part,
+		Mu:         mu,
+	}
+	for i := range req.Agents {
+		spec := &req.Agents[i]
+		a, err := spec.Agent()
+		if err != nil {
+			return nil, err
+		}
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = spec.Weight
+		if spec.Malice != 0 {
+			pop.MaliceProb[a.ID] = spec.Malice
+		}
+	}
+	if err := pop.Validate(); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrBadRequest)
+	}
+	return pop, nil
+}
+
+func buildPolicy(req *CreateSessionRequest) (engine.Policy, string, error) {
+	switch req.Policy {
+	case "", "dynamic":
+		return &platform.DynamicPolicy{}, "dynamic", nil
+	case "exclude":
+		th := req.Threshold
+		if th == 0 {
+			th = 0.5
+		}
+		return &baseline.ExcludeMalicious{Threshold: th}, "exclude", nil
+	case "fixed":
+		amt := req.Amount
+		if amt <= 0 {
+			return nil, "", fmt.Errorf("fixed policy needs amount > 0, got %v: %w", req.Amount, ErrBadRequest)
+		}
+		return &baseline.FixedPayment{Amount: amt}, "fixed", nil
+	default:
+		return nil, "", fmt.Errorf("unknown policy %q: %w", req.Policy, ErrBadRequest)
+	}
+}
+
+// decodeBody strictly decodes the request body into dst, writing the error
+// response itself on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := decodeJSON(body, dst); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// statusFor maps classified errors to HTTP codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest), errors.Is(err, engine.ErrBadPopulation):
+		return http.StatusBadRequest
+	case errors.Is(err, errTooMany):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}

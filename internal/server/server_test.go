@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dyncontract/internal/telemetry"
+)
+
+// testAgents is a small explicit population covering all three classes:
+// ψ is strictly increasing on [0, yMax] for the m=10, δ=0.2 partition
+// (ψ'(y) = 2·(−0.25)·y + 2 ≥ 1 at y = 2).
+func testAgents() []AgentSpec {
+	psi := PsiSpec{R2: -0.25, R1: 2, R0: 0}
+	return []AgentSpec{
+		{ID: "h1", Class: "honest", Psi: psi, Beta: 1, Weight: 1},
+		{ID: "h2", Class: "honest", Psi: psi, Beta: 1, Weight: 1},
+		{ID: "m1", Class: "malicious", Psi: psi, Beta: 1, Omega: 0.5, Weight: 0.8, Malice: 0.9},
+		{ID: "c1", Class: "community", Psi: psi, Beta: 1, Omega: 0.3, Size: 3, Weight: 0.5},
+	}
+}
+
+func testCreateReq() CreateSessionRequest {
+	return CreateSessionRequest{Agents: testAgents(), M: 10, Delta: 0.2, Mu: 1}
+}
+
+// testServer wires a Server into an httptest.Server.
+type testServer struct {
+	srv *Server
+	ts  *httptest.Server
+}
+
+func newTestServer(t *testing.T, cfg Config) *testServer {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &testServer{srv: srv, ts: ts}
+}
+
+// do issues one JSON request and decodes the response into out (skipped
+// when out is nil), returning the status code.
+func (e *testServer) do(t *testing.T, method, path string, in, out any) int {
+	t.Helper()
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", in, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, e.ts.URL+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// createSession creates a session from the canonical explicit payload.
+func (e *testServer) createSession(t *testing.T) string {
+	t.Helper()
+	req := testCreateReq()
+	var resp CreateSessionResponse
+	if code := e.do(t, "POST", "/v1/sessions", &req, &resp); code != http.StatusCreated {
+		t.Fatalf("create session: status %d", code)
+	}
+	if resp.Agents != len(req.Agents) {
+		t.Fatalf("created with %d agents, want %d", resp.Agents, len(req.Agents))
+	}
+	return resp.ID
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	e := newTestServer(t, Config{Metrics: telemetry.NewRegistry()})
+	id := e.createSession(t)
+
+	// Advance three rounds; the ledger and the info endpoint must agree.
+	var last RoundJSON
+	for i := 0; i < 3; i++ {
+		req := AdvanceRoundRequest{IncludeOutcomes: true}
+		if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", &req, &last); code != http.StatusOK {
+			t.Fatalf("round %d: status %d", i, code)
+		}
+		if last.Round != i {
+			t.Fatalf("round index = %d, want %d", last.Round, i)
+		}
+		if len(last.Outcomes) != 4 {
+			t.Fatalf("round %d: %d outcomes, want 4", i, len(last.Outcomes))
+		}
+	}
+	if last.Benefit <= 0 || last.Utility == 0 {
+		t.Errorf("round 2 accounting looks dead: benefit=%v utility=%v", last.Benefit, last.Utility)
+	}
+
+	var info SessionInfo
+	if code := e.do(t, "GET", "/v1/sessions/"+id, nil, &info); code != http.StatusOK {
+		t.Fatalf("get session: status %d", code)
+	}
+	if info.Rounds != 3 || info.Agents != 4 || info.Policy != "dynamic" {
+		t.Errorf("info = %+v, want 3 rounds / 4 agents / dynamic", info)
+	}
+	// Distinct fingerprints designed once, then warm: the cache saw misses
+	// in round 0 and only hits after.
+	if info.Cache.Misses == 0 {
+		t.Errorf("cache misses = 0, want > 0 (round 0 designs)")
+	}
+
+	var ledger []RoundJSON
+	if code := e.do(t, "GET", "/v1/sessions/"+id+"/rounds", nil, &ledger); code != http.StatusOK {
+		t.Fatalf("list rounds: status %d", code)
+	}
+	if len(ledger) != 3 {
+		t.Fatalf("ledger has %d rounds, want 3", len(ledger))
+	}
+	if ledger[2].Utility != last.Utility {
+		t.Errorf("ledger round 2 utility %v != advance response %v", ledger[2].Utility, last.Utility)
+	}
+}
+
+func TestRoundIncludesContracts(t *testing.T) {
+	e := newTestServer(t, Config{})
+	id := e.createSession(t)
+	var round RoundJSON
+	req := AdvanceRoundRequest{IncludeContracts: true}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", &req, &round); code != http.StatusOK {
+		t.Fatalf("round: status %d", code)
+	}
+	if len(round.Contracts) != 4 {
+		t.Fatalf("%d contracts, want 4", len(round.Contracts))
+	}
+	if round.Contracts["h1"] == nil {
+		t.Error("no contract for h1")
+	}
+}
+
+func TestCreateSessionRejectsBadPayloads(t *testing.T) {
+	e := newTestServer(t, Config{})
+	tests := []struct {
+		name string
+		mut  func(*CreateSessionRequest)
+	}{
+		{"both routes", func(r *CreateSessionRequest) { r.Scale = "small" }},
+		{"neither route", func(r *CreateSessionRequest) { r.Agents = nil }},
+		{"unknown scale", func(r *CreateSessionRequest) { r.Agents = nil; r.Scale = "galactic" }},
+		{"unknown policy", func(r *CreateSessionRequest) { r.Policy = "oracle" }},
+		{"unknown class", func(r *CreateSessionRequest) { r.Agents[0].Class = "neutral" }},
+		{"duplicate agent ID", func(r *CreateSessionRequest) { r.Agents[1].ID = "h1" }},
+		{"empty agent ID", func(r *CreateSessionRequest) { r.Agents[0].ID = "" }},
+		{"zero delta", func(r *CreateSessionRequest) { r.Delta = 0 }},
+		{"negative mu", func(r *CreateSessionRequest) { r.Mu = -1 }},
+		{"fixed without amount", func(r *CreateSessionRequest) { r.Policy = "fixed" }},
+		{"bad psi", func(r *CreateSessionRequest) { r.Agents[0].Psi.R2 = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req := testCreateReq()
+			tt.mut(&req)
+			if code := e.do(t, "POST", "/v1/sessions", &req, nil); code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", code)
+			}
+		})
+	}
+}
+
+func TestUnknownSession404(t *testing.T) {
+	e := newTestServer(t, Config{})
+	for _, p := range []string{"/v1/sessions/nope", "/v1/sessions/nope/rounds"} {
+		if code := e.do(t, "GET", p, nil, nil); code != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", p, code)
+		}
+	}
+	if code := e.do(t, "POST", "/v1/sessions/nope/rounds", nil, nil); code != http.StatusNotFound {
+		t.Errorf("advance on unknown session = %d, want 404", code)
+	}
+}
+
+func TestStrictDecoding(t *testing.T) {
+	e := newTestServer(t, Config{})
+	id := e.createSession(t)
+	for name, body := range map[string]string{
+		"unknown field": `{"rounds": 5}`,
+		"trailing data": `{} {}`,
+		"not JSON":      `<xml/>`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(e.ts.URL+"/v1/sessions/"+id+"/rounds", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+func TestDriftMutatesAndRejects(t *testing.T) {
+	e := newTestServer(t, Config{})
+	id := e.createSession(t)
+
+	// A weight change must be visible in the next round's accounting.
+	var before, after RoundJSON
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, &before); code != http.StatusOK {
+		t.Fatalf("round: status %d", code)
+	}
+	var dr DriftResponse
+	drift := DriftRequest{Weights: map[string]float64{"h1": 2, "h2": 2}}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/drift", &drift, &dr); code != http.StatusOK {
+		t.Fatalf("drift: status %d", code)
+	}
+	if dr.Updated != 2 {
+		t.Errorf("updated = %d, want 2", dr.Updated)
+	}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, &after); code != http.StatusOK {
+		t.Fatalf("round: status %d", code)
+	}
+	if after.Benefit <= before.Benefit {
+		t.Errorf("doubled weights did not raise benefit: %v -> %v", before.Benefit, after.Benefit)
+	}
+
+	// Invalid drifts reject wholesale and leave the session untouched.
+	for name, bad := range map[string]DriftRequest{
+		"empty":         {},
+		"unknown agent": {Weights: map[string]float64{"ghost": 1}},
+		"bad beta":      {Beta: map[string]float64{"h1": -1}},
+		"honest omega":  {Omega: map[string]float64{"h1": 0.5}},
+		"bad psi":       {Psi: map[string]PsiSpec{"h1": {R2: 1, R1: 1}}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if code := e.do(t, "POST", "/v1/sessions/"+id+"/drift", &bad, nil); code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", code)
+			}
+		})
+	}
+	// The failed drifts must not have perturbed the ledger's trajectory.
+	var again RoundJSON
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, &again); code != http.StatusOK {
+		t.Fatalf("round: status %d", code)
+	}
+	if again.Benefit != after.Benefit {
+		t.Errorf("rejected drifts changed the round: benefit %v -> %v", after.Benefit, again.Benefit)
+	}
+}
+
+func TestSyntheticSession(t *testing.T) {
+	e := newTestServer(t, Config{})
+	req := CreateSessionRequest{Scale: "small", Seed: 7, PerClass: 10}
+	var resp CreateSessionResponse
+	if code := e.do(t, "POST", "/v1/sessions", &req, &resp); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if resp.Agents == 0 {
+		t.Fatal("synthetic session has no agents")
+	}
+	var round RoundJSON
+	if code := e.do(t, "POST", "/v1/sessions/"+resp.ID+"/rounds", nil, &round); code != http.StatusOK {
+		t.Fatalf("round: status %d", code)
+	}
+	if round.Agents != resp.Agents {
+		t.Errorf("round saw %d agents, session has %d", round.Agents, resp.Agents)
+	}
+}
+
+func TestMaxSessions(t *testing.T) {
+	e := newTestServer(t, Config{MaxSessions: 2})
+	e.createSession(t)
+	e.createSession(t)
+	req := testCreateReq()
+	if code := e.do(t, "POST", "/v1/sessions", &req, nil); code != http.StatusTooManyRequests {
+		t.Errorf("third session: status %d, want 429", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	e := newTestServer(t, Config{})
+	if code := e.do(t, "GET", "/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := e.srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err := e.ts.Client().Get(e.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+}
+
+func TestRouteMetricsRecorded(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	e := newTestServer(t, Config{Metrics: reg})
+	id := e.createSession(t)
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", nil, nil); code != http.StatusOK {
+		t.Fatalf("round: status %d", code)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		telemetry.HTTPMetricPrefix + "sessions_create" + telemetry.HTTPSuffixRequests,
+		telemetry.HTTPMetricPrefix + "rounds_advance" + telemetry.HTTPSuffix2xx,
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s = 0, want > 0", name)
+		}
+	}
+	if snap.Counters[metricRounds] != 1 {
+		t.Errorf("%s = %d, want 1", metricRounds, snap.Counters[metricRounds])
+	}
+	if snap.Gauges[metricSessions] != 1 {
+		t.Errorf("%s = %v, want 1", metricSessions, snap.Gauges[metricSessions])
+	}
+}

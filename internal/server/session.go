@@ -1,0 +1,508 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/engine"
+	"dyncontract/internal/worker"
+)
+
+// errDraining is the reply queued work receives when the session shuts
+// down before reaching it; handlers map it to 503.
+var errDraining = errors.New("server: session draining")
+
+// cmdKind discriminates the single-writer loop's commands.
+type cmdKind int
+
+const (
+	cmdRound cmdKind = iota
+	cmdDrift
+)
+
+// command is one unit of serialized session work: advance a round or apply
+// a drift. Both run through the same bounded queue and the same writer
+// goroutine, so their interleaving is a total order — the ledger a session
+// produces is exactly the ledger a bare engine produces for that order.
+type command struct {
+	ctx   context.Context
+	kind  cmdKind
+	round AdvanceRoundRequest
+	drift *DriftRequest
+	reply chan cmdReply // buffered(1): the writer never blocks on a gone waiter
+}
+
+// cmdReply carries the writer's answer; code is the HTTP status for err.
+type cmdReply struct {
+	round RoundJSON
+	drift DriftResponse
+	err   error
+	code  int
+}
+
+// designCall is one design-only query waiting to ride a micro-batch.
+type designCall struct {
+	ctx     context.Context
+	agentID string
+	req     engine.DesignRequest
+	reply   chan designReply // buffered(1)
+}
+
+type designReply struct {
+	contract *contract.PiecewiseLinear
+	batch    int
+	err      error
+	code     int
+}
+
+// captureObserver records the round a Step just completed (outcomes
+// copied out of the engine's reusable backing array) and, when asked, the
+// round's contract map. It lives on the writer goroutine only.
+type captureObserver struct {
+	wantContracts bool
+	contracts     map[string]*contract.PiecewiseLinear
+	last          engine.Round
+}
+
+var _ engine.Observer = (*captureObserver)(nil)
+
+func (c *captureObserver) OnContracts(_ int, m map[string]*contract.PiecewiseLinear) {
+	if !c.wantContracts {
+		c.contracts = nil
+		return
+	}
+	// The engine's map is reused across rounds; copy to retain.
+	c.contracts = make(map[string]*contract.PiecewiseLinear, len(m))
+	for id, con := range m {
+		c.contracts[id] = con
+	}
+}
+
+func (c *captureObserver) OnOutcome(int, engine.AgentOutcome) {}
+
+func (c *captureObserver) OnRoundEnd(r engine.Round) error {
+	r.Outcomes = append([]engine.AgentOutcome(nil), r.Outcomes...)
+	c.last = r
+	return nil
+}
+
+// session is one long-lived engine behind the API: population, policy,
+// cache, ledger, and the two goroutines that own all mutation — the
+// single-writer command loop (rounds + drift) and the design batcher.
+type session struct {
+	id         string
+	name       string
+	policyName string
+	srv        *Server
+
+	pop      *engine.Population
+	eng      *engine.Engine
+	capture  *captureObserver
+	designer *engine.Designer // shares the round loop's Cache
+
+	// mu guards the population's mutable parameters (weights, β, ω, ψ —
+	// written only by drift on the writer goroutine) against concurrent
+	// reads from design-query resolution on request goroutines. Engine
+	// reads during Step need no lock: Step and drift share the writer.
+	mu sync.Mutex
+
+	// ledgerMu guards ledger (writer appends, GET handlers read).
+	ledgerMu sync.RWMutex
+	ledger   []engine.Round
+
+	cmds     chan command
+	designCh chan *designCall
+	quit     chan struct{}
+	done     chan struct{} // writer exited
+	batchDn  chan struct{} // batcher exited
+
+	inFlight atomic.Int64
+	draining atomic.Bool
+}
+
+// start launches the session's writer and batcher goroutines.
+func (s *session) start() {
+	go s.writerLoop()
+	go s.batcherLoop()
+}
+
+// close begins drain: no new admissions, queued work answered 503, the
+// command or batch currently executing runs to completion.
+func (s *session) close() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.quit)
+	}
+}
+
+// admit reserves an in-flight slot, or reports why it cannot.
+func (s *session) admit() (release func(), code int, err error) {
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable, errDraining
+	}
+	m := s.srv.metrics
+	if n := s.inFlight.Add(1); n > int64(s.srv.cfg.MaxInFlight) {
+		s.inFlight.Add(-1)
+		m.reject()
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("session %s: %d requests in flight (limit %d)", s.id, n-1, s.srv.cfg.MaxInFlight)
+	}
+	m.addInFlight(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.inFlight.Add(-1)
+			m.addInFlight(-1)
+		})
+	}, 0, nil
+}
+
+// submit enqueues a command without blocking; a full queue is backpressure.
+func (s *session) submit(cmd command) (code int, err error) {
+	select {
+	case s.cmds <- cmd:
+		s.srv.metrics.addRoundQueue(1)
+		return 0, nil
+	default:
+		s.srv.metrics.reject()
+		return http.StatusTooManyRequests, fmt.Errorf("session %s: command queue full", s.id)
+	}
+}
+
+// submitDesign enqueues a design call without blocking.
+func (s *session) submitDesign(dc *designCall) (code int, err error) {
+	select {
+	case s.designCh <- dc:
+		s.srv.metrics.addDesignQueue(1)
+		return 0, nil
+	default:
+		s.srv.metrics.reject()
+		return http.StatusTooManyRequests, fmt.Errorf("session %s: design queue full", s.id)
+	}
+}
+
+// writerLoop is the session's single writer: every round advance and every
+// drift flows through here, one at a time, in arrival order.
+func (s *session) writerLoop() {
+	defer close(s.done)
+	for {
+		// Quit wins over queued work: once drain begins, commands still in
+		// the queue were never started and are answered 503 — only the
+		// command already executing when quit closed runs to completion.
+		select {
+		case <-s.quit:
+			s.drainCmds()
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			s.drainCmds()
+			return
+		case cmd := <-s.cmds:
+			s.srv.metrics.addRoundQueue(-1)
+			switch cmd.kind {
+			case cmdRound:
+				cmd.reply <- s.runRound(cmd.ctx, cmd.round)
+			case cmdDrift:
+				cmd.reply <- s.runDrift(cmd.drift)
+			}
+		}
+	}
+}
+
+// drainCmds answers everything still queued with 503.
+func (s *session) drainCmds() {
+	for {
+		select {
+		case cmd := <-s.cmds:
+			s.srv.metrics.addRoundQueue(-1)
+			cmd.reply <- cmdReply{err: errDraining, code: http.StatusServiceUnavailable}
+		default:
+			return
+		}
+	}
+}
+
+// runRound advances the engine one round on the writer goroutine and
+// appends the completed round to the ledger.
+func (s *session) runRound(ctx context.Context, req AdvanceRoundRequest) cmdReply {
+	if err := ctx.Err(); err != nil {
+		return cmdReply{err: err, code: statusForCtx(err)}
+	}
+	s.capture.wantContracts = req.IncludeContracts
+	err := s.eng.Step(ctx)
+	if err != nil && !errors.Is(err, engine.ErrStop) {
+		// A failed Step leaves no trace: nothing to roll back, safe to retry.
+		return cmdReply{err: err, code: statusForCtx(err)}
+	}
+	round := s.capture.last
+	s.ledgerMu.Lock()
+	s.ledger = append(s.ledger, round)
+	s.ledgerMu.Unlock()
+	s.srv.metrics.roundDone()
+	out := roundJSON(round, req.IncludeOutcomes)
+	if req.IncludeContracts {
+		out.Contracts = s.capture.contracts
+		s.capture.contracts = nil
+	}
+	return cmdReply{round: out}
+}
+
+// runDrift applies the request's mutations atomically: all of them under
+// the population lock, then a full validation; any failure reverts every
+// mutation and leaves the session exactly as it was.
+func (s *session) runDrift(req *DriftRequest) cmdReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	byID := make(map[string]*worker.Agent, len(s.pop.Agents))
+	for _, a := range s.pop.Agents {
+		byID[a.ID] = a
+	}
+	var undo []func()
+	fail := func(err error) cmdReply {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
+		return cmdReply{err: err, code: http.StatusBadRequest}
+	}
+	updated := 0
+	for id, w := range req.Weights {
+		old, ok := s.pop.Weights[id]
+		if !ok {
+			return fail(fmt.Errorf("weight for unknown agent %q: %w", id, ErrBadRequest))
+		}
+		s.pop.Weights[id] = w
+		undo = append(undo, func() { s.pop.Weights[id] = old })
+		updated++
+	}
+	for id, b := range req.Beta {
+		a, ok := byID[id]
+		if !ok {
+			return fail(fmt.Errorf("beta for unknown agent %q: %w", id, ErrBadRequest))
+		}
+		old := a.Beta
+		a.Beta = b
+		undo = append(undo, func() { a.Beta = old })
+		updated++
+	}
+	for id, o := range req.Omega {
+		a, ok := byID[id]
+		if !ok {
+			return fail(fmt.Errorf("omega for unknown agent %q: %w", id, ErrBadRequest))
+		}
+		old := a.Omega
+		a.Omega = o
+		undo = append(undo, func() { a.Omega = old })
+		updated++
+	}
+	for id, p := range req.Psi {
+		a, ok := byID[id]
+		if !ok {
+			return fail(fmt.Errorf("psi for unknown agent %q: %w", id, ErrBadRequest))
+		}
+		old := a.Psi
+		a.Psi = effort.Quadratic{R2: p.R2, R1: p.R1, R0: p.R0}
+		undo = append(undo, func() { a.Psi = old })
+		updated++
+	}
+	if err := s.pop.Validate(); err != nil {
+		return fail(err)
+	}
+	// Parameters changed in place: Bump so view-caching engines (sharded
+	// pipelines) rebuild. The design cache needs nothing — mutated
+	// fingerprints simply miss and redesign.
+	s.pop.Bump()
+	s.srv.metrics.driftDone()
+	s.ledgerMu.RLock()
+	rounds := len(s.ledger)
+	s.ledgerMu.RUnlock()
+	return cmdReply{drift: DriftResponse{Updated: updated, Rounds: rounds}}
+}
+
+// batcherLoop coalesces design-only queries into micro-batches: the first
+// waiting call opens a window (Config.BatchWindow); the batch executes when
+// the window closes or Config.BatchMax calls have gathered, whichever is
+// first. One engine pass serves the whole batch, and the session's design
+// cache — shared with the round loop — makes warm queries pure lookups.
+func (s *session) batcherLoop() {
+	defer close(s.batchDn)
+	var (
+		pending []*designCall
+		timer   *time.Timer
+		expired <-chan time.Time
+	)
+	stopTimer := func() {
+		if timer != nil {
+			timer.Stop()
+			timer = nil
+			expired = nil
+		}
+	}
+	flush := func() {
+		stopTimer()
+		if len(pending) > 0 {
+			s.runBatch(pending)
+			pending = nil
+		}
+	}
+	drain := func() {
+		// Gathered calls were admitted: serve them. Anything still in the
+		// queue behind them was not started — 503.
+		flush()
+		for {
+			select {
+			case dc := <-s.designCh:
+				s.srv.metrics.addDesignQueue(-1)
+				dc.reply <- designReply{err: errDraining, code: http.StatusServiceUnavailable}
+			default:
+				return
+			}
+		}
+	}
+	for {
+		select {
+		case <-s.quit:
+			drain()
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			drain()
+			return
+		case dc := <-s.designCh:
+			s.srv.metrics.addDesignQueue(-1)
+			pending = append(pending, dc)
+			if len(pending) >= s.srv.cfg.BatchMax {
+				flush()
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(s.srv.cfg.BatchWindow)
+				expired = timer.C
+			}
+		case <-expired:
+			timer = nil
+			expired = nil
+			flush()
+		}
+	}
+}
+
+// runBatch executes one micro-batch through Designer.DesignBatch. Calls
+// whose context died while waiting are answered without solving; the rest
+// share one engine pass (and, within it, one solve per distinct
+// fingerprint).
+func (s *session) runBatch(calls []*designCall) {
+	live := calls[:0]
+	for _, dc := range calls {
+		if err := dc.ctx.Err(); err != nil {
+			dc.reply <- designReply{err: err, code: statusForCtx(err)}
+			continue
+		}
+		live = append(live, dc)
+	}
+	if len(live) == 0 {
+		return
+	}
+	reqs := make([]engine.DesignRequest, len(live))
+	for i, dc := range live {
+		reqs[i] = dc.req
+	}
+	// The batch outlives any single caller's deadline; it runs under the
+	// server's lifetime context so one impatient client cannot cancel its
+	// batchmates' work.
+	contracts, err := s.designer.DesignBatch(s.srv.baseCtx, s.pop.Part, s.pop.Mu, reqs)
+	if err != nil {
+		for _, dc := range live {
+			dc.reply <- designReply{err: err, code: http.StatusInternalServerError}
+		}
+		return
+	}
+	s.srv.metrics.batchDone(len(live))
+	for i, dc := range live {
+		dc.reply <- designReply{contract: contracts[i], batch: len(live)}
+	}
+}
+
+// resolveDesign turns a validated DesignQueryRequest into an engine
+// request. Session agents are copied under the population lock so the
+// solver never reads an agent a concurrent drift is writing; inline agents
+// are validated against the session's partition.
+func (s *session) resolveDesign(req *DesignQueryRequest) (engine.DesignRequest, string, error) {
+	if req.AgentID != "" {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, a := range s.pop.Agents {
+			if a.ID == req.AgentID {
+				cp := *a
+				return engine.DesignRequest{Agent: &cp, W: s.pop.Weights[a.ID]}, a.ID, nil
+			}
+		}
+		return engine.DesignRequest{}, "", fmt.Errorf("unknown agent %q: %w", req.AgentID, ErrBadRequest)
+	}
+	a, err := req.Agent.Agent()
+	if err != nil {
+		return engine.DesignRequest{}, "", err
+	}
+	if err := a.Validate(s.pop.Part.YMax()); err != nil {
+		return engine.DesignRequest{}, "", fmt.Errorf("%v: %w", err, ErrBadRequest)
+	}
+	return engine.DesignRequest{Agent: a, W: req.Agent.Weight}, a.ID, nil
+}
+
+// info snapshots the session for GET /v1/sessions/{id}.
+func (s *session) info() SessionInfo {
+	s.ledgerMu.RLock()
+	rounds := len(s.ledger)
+	total := engine.TotalUtility(s.ledger)
+	s.ledgerMu.RUnlock()
+	s.mu.Lock()
+	agents := len(s.pop.Agents)
+	s.mu.Unlock()
+	cs := s.eng.CacheStats()
+	return SessionInfo{
+		ID:           s.id,
+		Name:         s.name,
+		Policy:       s.policyName,
+		Agents:       agents,
+		Rounds:       rounds,
+		TotalUtility: total,
+		Cache:        CacheStatsJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
+		Draining:     s.draining.Load(),
+	}
+}
+
+// rounds snapshots the ledger as wire rounds (outcomes always included —
+// this is the audit endpoint determinism checks diff).
+func (s *session) rounds() []RoundJSON {
+	s.ledgerMu.RLock()
+	defer s.ledgerMu.RUnlock()
+	out := make([]RoundJSON, len(s.ledger))
+	for i, r := range s.ledger {
+		out[i] = roundJSON(r, true)
+	}
+	return out
+}
+
+// statusForCtx maps context errors to HTTP: a deadline is a timeout, a
+// cancellation means the client went away (the exact code is moot — 499 is
+// nginx lore, 503 is honest about not having served).
+func statusForCtx(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

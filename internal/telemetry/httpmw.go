@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"net/http"
+)
+
+// HTTP route metrics. InstrumentHandler wraps an http.Handler so every
+// request observes one latency sample and one status-class count under the
+// route's name:
+//
+//	dyncontract_http_<route>_seconds            latency histogram
+//	dyncontract_http_<route>_requests_total     all requests
+//	dyncontract_http_<route>_status_2xx_total   per status class (2xx-5xx)
+//	dyncontract_http_<route>_rejected_total     429 Too Many Requests
+//
+// 429s count in both _status_4xx_total and _rejected_total: the former
+// keeps the status classes exhaustive, the latter is the backpressure
+// signal dashboards alert on.
+const (
+	// HTTPMetricPrefix starts every route metric name.
+	HTTPMetricPrefix = "dyncontract_http_"
+	// HTTPSuffixSeconds ends the latency histogram's name; stat readers
+	// (internal/obs) recover route names by trimming prefix and suffix.
+	HTTPSuffixSeconds  = "_seconds"
+	HTTPSuffixRequests = "_requests_total"
+	HTTPSuffixRejected = "_rejected_total"
+	HTTPSuffix2xx      = "_status_2xx_total"
+	HTTPSuffix3xx      = "_status_3xx_total"
+	HTTPSuffix4xx      = "_status_4xx_total"
+	HTTPSuffix5xx      = "_status_5xx_total"
+)
+
+// Latency bucket layout: 10ms resolution over [0, 2.5s). Serving-path
+// requests beyond 2.5s clamp into the last bin — at that point the exact
+// tail no longer matters, only that it is on fire.
+const (
+	httpSecondsLo   = 0
+	httpSecondsHi   = 2.5
+	httpSecondsBins = 250
+)
+
+// MetricNameComponent maps s into the metric-name alphabet
+// [a-zA-Z0-9_:], replacing every other byte with '_' and prefixing a
+// leading digit with '_', so arbitrary route strings can be embedded in
+// metric names without tripping the registry's validation panic.
+func MetricNameComponent(s string) string {
+	if s == "" {
+		return "_"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			continue
+		default:
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		b = append([]byte{'_'}, b...)
+	}
+	return string(b)
+}
+
+// statusWriter records the status code a handler writes; an implicit 200
+// (body written without WriteHeader) is recorded as such.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// instrumented handlers keep flush/deadline support.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// InstrumentHandler wraps next with per-route request metrics under the
+// given route name (sanitized through MetricNameComponent). A nil registry
+// returns next unchanged — nil is off, as everywhere in this package.
+// Handles are resolved once here, so the per-request cost is one timer,
+// one histogram observe, and two counter increments.
+func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	name := HTTPMetricPrefix + MetricNameComponent(route)
+	var (
+		lat      = reg.Histogram(name+HTTPSuffixSeconds, httpSecondsLo, httpSecondsHi, httpSecondsBins)
+		requests = reg.Counter(name + HTTPSuffixRequests)
+		rejected = reg.Counter(name + HTTPSuffixRejected)
+		classes  = [4]*Counter{
+			reg.Counter(name + HTTPSuffix2xx),
+			reg.Counter(name + HTTPSuffix3xx),
+			reg.Counter(name + HTTPSuffix4xx),
+			reg.Counter(name + HTTPSuffix5xx),
+		}
+	)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		timer := StartTimer()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		lat.Observe(timer.Seconds())
+		requests.Inc()
+		if cls := sw.status/100 - 2; cls >= 0 && cls < len(classes) {
+			classes[cls].Inc()
+		}
+		if sw.status == http.StatusTooManyRequests {
+			rejected.Inc()
+		}
+	})
+}

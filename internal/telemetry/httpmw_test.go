@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestMetricNameComponent(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"design", "design"},
+		{"/v1/sessions/{id}/design", "_v1_sessions__id__design"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"ok_name:x2", "ok_name:x2"},
+	}
+	for _, tt := range tests {
+		if got := MetricNameComponent(tt.in); got != tt.want {
+			t.Errorf("MetricNameComponent(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+		// Whatever comes out must pass the registry's name validation.
+		mustValidName(HTTPMetricPrefix + MetricNameComponent(tt.in) + HTTPSuffixSeconds)
+	}
+}
+
+// TestInstrumentHandler drives one route through every status class and
+// checks the counters, the rejected counter, and the latency histogram.
+func TestInstrumentHandler(t *testing.T) {
+	reg := NewRegistry()
+	var status int
+	h := InstrumentHandler(reg, "design", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if status == 0 {
+			_, _ = w.Write([]byte("implicit 200"))
+			return
+		}
+		w.WriteHeader(status)
+	}))
+	for _, s := range []int{0, 200, 302, 404, 429, 500} {
+		status = s
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/x/design", nil))
+	}
+	snap := reg.Snapshot()
+	name := HTTPMetricPrefix + "design"
+	if got := snap.Counters[name+HTTPSuffixRequests]; got != 6 {
+		t.Errorf("requests = %d, want 6", got)
+	}
+	for suffix, want := range map[string]uint64{
+		HTTPSuffix2xx:      2,
+		HTTPSuffix3xx:      1,
+		HTTPSuffix4xx:      2,
+		HTTPSuffix5xx:      1,
+		HTTPSuffixRejected: 1,
+	} {
+		if got := snap.Counters[name+suffix]; got != want {
+			t.Errorf("%s = %d, want %d", suffix, got, want)
+		}
+	}
+	if got := snap.Histograms[name+HTTPSuffixSeconds].Count; got != 6 {
+		t.Errorf("latency observations = %d, want 6", got)
+	}
+}
+
+// TestInstrumentHandlerNilRegistry pins the nil-is-off rule: the handler
+// passes through untouched.
+func TestInstrumentHandlerNilRegistry(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := InstrumentHandler(nil, "x", inner); got == nil {
+		t.Fatal("nil registry returned nil handler")
+	}
+	rec := httptest.NewRecorder()
+	InstrumentHandler(nil, "x", inner).ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+// TestHistogramSnapshotQuantile checks interpolation, clamping, and the
+// empty case against hand-computed values.
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 observations uniform over bins [0,1) and [1,2): 50 each.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("p50 = %v, want 1.0 (boundary of the two bins)", got)
+	}
+	if got := s.Quantile(0.25); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p25 = %v, want 0.5 (middle of first bin)", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("p100 = %v, want 2.0 (upper edge of last occupied bin)", got)
+	}
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v vs %v", got, s.Quantile(0))
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}

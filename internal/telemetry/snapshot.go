@@ -37,6 +37,44 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// inside the bin holding the target rank — the resolution is one bin
+// width, which is what fixed uniform buckets can promise. Out-of-range q
+// is clamped, an empty histogram returns 0, and because out-of-range
+// observations clamp into the edge bins, tail quantiles of a saturated
+// histogram return the edge bin's bound rather than inventing values
+// beyond [Lo, Hi).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*width
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
 // Merge combines two histogram snapshots bin by bin. Both must share the
 // same bucket layout (Lo, Hi, bin count); merging an empty (zero-value)
 // snapshot on either side returns the other unchanged.

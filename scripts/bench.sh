@@ -1,8 +1,11 @@
 #!/bin/sh
 # Engine benchmark runner (`make bench`): runs the round-loop benchmarks —
 # BenchmarkEngineRound1k (design-dedup and respond-memo regimes),
-# BenchmarkEngineRound100k (sequential vs sharded warm rounds), and
-# BenchmarkTelemetryOverhead (instrumented vs telemetry.Nop) — with
+# BenchmarkEngineRound100k (sequential vs sharded warm rounds),
+# BenchmarkTelemetryOverhead (instrumented vs telemetry.Nop), and
+# BenchmarkServerDesignBatch (HTTP serving path with design-query
+# micro-batching; tracked for trend only, not regression-gated — it rides
+# the loopback network stack) — with
 # -benchmem, prints the standard output, and writes the parsed results to
 # BENCH_engine.json as one JSON array of
 #   {"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"}
@@ -27,7 +30,7 @@ raw=$(mktemp)
 fresh=$(mktemp)
 trap 'rm -f "$raw" "$fresh"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead' -benchmem . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead|BenchmarkServerDesignBatch' -benchmem . | tee "$raw"
 
 awk '
 BEGIN { print "["; n = 0 }

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Serving-layer smoke test (`make smoke`, also a CI stage): builds
+# contractd and loadgen, starts the daemon on a loopback port, waits for
+# /healthz via `loadgen -healthcheck`, fires a short strict closed-loop
+# burst (design queries plus round advances), then sends SIGTERM and
+# requires a clean drain — the process must exit 0 and print its
+# "contractd: bye" sign-off. Any 5xx during the burst, a failed health
+# probe, or an unclean shutdown fails the script.
+#
+# Override the port with SMOKE_PORT if 18473 is taken.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+log="$work/contractd.log"
+pid=""
+cleanup() {
+	status=$?
+	if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+		kill "$pid" 2>/dev/null || true
+	fi
+	if [ "$status" -ne 0 ] && [ -f "$log" ]; then
+		echo "--- contractd log ---"
+		cat "$log"
+	fi
+	rm -rf "$work"
+	exit "$status"
+}
+trap cleanup EXIT
+
+echo "building contractd and loadgen..."
+go build -o "$work/contractd" ./cmd/contractd
+go build -o "$work/loadgen" ./cmd/loadgen
+
+addr="127.0.0.1:${SMOKE_PORT:-18473}"
+"$work/contractd" -listen "$addr" -drain-timeout 10s >"$log" 2>&1 &
+pid=$!
+
+echo "waiting for http://$addr/healthz..."
+"$work/loadgen" -addr "http://$addr" -healthcheck -healthcheck-timeout 10s
+
+echo "running strict load burst..."
+"$work/loadgen" -addr "http://$addr" -clients 4 -requests 25 -round-every 5 -strict
+
+echo "sending SIGTERM..."
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "smoke: contractd did not exit within 10s of SIGTERM" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+wait "$pid" || {
+	echo "smoke: contractd exited non-zero" >&2
+	exit 1
+}
+pid=""
+
+grep -q "contractd: bye" "$log" || {
+	echo "smoke: drain sign-off missing from log" >&2
+	exit 1
+}
+echo "smoke: clean drain confirmed"
