@@ -456,6 +456,15 @@ func BenchmarkEngineRound1k(b *testing.B) {
 // outcomes, so only settle remains O(n) — the speedup is algorithmic and
 // does not depend on spare cores. Ledgers are byte-identical (pinned by
 // TestShardedLedgerIdentical in internal/engine).
+//
+// Two drift variants bracket the mutation path: sharded-rebuild bumps
+// the whole population before every round (the sharded-cold proxy — all
+// shards re-partition), while sparse-drift-1pct drifts 1% of agents
+// through Population.Touch, so only the shards owning touched IDs
+// refresh in place. The sparse round is required to stay within 10% of
+// the full-rebuild round (scripts/bench.sh gates sparse-drift-1pct in
+// its warm-regression set); ledger equivalence with the full rebuild is
+// pinned by TestSparseDriftLedgerIdentical in internal/engine.
 func BenchmarkEngineRound100k(b *testing.B) {
 	pop := benchArchetypePopulation(b, 100_000)
 	ctx := context.Background()
@@ -490,6 +499,70 @@ func BenchmarkEngineRound100k(b *testing.B) {
 	})
 	b.Run("sharded-warm", func(b *testing.B) {
 		eng := warmEngine(b, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sharded-rebuild", func(b *testing.B) {
+		// Whole-population drift each round: Bump forces every shard to
+		// re-partition and re-plan — the cost floor sparse drift is
+		// measured against.
+		eng := warmEngine(b, 8)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pop.Bump()
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse-drift-1pct", func(b *testing.B) {
+		// 1000 of 100k agents swap between two feedback weights each
+		// round, declared via Touch. The two halves alternate in
+		// antiphase so both fingerprints always have holders — nothing is
+		// evicted, and after two warm rounds every drifted state resolves
+		// in the design cache and respond memo. Steady-state rounds then
+		// take the pure patch route: only the 1000 touched slots are
+		// re-pointed and re-filled. A fresh population keeps the shared
+		// bench population pristine.
+		drifted := benchArchetypePopulation(b, 100_000)
+		ids := make([]string, 0, 1000)
+		for i := 0; len(ids) < 1000; i += 3 {
+			ids = append(ids, fmt.Sprintf("h%05d", i))
+		}
+		step := 0
+		hook := func(r int, p *engine.Population) {
+			step++
+			for k, id := range ids {
+				w := 1.0
+				if (k+step)%2 == 1 {
+					w = 1.01
+				}
+				p.Weights[id] = w
+			}
+			p.Touch(ids...)
+		}
+		eng, err := engine.New(drifted, engine.Config{
+			Policy: &platform.DynamicPolicy{},
+			Rounds: 1,
+			Cache:  engine.NewCache(),
+			Memo:   engine.NewRespondMemo(),
+			Shards: 8,
+			Drift:  hook,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2; i++ { // warm both weight states
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

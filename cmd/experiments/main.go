@@ -5,7 +5,7 @@
 //
 //	experiments [-run id[,id...]] [-scale small|paper] [-seed n] [-trace file.jsonl]
 //	            [-cachestats] [-respondstats] [-respond-parallel n]
-//	            [-shards n] [-shardstats]
+//	            [-shards n] [-shardstats] [-driftstats]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	experiments -list
@@ -62,6 +62,7 @@ func run(args []string, out io.Writer) error {
 		respondPar = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
 		shards     = fs.Int("shards", 0, "shard count for the engine's sharded round pipeline; 0 = sequential (reports are identical)")
 		shardStats = fs.Bool("shardstats", false, "report per-shard stage timings per experiment (needs -shards)")
+		driftStats = fs.Bool("driftstats", false, "report sparse-drift scope counters per experiment")
 		obsFlags   obs.Flags
 	)
 	obsFlags.Register(fs)
@@ -73,7 +74,7 @@ func run(args []string, out io.Writer) error {
 	// or -shardstats alone is enough to want one (the counters live there,
 	// read back per run).
 	var reg *telemetry.Registry
-	if obsFlags.Enabled() || *cacheStats || *memoStats || *shardStats {
+	if obsFlags.Enabled() || *cacheStats || *memoStats || *shardStats || *driftStats {
 		reg = telemetry.NewRegistry()
 	}
 	sess, err := obsFlags.Start(reg)
@@ -153,6 +154,7 @@ func run(args []string, out io.Writer) error {
 	var prevCache engine.CacheStats
 	var prevMemo engine.RespondStats
 	var prevShard obs.ShardStats
+	var prevDrift obs.DriftStats
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, ok := experiments.Lookup(id)
@@ -169,7 +171,7 @@ func run(args []string, out io.Writer) error {
 		if err := sess.Flush(); err != nil {
 			return err
 		}
-		if (*cacheStats || *memoStats || *shardStats) && !*asJSON {
+		if (*cacheStats || *memoStats || *shardStats || *driftStats) && !*asJSON {
 			snap := reg.Snapshot()
 			fmt.Fprintf(out, "%s:\n", id)
 			if *cacheStats {
@@ -187,6 +189,11 @@ func run(args []string, out io.Writer) error {
 				cur := obs.ShardStatsFrom(snap)
 				obs.FprintShardStats(out, obs.DeltaShardStats(prevShard, cur))
 				prevShard = cur
+			}
+			if *driftStats {
+				cur := obs.DriftStatsFrom(snap)
+				obs.FprintDriftStats(out, obs.DeltaDriftStats(prevDrift, cur))
+				prevDrift = cur
 			}
 		}
 		if *outDir != "" {

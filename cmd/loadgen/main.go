@@ -1,14 +1,16 @@
 // Command loadgen hammers a running contractd with a mixed workload of
-// round advances and design-only queries, then prints a latency and error
-// summary. It drives either closed-loop load (each client issues its next
-// request as soon as the previous answers) or open-loop load (-rate fixes
-// total request arrivals per second regardless of response times — the
-// honest way to measure latency under load).
+// round advances, design-only queries, and (with -drift-every) sparse
+// drift mutations, then prints a latency and error summary. It drives
+// either closed-loop load (each client issues its next request as soon as
+// the previous answers) or open-loop load (-rate fixes total request
+// arrivals per second regardless of response times — the honest way to
+// measure latency under load).
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8080 [-clients n] [-duration d]
 //	        [-requests n] [-rate qps] [-round-every k] [-weights n]
+//	        [-drift-every k] [-drift-agents n]
 //	        [-scale small|paper] [-seed n] [-per-class n] [-strict]
 //	loadgen -addr ... -healthcheck [-healthcheck-timeout d]
 //
@@ -41,7 +43,7 @@ func main() {
 
 // result is one request's fate.
 type result struct {
-	kind    string // "round" or "design"
+	kind    string // "round", "design", or "drift"
 	status  int    // 0 on transport error
 	latency time.Duration
 }
@@ -58,6 +60,8 @@ func run(args []string, out io.Writer) error {
 		rate        = fs.Float64("rate", 0, "open-loop total arrivals per second (0 = closed loop)")
 		roundEvery  = fs.Int("round-every", 10, "every k-th request advances a round (0 = designs only)")
 		weights     = fs.Int("weights", 4, "distinct feedback weights cycled through design queries")
+		driftEvery  = fs.Int("drift-every", 0, "every k-th non-round request issues a sparse drift (0 = no drifts)")
+		driftAgents = fs.Int("drift-agents", 1, "agents mutated per drift request (rotated round-robin over the session)")
 		scale       = fs.String("scale", "", "create a synthetic session (small or paper) instead of the inline population")
 		seed        = fs.Int64("seed", 42, "synthetic session seed")
 		perClass    = fs.Int("per-class", 50, "synthetic session agents per class")
@@ -78,6 +82,23 @@ func run(args []string, out io.Writer) error {
 	sessID, err := createSession(client, *addr, *scale, *seed, *perClass)
 	if err != nil {
 		return err
+	}
+	// Drift requests mutate real agents, so harvest the session's agent
+	// IDs and base weights from a priming round — robust for -scale
+	// sessions, whose IDs are server-generated.
+	var driftIDs []string
+	driftBase := map[string]float64{}
+	if *driftEvery > 0 {
+		if *driftAgents < 1 {
+			*driftAgents = 1
+		}
+		driftIDs, driftBase, err = harvestAgents(client, *addr, sessID)
+		if err != nil {
+			return err
+		}
+		if *driftAgents > len(driftIDs) {
+			*driftAgents = len(driftIDs)
+		}
 	}
 	fmt.Fprintf(out, "loadgen: session %s at %s; %d clients, ", sessID, *addr, *clients)
 	if *rate > 0 {
@@ -154,6 +175,17 @@ func run(args []string, out io.Writer) error {
 				n := c*1_000_000 + i
 				if *roundEvery > 0 && n%*roundEvery == 0 {
 					res = append(res, doJSON(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", server.AdvanceRoundRequest{}))
+				} else if *driftEvery > 0 && n%*driftEvery == 0 {
+					// Sparse drift: nudge k agents' weights around their
+					// base, rotating the window so the whole session
+					// drifts over a long soak. Values oscillate, never
+					// compound, so the session stays valid indefinitely.
+					w := map[string]float64{}
+					for j := 0; j < *driftAgents; j++ {
+						id := driftIDs[(n+j)%len(driftIDs)]
+						w[id] = driftBase[id] * (1 + 0.01*float64(n%3))
+					}
+					res = append(res, doJSON(client, "drift", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{Weights: w}))
 				} else {
 					w := 0.5 + 0.25*float64(n%*weights)
 					q := server.DesignQueryRequest{Agent: &server.AgentSpec{
@@ -242,6 +274,42 @@ func createSession(client *http.Client, addr, scale string, seed int64, perClass
 	return created.ID, nil
 }
 
+// harvestAgents advances one priming round with outcomes included and
+// returns the session's agent IDs plus their current feedback weights —
+// the base values drift requests oscillate around.
+func harvestAgents(client *http.Client, addr, sessID string) ([]string, map[string]float64, error) {
+	body, err := json.Marshal(server.AdvanceRoundRequest{IncludeOutcomes: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := client.Post(addr+"/v1/sessions/"+sessID+"/rounds", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, fmt.Errorf("priming round: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("priming round: status %d: %s", resp.StatusCode, raw)
+	}
+	var round server.RoundJSON
+	if err := json.Unmarshal(raw, &round); err != nil {
+		return nil, nil, fmt.Errorf("priming round: decode %q: %w", raw, err)
+	}
+	ids := make([]string, 0, len(round.Outcomes))
+	base := make(map[string]float64, len(round.Outcomes))
+	for _, o := range round.Outcomes {
+		ids = append(ids, o.AgentID)
+		base[o.AgentID] = o.Weight
+	}
+	if len(ids) == 0 {
+		return nil, nil, fmt.Errorf("priming round: no agent outcomes returned")
+	}
+	return ids, base, nil
+}
+
 // doJSON issues one POST and records its fate; bodies are drained so the
 // client reuses connections.
 func doJSON(client *http.Client, kind, url string, payload any) result {
@@ -262,14 +330,18 @@ func doJSON(client *http.Client, kind, url string, payload any) result {
 
 // summarize prints counts and latency percentiles, and enforces -strict.
 func summarize(out io.Writer, all []result, elapsed time.Duration, overload int64, strict bool) error {
-	type agg struct{ ok, rejected, errors int }
-	byKind := map[string]*agg{"round": {}, "design": {}}
+	type agg struct {
+		ok, rejected, errors int
+		lats                 []time.Duration
+	}
+	byKind := map[string]*agg{"round": {}, "design": {}, "drift": {}}
 	var lats []time.Duration
 	for _, r := range all {
 		a := byKind[r.kind]
 		switch {
 		case r.status >= 200 && r.status < 300:
 			a.ok++
+			a.lats = append(a.lats, r.latency)
 			lats = append(lats, r.latency)
 		case r.status == http.StatusTooManyRequests:
 			a.rejected++
@@ -279,24 +351,37 @@ func summarize(out io.Writer, all []result, elapsed time.Duration, overload int6
 	}
 	fmt.Fprintf(out, "loadgen: %d requests in %.2fs (%.1f req/s)\n",
 		len(all), elapsed.Seconds(), float64(len(all))/elapsed.Seconds())
-	for _, kind := range []string{"round", "design"} {
+	for _, kind := range []string{"round", "design", "drift"} {
 		a := byKind[kind]
 		fmt.Fprintf(out, "  %-7s %6d ok  %5d rejected (429)  %4d errors\n", kind+"s:", a.ok, a.rejected, a.errors)
 	}
 	if overload > 0 {
 		fmt.Fprintf(out, "  open loop: %d arrivals dropped (clients saturated)\n", overload)
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		pct := func(q float64) time.Duration {
-			i := int(q * float64(len(lats)-1))
-			return lats[i]
-		}
-		fmt.Fprintf(out, "  latency: p50 %s  p95 %s  p99 %s  max %s\n",
-			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	percentiles := func(ls []time.Duration) (p50, p95, p99, max time.Duration) {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		pct := func(q float64) time.Duration { return ls[int(q*float64(len(ls)-1))] }
+		return pct(0.50), pct(0.95), pct(0.99), ls[len(ls)-1]
 	}
-	bad := byKind["round"].errors + byKind["design"].errors
+	if len(lats) > 0 {
+		p50, p95, p99, max := percentiles(lats)
+		fmt.Fprintf(out, "  latency: p50 %s  p95 %s  p99 %s  max %s\n",
+			p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+			p99.Round(time.Microsecond), max.Round(time.Microsecond))
+	}
+	// Per-kind percentiles separate the drift path's latency from the
+	// design fast path it shares the session lock with.
+	for _, kind := range []string{"round", "design", "drift"} {
+		a := byKind[kind]
+		if len(a.lats) == 0 {
+			continue
+		}
+		p50, p95, p99, max := percentiles(a.lats)
+		fmt.Fprintf(out, "  latency[%s]: p50 %s  p95 %s  p99 %s  max %s\n",
+			kind, p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+			p99.Round(time.Microsecond), max.Round(time.Microsecond))
+	}
+	bad := byKind["round"].errors + byKind["design"].errors + byKind["drift"].errors
 	if strict && bad > 0 {
 		return fmt.Errorf("strict: %d requests failed with transport errors or non-2xx/429 statuses", bad)
 	}

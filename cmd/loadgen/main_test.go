@@ -33,6 +33,26 @@ func TestClosedLoop(t *testing.T) {
 	}
 }
 
+// TestDriftMix adds sparse drift requests to the mix and checks they
+// succeed and get their own latency line.
+func TestDriftMix(t *testing.T) {
+	url := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{"-addr", url, "-clients", "2", "-requests", "9",
+		"-round-every", "4", "-drift-every", "3", "-drift-agents", "2", "-strict"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"drifts:", "latency[drift]: p50"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "drifts:      0 ok") {
+		t.Errorf("no drift request succeeded:\n%s", out.String())
+	}
+}
+
 // TestOpenLoop exercises the rate-paced path.
 func TestOpenLoop(t *testing.T) {
 	url := startServer(t)

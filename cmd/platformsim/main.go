@@ -10,6 +10,7 @@
 //	            [-engine seq|actor] [-nocache] [-cachestats]
 //	            [-nomemo] [-respondstats] [-respond-parallel n]
 //	            [-shards n] [-shardstats]
+//	            [-drift-agents k] [-driftstats]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -53,22 +54,24 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("platformsim", flag.ContinueOnError)
 	var (
-		scale      = fs.String("scale", "small", "trace scale: small or paper")
-		seed       = fs.Int64("seed", 42, "generation seed")
-		rounds     = fs.Int("rounds", 5, "number of task rounds")
-		policies   = fs.String("policies", "dynamic,exclude,fixed", "comma-separated policies")
-		threshold  = fs.Float64("threshold", 0.5, "exclusion threshold on malice probability")
-		amount     = fs.Float64("amount", 1, "fixed-payment amount")
-		perClass   = fs.Int("perclass", 200, "max agents sampled per class")
-		engineName = fs.String("engine", "seq", "simulation engine: seq (sequential) or actor (message-passing)")
-		cacheStats = fs.Bool("cachestats", false, "report design-cache hits/misses per policy (seq engine only)")
-		noCache    = fs.Bool("nocache", false, "disable the cross-round design cache (seq engine only)")
-		memoStats  = fs.Bool("respondstats", false, "report respond-memo hits/misses per policy (seq engine only)")
-		noMemo     = fs.Bool("nomemo", false, "disable the cross-round best-response memo (seq engine only)")
-		respondPar = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
-		shards     = fs.Int("shards", 0, "shard count for the sharded round pipeline (seq engine only); 0 = sequential (ledgers are identical)")
-		shardStats = fs.Bool("shardstats", false, "report per-shard stage timings per policy (seq engine only, needs -shards)")
-		obsFlags   obs.Flags
+		scale       = fs.String("scale", "small", "trace scale: small or paper")
+		seed        = fs.Int64("seed", 42, "generation seed")
+		rounds      = fs.Int("rounds", 5, "number of task rounds")
+		policies    = fs.String("policies", "dynamic,exclude,fixed", "comma-separated policies")
+		threshold   = fs.Float64("threshold", 0.5, "exclusion threshold on malice probability")
+		amount      = fs.Float64("amount", 1, "fixed-payment amount")
+		perClass    = fs.Int("perclass", 200, "max agents sampled per class")
+		engineName  = fs.String("engine", "seq", "simulation engine: seq (sequential) or actor (message-passing)")
+		cacheStats  = fs.Bool("cachestats", false, "report design-cache hits/misses per policy (seq engine only)")
+		noCache     = fs.Bool("nocache", false, "disable the cross-round design cache (seq engine only)")
+		memoStats   = fs.Bool("respondstats", false, "report respond-memo hits/misses per policy (seq engine only)")
+		noMemo      = fs.Bool("nomemo", false, "disable the cross-round best-response memo (seq engine only)")
+		respondPar  = fs.Int("respond-parallel", 0, "respond-stage parallelism cap; 0 = GOMAXPROCS for memo misses, sequential otherwise")
+		shards      = fs.Int("shards", 0, "shard count for the sharded round pipeline (seq engine only); 0 = sequential (ledgers are identical)")
+		shardStats  = fs.Bool("shardstats", false, "report per-shard stage timings per policy (seq engine only, needs -shards)")
+		driftAgents = fs.Int("drift-agents", 0, "scoped weight drift: oscillate the first k agents' weights each round, declared via Population.Touch (seq engine only)")
+		driftStats  = fs.Bool("driftstats", false, "report sparse-drift scope counters per policy (seq engine only)")
+		obsFlags    obs.Flags
 	)
 	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +82,7 @@ func run(args []string, out io.Writer) error {
 	// its rounds into the same metrics (the design cache re-registers per
 	// policy, so cache counters always describe the current policy).
 	var reg *telemetry.Registry
-	if obsFlags.Enabled() || *shardStats {
+	if obsFlags.Enabled() || *shardStats || *driftStats {
 		reg = telemetry.NewRegistry()
 	}
 	sess, err := obsFlags.Start(reg)
@@ -114,7 +117,37 @@ func run(args []string, out io.Writer) error {
 		len(pop.Agents), len(pipe.Communities))
 
 	ctx := context.Background()
+
+	// Scoped drift: oscillate the first k agents' weights around a base
+	// snapshot taken once, before any policy runs — each policy sees the
+	// exact same drift schedule, so cross-policy totals stay comparable —
+	// and declare the touched IDs so sharded engines take the sparse path.
+	var driftHook func(int, *engine.Population)
+	if *driftAgents > 0 {
+		k := *driftAgents
+		if k > len(pop.Agents) {
+			k = len(pop.Agents)
+		}
+		ids := make([]string, k)
+		base := make([]float64, k)
+		for i := 0; i < k; i++ {
+			ids[i] = pop.Agents[i].ID
+			base[i] = pop.Weights[ids[i]]
+		}
+		driftHook = func(round int, p *engine.Population) {
+			f := 1.0
+			if round%2 == 0 {
+				f = 1.01
+			}
+			for i, id := range ids {
+				p.Weights[id] = base[i] * f
+			}
+			p.Touch(ids...)
+		}
+	}
+
 	var prevShard obs.ShardStats
+	var prevDrift obs.DriftStats
 	for _, name := range strings.Split(*policies, ",") {
 		var pol platform.Policy
 		switch strings.TrimSpace(name) {
@@ -136,7 +169,7 @@ func run(args []string, out io.Writer) error {
 			// design cache and respond memo: agents sharing an archetype
 			// share one design and one best response, and static rounds
 			// after the first cost zero Design/BestResponse calls.
-			cfg := engine.Config{Policy: pol, Rounds: *rounds, Metrics: reg, ParallelRespond: *respondPar, Shards: *shards}
+			cfg := engine.Config{Policy: pol, Rounds: *rounds, Metrics: reg, ParallelRespond: *respondPar, Shards: *shards, Drift: driftHook}
 			if !*noCache {
 				cache = engine.NewCache()
 				cfg.Cache = cache
@@ -184,6 +217,11 @@ func run(args []string, out io.Writer) error {
 			cur := obs.ShardStatsFrom(reg.Snapshot())
 			obs.FprintShardStats(out, obs.DeltaShardStats(prevShard, cur))
 			prevShard = cur
+		}
+		if *driftStats {
+			cur := obs.DriftStatsFrom(reg.Snapshot())
+			obs.FprintDriftStats(out, obs.DeltaDriftStats(prevDrift, cur))
+			prevDrift = cur
 		}
 		fmt.Fprintln(out)
 	}

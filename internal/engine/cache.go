@@ -134,6 +134,29 @@ func (c *Cache) Put(fp Fingerprint, res *core.Result) {
 	c.mu.Unlock()
 }
 
+// Remove drops exactly the named fingerprints from the shared table — the
+// targeted-invalidation half of a sparse drift: the engine refcounts
+// fingerprints across its shard views and removes only those whose last
+// holder drifted away, so shared designs survive. Remove deliberately does
+// not bump the segment generation: a removed fingerprint can linger in a
+// segment's local map, but a fingerprint fully determines its design, so
+// serving the retained result stays exact — the removal is about bounding
+// memory, not correctness. One caveat for shared caches: fingerprints
+// minted outside the engine's views (the server's design probes) are not
+// refcounted, so a removal can evict an entry such callers still want;
+// they re-solve once and repopulate. Counters are preserved.
+func (c *Cache) Remove(fps ...Fingerprint) {
+	if len(fps) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for _, fp := range fps {
+		delete(c.entries, fp)
+	}
+	c.size.Set(float64(len(c.entries)))
+	c.mu.Unlock()
+}
+
 // Invalidate drops every cached design. Call it when beliefs shift through
 // state the fingerprint cannot see (there is none today — weights, ψ, and
 // cost parameters are all keyed) or to force a cold redesign. Counters are

@@ -278,7 +278,8 @@ func (d *ShardDesigner) Contracts(ctx context.Context, pop *Population, sh *Shar
 	if len(dst) != len(sh.Agents) {
 		return false, fmt.Errorf("engine: shard %d: %d contract slots for %d agents", sh.Index, len(dst), len(sh.Agents))
 	}
-	if d.built && d.shard == sh.Index && d.epoch == sh.Epoch && d.seg != nil {
+	replan := !d.built || d.shard != sh.Index || d.epoch != sh.Epoch
+	if !replan && d.seg != nil {
 		// Warm validation: the plan is current (same view epoch); the
 		// round is unchanged iff every distinct fingerprint still resolves
 		// to the contract dst already holds.
@@ -293,8 +294,14 @@ func (d *ShardDesigner) Contracts(ctx context.Context, pop *Population, sh *Shar
 		if same {
 			return false, nil
 		}
+		// A failed validation under a matching epoch can mean the engine
+		// patched fingerprint slots in place (sparse drift) since the
+		// plan was built — the plan's slot/fingerprint layout may be
+		// stale, so rebuild it from the shard's current FPs before
+		// refilling.
+		replan = true
 	}
-	if !d.built || d.shard != sh.Index || d.epoch != sh.Epoch {
+	if replan {
 		d.plan(sh)
 		d.built = true
 		d.shard = sh.Index

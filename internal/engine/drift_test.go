@@ -1,0 +1,286 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dyncontract/internal/contract"
+	"dyncontract/internal/core"
+	"dyncontract/internal/effort"
+	"dyncontract/internal/engine"
+	"dyncontract/internal/telemetry"
+	"dyncontract/internal/worker"
+)
+
+// scopedDrift is the sparse-drift determinism sweep's mutation schedule:
+// in-place parameter drift (weight, β, ψ, ω), a structural add, a
+// structural remove, weight drift onto fresh fingerprints, and weight
+// drift onto an already-cached fingerprint (the patch route under a
+// fingerprint-pure policy) — every mutation declared through the
+// provided declare callback, so the same schedule runs once with sparse
+// Touch scopes and once with full Bump scopes.
+func scopedDrift(tb testing.TB, declare func(pop *engine.Population, ids ...string)) func(int, *engine.Population) {
+	tb.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2.1, 1, 40)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return func(round int, pop *engine.Population) {
+		switch round {
+		case 1:
+			// In-place drift across all four mutable axes, on agents of
+			// every class (ω stays 0 on honest agents — class-constrained).
+			pop.Weights["h00000"] *= 1.02
+			for _, a := range pop.Agents {
+				switch a.ID {
+				case "m00001":
+					a.Beta *= 1.1
+					a.Omega = 0.6
+				case "c00002":
+					a.Psi = psi
+				}
+			}
+			declare(pop, "h00000", "m00001", "c00002")
+		case 2:
+			a, err := worker.NewHonest("zz-joined", psi, 1, pop.Part.YMax())
+			if err != nil {
+				panic(err)
+			}
+			pop.Agents = append(pop.Agents, a)
+			pop.Weights[a.ID] = 0.9
+			pop.MaliceProb[a.ID] = 0.1
+			declare(pop, a.ID)
+		case 3:
+			gone := pop.Agents[0]
+			pop.Agents = append(pop.Agents[:0], pop.Agents[1:]...)
+			delete(pop.Weights, gone.ID)
+			delete(pop.MaliceProb, gone.ID)
+			declare(pop, gone.ID)
+		case 4:
+			pop.Weights["h00003"] *= 0.95
+			pop.Weights["h00006"] *= 1.05
+			declare(pop, "h00003", "h00006")
+		case 5:
+			// Drift onto a fingerprint another agent already holds
+			// (h00003's from round 4): with a cache attached this is the
+			// sparse patch route — contract served straight from the
+			// cache, only this agent's outcome slot refreshed.
+			pop.Weights["h00009"] = pop.Weights["h00003"]
+			declare(pop, "h00009")
+		}
+		// Round 0: no mutation and no declaration — under a Drift hook an
+		// undeclared round takes the legacy full-rebuild path.
+	}
+}
+
+// TestSparseDriftLedgerIdentical is the drift-scope determinism pin: the
+// same mutation schedule, declared sparsely (Population.Touch) and fully
+// (Population.Bump), produces byte-identical ledgers across the
+// sequential and sharded engines, with and without the respond memo —
+// all equal to the sequential full-rebuild reference. Sparse scopes are
+// an acceleration, never an observable behaviour change.
+func TestSparseDriftLedgerIdentical(t *testing.T) {
+	ctx := context.Background()
+	const rounds = 6
+	run := func(shards int, memo, sparse bool) []engine.Round {
+		t.Helper()
+		declare := func(pop *engine.Population, ids ...string) {
+			if sparse {
+				pop.Touch(ids...)
+			} else {
+				pop.Bump()
+			}
+		}
+		cfg := engine.Config{
+			Policy: &shardDesignPolicy{},
+			Rounds: rounds,
+			Drift:  scopedDrift(t, declare),
+			Cache:  engine.NewCache(),
+			Shards: shards,
+		}
+		if memo {
+			cfg.Memo = engine.NewRespondMemo()
+		}
+		ledger, err := engine.RunLedger(ctx, archetypePopulation(t, 30), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ledger
+	}
+
+	// Reference: sequential, no cache or memo, full Bump declarations.
+	ref, err := engine.RunLedger(ctx, archetypePopulation(t, 30), engine.Config{
+		Policy: &designPolicy{},
+		Rounds: rounds,
+		Drift:  scopedDrift(t, func(pop *engine.Population, _ ...string) { pop.Bump() }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != rounds {
+		t.Fatalf("reference ledger has %d rounds, want %d", len(ref), rounds)
+	}
+	for _, shards := range []int{0, 2, 8} {
+		for _, memo := range []bool{true, false} {
+			for _, sparse := range []bool{true, false} {
+				name := fmt.Sprintf("shards=%d/memo=%v/sparse=%v", shards, memo, sparse)
+				if got := run(shards, memo, sparse); !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s: ledger differs from full-rebuild reference", name)
+				}
+			}
+		}
+	}
+}
+
+// contractGrabber retains the contract served to one agent each round.
+type contractGrabber struct {
+	id   string
+	last *contract.PiecewiseLinear
+}
+
+func (g *contractGrabber) OnContracts(_ int, cs map[string]*contract.PiecewiseLinear) {
+	if c, ok := cs[g.id]; ok {
+		g.last = c
+	}
+}
+func (g *contractGrabber) OnOutcome(int, engine.AgentOutcome) {}
+func (g *contractGrabber) OnRoundEnd(engine.Round) error      { return nil }
+
+// TestSparseDriftShardSkips pins the sparse refresh mechanics on an
+// instrumented sharded engine: a one-agent Touch rebuilds exactly the
+// owning shard (counters say 1 rebuilt, shards−1 skipped, 1 agent
+// touched), and the drifted agent's old fingerprint — which it alone
+// held — is evicted from both the design cache and the respond memo,
+// while the new fingerprint is present.
+func TestSparseDriftShardSkips(t *testing.T) {
+	ctx := context.Background()
+	const (
+		id     = "h00003"
+		shards = 4
+		oldW   = 0.77
+		newW   = 0.88
+	)
+	pop := archetypePopulation(t, 12)
+	pop.Weights[id] = oldW // unique weight → unique fingerprint
+	var drifted *worker.Agent
+	for _, a := range pop.Agents {
+		if a.ID == id {
+			drifted = a
+		}
+	}
+	oldFP := engine.FingerprintOf(drifted, core.Config{Part: pop.Part, Mu: pop.Mu, W: oldW})
+	newFP := engine.FingerprintOf(drifted, core.Config{Part: pop.Part, Mu: pop.Mu, W: newW})
+
+	reg := telemetry.NewRegistry()
+	cache := engine.NewCache()
+	memo := engine.NewRespondMemo()
+	grab := &contractGrabber{id: id}
+	cfg := engine.Config{
+		Policy:    &shardDesignPolicy{},
+		Rounds:    1,
+		Cache:     cache,
+		Memo:      memo,
+		Shards:    shards,
+		Metrics:   reg,
+		Observers: []engine.Observer{grab},
+	}
+	eng, err := engine.New(pop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+	oldContract := grab.last
+	if oldContract == nil {
+		t.Fatalf("no contract captured for %s", id)
+	}
+	if _, ok := cache.Get(oldFP); !ok {
+		t.Fatalf("old fingerprint not cached after warm round")
+	}
+	if _, ok := memo.Get(oldFP, oldContract); !ok {
+		t.Fatalf("old (fingerprint, contract) not memoized after warm round")
+	}
+
+	pop.Weights[id] = newW
+	pop.Touch(id)
+	if err := eng.Step(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters[engine.MetricDriftTouchedAgents]; got != 1 {
+		t.Errorf("touched agents = %d, want 1", got)
+	}
+	if got := s.Counters[engine.MetricDriftShardsRebuilt]; got != 1 {
+		t.Errorf("shards rebuilt = %d, want 1", got)
+	}
+	if got := s.Counters[engine.MetricDriftShardsSkipped]; got != shards-1 {
+		t.Errorf("shards skipped = %d, want %d", got, shards-1)
+	}
+	if h, ok := s.Histograms[engine.MetricDriftRebuildSeconds]; !ok || h.Count != 1 {
+		t.Errorf("drift-rebuild timing observations = %+v, want 1 observation", h)
+	}
+
+	// Targeted invalidation: the dead fingerprint is gone from both
+	// layers, the live one is served.
+	if _, ok := cache.Get(oldFP); ok {
+		t.Errorf("cache still holds the dead fingerprint after sparse drift")
+	}
+	if _, ok := cache.Get(newFP); !ok {
+		t.Errorf("cache does not hold the drifted fingerprint")
+	}
+	if _, ok := memo.Get(oldFP, oldContract); ok {
+		t.Errorf("memo still holds the dead fingerprint after sparse drift")
+	}
+}
+
+// TestTouchUndeclaredSecondConsumer pins the shared-population fallback:
+// a second engine over the same population cannot see the first engine's
+// consumed scope, but the generation compare still forces it to rebuild
+// — a Touch is never weaker than a Bump for secondary consumers.
+func TestTouchUndeclaredSecondConsumer(t *testing.T) {
+	ctx := context.Background()
+	pop := archetypePopulation(t, 9)
+	mk := func() (*engine.Engine, *engine.Ledger) {
+		led := &engine.Ledger{}
+		e, err := engine.New(pop, engine.Config{
+			Policy:    &shardDesignPolicy{},
+			Rounds:    1,
+			Shards:    2,
+			Observers: []engine.Observer{led},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, led
+	}
+	first, firstLed := mk()
+	second, secondLed := mk()
+	for _, e := range []*engine.Engine{first, second} {
+		if err := e.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pop.Weights["h00000"] = 2
+	pop.Touch("h00000")
+	run := func(e *engine.Engine, led *engine.Ledger) engine.Round {
+		t.Helper()
+		if err := e.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return led.Rounds[len(led.Rounds)-1]
+	}
+	a, b := run(first, firstLed), run(second, secondLed) // first consumes the scope; second sees only the generation
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("second consumer's round differs from the scope consumer's")
+	}
+	for _, oc := range b.Outcomes {
+		if oc.AgentID == "h00000" && oc.Weight != 2 {
+			t.Errorf("second consumer did not observe the drift: weight = %v, want 2", oc.Weight)
+		}
+	}
+}

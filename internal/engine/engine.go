@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -180,14 +181,52 @@ type Engine struct {
 	rt        roundState     // per-round pipeline state, reused per round
 	stepped   int            // rounds completed through Step (not Run)
 
+	// Drift-scope state (see beginScope): the round's consumed view rule
+	// plus the lazily built ID index over the cached agent view the
+	// sparse path resolves touched IDs through.
+	scope    driftScope
+	scopeIDs []string // takeScope's reusable backing slice
+	byID     map[string]int32
+	byIDVer  uint64 // viewVer the index was built against
+	viewVer  uint64 // advances on every full rebuild of e.agents
+
 	// Sharded-pipeline state (Config.Shards > 0); see shard.go.
 	shardPol  ShardPolicy // non-nil when the policy supports per-shard design
+	patchPol  bool        // the policy is FingerprintPure — sparse drifts may patch slots
 	shards    []shardRun
 	shardPtrs []*Shard // scratch for shardAssign, aliasing shards
 	shardsOK  bool
 	shardsGen uint64
 	viewEpoch uint64 // advances on every shard-view rebuild (Shard.Epoch)
 	merged    map[string]*contract.PiecewiseLinear
+	// fpCounts refcounts the live design fingerprints across every shard
+	// view — built lazily on the first sparse refresh after a full
+	// rebuild, maintained incrementally after. A fingerprint whose count
+	// hits zero is dead: no agent mints it any more, so its design-cache
+	// and respond-memo entries are dropped (targeted invalidation).
+	fpCounts map[Fingerprint]int32
+	deadFPs  []Fingerprint // per-refresh scratch of zero-count fingerprints
+}
+
+// viewRule is one round's decision on the cached agent and shard views,
+// derived from the consumed drift scope (see beginScope).
+type viewRule uint8
+
+const (
+	// viewKeep retains every cached view (no declared drift; the
+	// generation compare remains as the cross-engine backstop).
+	viewKeep viewRule = iota
+	// viewSparse refreshes only the state touched by the declared IDs;
+	// it escalates to viewFull when the scope turns out structural.
+	viewSparse
+	// viewFull rebuilds the agent view and every shard view from scratch.
+	viewFull
+)
+
+// driftScope is the consumed per-round drift scope.
+type driftScope struct {
+	rule viewRule
+	ids  []string // touched agent IDs, meaningful only under viewSparse
 }
 
 // roundState carries one round through the pipeline's stages. The engine
@@ -260,6 +299,7 @@ func New(pop *Population, cfg Config) (*Engine, error) {
 	if cfg.Shards > 0 {
 		if sp, ok := cfg.Policy.(ShardPolicy); ok {
 			e.shardPol = sp
+			_, e.patchPol = cfg.Policy.(FingerprintPurePolicy)
 		}
 	}
 	if cfg.Metrics != nil {
@@ -361,9 +401,21 @@ func (e *Engine) runRound(ctx context.Context, r int) error {
 	}
 	if e.cfg.Drift != nil {
 		e.cfg.Drift(r, e.pop)
-		if err := e.pop.Validate(); err != nil {
+		e.beginScope()
+		// Scope-aware revalidation: a declared, non-structural sparse
+		// drift re-checks only the touched agents; anything else (Bump,
+		// undeclared mutations, membership changes) re-checks everything.
+		var err error
+		if e.scope.rule == viewSparse && !e.scopeStructural() {
+			err = e.validateTouched()
+		} else {
+			err = e.pop.Validate()
+		}
+		if err != nil {
 			return fmt.Errorf("engine: drift broke population at round %d: %w", r, err)
 		}
+	} else {
+		e.beginScope()
 	}
 
 	e.rt = roundState{r: r, timed: timed}
@@ -486,22 +538,132 @@ func (e *Engine) stageObserve(_ context.Context, st *roundState) error {
 	return nil
 }
 
-// roundAgents returns the ID-ordered agent view. With no Drift configured
-// the view is cached across rounds (killing the per-round O(n log n)
-// sort) and rebuilt only when the population's generation counter moves —
-// callers mutating Agents outside Drift must call Population.Bump. With a
-// Drift the view is rebuilt every round, since the drift may have added,
-// removed, or reordered agents.
+// beginScope consumes the population's accumulated drift scope into the
+// round's view rule. The split:
+//
+//   - a declared sparse scope (Touch) refreshes only touched state;
+//   - a declared full scope (Bump) rebuilds everything;
+//   - no declaration under a Drift hook keeps the legacy contract — the
+//     hook may have mutated anything, so every view rebuilds;
+//   - no declaration and no hook keeps the cached views, with the
+//     generation compare in roundAgents/ensureShards as the backstop for
+//     populations shared with another consumer.
+func (e *Engine) beginScope() {
+	ids, all, pending := e.pop.takeScope(e.scopeIDs)
+	e.scopeIDs = ids
+	switch {
+	case pending && all:
+		e.scope = driftScope{rule: viewFull}
+	case pending:
+		e.scope = driftScope{rule: viewSparse, ids: ids}
+		if e.m != nil {
+			e.m.driftTouched.Add(uint64(len(ids)))
+		}
+	case e.cfg.Drift != nil:
+		e.scope = driftScope{rule: viewFull}
+	default:
+		e.scope = driftScope{rule: viewKeep}
+	}
+}
+
+// roundAgents returns the ID-ordered agent view. The cached view is kept
+// whenever the round's rule allows it: always under viewKeep with an
+// unmoved generation, and under a non-structural viewSparse — a sparse
+// drift mutates agents in place through the retained pointers, so the
+// sorted view itself is still exact. A structural sparse scope (an ID
+// added, removed, or never seen) escalates the whole round to viewFull,
+// which rebuilds here and cascades into ensureShards.
 func (e *Engine) roundAgents() []*worker.Agent {
 	gen := e.pop.Generation()
-	if e.cfg.Drift == nil && e.agentsOK && e.agentsGen == gen {
-		return e.agents
+	if e.agentsOK {
+		switch e.scope.rule {
+		case viewKeep:
+			if e.agentsGen == gen {
+				return e.agents
+			}
+		case viewSparse:
+			if !e.scopeStructural() {
+				e.agentsGen = gen
+				return e.agents
+			}
+		}
 	}
+	e.scope.rule = viewFull
 	e.agents = append(e.agents[:0], e.pop.Agents...)
 	sort.Slice(e.agents, func(i, j int) bool { return e.agents[i].ID < e.agents[j].ID })
 	e.agentsOK = true
 	e.agentsGen = gen
+	e.viewVer++
 	return e.agents
+}
+
+// scopeStructural reports whether the round's sparse scope names a
+// structural change: a population size that moved, or a touched ID the
+// retained view does not hold (an added, removed, or foreign agent).
+// Structural scopes always take the full-rebuild path — outcome slots
+// shift when membership changes, so there is nothing sparse to save.
+func (e *Engine) scopeStructural() bool {
+	if len(e.pop.Agents) != len(e.agents) {
+		return true
+	}
+	e.ensureByID()
+	for _, id := range e.scope.ids {
+		if _, ok := e.byID[id]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// validateTouched re-checks exactly the agents named by the round's
+// sparse scope — the per-agent slice of Population.Validate (agent
+// parameters, weight presence and finiteness, malice range) plus the
+// scalar Mu check. The structural invariants (membership, duplicates,
+// orphan map entries) cannot move under a non-structural sparse scope,
+// so the O(population) pass is skipped; runRound falls back to the full
+// Validate for every other scope shape.
+func (e *Engine) validateTouched() error {
+	p := e.pop
+	if !(p.Mu > 0) || math.IsInf(p.Mu, 0) {
+		return fmt.Errorf("mu=%v: %w", p.Mu, ErrBadPopulation)
+	}
+	e.ensureByID()
+	for _, id := range e.scope.ids {
+		a := e.agents[e.byID[id]]
+		if err := a.Validate(p.Part.YMax()); err != nil {
+			return err
+		}
+		w, ok := p.Weights[id]
+		if !ok {
+			return fmt.Errorf("agent %q has no weight: %w", id, ErrBadPopulation)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("agent %q weight=%v: %w", id, w, ErrBadPopulation)
+		}
+		if mp, ok := p.MaliceProb[id]; ok && !(mp >= 0 && mp <= 1) {
+			return fmt.Errorf("agent %q malice probability=%v: %w", id, mp, ErrBadPopulation)
+		}
+	}
+	return nil
+}
+
+// ensureByID (re)builds the ID index over the cached agent view. It is
+// built lazily — only rounds that consume a sparse scope need it — and
+// keyed on the view version, so a steady drift-every-round run builds it
+// once and reuses it for as long as the membership stands.
+func (e *Engine) ensureByID() {
+	if e.byID != nil && e.byIDVer == e.viewVer {
+		return
+	}
+	if e.byID == nil {
+		e.byID = make(map[string]int32, len(e.agents))
+	} else {
+		clear(e.byID)
+	}
+	for i, a := range e.agents {
+		e.byID[a.ID] = int32(i)
+	}
+	e.byIDVer = e.viewVer
 }
 
 // RunLedger runs a configured engine to completion and returns the

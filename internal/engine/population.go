@@ -50,16 +50,87 @@ type Population struct {
 	// generation counts structural mutations (see Bump). The engine's
 	// cached agent view keys off it when no Drift is configured.
 	generation uint64
+
+	// Drift-scope state (see Touch): the set of agent IDs declared
+	// touched since the last engine consumption, or touchedAll when a
+	// Bump escalated the scope to the whole population. scopePending
+	// records that any declaration happened at all — an empty Touch()
+	// still marks a round as "scoped, nothing touched".
+	touched      map[string]struct{}
+	touchedAll   bool
+	scopePending bool
 }
 
-// Bump advances the population's generation counter. Call it after
-// mutating the Agents slice (adding, removing, or reordering agents)
-// outside a Config.Drift hook, so engines with no Drift configured
-// rebuild their cached ID-sorted agent view. Mutating weights, malice
-// probabilities, or agent parameters in place never needs a Bump — the
-// engine reads those afresh every round, and the design cache and
-// respond memo key on them directly.
-func (p *Population) Bump() { p.generation++ }
+// Bump advances the population's generation counter and declares a
+// whole-population drift scope. Call it after mutating the Agents slice
+// (adding, removing, or reordering agents) outside a Config.Drift hook,
+// so engines with no Drift configured rebuild their cached ID-sorted
+// agent view; it is also the escape hatch for mutations the sparse scope
+// cannot express — most notably replacing an agent object under an
+// existing ID, which Touch cannot distinguish from an in-place mutation.
+// Mutating weights, malice probabilities, or agent parameters in place
+// never needs a Bump for a sequential engine — it reads those afresh
+// every round, and the design cache and respond memo key on them
+// directly; sharded engines need a Bump (or a Touch) to observe them.
+func (p *Population) Bump() {
+	p.touchedAll = true
+	p.scopePending = true
+	p.generation++
+}
+
+// Touch declares a sparse drift scope: exactly the agents named were
+// mutated since the engine last looked (weights, malice probability, or
+// in-place agent parameters — and, for structural edits, the IDs that
+// were added to or removed from Agents). Engines consume the accumulated
+// scope at the top of their next round: a scope confined to existing
+// agents refreshes only the shard views that own them, keeping every
+// untouched shard on its warm path, while a scope naming an added or
+// removed ID (or any unknown ID) escalates to the classic full rebuild.
+//
+// Touch is cumulative until consumed — several drifts between rounds
+// union their scopes — and advances the generation counter like Bump, so
+// secondary consumers of the same population (a second engine, or
+// Population.Shards snapshots) still observe the mutation through the
+// generation compare and rebuild conservatively.
+//
+// The one mutation Touch must not be used for is replacing an agent
+// object under an ID that is still present: the sparse path resolves IDs
+// against its retained view and cannot see the swap. Declare that with
+// Bump.
+func (p *Population) Touch(ids ...string) {
+	if !p.touchedAll {
+		if p.touched == nil {
+			p.touched = make(map[string]struct{}, len(ids))
+		}
+		for _, id := range ids {
+			p.touched[id] = struct{}{}
+		}
+	}
+	p.scopePending = true
+	p.generation++
+}
+
+// takeScope consumes the accumulated drift scope, appending the touched
+// IDs into dst (reused, returned re-sliced). pending reports whether any
+// declaration happened since the last consumption; all reports a Bump
+// (ids are then meaningless). At most one consumer sees a given scope —
+// engines sharing a population fall back to the generation compare.
+func (p *Population) takeScope(dst []string) (ids []string, all, pending bool) {
+	dst = dst[:0]
+	if !p.scopePending {
+		return dst, false, false
+	}
+	all = p.touchedAll
+	if !all {
+		for id := range p.touched {
+			dst = append(dst, id)
+		}
+	}
+	clear(p.touched)
+	p.touchedAll = false
+	p.scopePending = false
+	return dst, all, true
+}
 
 // Generation returns the current generation counter value.
 func (p *Population) Generation() uint64 { return p.generation }

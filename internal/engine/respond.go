@@ -72,6 +72,12 @@ type RespondMemo struct {
 
 	mu      sync.RWMutex
 	entries map[respondKey]worker.Response
+	// byFP is the secondary index for targeted invalidation: every
+	// contract a fingerprint was memoized against, so RemoveFingerprints
+	// can drop all of a dead fingerprint's (fp, contract) entries without
+	// scanning the map. Maintained by Put, discarded with the entries on
+	// Invalidate and cap flushes.
+	byFP map[Fingerprint][]*contract.PiecewiseLinear
 	// hits/misses are telemetry counters so a registry can adopt them
 	// directly (ExportTo); Stats() stays a thin view over the same
 	// atomics, with or without a registry attached.
@@ -118,9 +124,38 @@ func (m *RespondMemo) Put(fp Fingerprint, c *contract.PiecewiseLinear, resp work
 		m.entries = make(map[respondKey]worker.Response)
 	} else if len(m.entries) >= max {
 		m.entries = make(map[respondKey]worker.Response)
+		m.byFP = nil
 		m.gen.Add(1)
 	}
+	if _, dup := m.entries[key]; !dup {
+		if m.byFP == nil {
+			m.byFP = make(map[Fingerprint][]*contract.PiecewiseLinear)
+		}
+		m.byFP[fp] = append(m.byFP[fp], c)
+	}
 	m.entries[key] = resp
+	m.size.Set(float64(len(m.entries)))
+	m.mu.Unlock()
+}
+
+// RemoveFingerprints drops every memoized response keyed by the named
+// fingerprints, whatever contract they were paired with — the memo-side
+// half of a sparse drift's targeted invalidation (see Cache.Remove for
+// the refcounting contract). Like Remove, it does not bump the segment
+// generation: a lingering segment-local entry is exact by construction —
+// the (fingerprint, contract) key fully determines the response — so the
+// removal only bounds the shared table's memory. Counters are preserved.
+func (m *RespondMemo) RemoveFingerprints(fps ...Fingerprint) {
+	if len(fps) == 0 {
+		return
+	}
+	m.mu.Lock()
+	for _, fp := range fps {
+		for _, c := range m.byFP[fp] {
+			delete(m.entries, respondKey{fp: fp, c: c})
+		}
+		delete(m.byFP, fp)
+	}
 	m.size.Set(float64(len(m.entries)))
 	m.mu.Unlock()
 }
@@ -131,6 +166,7 @@ func (m *RespondMemo) Put(fp Fingerprint, c *contract.PiecewiseLinear, resp work
 func (m *RespondMemo) Invalidate() {
 	m.mu.Lock()
 	m.entries = nil
+	m.byFP = nil
 	m.size.Set(0)
 	m.gen.Add(1)
 	m.mu.Unlock()

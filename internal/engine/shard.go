@@ -134,6 +134,27 @@ type ShardPolicy interface {
 	ShardContracts(ctx context.Context, pop *Population, sh *Shard, dst []*contract.PiecewiseLinear) (changed bool, err error)
 }
 
+// FingerprintPurePolicy is an opt-in marker for ShardPolicies whose
+// per-agent contract is a pure function of the agent's design
+// fingerprint — no other population, round, or shard state feeds the
+// design (DynamicPolicy qualifies: its ShardDesigner resolves every
+// contract through the fingerprint-keyed design cache).
+//
+// The marker unlocks the engine's sparse-drift patch route: when a
+// Population.Touch scope arrives and every touched agent's new
+// fingerprint already resolves in Config.Cache, the engine serves those
+// agents' contracts straight from the cache and refreshes only their
+// outcome slots, leaving the shard's designer plan, warm validation, and
+// every untouched agent's retained outcome in place. Touched agents
+// whose fingerprint misses the cache fall back to the epoch-bump route
+// (full shard re-plan and respond), so the marker never changes results
+// — only how much of a shard is recomputed.
+type FingerprintPurePolicy interface {
+	ShardPolicy
+	// FingerprintPure is a marker method; implementations do nothing.
+	FingerprintPure()
+}
+
 // shardRun is the engine's retained per-shard state: the shard view, the
 // policy's dense contract slots, the memo segment, respond scratch, and
 // the warm-skip bookkeeping.
@@ -151,6 +172,16 @@ type shardRun struct {
 	changed bool
 	// wu is the shard's summed worker utility from its last respond.
 	wu float64
+	// wuSlots is the per-agent utility breakdown behind wu, so the patch
+	// route can refresh single slots and re-fold the sum exactly.
+	wuSlots []float64
+	// dirty lists shard-local slots patched in place by the sparse-drift
+	// route (contract already rewritten from the design cache): respond
+	// recomputes exactly these outcomes while outsOK keeps the rest.
+	dirty []int32
+	// seen stamps the view epoch of the last sparse refresh that counted
+	// this shard as touched, so a refresh counts each shard once.
+	seen uint64
 }
 
 // invalidateShardOuts marks every shard's retained outcomes stale — the
@@ -162,15 +193,30 @@ func (e *Engine) invalidateShardOuts() {
 }
 
 // ensureShards (re)builds the per-shard views over the ID-sorted agent
-// view, under the same caching contract as roundAgents: rebuilt when the
-// population's generation moves, every round under Drift, and never
-// otherwise. Reports whether a rebuild happened.
+// view, under the same scope rules as roundAgents: kept outright under
+// viewKeep with an unmoved generation, refreshed in place for exactly the
+// touched agents under a (non-structural) viewSparse — untouched shards
+// keep their epoch, and with it their warm design plans and retained
+// outcomes — and rebuilt from scratch otherwise (viewFull covers Bump,
+// undeclared legacy Drift hooks, structural sparse scopes escalated by
+// roundAgents, and generation moves observed second-hand on a shared
+// population). Reports whether a full rebuild happened.
 func (e *Engine) ensureShards(agents []*worker.Agent) bool {
 	gen := e.pop.Generation()
-	if e.shardsOK && e.cfg.Drift == nil && e.shardsGen == gen {
-		return false
+	if e.shardsOK {
+		switch e.scope.rule {
+		case viewKeep:
+			if e.shardsGen == gen {
+				return false
+			}
+		case viewSparse:
+			e.refreshShardsSparse()
+			e.shardsGen = gen
+			return false
+		}
 	}
 	e.viewEpoch++
+	e.fpCounts = nil
 	n := e.cfg.Shards
 	if n > len(agents) {
 		n = len(agents)
@@ -190,6 +236,7 @@ func (e *Engine) ensureShards(agents []*worker.Agent) bool {
 		sr.sh.FPs = sr.sh.FPs[:0]
 		sr.outsOK = false
 		sr.changed = false
+		sr.dirty = sr.dirty[:0]
 		if e.cfg.Memo != nil && sr.memoSeg == nil {
 			sr.memoSeg = e.cfg.Memo.Segment()
 		}
@@ -213,6 +260,104 @@ func (e *Engine) ensureShards(agents []*worker.Agent) bool {
 		e.m.shards.Set(float64(n))
 	}
 	return true
+}
+
+// refreshShardsSparse applies a sparse drift scope to the retained shard
+// views in place: for each touched agent it refreshes the owning shard's
+// weight, malice, and fingerprint slots, then picks the cheapest sound
+// route for that agent. Under a FingerprintPurePolicy whose new
+// fingerprint already resolves in the design cache, the agent's contract
+// slot is patched directly and only its outcome slot is marked dirty —
+// the shard keeps its epoch, its designer plan, and every other retained
+// outcome (the patch route). Otherwise the shard's epoch is bumped,
+// forcing its designer plan and retained outcomes to revalidate in full
+// (the fallback route). Untouched shards stay exactly as they were —
+// same epoch, same plan, same warm skip. Fingerprints are refcounted
+// across all shards, and only fingerprints whose last holder drifted
+// away are dropped from the design cache and respond memo, so shared
+// designs survive a partial drift.
+//
+// The caller (ensureShards) guarantees the scope is non-structural:
+// roundAgents escalated to viewFull otherwise, so every touched ID
+// resolves in byID and every global index resolves in its shard.
+func (e *Engine) refreshShardsSparse() {
+	var t telemetry.Timer
+	if e.m != nil {
+		t = telemetry.StartTimer()
+	}
+	e.ensureByID()
+	e.ensureFPCounts()
+	e.viewEpoch++
+	epoch := e.viewEpoch
+	canPatch := e.patchPol && e.cfg.Cache != nil
+	touched := 0
+	e.deadFPs = e.deadFPs[:0]
+	n := len(e.shards)
+	for _, id := range e.scope.ids {
+		gi := e.byID[id]
+		sr := &e.shards[ShardOf(id, n)]
+		sh := &sr.sh
+		j := sort.Search(len(sh.Global), func(k int) bool { return sh.Global[k] >= gi })
+		a := sh.Agents[j]
+		w := e.pop.Weights[id]
+		sh.Weights[j] = w
+		sh.Malice[j] = e.pop.MaliceProb[id]
+		fp := FingerprintOf(a, core.Config{Part: e.pop.Part, Mu: e.pop.Mu, W: w})
+		if old := sh.FPs[j]; fp != old {
+			sh.FPs[j] = fp
+			e.fpCounts[fp]++
+			if c := e.fpCounts[old] - 1; c <= 0 {
+				delete(e.fpCounts, old)
+				e.deadFPs = append(e.deadFPs, old)
+			} else {
+				e.fpCounts[old] = c
+			}
+		}
+		if sr.seen != epoch {
+			sr.seen = epoch
+			touched++
+		}
+		if canPatch {
+			if res, ok := e.cfg.Cache.Get(fp); ok {
+				sr.contracts[j] = res.Contract
+				sr.dirty = append(sr.dirty, int32(j))
+				continue
+			}
+		}
+		if sh.Epoch != epoch {
+			sh.Epoch = epoch
+			sr.outsOK = false
+		}
+	}
+	if len(e.deadFPs) > 0 {
+		if e.cfg.Cache != nil {
+			e.cfg.Cache.Remove(e.deadFPs...)
+		}
+		if e.cfg.Memo != nil {
+			e.cfg.Memo.RemoveFingerprints(e.deadFPs...)
+		}
+	}
+	if e.m != nil {
+		e.m.driftShardsRebuilt.Add(uint64(touched))
+		e.m.driftShardsSkipped.Add(uint64(n - touched))
+		e.m.driftRebuild.Observe(t.Seconds())
+	}
+}
+
+// ensureFPCounts lazily builds the global fingerprint refcount over every
+// shard's cached fingerprints. It is populated on the first sparse refresh
+// after a full rebuild (which resets it to nil) and maintained
+// incrementally by refreshShardsSparse from then on.
+func (e *Engine) ensureFPCounts() {
+	if e.fpCounts != nil {
+		return
+	}
+	e.fpCounts = make(map[Fingerprint]int32, 64)
+	for i := range e.shards {
+		for _, fp := range e.shards[i].sh.FPs {
+			e.fpCounts[fp]++
+		}
+	}
 }
 
 // designSharded is the design stage under Config.Shards > 0. With a
@@ -263,7 +408,11 @@ func (e *Engine) designShard(ctx context.Context, st *roundState, i int) error {
 		return fmt.Errorf("engine: policy %s shard %d round %d: %w", e.cfg.Policy.Name(), i, st.r, err)
 	}
 	sr.changed = changed
-	if changed {
+	// A patch-route shard (dirty slots, outcomes still retained) keeps
+	// outsOK through a changed report: the policy is fingerprint-pure, so
+	// a refill resolves every untouched slot to a value-identical
+	// contract, and the dirty slots are recomputed by the patch respond.
+	if changed && len(sr.dirty) == 0 {
 		sr.outsOK = false
 	}
 	if st.timed {
@@ -286,6 +435,15 @@ func (e *Engine) mergeContracts(st *roundState, rebuilt bool) map[string]*contra
 	for si := range e.shards {
 		sr := &e.shards[si]
 		if !rebuilt && !sr.changed {
+			// Patch-route shards report changed=false, but their dirty
+			// slots' contracts moved — fix up just those entries.
+			for _, j := range sr.dirty {
+				if c := sr.contracts[j]; c != nil {
+					e.merged[sr.sh.Agents[j].ID] = c
+				} else {
+					delete(e.merged, sr.sh.Agents[j].ID)
+				}
+			}
 			continue
 		}
 		for i, a := range sr.sh.Agents {
@@ -316,7 +474,7 @@ func (e *Engine) respondSharded(ctx context.Context, st *roundState) (float64, e
 			// round, exactly like the sequential engine.
 			e.shards[i].outsOK = false
 		}
-		if !e.shards[i].outsOK {
+		if !e.shards[i].outsOK || len(e.shards[i].dirty) > 0 {
 			dirty++
 		}
 	}
@@ -341,25 +499,76 @@ func (e *Engine) respondSharded(ctx context.Context, st *roundState) (float64, e
 
 // respondShard computes one dirty shard's best responses (clean shards
 // return immediately), deduplicating through the shard's memo segment.
+// Shards whose outcomes are retained but carry sparse-drift dirty slots
+// take the patch route: only those slots' outcomes are recomputed.
 func (e *Engine) respondShard(st *roundState, i int) error {
 	sr := &e.shards[i]
-	if sr.outsOK {
+	if sr.outsOK && len(sr.dirty) == 0 {
 		return nil
 	}
 	var t telemetry.Timer
 	if st.timed {
 		t = telemetry.StartTimer()
 	}
-	if err := e.respondShardSolve(sr, st); err != nil {
+	var err error
+	if sr.outsOK {
+		err = e.respondShardPatch(sr, st)
+	} else {
+		err = e.respondShardSolve(sr, st)
+	}
+	if err != nil {
 		return err
 	}
 	// Retained outcomes are exact until the view or the contracts change —
 	// but only the dense route can see contracts change (the changed
 	// report); map-route shards re-mark dirty every round above.
 	sr.outsOK = true
+	sr.dirty = sr.dirty[:0]
 	if st.timed {
 		e.m.shardRespond.Observe(t.Seconds())
 	}
+	return nil
+}
+
+// respondShardPatch refreshes exactly the shard's dirty outcome slots —
+// the agents the sparse-drift route re-pointed at already-cached designs
+// — and re-folds the shard's worker-utility sum from the per-slot
+// breakdown, so the gauge matches a full recompute bit for bit.
+func (e *Engine) respondShardPatch(sr *shardRun, st *roundState) error {
+	outs := st.round.Outcomes
+	for _, j := range sr.dirty {
+		a := sr.sh.Agents[j]
+		c := sr.contracts[j]
+		oc := &outs[sr.sh.Global[j]]
+		*oc = AgentOutcome{AgentID: a.ID, Class: a.Class, Size: a.Size, Weight: sr.sh.Weights[j]}
+		if c == nil {
+			oc.Excluded = true
+			sr.wuSlots[j] = 0
+			continue
+		}
+		fp := sr.sh.FPs[j]
+		var resp worker.Response
+		var hit bool
+		if sr.memoSeg != nil {
+			resp, hit = sr.memoSeg.Get(fp, c)
+		}
+		if !hit {
+			var err error
+			resp, err = a.BestResponse(c, e.pop.Part)
+			if err != nil {
+				return fmt.Errorf("engine: agent %s round %d: %w", a.ID, st.r, err)
+			}
+			if sr.memoSeg != nil {
+				sr.memoSeg.Put(fp, c, resp)
+			}
+		}
+		sr.wuSlots[j] = fillResponse(oc, resp)
+	}
+	var wu float64
+	for _, u := range sr.wuSlots {
+		wu += u
+	}
+	sr.wu = wu
 	return nil
 }
 
@@ -433,13 +642,21 @@ func (e *Engine) respondShardSolve(sr *shardRun, st *roundState) error {
 		}
 	}
 
+	na := len(sr.sh.Agents)
+	if cap(sr.wuSlots) < na {
+		sr.wuSlots = make([]float64, na)
+	}
+	sr.wuSlots = sr.wuSlots[:na]
 	var wu float64
 	for i := range sr.sh.Agents {
 		slot := s.slots[i]
 		if slot < 0 {
+			sr.wuSlots[i] = 0
 			continue
 		}
-		wu += fillResponse(&outs[sr.sh.Global[i]], s.resps[slot])
+		u := fillResponse(&outs[sr.sh.Global[i]], s.resps[slot])
+		sr.wuSlots[i] = u
+		wu += u
 	}
 	sr.wu = wu
 	return nil
@@ -482,6 +699,7 @@ func (e *Engine) respondShardedHook(ctx context.Context, st *roundState) (float6
 func (e *Engine) respondShardHook(st *roundState, i int) error {
 	sr := &e.shards[i]
 	sr.outsOK = false
+	sr.dirty = sr.dirty[:0] // the hook recomputes every slot anyway
 	outs := st.round.Outcomes
 	var wu float64
 	for j, a := range sr.sh.Agents {

@@ -29,7 +29,14 @@ func (p *shardDesignPolicy) ShardContracts(ctx context.Context, pop *engine.Popu
 	return p.d.Shard(sh.Index).Contracts(ctx, pop, sh, dst)
 }
 
-var _ engine.ShardPolicy = (*shardDesignPolicy)(nil)
+// FingerprintPure marks the policy for the sparse-drift patch route —
+// ShardDesigner resolves contracts purely by fingerprint.
+func (p *shardDesignPolicy) FingerprintPure() {}
+
+var (
+	_ engine.ShardPolicy           = (*shardDesignPolicy)(nil)
+	_ engine.FingerprintPurePolicy = (*shardDesignPolicy)(nil)
+)
 
 // TestShardOf pins the shard key: FNV-1a over the agent ID reduced mod n.
 // Matching the stdlib's hash/fnv makes the cross-process stability claim

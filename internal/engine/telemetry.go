@@ -68,6 +68,20 @@ const (
 	// shards × rounds.
 	MetricShardDesignSeconds  = "dyncontract_engine_shard_design_seconds"
 	MetricShardRespondSeconds = "dyncontract_engine_shard_respond_seconds"
+
+	// Sparse-drift instrumentation (see DESIGN.md "Drift scopes").
+	// MetricDriftTouchedAgents counts agents named by consumed sparse
+	// scopes (Population.Touch); Bump and legacy Drift-hook rounds count
+	// nothing here — they take the full-rebuild path.
+	MetricDriftTouchedAgents = "dyncontract_engine_drift_touched_agents"
+	// MetricDriftShardsRebuilt / MetricDriftShardsSkipped count, per
+	// sparse refresh, the shards that owned a touched agent (epoch
+	// bumped, views refreshed) vs the shards left on their warm path.
+	MetricDriftShardsRebuilt = "dyncontract_engine_drift_shards_rebuilt_total"
+	MetricDriftShardsSkipped = "dyncontract_engine_drift_shards_skipped_total"
+	// MetricDriftRebuildSeconds times each sparse refresh (histogram,
+	// seconds) — the cost a full view rebuild was traded for.
+	MetricDriftRebuildSeconds = "dyncontract_engine_drift_rebuild_seconds"
 )
 
 // Stage-timing histograms bin uniformly over [0, 250ms) in 5ms steps —
@@ -88,20 +102,27 @@ const (
 type stageMetrics struct {
 	design, respond, settle, observe, round *telemetry.Histogram
 	shardDesign, shardRespond               *telemetry.Histogram
+	driftRebuild                            *telemetry.Histogram
 	workerUtility, shards                   *telemetry.Gauge
+	driftTouched                            *telemetry.Counter
+	driftShardsRebuilt, driftShardsSkipped  *telemetry.Counter
 }
 
 func newStageMetrics(reg *telemetry.Registry) *stageMetrics {
 	return &stageMetrics{
-		design:        reg.Histogram(MetricStageDesignSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
-		respond:       reg.Histogram(MetricStageRespondSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
-		settle:        reg.Histogram(MetricStageSettleSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
-		observe:       reg.Histogram(MetricStageObserveSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
-		round:         reg.Histogram(MetricRoundSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
-		shardDesign:   reg.Histogram(MetricShardDesignSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
-		shardRespond:  reg.Histogram(MetricShardRespondSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
-		workerUtility: reg.Gauge(MetricRoundWorkerUtility),
-		shards:        reg.Gauge(MetricShards),
+		design:             reg.Histogram(MetricStageDesignSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		respond:            reg.Histogram(MetricStageRespondSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		settle:             reg.Histogram(MetricStageSettleSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		observe:            reg.Histogram(MetricStageObserveSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		round:              reg.Histogram(MetricRoundSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		shardDesign:        reg.Histogram(MetricShardDesignSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		shardRespond:       reg.Histogram(MetricShardRespondSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		driftRebuild:       reg.Histogram(MetricDriftRebuildSeconds, stageSecondsLo, stageSecondsHi, stageSecondsBins),
+		workerUtility:      reg.Gauge(MetricRoundWorkerUtility),
+		shards:             reg.Gauge(MetricShards),
+		driftTouched:       reg.Counter(MetricDriftTouchedAgents),
+		driftShardsRebuilt: reg.Counter(MetricDriftShardsRebuilt),
+		driftShardsSkipped: reg.Counter(MetricDriftShardsSkipped),
 	}
 }
 

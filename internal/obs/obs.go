@@ -313,6 +313,46 @@ func DeltaShardStats(prev, cur ShardStats) ShardStats {
 	}
 }
 
+// DriftStats summarizes the engine's sparse-drift activity as read from a
+// registry snapshot: how many agents were named by consumed Touch scopes,
+// how the shard partition split between rebuilt (owning a touched agent)
+// and skipped (left warm) shards, and the total time spent in sparse view
+// refreshes. Bump and legacy Drift-hook rounds take the full-rebuild path
+// and count nothing here.
+type DriftStats struct {
+	TouchedAgents  uint64
+	ShardsRebuilt  uint64
+	ShardsSkipped  uint64
+	RebuildRuns    uint64
+	RebuildSeconds float64
+}
+
+// DriftStatsFrom reads the drift counters and the sparse-refresh timing
+// histogram (the MetricDrift* names) out of a registry snapshot,
+// mirroring ShardStatsFrom.
+func DriftStatsFrom(s telemetry.Snapshot) DriftStats {
+	rebuild := s.Histograms[engine.MetricDriftRebuildSeconds]
+	return DriftStats{
+		TouchedAgents:  s.Counters[engine.MetricDriftTouchedAgents],
+		ShardsRebuilt:  s.Counters[engine.MetricDriftShardsRebuilt],
+		ShardsSkipped:  s.Counters[engine.MetricDriftShardsSkipped],
+		RebuildRuns:    rebuild.Count,
+		RebuildSeconds: rebuild.Sum,
+	}
+}
+
+// DeltaDriftStats returns cur−prev on every field — all of them
+// cumulative — for runs sharing one registry, mirroring DeltaShardStats.
+func DeltaDriftStats(prev, cur DriftStats) DriftStats {
+	return DriftStats{
+		TouchedAgents:  cur.TouchedAgents - prev.TouchedAgents,
+		ShardsRebuilt:  cur.ShardsRebuilt - prev.ShardsRebuilt,
+		ShardsSkipped:  cur.ShardsSkipped - prev.ShardsSkipped,
+		RebuildRuns:    cur.RebuildRuns - prev.RebuildRuns,
+		RebuildSeconds: cur.RebuildSeconds - prev.RebuildSeconds,
+	}
+}
+
 // HTTPRouteStats summarizes one instrumented HTTP route (the
 // telemetry.InstrumentHandler metric set) as read from a registry
 // snapshot: request and status-class counts, the backpressure rejections,
@@ -386,4 +426,22 @@ func FprintShardStats(w io.Writer, s ShardStats) {
 	fmt.Fprintf(w, "  shards: %d\n", s.Shards)
 	fmt.Fprintf(w, "  shard design:  %6d runs, mean %.6fs\n", s.DesignRuns, mean(s.DesignSeconds, s.DesignRuns))
 	fmt.Fprintf(w, "  shard respond: %6d runs, mean %.6fs\n", s.RespondRuns, mean(s.RespondSeconds, s.RespondRuns))
+}
+
+// FprintDriftStats renders the engine's sparse-drift counters — the
+// `-driftstats` output format. Stats with no touched agents (no Touch
+// scope ever consumed: full-rebuild drifts only, or telemetry disabled)
+// print a single explanatory line.
+func FprintDriftStats(w io.Writer, s DriftStats) {
+	if s.TouchedAgents == 0 {
+		fmt.Fprintf(w, "  drift: no scoped drift (Touch) observed\n")
+		return
+	}
+	fmt.Fprintf(w, "  drift touched: %d agents across %d sparse refreshes\n", s.TouchedAgents, s.RebuildRuns)
+	fmt.Fprintf(w, "  drift shards:  %d rebuilt, %d skipped\n", s.ShardsRebuilt, s.ShardsSkipped)
+	mean := 0.0
+	if s.RebuildRuns > 0 {
+		mean = s.RebuildSeconds / float64(s.RebuildRuns)
+	}
+	fmt.Fprintf(w, "  drift refresh: %.6fs total, mean %.6fs\n", s.RebuildSeconds, mean)
 }

@@ -105,10 +105,11 @@ type DynamicPolicy struct {
 }
 
 var (
-	_ Policy             = (*DynamicPolicy)(nil)
-	_ engine.ShardPolicy = (*DynamicPolicy)(nil)
-	_ engine.CacheUser   = (*DynamicPolicy)(nil)
-	_ engine.MetricsUser = (*DynamicPolicy)(nil)
+	_ Policy                       = (*DynamicPolicy)(nil)
+	_ engine.ShardPolicy           = (*DynamicPolicy)(nil)
+	_ engine.FingerprintPurePolicy = (*DynamicPolicy)(nil)
+	_ engine.CacheUser             = (*DynamicPolicy)(nil)
+	_ engine.MetricsUser           = (*DynamicPolicy)(nil)
 )
 
 // Name implements Policy.
@@ -136,3 +137,10 @@ func (p *DynamicPolicy) Contracts(ctx context.Context, pop *Population) (map[str
 func (p *DynamicPolicy) ShardContracts(ctx context.Context, pop *Population, sh *engine.Shard, dst []*contract.PiecewiseLinear) (bool, error) {
 	return p.designer.Shard(sh.Index).Contracts(ctx, pop, sh, dst)
 }
+
+// FingerprintPure implements engine.FingerprintPurePolicy: every contract
+// this policy serves is resolved purely through the agent's design
+// fingerprint (engine.Designer dedups and caches by fingerprint), so the
+// engine may patch sparsely drifted agents straight from the design
+// cache instead of re-running the shard cold.
+func (p *DynamicPolicy) FingerprintPure() {}

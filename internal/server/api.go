@@ -309,10 +309,13 @@ func (r *DriftRequest) Validate() error {
 	return nil
 }
 
-// DriftResponse reports the number of field mutations applied and the
-// session's completed-round count at the time.
+// DriftResponse reports the number of field mutations applied, the
+// distinct agents touched (declared to the engine as the drift scope, so
+// only their shards rebuild), and the session's completed-round count at
+// the time.
 type DriftResponse struct {
 	Updated int `json:"updated"`
+	Touched int `json:"touched"`
 	Rounds  int `json:"rounds"`
 }
 

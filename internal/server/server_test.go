@@ -265,6 +265,85 @@ func TestDriftMutatesAndRejects(t *testing.T) {
 	}
 }
 
+// TestSparseDriftScopedLedger pins the drift route's touched-set
+// declaration end to end on a sharded session: a one-agent drift reports
+// touched=1 and perturbs exactly that agent's next ledger row, and a
+// rejected drift — reverted before any Touch — leaves both the
+// population and the drift scope untouched, so the following round is
+// identical row for row.
+func TestSparseDriftScopedLedger(t *testing.T) {
+	e := newTestServer(t, Config{})
+	req := testCreateReq()
+	req.Shards = 2
+	var created CreateSessionResponse
+	if code := e.do(t, "POST", "/v1/sessions", &req, &created); code != http.StatusCreated {
+		t.Fatalf("create session: status %d", code)
+	}
+	id := created.ID
+
+	advance := func() RoundJSON {
+		t.Helper()
+		var out RoundJSON
+		areq := AdvanceRoundRequest{IncludeOutcomes: true}
+		if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", &areq, &out); code != http.StatusOK {
+			t.Fatalf("round: status %d", code)
+		}
+		return out
+	}
+	rowByID := func(r RoundJSON, agent string) OutcomeJSON {
+		t.Helper()
+		for _, oc := range r.Outcomes {
+			if oc.AgentID == agent {
+				return oc
+			}
+		}
+		t.Fatalf("no outcome row for %s", agent)
+		return OutcomeJSON{}
+	}
+
+	before := advance()
+
+	var dr DriftResponse
+	drift := DriftRequest{Weights: map[string]float64{"h1": 1.3}}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/drift", &drift, &dr); code != http.StatusOK {
+		t.Fatalf("drift: status %d", code)
+	}
+	if dr.Touched != 1 || dr.Updated != 1 {
+		t.Errorf("drift response = %+v, want touched=1 updated=1", dr)
+	}
+
+	after := advance()
+	for _, oc := range before.Outcomes {
+		got := rowByID(after, oc.AgentID)
+		if oc.AgentID == "h1" {
+			if got == oc {
+				t.Errorf("touched agent h1's row did not change after weight drift")
+			}
+			if got.Weight != 1.3 {
+				t.Errorf("h1 weight = %v, want 1.3", got.Weight)
+			}
+			continue
+		}
+		if got != oc {
+			t.Errorf("untouched agent %s's row changed: %+v -> %+v", oc.AgentID, oc, got)
+		}
+	}
+
+	// A rejected drift reverts its mutations before declaring any scope:
+	// the valid h2 entry must not leak into the population or the
+	// touched-set alongside the unknown-agent rejection.
+	bad := DriftRequest{Weights: map[string]float64{"h2": 3, "ghost": 1}}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/drift", &bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad drift: status %d, want 400", code)
+	}
+	again := advance()
+	for _, oc := range after.Outcomes {
+		if got := rowByID(again, oc.AgentID); got != oc {
+			t.Errorf("rejected drift perturbed %s's row: %+v -> %+v", oc.AgentID, oc, got)
+		}
+	}
+}
+
 func TestSyntheticSession(t *testing.T) {
 	e := newTestServer(t, Config{})
 	req := CreateSessionRequest{Scale: "small", Seed: 7, PerClass: 10}

@@ -273,6 +273,11 @@ func (s *session) runDrift(req *DriftRequest) cmdReply {
 		}
 		return cmdReply{err: err, code: http.StatusBadRequest}
 	}
+	// touched collects the distinct agent IDs this drift mutates, declared
+	// through Population.Touch only after validation passes — a rejected
+	// drift reverts every mutation and leaves the drift scope (and with it
+	// every engine view) exactly as it was.
+	touched := make(map[string]struct{}, len(req.Weights)+len(req.Beta)+len(req.Omega)+len(req.Psi))
 	updated := 0
 	for id, w := range req.Weights {
 		old, ok := s.pop.Weights[id]
@@ -281,6 +286,7 @@ func (s *session) runDrift(req *DriftRequest) cmdReply {
 		}
 		s.pop.Weights[id] = w
 		undo = append(undo, func() { s.pop.Weights[id] = old })
+		touched[id] = struct{}{}
 		updated++
 	}
 	for id, b := range req.Beta {
@@ -291,6 +297,7 @@ func (s *session) runDrift(req *DriftRequest) cmdReply {
 		old := a.Beta
 		a.Beta = b
 		undo = append(undo, func() { a.Beta = old })
+		touched[id] = struct{}{}
 		updated++
 	}
 	for id, o := range req.Omega {
@@ -301,6 +308,7 @@ func (s *session) runDrift(req *DriftRequest) cmdReply {
 		old := a.Omega
 		a.Omega = o
 		undo = append(undo, func() { a.Omega = old })
+		touched[id] = struct{}{}
 		updated++
 	}
 	for id, p := range req.Psi {
@@ -311,20 +319,28 @@ func (s *session) runDrift(req *DriftRequest) cmdReply {
 		old := a.Psi
 		a.Psi = effort.Quadratic{R2: p.R2, R1: p.R1, R0: p.R0}
 		undo = append(undo, func() { a.Psi = old })
+		touched[id] = struct{}{}
 		updated++
 	}
 	if err := s.pop.Validate(); err != nil {
 		return fail(err)
 	}
-	// Parameters changed in place: Bump so view-caching engines (sharded
-	// pipelines) rebuild. The design cache needs nothing — mutated
-	// fingerprints simply miss and redesign.
-	s.pop.Bump()
+	// Parameters changed in place: declare exactly the mutated agents so a
+	// sharded engine refreshes only the shards that own them, keeping the
+	// rest on their warm path (Touch is never weaker than the old Bump —
+	// sequential engines read the mutated state fresh either way). The
+	// design cache needs nothing — mutated fingerprints simply miss and
+	// redesign.
+	ids := make([]string, 0, len(touched))
+	for id := range touched {
+		ids = append(ids, id)
+	}
+	s.pop.Touch(ids...)
 	s.srv.metrics.driftDone()
 	s.ledgerMu.RLock()
 	rounds := len(s.ledger)
 	s.ledgerMu.RUnlock()
-	return cmdReply{drift: DriftResponse{Updated: updated, Rounds: rounds}}
+	return cmdReply{drift: DriftResponse{Updated: updated, Touched: len(ids), Rounds: rounds}}
 }
 
 // batcherLoop coalesces design-only queries into micro-batches: the first

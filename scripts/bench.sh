@@ -1,23 +1,26 @@
 #!/bin/sh
 # Engine benchmark runner (`make bench`): runs the round-loop benchmarks —
 # BenchmarkEngineRound1k (design-dedup and respond-memo regimes),
-# BenchmarkEngineRound100k (sequential vs sharded warm rounds),
-# BenchmarkTelemetryOverhead (instrumented vs telemetry.Nop), and
-# BenchmarkServerDesignBatch (HTTP serving path with design-query
-# micro-batching; tracked for trend only, not regression-gated — it rides
+# BenchmarkEngineRound100k (sequential vs sharded warm rounds, plus the
+# sharded-rebuild and sparse-drift-1pct drift variants pinning the
+# touched-scope speedup), BenchmarkTelemetryOverhead (instrumented vs
+# telemetry.Nop), and the HTTP serving benchmarks
+# BenchmarkServerDesignBatch and BenchmarkServerDriftRoute (tracked for
+# trend only, not regression-gated — they ride
 # the loopback network stack) — with
 # -benchmem, prints the standard output, and writes the parsed results to
 # BENCH_engine.json as one JSON array of
 #   {"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"}
 # objects, so the acceptance bars (telemetry overhead ≤5%, respond-memo
-# warm-round speedup, sharded-warm ≥4× sequential-warm at 100k agents)
-# can be checked from the file.
+# warm-round speedup, sharded-warm ≥4× sequential-warm at 100k agents,
+# sparse-drift-1pct ≤10% of a full sharded rebuild) can be checked from
+# the file.
 #
 # Before overwriting, the fresh run is diffed against the committed
 # BENCH_engine.json: every benchmark's ns/op delta is printed, a >10%
 # regression warns, and a >25% regression on a warm-round benchmark
 # (dedup-warm, respond-memo-warm, sequential-warm, sharded-warm,
-# TelemetryOverhead) fails the run without touching the committed
+# sparse-drift, TelemetryOverhead) fails the run without touching the committed
 # baseline. Set BENCH_ALLOW_REGRESSION=1 to record
 # the new numbers anyway (e.g. after an intentional trade-off or on a
 # slower machine).
@@ -30,7 +33,7 @@ raw=$(mktemp)
 fresh=$(mktemp)
 trap 'rm -f "$raw" "$fresh"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead|BenchmarkServerDesignBatch' -benchmem . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead|BenchmarkServerDesignBatch|BenchmarkServerDriftRoute' -benchmem . | tee "$raw"
 
 awk '
 BEGIN { print "["; n = 0 }
@@ -78,7 +81,7 @@ if [ -f "$out" ]; then
 		}
 		delta = (ns - base[name]) / base[name] * 100
 		printf "  %-55s %12.0f ns/op  %+7.1f%%\n", name, ns, delta
-		warm = (name ~ /dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|TelemetryOverhead/)
+		warm = (name ~ /dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|sparse-drift|TelemetryOverhead/)
 		if (warm && delta > 25) {
 			printf "  FAIL: %s regressed %.1f%% (>25%% on a warm-round benchmark)\n", name, delta
 			failed = 1

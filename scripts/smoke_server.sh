@@ -1,11 +1,14 @@
 #!/bin/sh
 # Serving-layer smoke test (`make smoke`, also a CI stage): builds
-# contractd and loadgen, starts the daemon on a loopback port, waits for
-# /healthz via `loadgen -healthcheck`, fires a short strict closed-loop
-# burst (design queries plus round advances), then sends SIGTERM and
-# requires a clean drain — the process must exit 0 and print its
-# "contractd: bye" sign-off. Any 5xx during the burst, a failed health
-# probe, or an unclean shutdown fails the script.
+# contractd, loadgen, and driftcheck, starts the daemon on a loopback
+# port, waits for /healthz via `loadgen -healthcheck`, fires a short
+# strict closed-loop burst (design queries, round advances, and sparse
+# drift mutations), runs the driftcheck probe (a one-agent drift must
+# report touched=1 and perturb only that agent's ledger row), then sends
+# SIGTERM and requires a clean drain — the process must exit 0 and print
+# its "contractd: bye" sign-off. Any 5xx during the burst, a failed
+# health probe, a drift leaking into untouched agents' rows, or an
+# unclean shutdown fails the script.
 #
 # Override the port with SMOKE_PORT if 18473 is taken.
 set -eu
@@ -29,9 +32,10 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "building contractd and loadgen..."
+echo "building contractd, loadgen, and driftcheck..."
 go build -o "$work/contractd" ./cmd/contractd
 go build -o "$work/loadgen" ./cmd/loadgen
+go build -o "$work/driftcheck" ./scripts/driftcheck
 
 addr="127.0.0.1:${SMOKE_PORT:-18473}"
 "$work/contractd" -listen "$addr" -drain-timeout 10s >"$log" 2>&1 &
@@ -41,7 +45,10 @@ echo "waiting for http://$addr/healthz..."
 "$work/loadgen" -addr "http://$addr" -healthcheck -healthcheck-timeout 10s
 
 echo "running strict load burst..."
-"$work/loadgen" -addr "http://$addr" -clients 4 -requests 25 -round-every 5 -strict
+"$work/loadgen" -addr "http://$addr" -clients 4 -requests 25 -round-every 5 -drift-every 7 -drift-agents 2 -strict
+
+echo "running sparse-drift ledger probe..."
+"$work/driftcheck" -addr "http://$addr"
 
 echo "sending SIGTERM..."
 kill -TERM "$pid"
