@@ -8,9 +8,16 @@
 //	contractd [-listen addr] [-batch-window d] [-batch-max n]
 //	          [-queue n] [-design-queue n] [-max-inflight n]
 //	          [-max-sessions n] [-timeout d] [-drain-timeout d]
+//	          [-log-level debug|info|warn|error] [-log-format text|json]
+//	          [-trace] [-trace-sample p] [-trace-out file]
 //
 // The server exposes /metrics (Prometheus text) and /debug/pprof/ beside
-// the API. On SIGINT/SIGTERM it drains: in-flight work completes, queued
+// the API; with -trace it also records execution spans — HTTP route →
+// session queue → engine round → stages → shards — serves them at
+// /debug/traces, and writes the retained traces to -trace-out on exit
+// (.json gets Chrome trace_event format for Perfetto). Every request is
+// logged through log/slog with its route, status, duration, session, and
+// trace ID. On SIGINT/SIGTERM it drains: in-flight work completes, queued
 // work is answered 503, then the listener closes and the per-route request
 // statistics are printed.
 package main
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,10 +64,19 @@ func run(args []string, out io.Writer) error {
 		maxSessions  = fs.Int("max-sessions", 64, "live session cap")
 		timeout      = fs.Duration("timeout", 30*time.Second, "per-request server-side deadline")
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful drain deadline on shutdown")
+		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		logFormat    = fs.String("log-format", "text", "log line format: text or json")
+		traceFlags   obs.TraceFlags
 	)
+	traceFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := buildLogger(out, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	tracer, recorder := traceFlags.Build()
 
 	reg := telemetry.NewRegistry()
 	srv := server.New(server.Config{
@@ -71,6 +88,8 @@ func run(args []string, out io.Writer) error {
 		MaxSessions:    *maxSessions,
 		RequestTimeout: *timeout,
 		Metrics:        reg,
+		Tracer:         tracer,
+		Logger:         logger,
 	})
 
 	lis, err := net.Listen("tcp", *listen)
@@ -78,7 +97,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(out, "contractd: listening on http://%s (metrics at /metrics, pprof at /debug/pprof/)\n", lis.Addr())
+	endpoints := "metrics at /metrics, pprof at /debug/pprof/"
+	if recorder != nil {
+		endpoints += ", traces at /debug/traces"
+	}
+	logger.Info("listening on http://"+lis.Addr().String(), "endpoints", endpoints)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -95,11 +118,11 @@ func run(args []string, out io.Writer) error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(out, "contractd: draining...")
+	logger.Info("draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		fmt.Fprintf(out, "contractd: drain incomplete: %v\n", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
@@ -107,8 +130,31 @@ func run(args []string, out io.Writer) error {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	if err := traceFlags.Export(recorder); err != nil {
+		logger.Warn("trace export failed", "err", err)
+	} else if traceFlags.Out != "" {
+		logger.Info("traces written", "path", traceFlags.Out)
+	}
 
 	obs.FprintHTTPStats(out, obs.HTTPStatsFrom(reg.Snapshot()))
-	fmt.Fprintln(out, "contractd: bye")
+	logger.Info("bye")
 	return nil
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
@@ -28,7 +29,7 @@ func TestServeAndDrain(t *testing.T) {
 	var out bytes.Buffer
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- run([]string{"-listen", "127.0.0.1:0", "-drain-timeout", "5s"}, &out)
+		runErr <- run([]string{"-listen", "127.0.0.1:0", "-drain-timeout", "5s", "-trace"}, &out)
 	}()
 	var boot struct {
 		addr     string
@@ -86,6 +87,20 @@ func TestServeAndDrain(t *testing.T) {
 		t.Fatalf("metrics = %d", resp.StatusCode)
 	}
 
+	// -trace serves the recorded spans at /debug/traces.
+	resp, err = http.Get(base + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/traces = %d", resp.StatusCode)
+	}
+	if !bytes.Contains(traces, []byte("engine.round")) {
+		t.Errorf("traces missing engine.round span: %s", traces)
+	}
+
 	boot.shutdown()
 	select {
 	case err := <-runErr:
@@ -95,7 +110,12 @@ func TestServeAndDrain(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("server never exited after shutdown")
 	}
-	for _, want := range []string{"listening on", "draining", "http rounds_advance", "bye"} {
+	// Lifecycle and request logs flow through slog; the request line for
+	// the advanced round carries its route, status, and trace ID.
+	for _, want := range []string{
+		"listening on", "draining", "http rounds_advance", "bye",
+		"msg=request", "route=rounds_advance", "status=200", "trace=",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}

@@ -8,7 +8,13 @@
 //	            [-shards n] [-shardstats] [-driftstats]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-spans] [-trace-sample p] [-trace-out file]
 //	experiments -list
+//
+// -spans records one execution span per experiment run (-trace already
+// names the review-trace input file, so the enable flag differs from the
+// other CLIs); -trace-out writes the retained spans on exit (.json =
+// Chrome trace_event format for Perfetto).
 //
 // Each experiment prints an aligned text table with shape-check notes; see
 // EXPERIMENTS.md for the mapping to the paper's figures. The
@@ -64,8 +70,10 @@ func run(args []string, out io.Writer) error {
 		shardStats = fs.Bool("shardstats", false, "report per-shard stage timings per experiment (needs -shards)")
 		driftStats = fs.Bool("driftstats", false, "report sparse-drift scope counters per experiment")
 		obsFlags   obs.Flags
+		traceFlags obs.TraceFlags
 	)
 	obsFlags.Register(fs)
+	traceFlags.RegisterNamed(fs, "spans") // -trace is the input trace file
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,6 +159,7 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, e.ID)
 		}
 	}
+	tracer, recorder := traceFlags.Build()
 	var prevCache engine.CacheStats
 	var prevMemo engine.RespondStats
 	var prevShard obs.ShardStats
@@ -161,7 +170,13 @@ func run(args []string, out io.Writer) error {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q (use -list)", id)
 		}
+		// One span per experiment. The runners drive their engines on
+		// their own contexts, so the span bounds the experiment without
+		// engine-level children — run platformsim or contractd with -trace
+		// for the full round/stage/shard nesting.
+		span := tracer.Root("experiment." + id)
 		rep, err := runner(pipe, params)
+		span.End()
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}
@@ -210,6 +225,12 @@ func run(args []string, out io.Writer) error {
 			continue
 		}
 		fmt.Fprintln(out, rep.Render(*plot))
+	}
+	if err := traceFlags.Export(recorder); err != nil {
+		return err
+	}
+	if traceFlags.Out != "" && !*asJSON {
+		fmt.Fprintf(out, "traces: wrote %s\n", traceFlags.Out)
 	}
 	return nil
 }

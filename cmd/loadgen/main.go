@@ -17,6 +17,11 @@
 // With -healthcheck it instead polls /healthz until the server answers 200
 // (exit 0) or the timeout passes (exit 1) — a curl-free readiness probe
 // for scripts.
+//
+// Every request carries a unique X-Request-Id; against a contractd running
+// with -trace, the summary's failure and p99-outlier lines name the ids to
+// fetch from /debug/traces?id= for the full span tree of the offending
+// request.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"dyncontract/internal/server"
+	"dyncontract/internal/spans"
 )
 
 func main() {
@@ -41,11 +47,15 @@ func main() {
 	}
 }
 
-// result is one request's fate.
+// result is one request's fate. id is the X-Request-Id the request
+// carried — against a contractd running with -trace, fetching
+// /debug/traces?id=<id> returns that request's span tree, so the summary
+// prints the ids of failures and latency outliers.
 type result struct {
 	kind    string // "round", "design", or "drift"
 	status  int    // 0 on transport error
 	latency time.Duration
+	id      string
 }
 
 func run(args []string, out io.Writer) error {
@@ -173,8 +183,9 @@ func run(args []string, out io.Writer) error {
 					}
 				}
 				n := c*1_000_000 + i
+				reqID := fmt.Sprintf("loadgen-%d", n)
 				if *roundEvery > 0 && n%*roundEvery == 0 {
-					res = append(res, doJSON(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", server.AdvanceRoundRequest{}))
+					res = append(res, doJSON(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", server.AdvanceRoundRequest{}, reqID))
 				} else if *driftEvery > 0 && n%*driftEvery == 0 {
 					// Sparse drift: nudge k agents' weights around their
 					// base, rotating the window so the whole session
@@ -185,7 +196,7 @@ func run(args []string, out io.Writer) error {
 						id := driftIDs[(n+j)%len(driftIDs)]
 						w[id] = driftBase[id] * (1 + 0.01*float64(n%3))
 					}
-					res = append(res, doJSON(client, "drift", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{Weights: w}))
+					res = append(res, doJSON(client, "drift", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{Weights: w}, reqID))
 				} else {
 					w := 0.5 + 0.25*float64(n%*weights)
 					q := server.DesignQueryRequest{Agent: &server.AgentSpec{
@@ -194,7 +205,7 @@ func run(args []string, out io.Writer) error {
 						Psi:   server.PsiSpec{R2: -0.25, R1: 2},
 						Beta:  1, Weight: w,
 					}}
-					res = append(res, doJSON(client, "design", *addr+"/v1/sessions/"+sessID+"/design", q))
+					res = append(res, doJSON(client, "design", *addr+"/v1/sessions/"+sessID+"/design", q, reqID))
 				}
 			}
 			resCh <- res
@@ -310,22 +321,28 @@ func harvestAgents(client *http.Client, addr, sessID string) ([]string, map[stri
 	return ids, base, nil
 }
 
-// doJSON issues one POST and records its fate; bodies are drained so the
-// client reuses connections.
-func doJSON(client *http.Client, kind, url string, payload any) result {
+// doJSON issues one POST carrying reqID as X-Request-Id and records its
+// fate; bodies are drained so the client reuses connections.
+func doJSON(client *http.Client, kind, url string, payload any, reqID string) result {
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return result{kind: kind}
+		return result{kind: kind, id: reqID}
 	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return result{kind: kind, id: reqID}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(spans.HeaderRequestID, reqID)
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Do(req)
 	lat := time.Since(start)
 	if err != nil {
-		return result{kind: kind, latency: lat}
+		return result{kind: kind, latency: lat, id: reqID}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return result{kind: kind, status: resp.StatusCode, latency: lat}
+	return result{kind: kind, status: resp.StatusCode, latency: lat, id: reqID}
 }
 
 // summarize prints counts and latency percentiles, and enforces -strict.
@@ -381,8 +398,39 @@ func summarize(out io.Writer, all []result, elapsed time.Duration, overload int6
 			kind, p50.Round(time.Microsecond), p95.Round(time.Microsecond),
 			p99.Round(time.Microsecond), max.Round(time.Microsecond))
 	}
+	// Name the requests behind the tail: every id here resolves to a full
+	// span tree at /debug/traces?id= when the server runs with -trace.
+	if len(lats) > 0 {
+		_, _, p99, _ := percentiles(lats)
+		var outliers []result
+		for _, r := range all {
+			if r.status >= 200 && r.status < 300 && r.latency >= p99 {
+				outliers = append(outliers, r)
+			}
+		}
+		sort.Slice(outliers, func(i, j int) bool { return outliers[i].latency > outliers[j].latency })
+		if len(outliers) > 5 {
+			outliers = outliers[:5]
+		}
+		for _, r := range outliers {
+			fmt.Fprintf(out, "  p99 outlier: %s %s %s (trace /debug/traces?id=%s)\n",
+				r.kind, r.latency.Round(time.Microsecond), r.id, r.id)
+		}
+	}
 	bad := byKind["round"].errors + byKind["design"].errors + byKind["drift"].errors
 	if strict && bad > 0 {
+		printed := 0
+		for _, r := range all {
+			if r.status >= 200 && r.status < 300 || r.status == http.StatusTooManyRequests {
+				continue
+			}
+			fmt.Fprintf(out, "  failed: %s status=%d %s (trace /debug/traces?id=%s)\n",
+				r.kind, r.status, r.id, r.id)
+			if printed++; printed >= 8 {
+				fmt.Fprintf(out, "  ... %d more failures\n", bad-printed)
+				break
+			}
+		}
 		return fmt.Errorf("strict: %d requests failed with transport errors or non-2xx/429 statuses", bad)
 	}
 	if len(all) == 0 {

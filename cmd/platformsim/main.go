@@ -13,12 +13,16 @@
 //	            [-drift-agents k] [-driftstats]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	            [-trace] [-trace-sample p] [-trace-out file]
 //
 // The observability flags (seq engine only) attach a telemetry registry
 // to the run: -metrics appends one JSONL snapshot per simulated round,
 // -metrics-listen serves /metrics in Prometheus text format plus
 // net/http/pprof for live scraping and profiling, and -cpuprofile /
-// -memprofile write pprof profiles for offline analysis.
+// -memprofile write pprof profiles for offline analysis. -trace records
+// one execution trace per policy run — rounds, stages, per-shard work —
+// and -trace-out writes the retained traces on exit (.json = Chrome
+// trace_event format for Perfetto).
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"dyncontract/internal/experiments"
 	"dyncontract/internal/obs"
 	"dyncontract/internal/platform"
+	"dyncontract/internal/spans"
 	"dyncontract/internal/synth"
 	"dyncontract/internal/telemetry"
 )
@@ -72,8 +77,10 @@ func run(args []string, out io.Writer) error {
 		driftAgents = fs.Int("drift-agents", 0, "scoped weight drift: oscillate the first k agents' weights each round, declared via Population.Touch (seq engine only)")
 		driftStats  = fs.Bool("driftstats", false, "report sparse-drift scope counters per policy (seq engine only)")
 		obsFlags    obs.Flags
+		traceFlags  obs.TraceFlags
 	)
 	obsFlags.Register(fs)
+	traceFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,6 +124,7 @@ func run(args []string, out io.Writer) error {
 		len(pop.Agents), len(pipe.Communities))
 
 	ctx := context.Background()
+	tracer, recorder := traceFlags.Build()
 
 	// Scoped drift: oscillate the first k agents' weights around a base
 	// snapshot taken once, before any policy runs — each policy sees the
@@ -181,7 +189,13 @@ func run(args []string, out io.Writer) error {
 			if obsFlags.MetricsPath != "" {
 				cfg.Observers = []engine.Observer{sess.RoundObserver()}
 			}
-			ledger, err = engine.RunLedger(ctx, pop, cfg)
+			// One trace per policy run: the root span covers the whole
+			// ledger, with engine.round / stage / shard children below it.
+			span := tracer.Root("platformsim.run")
+			span.SetAttr("policy", pol.Name())
+			span.SetInt("rounds", int64(*rounds))
+			ledger, err = engine.RunLedger(spans.ContextWith(ctx, span), pop, cfg)
+			span.End()
 		case "actor":
 			var eng *actor.Engine
 			eng, err = actor.NewEngine(pop, pol)
@@ -224,6 +238,12 @@ func run(args []string, out io.Writer) error {
 			prevDrift = cur
 		}
 		fmt.Fprintln(out)
+	}
+	if err := traceFlags.Export(recorder); err != nil {
+		return err
+	}
+	if traceFlags.Out != "" {
+		fmt.Fprintf(out, "traces: wrote %s\n", traceFlags.Out)
 	}
 	if testHookServe != nil {
 		testHookServe(sess.Addr())

@@ -10,6 +10,7 @@ import (
 
 	"dyncontract/internal/contract"
 	"dyncontract/internal/effort"
+	"dyncontract/internal/spans"
 	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
 )
@@ -199,6 +200,14 @@ type Engine struct {
 	shardsGen uint64
 	viewEpoch uint64 // advances on every shard-view rebuild (Shard.Epoch)
 	merged    map[string]*contract.PiecewiseLinear
+	// lastDeclared/lastApplied record the previous round's drift
+	// classification: the rule beginScope derived from the declared scope,
+	// and the rule the round actually ran under after any escalation in
+	// roundAgents (a structural sparse scope escalates to viewFull). See
+	// LastDriftClass.
+	lastDeclared viewRule
+	lastApplied  viewRule
+
 	// fpCounts refcounts the live design fingerprints across every shard
 	// view — built lazily on the first sparse refresh after a full
 	// rebuild, maintained incrementally after. A fingerprint whose count
@@ -223,6 +232,19 @@ const (
 	viewFull
 )
 
+// String names the rule for span attributes, logs, and metrics labels.
+func (v viewRule) String() string {
+	switch v {
+	case viewKeep:
+		return "viewKeep"
+	case viewSparse:
+		return "viewSparse"
+	case viewFull:
+		return "viewFull"
+	}
+	return "viewUnknown"
+}
+
 // driftScope is the consumed per-round drift scope.
 type driftScope struct {
 	rule viewRule
@@ -245,12 +267,21 @@ type roundState struct {
 	// observe stage proper (the OnContracts fan-out runs between design
 	// and respond but bills to the observe histogram).
 	observeDur time.Duration
+	// span is the round's "engine.round" span (nil when the incoming
+	// context carries none — the untraced hot path), and stageSpan the
+	// currently running stage's child span, the parent for per-shard
+	// spans. Both are nil-safe throughout.
+	span      *spans.Span
+	stageSpan *spans.Span
 }
 
 // stage is one step of the engine's round pipeline. Stages run in order;
 // instrumented engines observe each stage's duration into its histogram.
 type stage struct {
 	name string
+	// spanName is the stage's span name, precomputed so traced rounds do
+	// no per-stage string building.
+	spanName string
 	// hist selects the stage's histogram (nil for fold/final stages).
 	hist func(*stageMetrics) *telemetry.Histogram
 	// fold accumulates the stage's duration into roundState.observeDur
@@ -268,11 +299,11 @@ type stage struct {
 // dispatch. Design and respond switch between the sequential and sharded
 // routes on Config.Shards; the other stages are shared.
 var roundPipeline = [...]stage{
-	{name: "design", hist: func(m *stageMetrics) *telemetry.Histogram { return m.design }, run: (*Engine).stageDesign},
-	{name: "contracts", fold: true, run: (*Engine).stageContracts},
-	{name: "respond", hist: func(m *stageMetrics) *telemetry.Histogram { return m.respond }, run: (*Engine).stageRespond},
-	{name: "settle", hist: func(m *stageMetrics) *telemetry.Histogram { return m.settle }, run: (*Engine).stageSettle},
-	{name: "observe", final: true, run: (*Engine).stageObserve},
+	{name: "design", spanName: "engine.stage.design", hist: func(m *stageMetrics) *telemetry.Histogram { return m.design }, run: (*Engine).stageDesign},
+	{name: "contracts", spanName: "engine.stage.contracts", fold: true, run: (*Engine).stageContracts},
+	{name: "respond", spanName: "engine.stage.respond", hist: func(m *stageMetrics) *telemetry.Histogram { return m.respond }, run: (*Engine).stageRespond},
+	{name: "settle", spanName: "engine.stage.settle", hist: func(m *stageMetrics) *telemetry.Histogram { return m.settle }, run: (*Engine).stageSettle},
+	{name: "observe", spanName: "engine.stage.observe", final: true, run: (*Engine).stageObserve},
 }
 
 // New validates the population and configuration and wires the cache and
@@ -418,8 +449,20 @@ func (e *Engine) runRound(ctx context.Context, r int) error {
 		e.beginScope()
 	}
 
+	e.lastDeclared = e.scope.rule
+
 	e.rt = roundState{r: r, timed: timed}
 	st := &e.rt
+	// Traced rounds hang an "engine.round" span with one child per stage
+	// off the caller's span; the untraced path pays one context lookup
+	// and nil branches — no allocation, so the warm-round zero-alloc pin
+	// holds.
+	if parent := spans.FromContext(ctx); parent != nil {
+		st.span = parent.StartChild("engine.round")
+		st.span.SetInt("round", int64(r))
+		ctx = spans.ContextWith(ctx, st.span)
+		defer e.endRoundSpan(st)
+	}
 	var roundTimer telemetry.Timer
 	if timed {
 		roundTimer = telemetry.StartTimer()
@@ -430,7 +473,14 @@ func (e *Engine) runRound(ctx context.Context, r int) error {
 		if timed {
 			stageTimer = telemetry.StartTimer()
 		}
+		if st.span != nil {
+			st.stageSpan = st.span.StartChild(sg.spanName)
+		}
 		err := sg.run(e, ctx, st)
+		if st.stageSpan != nil {
+			st.stageSpan.End()
+			st.stageSpan = nil
+		}
 		if timed && (err == nil || sg.final) {
 			d := stageTimer.Elapsed()
 			switch {
@@ -447,7 +497,31 @@ func (e *Engine) runRound(ctx context.Context, r int) error {
 			return err
 		}
 	}
+	e.lastApplied = e.scope.rule
 	return nil
+}
+
+// endRoundSpan finishes a traced round's span with the round's summary
+// attributes: the drift classification the round ran under (after any
+// escalation), the agent count, and the shard count.
+func (e *Engine) endRoundSpan(st *roundState) {
+	st.span.SetAttr("drift.declared", e.lastDeclared.String())
+	st.span.SetAttr("drift", e.scope.rule.String())
+	st.span.SetInt("agents", int64(len(st.agents)))
+	if e.cfg.Shards > 0 {
+		st.span.SetInt("shards", int64(len(e.shards)))
+	}
+	st.span.End()
+}
+
+// LastDriftClass reports the previous successful round's drift
+// classification: the rule derived from the declared scope and the rule
+// the round actually applied — they differ exactly when a declared
+// sparse scope escalated to the full rebuild (a structural change). The
+// serving layer logs that escalation; traced rounds carry both values as
+// span attributes.
+func (e *Engine) LastDriftClass() (declared, applied string) {
+	return e.lastDeclared.String(), e.lastApplied.String()
 }
 
 // stageDesign resolves the round's agent view and asks the policy for

@@ -7,6 +7,7 @@ import (
 
 	"dyncontract/internal/contract"
 	"dyncontract/internal/core"
+	"dyncontract/internal/spans"
 	"dyncontract/internal/telemetry"
 	"dyncontract/internal/worker"
 )
@@ -396,15 +397,30 @@ func (e *Engine) designSharded(ctx context.Context, st *roundState) error {
 	return nil
 }
 
-// designShard designs one shard through the ShardPolicy.
+// designShard designs one shard through the ShardPolicy. Traced rounds
+// hang one "engine.shard.design" span per shard off the design stage's
+// span, annotated with the shard's size, the round's drift
+// classification, and the design cache's hit/miss deltas across the call
+// (the counters are shared atomics, so under the concurrent fan-out the
+// deltas are attribution-approximate; totals remain exact).
 func (e *Engine) designShard(ctx context.Context, st *roundState, i int) error {
 	sr := &e.shards[i]
 	var t telemetry.Timer
 	if st.timed {
 		t = telemetry.StartTimer()
 	}
+	var sp *spans.Span
+	var hits0, misses0 uint64
+	if st.stageSpan != nil {
+		sp = st.stageSpan.StartChild("engine.shard.design")
+		if e.cfg.Cache != nil {
+			cs := e.cfg.Cache.Stats()
+			hits0, misses0 = cs.Hits, cs.Misses
+		}
+	}
 	changed, err := e.shardPol.ShardContracts(ctx, e.pop, &sr.sh, sr.contracts)
 	if err != nil {
+		sp.End()
 		return fmt.Errorf("engine: policy %s shard %d round %d: %w", e.cfg.Policy.Name(), i, st.r, err)
 	}
 	sr.changed = changed
@@ -418,7 +434,27 @@ func (e *Engine) designShard(ctx context.Context, st *roundState, i int) error {
 	if st.timed {
 		e.m.shardDesign.Observe(t.Seconds())
 	}
+	if sp != nil {
+		sp.SetInt("shard", int64(i))
+		sp.SetInt("agents", int64(len(sr.sh.Agents)))
+		sp.SetAttr("drift", e.scope.rule.String())
+		if e.cfg.Cache != nil {
+			cs := e.cfg.Cache.Stats()
+			sp.SetInt("cache.hits", int64(cs.Hits-hits0))
+			sp.SetInt("cache.misses", int64(cs.Misses-misses0))
+		}
+		sp.SetAttr("changed", boolStr(changed))
+		sp.End()
+	}
 	return nil
+}
+
+// boolStr avoids a strconv import at the two span call sites.
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
 }
 
 // mergeContracts assembles the observer-facing per-ID contract map from
@@ -510,11 +546,39 @@ func (e *Engine) respondShard(st *roundState, i int) error {
 	if st.timed {
 		t = telemetry.StartTimer()
 	}
+	var sp *spans.Span
+	var hits0, misses0 uint64
+	if st.stageSpan != nil {
+		sp = st.stageSpan.StartChild("engine.shard.respond")
+		sp.SetInt("shard", int64(i))
+		sp.SetInt("agents", int64(len(sr.sh.Agents)))
+		sp.SetAttr("drift", e.scope.rule.String())
+		if sr.outsOK {
+			sp.SetAttr("route", "patch")
+			sp.SetInt("dirty", int64(len(sr.dirty)))
+		} else {
+			sp.SetAttr("route", "solve")
+		}
+		if e.cfg.Memo != nil {
+			ms := e.cfg.Memo.Stats()
+			hits0, misses0 = ms.Hits, ms.Misses
+		}
+	}
 	var err error
 	if sr.outsOK {
 		err = e.respondShardPatch(sr, st)
 	} else {
 		err = e.respondShardSolve(sr, st)
+	}
+	if sp != nil {
+		if e.cfg.Memo != nil {
+			// Shared atomics: deltas are attribution-approximate under the
+			// concurrent fan-out, exact when shards run sequentially.
+			ms := e.cfg.Memo.Stats()
+			sp.SetInt("memo.hits", int64(ms.Hits-hits0))
+			sp.SetInt("memo.misses", int64(ms.Misses-misses0))
+		}
+		sp.End()
 	}
 	if err != nil {
 		return err

@@ -1,0 +1,176 @@
+package engine_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"dyncontract/internal/engine"
+	"dyncontract/internal/spans"
+)
+
+// attrMap flattens a span's attributes for assertion.
+func attrMap(sd spans.SpanData) map[string]string {
+	m := make(map[string]string, len(sd.Attrs))
+	for _, a := range sd.Attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// TestEngineRoundSpans pins the traced round's span tree on the sharded
+// route: a caller's root span gains one engine.round child per round,
+// each with the five pipeline-stage children, the design and respond
+// stages each with one child span per shard, and the per-shard spans
+// carrying shard index, cache/memo hit-miss counts, and the round's
+// drift classification.
+func TestEngineRoundSpans(t *testing.T) {
+	pop := archetypePopulation(t, 24)
+	rec := spans.NewRecorder(8, 4)
+	tracer := spans.New(spans.Config{Sample: 1, Seed: 5, Recorder: rec})
+
+	const shards = 4
+	eng, err := engine.New(pop, engine.Config{
+		Policy: &shardDesignPolicy{},
+		Rounds: 2,
+		Shards: shards,
+		Cache:  engine.NewCache(),
+		Memo:   engine.NewRespondMemo(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := tracer.Root("test.run")
+	ctx := spans.ContextWith(context.Background(), root)
+	if err := eng.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tr, ok := rec.Lookup(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	rootSpan, ok := tr.Root()
+	if !ok {
+		t.Fatal("no root span")
+	}
+
+	byParent := make(map[spans.SpanID][]spans.SpanData)
+	for _, sd := range tr.Spans {
+		byParent[sd.Parent] = append(byParent[sd.Parent], sd)
+	}
+	rounds := byParent[rootSpan.ID]
+	if len(rounds) != 2 {
+		t.Fatalf("got %d engine.round spans, want 2", len(rounds))
+	}
+	wantStages := []string{
+		"engine.stage.design", "engine.stage.contracts", "engine.stage.respond",
+		"engine.stage.settle", "engine.stage.observe",
+	}
+	for ri, round := range rounds {
+		if round.Name != "engine.round" {
+			t.Fatalf("round span name = %q", round.Name)
+		}
+		attrs := attrMap(round)
+		if attrs["round"] != strconv.Itoa(ri) {
+			t.Errorf("round %d: round attr = %q", ri, attrs["round"])
+		}
+		if attrs["agents"] != "24" || attrs["shards"] != strconv.Itoa(shards) {
+			t.Errorf("round %d: agents/shards attrs = %q/%q", ri, attrs["agents"], attrs["shards"])
+		}
+		// Round 0 has no drift hook and no declared scope: viewKeep
+		// declared, but the first round's view build escalates to
+		// viewFull; round 1 is fully warm and stays viewKeep.
+		wantDrift := "viewFull"
+		if ri == 1 {
+			wantDrift = "viewKeep"
+		}
+		if attrs["drift"] != wantDrift {
+			t.Errorf("round %d: drift attr = %q, want %q", ri, attrs["drift"], wantDrift)
+		}
+
+		stages := byParent[round.ID]
+		if len(stages) != len(wantStages) {
+			t.Fatalf("round %d: got %d stage spans, want %d", ri, len(stages), len(wantStages))
+		}
+		stageByName := make(map[string]spans.SpanData, len(stages))
+		for _, sg := range stages {
+			stageByName[sg.Name] = sg
+		}
+		for _, name := range wantStages {
+			if _, ok := stageByName[name]; !ok {
+				t.Fatalf("round %d: missing stage span %q (have %v)", ri, name, stages)
+			}
+		}
+
+		design := byParent[stageByName["engine.stage.design"].ID]
+		if len(design) != shards {
+			t.Fatalf("round %d: got %d shard design spans, want %d", ri, len(design), shards)
+		}
+		seen := make(map[string]bool)
+		var totalAgents, hits, misses int
+		for _, sd := range design {
+			if sd.Name != "engine.shard.design" {
+				t.Fatalf("shard design span name = %q", sd.Name)
+			}
+			a := attrMap(sd)
+			seen[a["shard"]] = true
+			n, _ := strconv.Atoi(a["agents"])
+			totalAgents += n
+			h, _ := strconv.Atoi(a["cache.hits"])
+			m, _ := strconv.Atoi(a["cache.misses"])
+			hits += h
+			misses += m
+			if a["drift"] != wantDrift {
+				t.Errorf("round %d shard %s: drift = %q, want %q", ri, a["shard"], a["drift"], wantDrift)
+			}
+		}
+		if len(seen) != shards || totalAgents != 24 {
+			t.Errorf("round %d: shard design spans cover %d shards / %d agents", ri, len(seen), totalAgents)
+		}
+		if ri == 0 && hits+misses == 0 {
+			t.Error("cold round recorded no cache traffic on its shard spans")
+		}
+
+		respond := byParent[stageByName["engine.stage.respond"].ID]
+		if ri == 0 {
+			// Cold round: every shard solves.
+			if len(respond) != shards {
+				t.Fatalf("round 0: got %d shard respond spans, want %d", len(respond), shards)
+			}
+			for _, sd := range respond {
+				a := attrMap(sd)
+				if sd.Name != "engine.shard.respond" || a["route"] != "solve" {
+					t.Fatalf("round 0 respond span = %q route %q", sd.Name, a["route"])
+				}
+			}
+		} else if len(respond) != 0 {
+			// Warm round: retained outcomes, no shard responds.
+			t.Fatalf("round 1: got %d shard respond spans, want 0 (warm skip)", len(respond))
+		}
+	}
+}
+
+// TestEngineUntracedContext pins that a bare context yields no spans at
+// all — the disabled path records nothing and LastDriftClass still
+// reports the round classification.
+func TestEngineUntracedContext(t *testing.T) {
+	pop := archetypePopulation(t, 6)
+	rec := spans.NewRecorder(4, 2)
+	eng, err := engine.New(pop, engine.Config{Policy: &designPolicy{}, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Completed(); got != 0 {
+		t.Fatalf("untraced run recorded %d traces", got)
+	}
+	declared, applied := eng.LastDriftClass()
+	if declared != "viewKeep" || applied != "viewFull" {
+		t.Fatalf("LastDriftClass = (%q, %q), want (viewKeep, viewFull) for a first round", declared, applied)
+	}
+}

@@ -14,7 +14,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -61,17 +60,7 @@ func (f *Flags) Enabled() bool {
 // long simulation can be profiled live (e.g. `go tool pprof
 // http://addr/debug/pprof/profile`).
 func Handler(reg *telemetry.Registry) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = telemetry.WriteText(w, reg.Snapshot())
-	})
-	mux.HandleFunc("/debug/pprof/", httppprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	return mux
+	return HandlerWith(reg, nil)
 }
 
 // Session owns the sinks a Flags block requested. All methods tolerate a

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"strings"
+
+	"dyncontract/internal/spans"
+	"dyncontract/internal/telemetry"
+)
+
+// TraceFlags is the standard tracing flag block (-trace, -trace-sample,
+// -trace-out), shared by contractd, platformsim, and experiments the way
+// Flags shares the metrics block. Register it, parse, then Build a
+// tracer; Export writes the retained traces out on exit.
+type TraceFlags struct {
+	// Trace enables span tracing (off by default — the recorder is the
+	// on/off switch, per the spans package's nil-recorder-is-off rule).
+	Trace bool
+	// Sample is the head-sampling fraction in [0, 1]; 1 traces every
+	// request/run.
+	Sample float64
+	// Out, when non-empty, receives the retained traces on Export: a
+	// .json path gets Chrome trace_event JSON (open in Perfetto or
+	// chrome://tracing), anything else gets JSONL (one trace per line,
+	// the telemetry sink convention).
+	Out string
+	// Recent / SlowN size the recorder's two retention windows; 0 keeps
+	// the spans package defaults.
+	Recent, SlowN int
+}
+
+// Register installs the flag block on fs as -trace, -trace-sample, and
+// -trace-out.
+func (f *TraceFlags) Register(fs *flag.FlagSet) {
+	f.RegisterNamed(fs, "trace")
+}
+
+// RegisterNamed is Register with the enable flag under a different name —
+// for CLIs where -trace already means something else (experiments' trace
+// file input). The sample and output flags keep their standard names.
+func (f *TraceFlags) RegisterNamed(fs *flag.FlagSet, enable string) {
+	fs.BoolVar(&f.Trace, enable, false, "record execution spans (see /debug/traces and -trace-out)")
+	fs.Float64Var(&f.Sample, "trace-sample", 1, "head-sampling fraction of traces to record, in [0, 1]")
+	fs.StringVar(&f.Out, "trace-out", "", "write retained traces here on exit (.json = Chrome trace_event for Perfetto, else JSONL)")
+}
+
+// Enabled reports whether tracing was requested (-trace, or an output
+// path, which implies it).
+func (f *TraceFlags) Enabled() bool { return f.Trace || f.Out != "" }
+
+// Build constructs the tracer and its recorder, or (nil, nil) when
+// tracing is off — both results are safe to pass around either way
+// (nil-is-off everywhere downstream).
+func (f *TraceFlags) Build() (*spans.Tracer, *spans.Recorder) {
+	if !f.Enabled() {
+		return nil, nil
+	}
+	rec := spans.NewRecorder(f.Recent, f.SlowN)
+	return spans.New(spans.Config{Sample: f.Sample, Recorder: rec}), rec
+}
+
+// Export writes the recorder's retained traces (recent ∪ slowest, recent
+// first, deduplicated by ID) to -trace-out. Without an output path or a
+// recorder it is a no-op.
+func (f *TraceFlags) Export(rec *spans.Recorder) error {
+	if f.Out == "" || rec == nil {
+		return nil
+	}
+	traces := retained(rec)
+	file, err := os.Create(f.Out)
+	if err != nil {
+		return fmt.Errorf("obs: create trace output: %w", err)
+	}
+	if strings.HasSuffix(f.Out, ".json") {
+		err = spans.WriteChrome(file, traces)
+	} else {
+		err = spans.WriteJSONL(file, traces)
+	}
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: write traces: %w", err)
+	}
+	return nil
+}
+
+// retained merges the recorder's recent and slowest windows, recent
+// first, dropping traces retained by both.
+func retained(rec *spans.Recorder) []spans.Trace {
+	recent := rec.Recent()
+	seen := make(map[spans.TraceID]bool, len(recent))
+	for _, tr := range recent {
+		seen[tr.ID] = true
+	}
+	out := recent
+	for _, tr := range rec.Slowest() {
+		if !seen[tr.ID] {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// traceHandler serves GET /debug/traces from a recorder:
+//
+//	/debug/traces                    retained traces (recent ∪ slowest)
+//	/debug/traces?which=recent       recent window only
+//	/debug/traces?which=slowest      slowest-N window only
+//	/debug/traces?id=<request id>    one trace, looked up by the literal
+//	                                 trace ID or by the same X-Request-Id
+//	                                 string the client sent (404 if gone)
+//	/debug/traces?format=chrome      Chrome trace_event JSON (Perfetto);
+//	                                 default is JSONL, one trace per line
+func traceHandler(rec *spans.Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var traces []spans.Trace
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, ok := spans.ParseTraceHeader(idStr)
+			if !ok {
+				http.Error(w, "empty trace id", http.StatusBadRequest)
+				return
+			}
+			tr, found := rec.Lookup(id)
+			if !found {
+				http.Error(w, "trace "+id.String()+" not retained", http.StatusNotFound)
+				return
+			}
+			traces = []spans.Trace{tr}
+		} else {
+			switch r.URL.Query().Get("which") {
+			case "", "all":
+				traces = retained(rec)
+			case "recent":
+				traces = rec.Recent()
+			case "slowest":
+				traces = rec.Slowest()
+			default:
+				http.Error(w, "unknown which (want recent, slowest, or all)", http.StatusBadRequest)
+				return
+			}
+		}
+		switch r.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = spans.WriteChrome(w, traces)
+		case "", "jsonl":
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = spans.WriteJSONL(w, traces)
+		default:
+			http.Error(w, "unknown format (want jsonl or chrome)", http.StatusBadRequest)
+		}
+	}
+}
+
+// HandlerWith is Handler plus span tracing: with a non-nil recorder the
+// retained traces are served under GET /debug/traces (see traceHandler
+// for the query parameters). A nil recorder serves metrics and pprof
+// only — byte-compatible with Handler.
+func HandlerWith(reg *telemetry.Registry, rec *spans.Recorder) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = telemetry.WriteText(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	if rec != nil {
+		mux.HandleFunc("GET /debug/traces", traceHandler(rec))
+	}
+	return mux
+}

@@ -24,6 +24,12 @@ const (
 	// histograms how many queries each one coalesced.
 	metricBatches   = "dyncontract_server_design_batches_total"
 	metricBatchSize = "dyncontract_server_design_batch_size"
+	// metricSessionQueueDepth is the commands sitting in session queues
+	// right now; metricSessionQueueWait histograms how long each one sat
+	// before the writer picked it up. Depth says the queues are backed up;
+	// wait says what that costs a request.
+	metricSessionQueueDepth = "dyncontract_server_session_queue_depth"
+	metricSessionQueueWait  = "dyncontract_server_session_queue_wait_seconds"
 )
 
 // batch-size histogram layout: unit bins over [0, 256); batches larger than
@@ -32,6 +38,15 @@ const (
 	batchSizeLo   = 0
 	batchSizeHi   = 256
 	batchSizeBins = 256
+)
+
+// queue-wait histogram layout: 10ms bins over [0, 2.5s), matching the
+// HTTP latency layout so queue wait reads on the same scale as total
+// request latency.
+const (
+	queueWaitLo   = 0
+	queueWaitHi   = 2.5
+	queueWaitBins = 250
 )
 
 // serverMetrics resolves the server's metric handles once. The nil
@@ -47,6 +62,8 @@ type serverMetrics struct {
 	drifts      *telemetry.Counter
 	batches     *telemetry.Counter
 	batchSize   *telemetry.Histogram
+	queueDepth  *telemetry.Gauge
+	queueWaitH  *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -63,6 +80,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		drifts:      reg.Counter(metricDrifts),
 		batches:     reg.Counter(metricBatches),
 		batchSize:   reg.Histogram(metricBatchSize, batchSizeLo, batchSizeHi, batchSizeBins),
+		queueDepth:  reg.Gauge(metricSessionQueueDepth),
+		queueWaitH:  reg.Histogram(metricSessionQueueWait, queueWaitLo, queueWaitHi, queueWaitBins),
 	}
 }
 
@@ -105,6 +124,20 @@ func (m *serverMetrics) roundDone() {
 func (m *serverMetrics) driftDone() {
 	if m != nil {
 		m.drifts.Inc()
+	}
+}
+
+func (m *serverMetrics) addSessionQueue(d float64) {
+	if m != nil {
+		m.queueDepth.Add(d)
+	}
+}
+
+// queueWait records how long a command waited in its session queue; label
+// is the trace ID of the waiting request (exemplar, empty when untraced).
+func (m *serverMetrics) queueWait(seconds float64, label string) {
+	if m != nil {
+		m.queueWaitH.ObserveExemplar(seconds, label)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"dyncontract/internal/experiments"
 	"dyncontract/internal/obs"
 	"dyncontract/internal/platform"
+	"dyncontract/internal/spans"
 	"dyncontract/internal/synth"
 	"dyncontract/internal/telemetry"
 )
@@ -43,6 +45,15 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Metrics instruments every route and the engine sessions; nil is off.
 	Metrics *telemetry.Registry
+	// Tracer records execution spans for sampled requests — HTTP route,
+	// session queue wait, execution, engine round, stages, shards — and
+	// serves them under GET /debug/traces. Nil is off: requests cost no
+	// tracing work at all.
+	Tracer *spans.Tracer
+	// Logger receives request logs (route, status, duration, trace and
+	// session IDs) and session events such as drift-scope escalations.
+	// Nil is off.
+	Logger *slog.Logger
 }
 
 // Defaults returns cfg with every unset field at its default.
@@ -77,6 +88,8 @@ func (cfg Config) Defaults() Config {
 type Server struct {
 	cfg     Config
 	metrics *serverMetrics
+	tracer  *spans.Tracer
+	logger  *slog.Logger
 	mux     *http.ServeMux
 
 	// baseCtx outlives any single request: design batches and the writer
@@ -102,13 +115,27 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		metrics:    newServerMetrics(cfg.Metrics),
+		tracer:     cfg.Tracer,
+		logger:     cfg.Logger,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		sessions:   make(map[string]*session),
 	}
 	s.mux = http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc) {
-		s.mux.Handle(pattern, telemetry.InstrumentHandler(cfg.Metrics, name, h))
+		// Trace middleware sits outermost so the root span covers the whole
+		// request (the latency metric included) and the instrumented handler
+		// can read the span off the request context for its exemplar label.
+		var inner http.Handler
+		if s.tracer != nil {
+			inner = telemetry.InstrumentHandlerExemplar(cfg.Metrics, name, h, traceExemplar)
+		} else {
+			inner = telemetry.InstrumentHandler(cfg.Metrics, name, h)
+		}
+		if s.tracer != nil || s.logger != nil {
+			inner = s.traced(name, inner)
+		}
+		s.mux.Handle(pattern, inner)
 	}
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("POST /v1/sessions", "sessions_create", s.handleCreateSession)
@@ -117,10 +144,93 @@ func New(cfg Config) *Server {
 	route("POST /v1/sessions/{id}/rounds", "rounds_advance", s.handleAdvanceRound)
 	route("POST /v1/sessions/{id}/design", "design", s.handleDesign)
 	route("POST /v1/sessions/{id}/drift", "drift", s.handleDrift)
-	if cfg.Metrics != nil {
-		s.mux.Handle("/", obs.Handler(cfg.Metrics)) // /metrics + /debug/pprof/
+	if cfg.Metrics != nil || s.tracer.Recorder() != nil {
+		// /metrics + /debug/pprof/ + /debug/traces
+		s.mux.Handle("/", obs.HandlerWith(cfg.Metrics, s.tracer.Recorder()))
 	}
 	return s
+}
+
+// traceExemplar labels a latency observation with the request's trace ID,
+// linking the histogram's worst sample back to a retrievable trace.
+func traceExemplar(r *http.Request) string {
+	if sp := spans.FromContext(r.Context()); sp != nil {
+		return sp.TraceID().String()
+	}
+	return ""
+}
+
+// statusCapture remembers the first status code written so the trace span
+// and the request log can carry it.
+type statusCapture struct {
+	http.ResponseWriter
+	status int
+}
+
+func (c *statusCapture) WriteHeader(code int) {
+	if c.status == 0 {
+		c.status = code
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *statusCapture) Write(b []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+// traced wraps a route with the tracing + request-log middleware. The
+// client's X-Request-Id (any non-empty string — literal 32-hex trace IDs
+// round-trip, anything else hashes deterministically) names the trace;
+// absent one, the server mints an ID. Either way the response echoes the
+// ID in X-Request-Id so the client can fetch its trace from
+// /debug/traces?id=. Sampled-out requests still echo the header but
+// record nothing.
+func (s *Server) traced(name string, next http.Handler) http.Handler {
+	spanName := "http " + name
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get(spans.HeaderRequestID)
+		var sp *spans.Span
+		if s.tracer != nil {
+			id, ok := spans.ParseTraceHeader(reqID)
+			if !ok {
+				id = s.tracer.NewTraceID()
+				reqID = id.String()
+			}
+			if sp = s.tracer.StartRoot(spanName, id); sp != nil {
+				sp.SetAttr("route", name)
+				sp.SetAttr("method", r.Method)
+				r = r.WithContext(spans.ContextWith(r.Context(), sp))
+			}
+		}
+		if reqID != "" {
+			w.Header().Set(spans.HeaderRequestID, reqID)
+		}
+		sw := &statusCapture{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if sp != nil {
+			sp.SetInt("status", int64(status))
+			sp.End()
+		}
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("route", name),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("session", r.PathValue("id")),
+				slog.String("trace", reqID),
+				slog.Int("status", status),
+				slog.Duration("duration", time.Since(start)),
+			)
+		}
+	})
 }
 
 // Handler returns the server's root handler.

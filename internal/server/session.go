@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"dyncontract/internal/contract"
 	"dyncontract/internal/effort"
 	"dyncontract/internal/engine"
+	"dyncontract/internal/spans"
 	"dyncontract/internal/worker"
 )
 
@@ -37,6 +39,14 @@ type command struct {
 	round AdvanceRoundRequest
 	drift *DriftRequest
 	reply chan cmdReply // buffered(1): the writer never blocks on a gone waiter
+
+	// enq is when submit accepted the command; the writer turns it into
+	// the queue-wait observation on dequeue.
+	enq time.Time
+	// span is the request's root span (nil when untraced); qspan is its
+	// "session.queue" child, open from submit until the writer dequeues.
+	span  *spans.Span
+	qspan *spans.Span
 }
 
 // cmdReply carries the writer's answer; code is the HTTP status for err.
@@ -165,11 +175,18 @@ func (s *session) admit() (release func(), code int, err error) {
 
 // submit enqueues a command without blocking; a full queue is backpressure.
 func (s *session) submit(cmd command) (code int, err error) {
+	cmd.enq = time.Now()
+	if parent := spans.FromContext(cmd.ctx); parent != nil {
+		cmd.span = parent
+		cmd.qspan = parent.StartChild("session.queue")
+	}
 	select {
 	case s.cmds <- cmd:
 		s.srv.metrics.addRoundQueue(1)
+		s.srv.metrics.addSessionQueue(1)
 		return 0, nil
 	default:
+		cmd.qspan.End() // rejected, never waited
 		s.srv.metrics.reject()
 		return http.StatusTooManyRequests, fmt.Errorf("session %s: command queue full", s.id)
 	}
@@ -207,12 +224,26 @@ func (s *session) writerLoop() {
 			return
 		case cmd := <-s.cmds:
 			s.srv.metrics.addRoundQueue(-1)
+			s.srv.metrics.addSessionQueue(-1)
+			cmd.qspan.End()
+			ctx := cmd.ctx
+			var exec *spans.Span
+			var waitLabel string
+			if cmd.span != nil {
+				waitLabel = cmd.span.TraceID().String()
+				exec = cmd.span.StartChild("session.execute")
+				ctx = spans.ContextWith(ctx, exec)
+			}
+			s.srv.metrics.queueWait(time.Since(cmd.enq).Seconds(), waitLabel)
 			switch cmd.kind {
 			case cmdRound:
-				cmd.reply <- s.runRound(cmd.ctx, cmd.round)
+				exec.SetAttr("kind", "round")
+				cmd.reply <- s.runRound(ctx, cmd.round)
 			case cmdDrift:
+				exec.SetAttr("kind", "drift")
 				cmd.reply <- s.runDrift(cmd.drift)
 			}
+			exec.End()
 		}
 	}
 }
@@ -223,6 +254,8 @@ func (s *session) drainCmds() {
 		select {
 		case cmd := <-s.cmds:
 			s.srv.metrics.addRoundQueue(-1)
+			s.srv.metrics.addSessionQueue(-1)
+			cmd.qspan.End()
 			cmd.reply <- cmdReply{err: errDraining, code: http.StatusServiceUnavailable}
 		default:
 			return
@@ -247,6 +280,20 @@ func (s *session) runRound(ctx context.Context, req AdvanceRoundRequest) cmdRepl
 	s.ledger = append(s.ledger, round)
 	s.ledgerMu.Unlock()
 	s.srv.metrics.roundDone()
+	// A sparse drift scope that escalated to a full view rebuild mid-round
+	// means the touched set spilled past the per-shard budget — worth a
+	// warning, because the client paid cold-round latency for what it
+	// declared as a small drift.
+	if declared, applied := s.eng.LastDriftClass(); declared == "viewSparse" && applied == "viewFull" {
+		if lg := s.srv.logger; lg != nil {
+			lg.LogAttrs(ctx, slog.LevelWarn, "drift scope escalated",
+				slog.String("session", s.id),
+				slog.Int("round", round.Index),
+				slog.String("declared", declared),
+				slog.String("applied", applied),
+			)
+		}
+	}
 	out := roundJSON(round, req.IncludeOutcomes)
 	if req.IncludeContracts {
 		out.Contracts = s.capture.contracts
@@ -433,10 +480,38 @@ func (s *session) runBatch(calls []*designCall) {
 	for i, dc := range live {
 		reqs[i] = dc.req
 	}
+	// The batch's own work lives in a carrier trace of its own (it serves
+	// many callers, so it belongs to none of their traces); each traced
+	// caller gets a "session.design" span in its trace linked to the
+	// carrier by batch.trace/batch.span attributes.
+	bspan := s.srv.tracer.Root("design.batch")
+	bspan.SetAttr("session", s.id)
+	bspan.SetInt("batch.size", int64(len(live)))
+	var links []*spans.Span
+	if bspan != nil {
+		bTrace, bSpan := bspan.TraceID().String(), bspan.ID().String()
+		for _, dc := range live {
+			if caller := spans.FromContext(dc.ctx); caller != nil {
+				dsp := caller.StartChild("session.design")
+				dsp.SetAttr("agent", dc.agentID)
+				dsp.SetAttr("batch.trace", bTrace)
+				dsp.SetAttr("batch.span", bSpan)
+				links = append(links, dsp)
+			}
+		}
+	}
+	endSpans := func() {
+		for _, dsp := range links {
+			dsp.End()
+		}
+		bspan.End()
+	}
 	// The batch outlives any single caller's deadline; it runs under the
 	// server's lifetime context so one impatient client cannot cancel its
 	// batchmates' work.
-	contracts, err := s.designer.DesignBatch(s.srv.baseCtx, s.pop.Part, s.pop.Mu, reqs)
+	ctx := spans.ContextWith(s.srv.baseCtx, bspan)
+	contracts, err := s.designer.DesignBatch(ctx, s.pop.Part, s.pop.Mu, reqs)
+	endSpans()
 	if err != nil {
 		for _, dc := range live {
 			dc.reply <- designReply{err: err, code: http.StatusInternalServerError}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dyncontract/internal/spans"
+	"dyncontract/internal/telemetry"
+)
+
+// tracedTestServer wires a fully traced server: always-sampled tracer,
+// metrics, and a JSON logger writing into logBuf.
+func tracedTestServer(t *testing.T) (*testServer, *spans.Recorder, *telemetry.Registry, *bytes.Buffer) {
+	t.Helper()
+	rec := spans.NewRecorder(16, 8)
+	tracer := spans.New(spans.Config{Sample: 1, Seed: 11, Recorder: rec})
+	reg := telemetry.NewRegistry()
+	logBuf := &bytes.Buffer{}
+	logger := slog.New(slog.NewJSONHandler(logBuf, nil))
+	e := newTestServer(t, Config{Metrics: reg, Tracer: tracer, Logger: logger})
+	return e, rec, reg, logBuf
+}
+
+// doTraced issues one JSON request carrying an X-Request-Id and returns
+// the status, the echoed request ID, and the raw body.
+func (e *testServer) doTraced(t *testing.T, method, path, reqID string, in any) (int, string, []byte) {
+	t.Helper()
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, e.ts.URL+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqID != "" {
+		req.Header.Set(spans.HeaderRequestID, reqID)
+	}
+	resp, err := e.ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get(spans.HeaderRequestID), raw
+}
+
+// fetchTrace retrieves one trace from /debug/traces by the same request-ID
+// string the client sent.
+func (e *testServer) fetchTrace(t *testing.T, reqID string) spans.Trace {
+	t.Helper()
+	code, _, raw := e.doTraced(t, "GET", "/debug/traces?id="+reqID, "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/traces?id=%s: status %d (%s)", reqID, code, raw)
+	}
+	var tr spans.Trace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("decode trace: %v (%s)", err, raw)
+	}
+	return tr
+}
+
+// TestTracedRoundEndToEnd pins the acceptance nesting for a traced round:
+// HTTP handler span → session queue wait → session execute → engine round
+// → the four-plus pipeline stages → one design child per shard — all
+// retrievable from /debug/traces by the client's own X-Request-Id, in
+// both export formats, with the latency exemplar pointing back at the
+// trace and the request log carrying the same ID.
+func TestTracedRoundEndToEnd(t *testing.T) {
+	e, _, reg, logBuf := tracedTestServer(t)
+
+	req := testCreateReq()
+	req.Shards = 2
+	var created CreateSessionResponse
+	if code := e.do(t, "POST", "/v1/sessions", &req, &created); code != http.StatusCreated {
+		t.Fatalf("create session: status %d", code)
+	}
+
+	const reqID = "client-round-trace-1"
+	code, echoed, _ := e.doTraced(t, "POST", "/v1/sessions/"+created.ID+"/rounds", reqID,
+		&AdvanceRoundRequest{})
+	if code != http.StatusOK {
+		t.Fatalf("advance round: status %d", code)
+	}
+	if echoed != reqID {
+		t.Fatalf("X-Request-Id echoed %q, want the client's %q", echoed, reqID)
+	}
+
+	tr := e.fetchTrace(t, reqID)
+	byParent := make(map[spans.SpanID][]spans.SpanData)
+	byID := make(map[spans.SpanID]spans.SpanData)
+	for _, sd := range tr.Spans {
+		byParent[sd.Parent] = append(byParent[sd.Parent], sd)
+		byID[sd.ID] = sd
+	}
+	root, ok := tr.Root()
+	if !ok {
+		t.Fatalf("trace has no root span: %+v", tr.Spans)
+	}
+	if root.Name != "http rounds_advance" {
+		t.Fatalf("root span = %q, want %q", root.Name, "http rounds_advance")
+	}
+	rootAttrs := attrMap(root)
+	if rootAttrs["status"] != "200" || rootAttrs["route"] != "rounds_advance" {
+		t.Fatalf("root attrs = %v", rootAttrs)
+	}
+
+	// HTTP → session.queue + session.execute.
+	names := func(sds []spans.SpanData) map[string]spans.SpanData {
+		m := make(map[string]spans.SpanData, len(sds))
+		for _, sd := range sds {
+			m[sd.Name] = sd
+		}
+		return m
+	}
+	under := names(byParent[root.ID])
+	queue, ok := under["session.queue"]
+	if !ok {
+		t.Fatalf("no session.queue span under root: %v", under)
+	}
+	if queue.End.Before(queue.Start) {
+		t.Fatal("session.queue span never ended")
+	}
+	exec, ok := under["session.execute"]
+	if !ok {
+		t.Fatalf("no session.execute span under root: %v", under)
+	}
+	if attrMap(exec)["kind"] != "round" {
+		t.Fatalf("execute attrs = %v", attrMap(exec))
+	}
+
+	// session.execute → engine.round → stages → per-shard design spans.
+	round, ok := names(byParent[exec.ID])["engine.round"]
+	if !ok {
+		t.Fatalf("no engine.round under session.execute: %v", byParent[exec.ID])
+	}
+	stages := names(byParent[round.ID])
+	for _, want := range []string{
+		"engine.stage.design", "engine.stage.contracts", "engine.stage.respond",
+		"engine.stage.settle", "engine.stage.observe",
+	} {
+		if _, ok := stages[want]; !ok {
+			t.Fatalf("missing stage span %q (have %v)", want, stages)
+		}
+	}
+	design := byParent[stages["engine.stage.design"].ID]
+	if len(design) != 2 {
+		t.Fatalf("got %d shard design spans, want 2", len(design))
+	}
+	for _, sd := range design {
+		a := attrMap(sd)
+		if sd.Name != "engine.shard.design" || a["shard"] == "" || a["drift"] == "" {
+			t.Fatalf("shard design span %q attrs %v", sd.Name, a)
+		}
+	}
+
+	// Chrome export of the same trace parses and carries events.
+	ccode, _, craw := e.doTraced(t, "GET", "/debug/traces?id="+reqID+"&format=chrome", "", nil)
+	if ccode != http.StatusOK {
+		t.Fatalf("chrome format: status %d", ccode)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(craw, &chrome); err != nil {
+		t.Fatalf("chrome export does not parse: %v", err)
+	}
+	if len(chrome.TraceEvents) < len(tr.Spans) {
+		t.Fatalf("chrome export has %d events for %d spans", len(chrome.TraceEvents), len(tr.Spans))
+	}
+
+	// The route's latency exemplar points back at this trace.
+	snap := reg.Snapshot()
+	hist := snap.Histograms[telemetry.HTTPMetricPrefix+"rounds_advance"+telemetry.HTTPSuffixSeconds]
+	if hist.ExemplarLabel != root.Trace.String() {
+		t.Fatalf("latency exemplar = %q, want trace %s", hist.ExemplarLabel, root.Trace)
+	}
+	// The queue-wait histogram observed the command, exemplar included.
+	wait := snap.Histograms[metricSessionQueueWait]
+	if wait.Count == 0 || wait.ExemplarLabel != root.Trace.String() {
+		t.Fatalf("queue wait: count=%d exemplar=%q", wait.Count, wait.ExemplarLabel)
+	}
+
+	// The request log line carries route, status, and the request ID.
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"route":"rounds_advance"`) || !strings.Contains(logs, reqID) {
+		t.Fatalf("request log missing route/trace: %s", logs)
+	}
+}
+
+// TestTracedDesignBatchLink pins the batcher linkage: a traced design
+// query's trace gains a session.design span whose batch.trace attribute
+// names a retained design.batch carrier trace with the batch size.
+func TestTracedDesignBatchLink(t *testing.T) {
+	e, rec, _, _ := tracedTestServer(t)
+	id := e.createSession(t)
+
+	const reqID = "client-design-trace-1"
+	code, _, _ := e.doTraced(t, "POST", "/v1/sessions/"+id+"/design", reqID,
+		&DesignQueryRequest{AgentID: "h1"})
+	if code != http.StatusOK {
+		t.Fatalf("design query: status %d", code)
+	}
+
+	tr := e.fetchTrace(t, reqID)
+	var design *spans.SpanData
+	for i, sd := range tr.Spans {
+		if sd.Name == "session.design" {
+			design = &tr.Spans[i]
+		}
+	}
+	if design == nil {
+		t.Fatalf("no session.design span in trace: %+v", tr.Spans)
+	}
+	a := attrMap(*design)
+	if a["agent"] != "h1" || a["batch.trace"] == "" || a["batch.span"] == "" {
+		t.Fatalf("session.design attrs = %v", a)
+	}
+	carrierID, ok := spans.ParseTraceHeader(a["batch.trace"])
+	if !ok {
+		t.Fatalf("batch.trace %q does not parse", a["batch.trace"])
+	}
+	carrier, ok := rec.Lookup(carrierID)
+	if !ok {
+		t.Fatalf("carrier trace %s not retained", a["batch.trace"])
+	}
+	croot, ok := carrier.Root()
+	if !ok || croot.Name != "design.batch" {
+		t.Fatalf("carrier root = %+v", croot)
+	}
+	if attrMap(croot)["batch.size"] != "1" {
+		t.Fatalf("carrier attrs = %v", attrMap(croot))
+	}
+}
+
+// attrMap flattens a span's attributes for assertion.
+func attrMap(sd spans.SpanData) map[string]string {
+	m := make(map[string]string, len(sd.Attrs))
+	for _, a := range sd.Attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}

@@ -1,0 +1,95 @@
+package spans
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSONL writes one JSON object per line per trace — the same
+// line-delimited convention as telemetry.JSONLSink — so exported traces
+// append cleanly to a shared sink file and stream through line-oriented
+// tools.
+func WriteJSONL(w io.Writer, traces []Trace) error {
+	enc := json.NewEncoder(w)
+	for _, tr := range traces {
+		if err := enc.Encode(tr); err != nil {
+			return fmt.Errorf("spans: write jsonl trace %s: %w", tr.ID, err)
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event. The "X" (complete) phase carries
+// both timestamp and duration in microseconds; "M" (metadata) names the
+// per-trace row. The JSON field names are the trace_event format's.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the trace_event JSON object form, the one Perfetto and
+// chrome://tracing load directly.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes the traces in Chrome trace_event JSON (object form),
+// loadable in Perfetto or chrome://tracing. Each trace renders as its own
+// named thread row (tid = position in traces, thread_name = trace ID), so
+// concurrent requests stack vertically and each request's spans nest
+// horizontally by time. Timestamps are absolute Unix microseconds; spans
+// within a trace are sorted by start time then span ID, so output is
+// deterministic for a given input.
+func WriteChrome(w io.Writer, traces []Trace) error {
+	file := chromeFile{TraceEvents: make([]chromeEvent, 0, len(traces)*2)}
+	for i, tr := range traces {
+		tid := i + 1
+		file.TraceEvents = append(file.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tid,
+			Args:  map[string]any{"name": "trace " + tr.ID.String()},
+		})
+		spans := make([]SpanData, len(tr.Spans))
+		copy(spans, tr.Spans)
+		sort.Slice(spans, func(a, b int) bool {
+			if !spans[a].Start.Equal(spans[b].Start) {
+				return spans[a].Start.Before(spans[b].Start)
+			}
+			return spans[a].ID < spans[b].ID
+		})
+		for _, sd := range spans {
+			args := map[string]any{
+				"trace":  sd.Trace.String(),
+				"span":   sd.ID.String(),
+				"parent": sd.Parent.String(),
+			}
+			for _, a := range sd.Attrs {
+				args[a.Key] = a.Value
+			}
+			dur := sd.End.Sub(sd.Start).Microseconds()
+			if dur < 1 {
+				dur = 1 // zero-width spans are invisible in viewers
+			}
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name:  sd.Name,
+				Phase: "X",
+				TS:    sd.Start.UnixMicro(),
+				Dur:   dur,
+				PID:   1,
+				TID:   tid,
+				Args:  args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

@@ -1,0 +1,40 @@
+package spans
+
+import (
+	"encoding/hex"
+	"hash/fnv"
+)
+
+// HeaderRequestID is the HTTP header contractd honors for inbound trace
+// IDs and echoes on every response, so a client (or loadgen) can
+// correlate its own request log with server-side traces.
+const HeaderRequestID = "X-Request-Id"
+
+// ParseTraceHeader maps an arbitrary client-supplied request ID to a
+// TraceID deterministically: a 32-hex-digit string decodes as the literal
+// ID (round-tripping TraceID.String), and any other non-empty string
+// hashes (FNV-1a 128) to a stable non-zero ID — so "my-soak-run-17" is a
+// perfectly good request ID, and looking it up later re-derives the same
+// trace. The empty string returns (zero, false): mint a fresh ID instead.
+func ParseTraceHeader(s string) (TraceID, bool) {
+	if s == "" {
+		return TraceID{}, false
+	}
+	if len(s) == 32 {
+		var id TraceID
+		if _, err := hex.Decode(id[:], []byte(s)); err == nil {
+			if id.IsZero() {
+				id[15] = 1 // the zero ID means "no trace"; nudge it valid
+			}
+			return id, true
+		}
+	}
+	h := fnv.New128a()
+	h.Write([]byte(s))
+	var id TraceID
+	h.Sum(id[:0])
+	if id.IsZero() {
+		id[15] = 1
+	}
+	return id, true
+}

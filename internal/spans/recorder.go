@@ -1,0 +1,225 @@
+package spans
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collection defaults; NewRecorder applies them for zero/negative
+// arguments.
+const (
+	// DefaultRecent is the recent-trace ring capacity.
+	DefaultRecent = 64
+	// DefaultSlowest is how many slowest completed traces are retained.
+	DefaultSlowest = 16
+	// maxSpansPerTrace caps one trace's span count; spans beyond it are
+	// counted in Trace.Dropped instead of retained, bounding memory
+	// against runaway instrumentation.
+	maxSpansPerTrace = 512
+)
+
+// Trace is one completed (or in-flight) trace: every recorded span of one
+// trace ID. Spans appear in completion (End) order, so the root span —
+// the one with Parent == 0 that closes the trace — is last.
+type Trace struct {
+	ID TraceID `json:"id"`
+	// Start and End are the root span's bounds; Start is the zero time
+	// until the root ends.
+	Start time.Time  `json:"start"`
+	End   time.Time  `json:"end"`
+	Spans []SpanData `json:"spans"`
+	// Dropped counts spans discarded past the per-trace cap.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// Duration is the root span's wall time (zero until the root ends).
+func (t Trace) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// Root returns the trace's root span (Parent == 0) and whether one has
+// completed yet.
+func (t Trace) Root() (SpanData, bool) {
+	for i := len(t.Spans) - 1; i >= 0; i-- {
+		if t.Spans[i].Parent == 0 {
+			return t.Spans[i], true
+		}
+	}
+	return SpanData{}, false
+}
+
+// Recorder collects finished spans into traces and retains a bounded
+// window: a ring of the most recently completed traces plus the N slowest
+// completed traces (by root-span duration), so a burst of fast requests
+// cannot evict the slow outlier that prompted the investigation. All
+// methods are safe for concurrent use; a nil *Recorder ignores records
+// and reads as empty.
+type Recorder struct {
+	mu      sync.Mutex
+	recent  int
+	slowN   int
+	active  map[TraceID]*Trace // in-flight: no root span ended yet
+	ring    []Trace            // completed, ring buffer
+	ringPos int
+	ringLen int
+	slowest []Trace // completed, sorted by Duration descending
+	// completedCount counts traces ever completed (monotonic).
+	completedCount uint64
+}
+
+// NewRecorder builds a recorder retaining the given number of recent and
+// slowest completed traces (defaults applied for values ≤ 0).
+func NewRecorder(recent, slowest int) *Recorder {
+	if recent <= 0 {
+		recent = DefaultRecent
+	}
+	if slowest <= 0 {
+		slowest = DefaultSlowest
+	}
+	return &Recorder{
+		recent:  recent,
+		slowN:   slowest,
+		active:  make(map[TraceID]*Trace),
+		ring:    make([]Trace, recent),
+		slowest: make([]Trace, 0, slowest),
+	}
+}
+
+// record files one finished span under its trace; when the span is a root
+// (Parent == 0), the trace completes and moves into the retained windows.
+func (r *Recorder) record(sd SpanData) {
+	if r == nil || sd.Trace.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tr := r.active[sd.Trace]
+	if tr == nil {
+		// Bound the in-flight map: a trace whose root never ends must
+		// not leak forever. Evict an arbitrary entry past 4× the ring —
+		// best-effort, and harmless for well-formed instrumentation.
+		if len(r.active) >= 4*r.recent {
+			for id := range r.active {
+				delete(r.active, id)
+				break
+			}
+		}
+		tr = &Trace{ID: sd.Trace}
+		r.active[sd.Trace] = tr
+	}
+	if len(tr.Spans) >= maxSpansPerTrace {
+		tr.Dropped++
+		if sd.Parent != 0 {
+			return
+		}
+		// A root past the cap still completes the trace below.
+	} else {
+		tr.Spans = append(tr.Spans, sd)
+	}
+	if sd.Parent != 0 {
+		return
+	}
+	// Root ended: the trace is complete.
+	tr.Start, tr.End = sd.Start, sd.End
+	delete(r.active, sd.Trace)
+	r.completedCount++
+	r.ring[r.ringPos] = *tr
+	r.ringPos = (r.ringPos + 1) % r.recent
+	if r.ringLen < r.recent {
+		r.ringLen++
+	}
+	r.insertSlowest(*tr)
+}
+
+// insertSlowest keeps r.slowest sorted by duration descending, capped at
+// r.slowN. Caller holds r.mu.
+func (r *Recorder) insertSlowest(tr Trace) {
+	d := tr.Duration()
+	if len(r.slowest) == r.slowN && d <= r.slowest[len(r.slowest)-1].Duration() {
+		return
+	}
+	i := sort.Search(len(r.slowest), func(i int) bool {
+		return r.slowest[i].Duration() < d
+	})
+	r.slowest = append(r.slowest, Trace{})
+	copy(r.slowest[i+1:], r.slowest[i:])
+	r.slowest[i] = tr
+	if len(r.slowest) > r.slowN {
+		r.slowest = r.slowest[:r.slowN]
+	}
+}
+
+// Recent returns the retained recently completed traces, newest first.
+// The result is a deep-enough copy: callers may hold it across further
+// recording.
+func (r *Recorder) Recent() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, r.ringLen)
+	for i := 0; i < r.ringLen; i++ {
+		idx := (r.ringPos - 1 - i + r.recent) % r.recent
+		out = append(out, copyTrace(r.ring[idx]))
+	}
+	return out
+}
+
+// Slowest returns the retained slowest completed traces, slowest first.
+func (r *Recorder) Slowest() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, len(r.slowest))
+	for i, tr := range r.slowest {
+		out[i] = copyTrace(tr)
+	}
+	return out
+}
+
+// Lookup finds a trace by ID across the in-flight, recent, and slowest
+// windows (an in-flight trace has no Start/End yet).
+func (r *Recorder) Lookup(id TraceID) (Trace, bool) {
+	if r == nil || id.IsZero() {
+		return Trace{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.ringLen; i++ {
+		idx := (r.ringPos - 1 - i + r.recent) % r.recent
+		if r.ring[idx].ID == id {
+			return copyTrace(r.ring[idx]), true
+		}
+	}
+	for _, tr := range r.slowest {
+		if tr.ID == id {
+			return copyTrace(tr), true
+		}
+	}
+	if tr := r.active[id]; tr != nil {
+		return copyTrace(*tr), true
+	}
+	return Trace{}, false
+}
+
+// Completed returns how many traces have completed since the recorder
+// was built (monotonic; retained or not).
+func (r *Recorder) Completed() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.completedCount
+}
+
+// copyTrace copies a trace with its span slice, so returned traces are
+// immune to further recording (spans themselves are values).
+func copyTrace(tr Trace) Trace {
+	out := tr
+	out.Spans = make([]SpanData, len(tr.Spans))
+	copy(out.Spans, tr.Spans)
+	return out
+}

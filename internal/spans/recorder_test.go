@@ -1,0 +1,183 @@
+package spans
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkTrace records a synthetic completed trace with the given ID byte and
+// root duration.
+func mkTrace(rec *Recorder, idByte byte, d time.Duration) TraceID {
+	var id TraceID
+	id[0] = idByte
+	id[15] = 1
+	base := time.Unix(1700000000, 0)
+	rec.record(SpanData{Trace: id, ID: 2, Parent: 1, Name: "child", Start: base, End: base.Add(d / 2)})
+	rec.record(SpanData{Trace: id, ID: 1, Name: "root", Start: base, End: base.Add(d)})
+	return id
+}
+
+// TestRecorderWindows pins the two retention windows: the recent ring
+// keeps the newest completions, and slowest-N survives eviction by a
+// burst of fast traces.
+func TestRecorderWindows(t *testing.T) {
+	rec := NewRecorder(4, 2)
+
+	slow := mkTrace(rec, 1, time.Second)
+	slower := mkTrace(rec, 2, 2*time.Second)
+	for i := byte(10); i < 20; i++ {
+		mkTrace(rec, i, time.Duration(i)*time.Millisecond)
+	}
+
+	recent := rec.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("recent len = %d, want ring capacity 4", len(recent))
+	}
+	if recent[0].ID[0] != 19 || recent[3].ID[0] != 16 {
+		t.Fatalf("recent is not newest-first: %v...%v", recent[0].ID[0], recent[3].ID[0])
+	}
+	for _, tr := range recent {
+		if tr.ID == slow || tr.ID == slower {
+			t.Fatal("slow traces should have been evicted from the ring")
+		}
+	}
+
+	slowest := rec.Slowest()
+	if len(slowest) != 2 {
+		t.Fatalf("slowest len = %d, want 2", len(slowest))
+	}
+	if slowest[0].ID != slower || slowest[1].ID != slow {
+		t.Fatalf("slowest not ordered by duration: %s, %s", slowest[0].ID, slowest[1].ID)
+	}
+	if len(slowest[0].Spans) != 2 {
+		t.Fatal("slowest trace lost its child spans")
+	}
+
+	// Lookup finds ring entries, slowest-only entries, and misses cleanly.
+	if _, ok := rec.Lookup(slower); !ok {
+		t.Fatal("Lookup missed a slowest-retained trace")
+	}
+	if _, ok := rec.Lookup(recent[0].ID); !ok {
+		t.Fatal("Lookup missed a recent trace")
+	}
+	var missing TraceID
+	missing[7] = 99
+	if _, ok := rec.Lookup(missing); ok {
+		t.Fatal("Lookup invented a trace")
+	}
+	if got := rec.Completed(); got != 12 {
+		t.Fatalf("Completed = %d, want 12", got)
+	}
+}
+
+// TestRecorderInFlightLookup pins that a trace whose root has not ended
+// yet is still visible by ID (with zero Start/End).
+func TestRecorderInFlightLookup(t *testing.T) {
+	rec := NewRecorder(4, 2)
+	var id TraceID
+	id[0] = 7
+	base := time.Unix(1700000000, 0)
+	rec.record(SpanData{Trace: id, ID: 2, Parent: 1, Name: "child", Start: base, End: base.Add(time.Millisecond)})
+	got, ok := rec.Lookup(id)
+	if !ok || len(got.Spans) != 1 || !got.Start.IsZero() {
+		t.Fatalf("in-flight lookup = %+v, %v", got, ok)
+	}
+}
+
+// TestRecorderSpanCap pins the per-trace span bound: overflow spans are
+// counted, not retained, and the root still completes the trace.
+func TestRecorderSpanCap(t *testing.T) {
+	rec := NewRecorder(2, 1)
+	var id TraceID
+	id[0] = 3
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < maxSpansPerTrace+5; i++ {
+		rec.record(SpanData{Trace: id, ID: SpanID(i + 2), Parent: 1, Start: base, End: base})
+	}
+	rec.record(SpanData{Trace: id, ID: 1, Name: "root", Start: base, End: base.Add(time.Millisecond)})
+	got, ok := rec.Lookup(id)
+	if !ok {
+		t.Fatal("capped trace not retained")
+	}
+	if len(got.Spans) != maxSpansPerTrace {
+		t.Fatalf("retained %d spans, want cap %d", len(got.Spans), maxSpansPerTrace)
+	}
+	if got.Dropped != 6 { // 5 children past cap + the root itself
+		t.Fatalf("Dropped = %d, want 6", got.Dropped)
+	}
+	if got.End.Sub(got.Start) != time.Millisecond {
+		t.Fatal("capped trace lost its root bounds")
+	}
+}
+
+// TestRecorderConcurrent hammers the recorder from many goroutines —
+// concurrent span recording, completions, and reads — under -race. It
+// also pins that every completed trace is coherent: a returned copy is
+// never mutated by further recording.
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder(8, 4)
+	tr := New(Config{Sample: 1, Seed: 11, Recorder: rec})
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				root := tr.Root("req")
+				var kids sync.WaitGroup
+				for s := 0; s < 4; s++ {
+					kids.Add(1)
+					go func(s int) {
+						defer kids.Done()
+						c := root.StartChild("shard")
+						c.SetInt("shard", int64(s))
+						c.End()
+					}(s)
+				}
+				kids.Wait()
+				root.End()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, got := range rec.Recent() {
+				if len(got.Spans) > 5 {
+					t.Errorf("trace %s has %d spans, want ≤ 5", got.ID, len(got.Spans))
+					return
+				}
+			}
+			rec.Slowest()
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	if got := rec.Completed(); got != workers*perWorker {
+		t.Fatalf("Completed = %d, want %d", got, workers*perWorker)
+	}
+	for _, got := range rec.Recent() {
+		if len(got.Spans) != 5 {
+			t.Fatalf("completed trace has %d spans, want 5 (4 shards + root)", len(got.Spans))
+		}
+		root, ok := got.Root()
+		if !ok {
+			t.Fatal("completed trace has no root")
+		}
+		for _, sd := range got.Spans {
+			if sd.Parent != 0 && sd.Parent != root.ID {
+				t.Fatalf("span %s has parent %s, want root %s", sd.ID, sd.Parent, root.ID)
+			}
+		}
+	}
+}

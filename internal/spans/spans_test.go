@@ -1,0 +1,241 @@
+package spans
+
+import (
+	"context"
+	"testing"
+)
+
+// TestNilSafety pins the nil-is-off convention: every method on a nil
+// tracer/span is a no-op, and context round-trips stay allocation-free.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Sampled(TraceID{1}) {
+		t.Fatal("nil tracer sampled an ID")
+	}
+	if s := tr.StartRoot("x", TraceID{1}); s != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if s := tr.Root("x"); s != nil {
+		t.Fatal("nil tracer minted a root")
+	}
+	if got := tr.NewTraceID(); !got.IsZero() {
+		t.Fatal("nil tracer minted a trace ID")
+	}
+	if tr.Recorder() != nil {
+		t.Fatal("nil tracer returned a recorder")
+	}
+
+	var s *Span
+	s.SetAttr("k", "v")
+	s.SetInt("n", 1)
+	s.End()
+	if c := s.StartChild("child"); c != nil {
+		t.Fatal("nil span minted a child")
+	}
+	if !s.TraceID().IsZero() || s.ID() != 0 {
+		t.Fatal("nil span has identity")
+	}
+
+	ctx := context.Background()
+	if got := ContextWith(ctx, nil); got != ctx {
+		t.Fatal("ContextWith(nil) changed the context")
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatal("FromContext on bare context returned a span")
+	}
+}
+
+// TestTracerOffWithoutRecorder pins the issue's hard rule: nil recorder
+// is off, even at Sample=1.
+func TestTracerOffWithoutRecorder(t *testing.T) {
+	tr := New(Config{Sample: 1, Seed: 7})
+	if tr.Sampled(tr.NewTraceID()) {
+		t.Fatal("recorder-less tracer sampled")
+	}
+	if s := tr.Root("x"); s != nil {
+		t.Fatal("recorder-less tracer minted a span")
+	}
+}
+
+// TestSamplerDeterminism pins that (a) a fixed seed reproduces the exact
+// trace-ID sequence and (b) the sampling decision is a pure function of
+// the ID — two tracers at the same fraction agree on every ID, and the
+// sampled share lands near the fraction.
+func TestSamplerDeterminism(t *testing.T) {
+	rec := NewRecorder(4, 4)
+	a := New(Config{Sample: 0.25, Seed: 42, Recorder: rec})
+	b := New(Config{Sample: 0.25, Seed: 42, Recorder: NewRecorder(4, 4)})
+
+	const n = 4096
+	sampled := 0
+	for i := 0; i < n; i++ {
+		ida, idb := a.NewTraceID(), b.NewTraceID()
+		if ida != idb {
+			t.Fatalf("ID sequence diverged at %d: %s vs %s", i, ida, idb)
+		}
+		if a.Sampled(ida) != b.Sampled(idb) {
+			t.Fatalf("sampling decision diverged for %s", ida)
+		}
+		if a.Sampled(ida) != a.Sampled(ida) {
+			t.Fatalf("sampling not deterministic for %s", ida)
+		}
+		if a.Sampled(ida) {
+			sampled++
+		}
+	}
+	frac := float64(sampled) / n
+	if frac < 0.18 || frac > 0.32 {
+		t.Fatalf("sampled fraction %.3f far from configured 0.25", frac)
+	}
+
+	// Edge fractions are exact, not probabilistic.
+	always := New(Config{Sample: 1, Seed: 1, Recorder: rec})
+	never := New(Config{Sample: 0, Seed: 1, Recorder: rec})
+	for i := 0; i < 64; i++ {
+		id := always.NewTraceID()
+		if !always.Sampled(id) {
+			t.Fatal("Sample=1 dropped an ID")
+		}
+		if never.Sampled(id) {
+			t.Fatal("Sample=0 kept an ID")
+		}
+	}
+}
+
+// TestSpanHierarchy pins parent/child links, attributes, and recorder
+// retrieval by the trace ID.
+func TestSpanHierarchy(t *testing.T) {
+	rec := NewRecorder(8, 4)
+	tr := New(Config{Sample: 1, Seed: 3, Recorder: rec})
+
+	id := tr.NewTraceID()
+	root := tr.StartRoot("http POST /rounds", id)
+	if root == nil {
+		t.Fatal("sampled root is nil")
+	}
+	ctx := ContextWith(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("context round-trip lost the span")
+	}
+	child := FromContext(ctx).StartChild("engine.round")
+	child.SetAttr("drift", "viewKeep")
+	child.SetInt("round", 7)
+	grand := child.StartChild("stage.design")
+	grand.End()
+	child.End()
+	root.End()
+
+	got, ok := rec.Lookup(id)
+	if !ok {
+		t.Fatalf("trace %s not retained", id)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(got.Spans))
+	}
+	// Spans land in End order: grandchild, child, root.
+	g, c, r := got.Spans[0], got.Spans[1], got.Spans[2]
+	if r.Parent != 0 || c.Parent != r.ID || g.Parent != c.ID {
+		t.Fatalf("parent links wrong: root=%+v child=%+v grand=%+v", r, c, g)
+	}
+	if r.Name != "http POST /rounds" || c.Name != "engine.round" || g.Name != "stage.design" {
+		t.Fatalf("names wrong: %q %q %q", r.Name, c.Name, g.Name)
+	}
+	wantAttrs := []Attr{Str("drift", "viewKeep"), Int("round", 7)}
+	if len(c.Attrs) != 2 || c.Attrs[0] != wantAttrs[0] || c.Attrs[1] != wantAttrs[1] {
+		t.Fatalf("child attrs = %+v, want %+v", c.Attrs, wantAttrs)
+	}
+	if rootSpan, ok := got.Root(); !ok || rootSpan.ID != r.ID {
+		t.Fatal("Trace.Root did not find the root span")
+	}
+	if got.Duration() != r.End.Sub(r.Start) {
+		t.Fatal("trace duration is not the root span's")
+	}
+}
+
+// TestIDRoundTrips pins the text forms: TraceID/SpanID marshal to hex
+// and unmarshal back, and ParseTraceHeader round-trips TraceID.String.
+func TestIDRoundTrips(t *testing.T) {
+	id := TraceID{0xde, 0xad, 0xbe, 0xef, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	txt, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceID
+	if err := back.UnmarshalText(txt); err != nil || back != id {
+		t.Fatalf("TraceID round-trip: %v %s", err, back)
+	}
+	if got, ok := ParseTraceHeader(id.String()); !ok || got != id {
+		t.Fatalf("ParseTraceHeader(%s) = %s, %v", id, got, ok)
+	}
+
+	sid := SpanID(0xdeadbeef01)
+	stxt, err := sid.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sback SpanID
+	if err := sback.UnmarshalText(stxt); err != nil || sback != sid {
+		t.Fatalf("SpanID round-trip: %v %s", err, sback)
+	}
+}
+
+// TestParseTraceHeader pins the arbitrary-string contract: deterministic,
+// non-zero for any non-empty input, empty means "mint one".
+func TestParseTraceHeader(t *testing.T) {
+	if _, ok := ParseTraceHeader(""); ok {
+		t.Fatal("empty header parsed as present")
+	}
+	a1, ok1 := ParseTraceHeader("my-soak-run-17")
+	a2, ok2 := ParseTraceHeader("my-soak-run-17")
+	if !ok1 || !ok2 || a1 != a2 {
+		t.Fatal("hashing is not deterministic")
+	}
+	if a1.IsZero() {
+		t.Fatal("non-empty header hashed to zero")
+	}
+	b, _ := ParseTraceHeader("my-soak-run-18")
+	if a1 == b {
+		t.Fatal("distinct headers collided (vanishingly unlikely)")
+	}
+	// All-zero hex input must still land on a non-zero ID.
+	z, ok := ParseTraceHeader("00000000000000000000000000000000")
+	if !ok || z.IsZero() {
+		t.Fatal("zero-hex header produced the zero ID")
+	}
+}
+
+// FuzzParseTraceHeader pins no-panic and determinism over arbitrary
+// header bytes, plus the hex round-trip law for well-formed IDs.
+func FuzzParseTraceHeader(f *testing.F) {
+	f.Add("")
+	f.Add("deadbeefdeadbeefdeadbeefdeadbeef")
+	f.Add("00000000000000000000000000000000")
+	f.Add("my-soak-run-17")
+	f.Add("ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, s string) {
+		id1, ok1 := ParseTraceHeader(s)
+		id2, ok2 := ParseTraceHeader(s)
+		if ok1 != ok2 || id1 != id2 {
+			t.Fatalf("non-deterministic parse of %q", s)
+		}
+		if s == "" {
+			if ok1 {
+				t.Fatal("empty parsed as present")
+			}
+			return
+		}
+		if !ok1 {
+			t.Fatalf("non-empty %q parsed as absent", s)
+		}
+		if id1.IsZero() {
+			t.Fatalf("non-empty %q produced the zero ID", s)
+		}
+		// Re-parsing the canonical form must be stable (idempotent for
+		// literal IDs; deterministic regardless).
+		id3, ok3 := ParseTraceHeader(id1.String())
+		if !ok3 || id3 != id1 {
+			t.Fatalf("canonical form of %q did not round-trip: %s -> %s", s, id1, id3)
+		}
+	})
+}

@@ -15,7 +15,11 @@ import (
 // samples, names sorted for deterministic output. Histograms are emitted
 // cumulatively: the bucket for upper bound "le" counts every observation
 // ≤ le, the last bucket is le="+Inf" (the clamping bin), and _sum/_count
-// carry the exact totals.
+// carry the exact totals. A histogram carrying an exemplar (its worst
+// labeled observation — here, a trace ID; see Histogram.ObserveExemplar)
+// adds an "# EXEMPLAR <name> <value> <label>" comment line, which 0.0.4
+// parsers skip but humans and scrapers of /metrics can follow straight
+// to /debug/traces?id=<label>.
 func WriteText(w io.Writer, s Snapshot) error {
 	bw := bufio.NewWriter(w)
 	for _, name := range sortedKeys(s.Counters) {
@@ -64,6 +68,15 @@ func WriteText(w io.Writer, s Snapshot) error {
 		bw.WriteString("_count ")
 		bw.WriteString(strconv.FormatUint(h.Count, 10))
 		bw.WriteByte('\n')
+		if h.ExemplarLabel != "" {
+			bw.WriteString("# EXEMPLAR ")
+			bw.WriteString(name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(h.ExemplarValue))
+			bw.WriteByte(' ')
+			bw.WriteString(h.ExemplarLabel)
+			bw.WriteByte('\n')
+		}
 	}
 	return bw.Flush()
 }

@@ -85,6 +85,17 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // Handles are resolved once here, so the per-request cost is one timer,
 // one histogram observe, and two counter increments.
 func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Handler {
+	return InstrumentHandlerExemplar(reg, route, next, nil)
+}
+
+// InstrumentHandlerExemplar is InstrumentHandler plus exemplar linkage:
+// when exemplar is non-nil, each request's latency observation carries
+// the label exemplar(r) returns (empty label → plain observation), and
+// the histogram retains the label of its worst sample — see
+// Histogram.ObserveExemplar. The callback keeps this package free of a
+// tracing dependency: the server passes a closure that reads the request
+// context's span and returns its trace ID.
+func InstrumentHandlerExemplar(reg *Registry, route string, next http.Handler, exemplar func(*http.Request) string) http.Handler {
 	if reg == nil {
 		return next
 	}
@@ -104,7 +115,11 @@ func InstrumentHandler(reg *Registry, route string, next http.Handler) http.Hand
 		timer := StartTimer()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		lat.Observe(timer.Seconds())
+		if exemplar != nil {
+			lat.ObserveExemplar(timer.Seconds(), exemplar(r))
+		} else {
+			lat.Observe(timer.Seconds())
+		}
 		requests.Inc()
 		if cls := sw.status/100 - 2; cls >= 0 && cls < len(classes) {
 			classes[cls].Inc()

@@ -4,7 +4,10 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestMetricNameComponent(t *testing.T) {
@@ -103,5 +106,85 @@ func TestHistogramSnapshotQuantile(t *testing.T) {
 	}
 	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
 		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestInstrumentHandlerExemplar pins the exemplar wiring: the slowest
+// labeled request's label survives into the snapshot, faster and
+// unlabeled requests never displace it, and merging snapshots keeps the
+// worst side.
+func TestInstrumentHandlerExemplar(t *testing.T) {
+	reg := NewRegistry()
+	var label string
+	h := InstrumentHandlerExemplar(reg, "rounds", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if label == "slow-trace" {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}), func(r *http.Request) string { return label })
+
+	for _, l := range []string{"fast-trace", "slow-trace", "", "fast-trace-2"} {
+		label = l
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/x/rounds", nil))
+	}
+	snap := reg.Snapshot()
+	hist := snap.Histograms[HTTPMetricPrefix+"rounds"+HTTPSuffixSeconds]
+	if hist.Count != 4 {
+		t.Fatalf("latency observations = %d, want 4", hist.Count)
+	}
+	if hist.ExemplarLabel != "slow-trace" {
+		t.Fatalf("exemplar label = %q, want the slowest request's %q", hist.ExemplarLabel, "slow-trace")
+	}
+	if hist.ExemplarValue < 0.02 {
+		t.Fatalf("exemplar value = %v, want ≥ the 20ms sleep", hist.ExemplarValue)
+	}
+
+	// Merge keeps the worse exemplar from either side.
+	other := HistogramSnapshot{Lo: hist.Lo, Hi: hist.Hi, Counts: make([]uint64, len(hist.Counts)),
+		ExemplarValue: hist.ExemplarValue * 2, ExemplarLabel: "worse-trace"}
+	merged, err := hist.Merge(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ExemplarLabel != "worse-trace" {
+		t.Fatalf("merged exemplar = %q, want %q", merged.ExemplarLabel, "worse-trace")
+	}
+	merged2, err := other.Merge(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged2.ExemplarLabel != "worse-trace" {
+		t.Fatalf("merge is not symmetric on exemplars: %q", merged2.ExemplarLabel)
+	}
+}
+
+// TestObserveExemplarConcurrent pins the max-keeping CAS under
+// contention: after racing observers, the retained exemplar is the
+// global maximum.
+func TestObserveExemplarConcurrent(t *testing.T) {
+	h, err := NewHistogram(0, 1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				v := float64(w*1000 + i)
+				h.ObserveExemplar(v, strconv.Itoa(int(v)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.ExemplarValue != 7999 || s.ExemplarLabel != "7999" {
+		t.Fatalf("exemplar = (%v, %q), want (7999, \"7999\")", s.ExemplarValue, s.ExemplarLabel)
+	}
+	var nilH *Histogram
+	nilH.ObserveExemplar(1, "x") // nil-is-off
+	h.ObserveExemplar(math.NaN(), "nan")
+	if got := h.Snapshot().ExemplarLabel; got != "7999" {
+		t.Fatalf("NaN displaced the exemplar: %q", got)
 	}
 }

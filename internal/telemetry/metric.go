@@ -84,6 +84,15 @@ type Histogram struct {
 	counts        []atomic.Uint64
 	count         atomic.Uint64
 	sumBits       atomic.Uint64
+	ex            atomic.Pointer[exemplar]
+}
+
+// exemplar links a histogram's worst observation to an external identity
+// (in this repo: the trace ID of the slowest sampled request), so a hot
+// latency histogram points straight at a trace to open.
+type exemplar struct {
+	value float64
+	label string
 }
 
 // NewHistogram builds an empty histogram with the given number of uniform
@@ -128,6 +137,30 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one observation like Observe and, when v is the
+// largest value labeled so far, retains (v, label) as the histogram's
+// exemplar — a max-keeping CAS, so under concurrent observation the worst
+// sample's label wins. An empty label degrades to a plain Observe; nil
+// histogram and NaN are no-ops as everywhere.
+func (h *Histogram) ObserveExemplar(v float64, label string) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.Observe(v)
+	if label == "" {
+		return
+	}
+	for {
+		old := h.ex.Load()
+		if old != nil && old.value >= v {
+			return
+		}
+		if h.ex.CompareAndSwap(old, &exemplar{value: v, label: label}) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations recorded so far.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -162,6 +195,10 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	if ex := h.ex.Load(); ex != nil {
+		s.ExemplarValue = ex.value
+		s.ExemplarLabel = ex.label
 	}
 	return s
 }

@@ -27,6 +27,12 @@ type HistogramSnapshot struct {
 	Count uint64 `json:"count"`
 	// Sum is the exact (unquantized) sum of observations.
 	Sum float64 `json:"sum"`
+	// ExemplarValue/ExemplarLabel carry the histogram's worst labeled
+	// observation (see Histogram.ObserveExemplar) — in this repo the
+	// label is the trace ID of the slowest sampled request, linking the
+	// metric to a trace in /debug/traces. Absent when nothing labeled.
+	ExemplarValue float64 `json:"exemplar_value,omitempty"`
+	ExemplarLabel string  `json:"exemplar_label,omitempty"`
 }
 
 // Mean returns Sum/Count, or 0 for an empty histogram.
@@ -99,6 +105,12 @@ func (h HistogramSnapshot) Merge(o HistogramSnapshot) (HistogramSnapshot, error)
 	}
 	for i := range h.Counts {
 		out.Counts[i] = h.Counts[i] + o.Counts[i]
+	}
+	// Exemplars keep the worst sample across both sides, matching the
+	// max-keeping semantics of ObserveExemplar.
+	out.ExemplarValue, out.ExemplarLabel = h.ExemplarValue, h.ExemplarLabel
+	if o.ExemplarLabel != "" && (h.ExemplarLabel == "" || o.ExemplarValue > h.ExemplarValue) {
+		out.ExemplarValue, out.ExemplarLabel = o.ExemplarValue, o.ExemplarLabel
 	}
 	return out, nil
 }

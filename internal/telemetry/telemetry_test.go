@@ -313,6 +313,7 @@ func TestWriteText(t *testing.T) {
 	for _, v := range []float64{0.1, 0.3, 0.3, 2.0} {
 		h.Observe(v)
 	}
+	h.ObserveExemplar(2.5, "deadbeef-trace")
 	var buf bytes.Buffer
 	if err := telemetry.WriteText(&buf, reg.Snapshot()); err != nil {
 		t.Fatal(err)
@@ -327,9 +328,10 @@ func TestWriteText(t *testing.T) {
 		`dyncontract_test_dur_seconds_bucket{le="0.25"} 1` + "\n",
 		`dyncontract_test_dur_seconds_bucket{le="0.5"} 3` + "\n",
 		`dyncontract_test_dur_seconds_bucket{le="0.75"} 3` + "\n",
-		`dyncontract_test_dur_seconds_bucket{le="+Inf"} 4` + "\n",
-		"dyncontract_test_dur_seconds_sum 2.7",
-		"dyncontract_test_dur_seconds_count 4\n",
+		`dyncontract_test_dur_seconds_bucket{le="+Inf"} 5` + "\n",
+		"dyncontract_test_dur_seconds_sum 5.2",
+		"dyncontract_test_dur_seconds_count 5\n",
+		"# EXEMPLAR dyncontract_test_dur_seconds 2.5 deadbeef-trace\n",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q\n---\n%s", want, got)
@@ -353,6 +355,19 @@ func assertPrometheusText(t *testing.T, text string) {
 			case "counter", "gauge", "histogram", "summary", "untyped":
 			default:
 				t.Errorf("unknown metric type in %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# EXEMPLAR ") {
+			// "# EXEMPLAR <name> <value> <label>" — parsers skip comments;
+			// we still insist the value is a float.
+			parts := strings.Fields(line)
+			if len(parts) != 5 {
+				t.Errorf("malformed EXEMPLAR line %q", line)
+				continue
+			}
+			if _, err := strconv.ParseFloat(parts[3], 64); err != nil {
+				t.Errorf("EXEMPLAR line %q: value %q is not a float: %v", line, parts[3], err)
 			}
 			continue
 		}

@@ -4,7 +4,9 @@
 # BenchmarkEngineRound100k (sequential vs sharded warm rounds, plus the
 # sharded-rebuild and sparse-drift-1pct drift variants pinning the
 # touched-scope speedup), BenchmarkTelemetryOverhead (instrumented vs
-# telemetry.Nop), and the HTTP serving benchmarks
+# telemetry.Nop), BenchmarkTraceOverhead (span tracing disabled vs
+# sampled-out vs sampled-in on the same warm round), and the HTTP serving
+# benchmarks
 # BenchmarkServerDesignBatch and BenchmarkServerDriftRoute (tracked for
 # trend only, not regression-gated — they ride
 # the loopback network stack) — with
@@ -20,8 +22,9 @@
 # BENCH_engine.json: every benchmark's ns/op delta is printed, a >10%
 # regression warns, and a >25% regression on a warm-round benchmark
 # (dedup-warm, respond-memo-warm, sequential-warm, sharded-warm,
-# sparse-drift, TelemetryOverhead) fails the run without touching the committed
-# baseline. Set BENCH_ALLOW_REGRESSION=1 to record
+# sparse-drift, TelemetryOverhead, TraceOverhead/disabled — the last pins
+# that tracing left off costs nothing) fails the run without touching the
+# committed baseline. Set BENCH_ALLOW_REGRESSION=1 to record
 # the new numbers anyway (e.g. after an intentional trade-off or on a
 # slower machine).
 set -eu
@@ -33,7 +36,7 @@ raw=$(mktemp)
 fresh=$(mktemp)
 trap 'rm -f "$raw" "$fresh"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead|BenchmarkServerDesignBatch|BenchmarkServerDriftRoute' -benchmem . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead|BenchmarkServerDesignBatch|BenchmarkServerDriftRoute' -benchmem . | tee "$raw"
 
 awk '
 BEGIN { print "["; n = 0 }
@@ -81,7 +84,7 @@ if [ -f "$out" ]; then
 		}
 		delta = (ns - base[name]) / base[name] * 100
 		printf "  %-55s %12.0f ns/op  %+7.1f%%\n", name, ns, delta
-		warm = (name ~ /dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|sparse-drift|TelemetryOverhead/)
+		warm = (name ~ /dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|sparse-drift|TelemetryOverhead|TraceOverhead\/disabled/)
 		if (warm && delta > 25) {
 			printf "  FAIL: %s regressed %.1f%% (>25%% on a warm-round benchmark)\n", name, delta
 			failed = 1

@@ -1,14 +1,18 @@
 #!/bin/sh
 # Serving-layer smoke test (`make smoke`, also a CI stage): builds
-# contractd, loadgen, and driftcheck, starts the daemon on a loopback
-# port, waits for /healthz via `loadgen -healthcheck`, fires a short
-# strict closed-loop burst (design queries, round advances, and sparse
-# drift mutations), runs the driftcheck probe (a one-agent drift must
-# report touched=1 and perturb only that agent's ledger row), then sends
-# SIGTERM and requires a clean drain — the process must exit 0 and print
-# its "contractd: bye" sign-off. Any 5xx during the burst, a failed
-# health probe, a drift leaking into untouched agents' rows, or an
-# unclean shutdown fails the script.
+# contractd, loadgen, driftcheck, and tracecheck, starts the daemon with
+# -trace on a loopback port, waits for /healthz via `loadgen
+# -healthcheck`, fires a short strict closed-loop burst (design queries,
+# round advances, and sparse drift mutations), runs the driftcheck probe
+# (a one-agent drift must report touched=1 and perturb only that agent's
+# ledger row) and the tracecheck probe (a round advanced under a known
+# X-Request-Id must come back from /debug/traces as a parseable trace
+# covering HTTP handler -> session queue -> engine round -> stages ->
+# shards, in JSONL and Chrome formats), then sends SIGTERM and requires
+# a clean drain — the process must exit 0 and log its "bye" sign-off.
+# Any 5xx during the burst, a failed health probe, a drift leaking into
+# untouched agents' rows, a missing or malformed trace, or an unclean
+# shutdown fails the script.
 #
 # Override the port with SMOKE_PORT if 18473 is taken.
 set -eu
@@ -32,13 +36,14 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "building contractd, loadgen, and driftcheck..."
+echo "building contractd, loadgen, driftcheck, and tracecheck..."
 go build -o "$work/contractd" ./cmd/contractd
 go build -o "$work/loadgen" ./cmd/loadgen
 go build -o "$work/driftcheck" ./scripts/driftcheck
+go build -o "$work/tracecheck" ./scripts/tracecheck
 
 addr="127.0.0.1:${SMOKE_PORT:-18473}"
-"$work/contractd" -listen "$addr" -drain-timeout 10s >"$log" 2>&1 &
+"$work/contractd" -listen "$addr" -drain-timeout 10s -trace >"$log" 2>&1 &
 pid=$!
 
 echo "waiting for http://$addr/healthz..."
@@ -49,6 +54,9 @@ echo "running strict load burst..."
 
 echo "running sparse-drift ledger probe..."
 "$work/driftcheck" -addr "http://$addr"
+
+echo "running trace coverage probe..."
+"$work/tracecheck" -addr "http://$addr"
 
 echo "sending SIGTERM..."
 kill -TERM "$pid"
@@ -67,7 +75,7 @@ wait "$pid" || {
 }
 pid=""
 
-grep -q "contractd: bye" "$log" || {
+grep -q "msg=bye" "$log" || {
 	echo "smoke: drain sign-off missing from log" >&2
 	exit 1
 }
