@@ -10,9 +10,15 @@
 //
 //	loadgen -addr http://127.0.0.1:8080 [-clients n] [-duration d]
 //	        [-requests n] [-rate qps] [-round-every k] [-weights n]
-//	        [-drift-every k] [-drift-agents n]
+//	        [-drift-every k] [-drift-agents n] [-churn]
 //	        [-scale small|paper] [-seed n] [-per-class n] [-strict]
 //	loadgen -addr ... -healthcheck [-healthcheck-timeout d]
+//
+// -churn precedes every round advance with a drift that mints a fresh,
+// never-repeating weight for every agent, so no design fingerprint
+// survives between rounds and each advance runs the engine's cold design
+// path end to end (the all-cold steady state of churning marketplaces
+// and bandit policies).
 //
 // With -healthcheck it instead polls /healthz until the server answers 200
 // (exit 0) or the timeout passes (exit 1) — a curl-free readiness probe
@@ -72,6 +78,7 @@ func run(args []string, out io.Writer) error {
 		weights     = fs.Int("weights", 4, "distinct feedback weights cycled through design queries")
 		driftEvery  = fs.Int("drift-every", 0, "every k-th non-round request issues a sparse drift (0 = no drifts)")
 		driftAgents = fs.Int("drift-agents", 1, "agents mutated per drift request (rotated round-robin over the session)")
+		churn       = fs.Bool("churn", false, "precede every round advance with a fresh-weights drift for all agents (all-cold design rounds)")
 		scale       = fs.String("scale", "", "create a synthetic session (small or paper) instead of the inline population")
 		seed        = fs.Int64("seed", 42, "synthetic session seed")
 		perClass    = fs.Int("per-class", 50, "synthetic session agents per class")
@@ -98,7 +105,7 @@ func run(args []string, out io.Writer) error {
 	// sessions, whose IDs are server-generated.
 	var driftIDs []string
 	driftBase := map[string]float64{}
-	if *driftEvery > 0 {
+	if *driftEvery > 0 || *churn {
 		if *driftAgents < 1 {
 			*driftAgents = 1
 		}
@@ -185,6 +192,18 @@ func run(args []string, out io.Writer) error {
 				n := c*1_000_000 + i
 				reqID := fmt.Sprintf("loadgen-%d", n)
 				if *roundEvery > 0 && n%*roundEvery == 0 {
+					if *churn {
+						// Mint a fresh fingerprint for every agent: the
+						// perturbation is unique per request (n never
+						// repeats), so the following round's designs are
+						// all cold. The factor stays within ±12% of base
+						// over any plausible run, keeping weights valid.
+						w := make(map[string]float64, len(driftIDs))
+						for _, id := range driftIDs {
+							w[id] = driftBase[id] * (1 + 1e-8*float64(n+1))
+						}
+						res = append(res, doJSON(client, "drift", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{Weights: w}, reqID+"-churn"))
+					}
 					res = append(res, doJSON(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", server.AdvanceRoundRequest{}, reqID))
 				} else if *driftEvery > 0 && n%*driftEvery == 0 {
 					// Sparse drift: nudge k agents' weights around their

@@ -10,7 +10,7 @@
 //	            [-engine seq|actor] [-nocache] [-cachestats]
 //	            [-nomemo] [-respondstats] [-respond-parallel n]
 //	            [-shards n] [-shardstats]
-//	            [-drift-agents k] [-driftstats]
+//	            [-drift-agents k] [-churn] [-driftstats]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-trace] [-trace-sample p] [-trace-out file]
@@ -75,6 +75,7 @@ func run(args []string, out io.Writer) error {
 		shards      = fs.Int("shards", 0, "shard count for the sharded round pipeline (seq engine only); 0 = sequential (ledgers are identical)")
 		shardStats  = fs.Bool("shardstats", false, "report per-shard stage timings per policy (seq engine only, needs -shards)")
 		driftAgents = fs.Int("drift-agents", 0, "scoped weight drift: oscillate the first k agents' weights each round, declared via Population.Touch (seq engine only)")
+		churn       = fs.Bool("churn", false, "mint fresh, never-repeating weights for every agent before each round, so every round's designs run the cold path (seq engine only; overrides -drift-agents)")
 		driftStats  = fs.Bool("driftstats", false, "report sparse-drift scope counters per policy (seq engine only)")
 		obsFlags    obs.Flags
 		traceFlags  obs.TraceFlags
@@ -131,7 +132,27 @@ func run(args []string, out io.Writer) error {
 	// exact same drift schedule, so cross-policy totals stay comparable —
 	// and declare the touched IDs so sharded engines take the sparse path.
 	var driftHook func(int, *engine.Population)
-	if *driftAgents > 0 {
+	switch {
+	case *churn:
+		// All-cold steady state: every agent's weight is perturbed by a
+		// factor unique to the round, so no design fingerprint ever
+		// repeats and each round pays the full batched cold design path.
+		// The base snapshot keeps the schedule identical across policies,
+		// and the perturbation stays under 1% over any plausible -rounds.
+		ids := make([]string, len(pop.Agents))
+		base := make([]float64, len(pop.Agents))
+		for i, a := range pop.Agents {
+			ids[i] = a.ID
+			base[i] = pop.Weights[a.ID]
+		}
+		driftHook = func(round int, p *engine.Population) {
+			f := 1 + 1e-6*float64(round+1)
+			for i, id := range ids {
+				p.Weights[id] = base[i] * f
+			}
+			p.Touch(ids...)
+		}
+	case *driftAgents > 0:
 		k := *driftAgents
 		if k > len(pop.Agents) {
 			k = len(pop.Agents)

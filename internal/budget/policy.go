@@ -41,8 +41,10 @@ func (p *Policy) Contracts(ctx context.Context, pop *platform.Population) (map[s
 	subs := make([]solver.Subproblem, len(pop.Agents))
 	for i, a := range pop.Agents {
 		subs[i] = solver.Subproblem{
-			Agent:  a,
-			Config: core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID]},
+			Agent: a,
+			// WantCandidates: the MCKP needs the full per-k menu, not just
+			// the argmax winner the batched solve would otherwise return.
+			Config: core.Config{Part: pop.Part, Mu: pop.Mu, W: pop.Weights[a.ID], WantCandidates: true},
 		}
 	}
 	outcomes, err := solver.SolveAll(ctx, subs, solver.Options{Parallelism: p.Parallelism})

@@ -72,6 +72,19 @@ func (c Case) String() string {
 // ErrBadConfig is returned when a design configuration fails validation.
 var ErrBadConfig = errors.New("core: invalid design configuration")
 
+// participationSlack is the hair of headroom added on top of the minimal
+// participation lift (the shortfall between the worker's best utility and
+// the reservation). The lift is applied to the contract's compensation
+// knots and the lifted contract is then re-evaluated through the same
+// floating-point pipeline (knot interpolation, ψ round-trips); without
+// slack, rounding in that re-evaluation can leave the lifted utility one
+// ulp below the reservation and the worker still declining. 1e-9 is far
+// above any accumulated rounding at the magnitudes the paper works with
+// (β, δ, ψ all O(1)) and far below anything economically meaningful. Both
+// the scalar path (buildCandidate) and the batched path (DesignInto) use
+// this constant, keeping their lifted contracts bit-identical.
+const participationSlack = 1e-9
+
 // Config parameterizes a single-agent contract design (one decomposed
 // subproblem of §IV-B).
 type Config struct {
@@ -83,6 +96,13 @@ type Config struct {
 	// already evaluated; may be negative for heavily penalized workers, in
 	// which case the designed contract collapses to "pay nothing".
 	W float64
+	// WantCandidates requests the per-k Candidate diagnostics on the
+	// Result. Consumers that read Result.Candidates — the budgeted policy's
+	// menus, the experiment tables, diagnostic tests — must opt in; the
+	// default (false) leaves Result.Candidates nil so the hot design path
+	// (engine cache misses, serving-layer design queries) never
+	// materializes the m per-candidate contracts and responses.
+	WantCandidates bool
 }
 
 // Validate checks the configuration.
@@ -140,7 +160,8 @@ type Result struct {
 	// it is the same expression and is reported for reference (the paper
 	// asserts but does not prove it for ω > 0).
 	LowerBound float64
-	// Candidates holds per-k diagnostics in k order.
+	// Candidates holds per-k diagnostics in k order; nil unless
+	// Config.WantCandidates was set.
 	Candidates []Candidate
 }
 
@@ -181,7 +202,9 @@ func Design(a *worker.Agent, cfg Config) (*Result, error) {
 		KOpt:             best.K,
 		Response:         best.Response,
 		RequesterUtility: best.RequesterUtility,
-		Candidates:       candidates,
+	}
+	if cfg.WantCandidates {
+		res.Candidates = candidates
 	}
 	res.UpperBound = UpperBound(a, cfg)
 	res.LowerBound = LowerBound(a, cfg, best.K)
@@ -245,9 +268,7 @@ func buildCandidate(a *worker.Agent, cfg Config, knots []float64, k int) (Candid
 		if err != nil {
 			return Candidate{}, fmt.Errorf("unconstrained response: %w", err)
 		}
-		// The hair of slack absorbs floating-point rounding in the lifted
-		// contract's evaluation.
-		lift = a.Reservation - freeResp.Utility + 1e-9
+		lift = a.Reservation - freeResp.Utility + participationSlack
 		comps := c.Comps()
 		for i := range comps {
 			comps[i] += lift

@@ -65,7 +65,7 @@ func TestDesignLargeOmegaClamps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Design(a, Config{Part: part, Mu: 1, W: 1})
+	res, err := Design(a, Config{Part: part, Mu: 1, W: 1, WantCandidates: true})
 	if err != nil {
 		t.Fatalf("Design with huge omega: %v", err)
 	}

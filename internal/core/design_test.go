@@ -27,7 +27,9 @@ func stdConfig(t *testing.T, m int) Config {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Config{Part: part, Mu: 1, W: 1}
+	// WantCandidates: the package's tests assert over the full per-k
+	// diagnostics, not just the winner.
+	return Config{Part: part, Mu: 1, W: 1, WantCandidates: true}
 }
 
 func honestAgent(t *testing.T) *worker.Agent {
@@ -312,7 +314,7 @@ func TestDesignBoundsProperty(t *testing.T) {
 		if err != nil {
 			return true
 		}
-		cfg := Config{Part: part, Mu: 0.5 + rng.Float64(), W: rng.Float64() * 2}
+		cfg := Config{Part: part, Mu: 0.5 + rng.Float64(), W: rng.Float64() * 2, WantCandidates: true}
 		res, err := Design(a, cfg)
 		if err != nil {
 			return false

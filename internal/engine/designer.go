@@ -269,6 +269,22 @@ type ShardDesigner struct {
 	subs     []solver.Subproblem
 	souts    []solver.Outcome
 	pendIdx  []int32
+
+	// scratch is the shard's retained design scratch: the sequential
+	// solver route runs every cold design over it, so a shard's cold fills
+	// stay CPU-local (same owner goroutine, same buffers) round after
+	// round. lastBatch records the most recent fill's solver batch size
+	// for span annotation (BatchStats).
+	scratch   core.Scratch
+	lastBatch int
+}
+
+// BatchStats reports the size of the most recent fill's solver batch
+// (the shard's distinct fingerprints that missed the cache) and the
+// cumulative number of designs the shard's retained scratch has served —
+// the numbers engine.shard.design spans carry via ShardBatchReporter.
+func (d *ShardDesigner) BatchStats() (batch int, scratchUses uint64) {
+	return d.lastBatch, d.scratch.Uses()
 }
 
 // Contracts implements the ShardPolicy work for one shard: fill dst[i]
@@ -376,14 +392,17 @@ func (d *ShardDesigner) fill(ctx context.Context, pop *Population, sh *Shard, ds
 			Config: core.Config{Part: pop.Part, Mu: pop.Mu, W: d.distinct[k].W},
 		})
 	}
+	d.lastBatch = len(d.subs)
 	if len(d.subs) > 0 {
 		if cap(d.souts) < len(d.subs) {
 			d.souts = make([]solver.Outcome, len(d.subs))
 		}
 		d.souts = d.souts[:len(d.subs)]
 		// Shard-level parallelism comes from the engine's pool; the inner
-		// solve stays sequential so shards never oversubscribe it.
-		if err := solver.SolveAllInto(ctx, d.subs, d.souts, solver.Options{Parallelism: 1, Metrics: d.metrics}); err != nil {
+		// solve stays sequential — over the shard's retained scratch — so
+		// shards never oversubscribe it and cold designs reuse CPU-local
+		// buffers.
+		if err := solver.SolveAllInto(ctx, d.subs, d.souts, solver.Options{Parallelism: 1, Metrics: d.metrics, Scratch: &d.scratch}); err != nil {
 			return err
 		}
 		for j, k := range d.pendIdx {

@@ -156,6 +156,18 @@ type FingerprintPurePolicy interface {
 	FingerprintPure()
 }
 
+// ShardBatchReporter is an opt-in interface for ShardPolicies that route
+// cold designs through the batched solver (core.DesignInto over a
+// retained per-shard core.Scratch). After a ShardContracts call,
+// ShardBatchStats reports the number of subproblems the shard's last
+// design batch carried (0 on a fully warm round) and the cumulative use
+// count of the shard's scratch — evidence the flat arrays are actually
+// being reused rather than reallocated. Traced rounds attach both to the
+// shard's "engine.shard.design" span.
+type ShardBatchReporter interface {
+	ShardBatchStats(shard int) (batch int, scratchUses uint64)
+}
+
 // shardRun is the engine's retained per-shard state: the shard view, the
 // policy's dense contract slots, the memo segment, respond scratch, and
 // the warm-skip bookkeeping.
@@ -444,6 +456,11 @@ func (e *Engine) designShard(ctx context.Context, st *roundState, i int) error {
 			sp.SetInt("cache.misses", int64(cs.Misses-misses0))
 		}
 		sp.SetAttr("changed", boolStr(changed))
+		if rep, ok := e.shardPol.(ShardBatchReporter); ok {
+			batch, uses := rep.ShardBatchStats(i)
+			sp.SetInt("batch", int64(batch))
+			sp.SetInt("scratch.uses", int64(uses))
+		}
 		sp.End()
 	}
 	return nil

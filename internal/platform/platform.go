@@ -110,6 +110,7 @@ var (
 	_ engine.FingerprintPurePolicy = (*DynamicPolicy)(nil)
 	_ engine.CacheUser             = (*DynamicPolicy)(nil)
 	_ engine.MetricsUser           = (*DynamicPolicy)(nil)
+	_ engine.ShardBatchReporter    = (*DynamicPolicy)(nil)
 )
 
 // Name implements Policy.
@@ -144,3 +145,11 @@ func (p *DynamicPolicy) ShardContracts(ctx context.Context, pop *Population, sh 
 // engine may patch sparsely drifted agents straight from the design
 // cache instead of re-running the shard cold.
 func (p *DynamicPolicy) FingerprintPure() {}
+
+// ShardBatchStats implements engine.ShardBatchReporter: the size of the
+// shard designer's last design batch (distinct cache-missing
+// fingerprints; 0 on a warm round) and the cumulative use count of its
+// retained solve scratch.
+func (p *DynamicPolicy) ShardBatchStats(shard int) (int, uint64) {
+	return p.designer.Shard(shard).BatchStats()
+}

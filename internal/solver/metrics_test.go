@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"dyncontract/internal/core"
 	"dyncontract/internal/telemetry"
 )
 
@@ -42,6 +43,15 @@ func TestSolveAllMetrics(t *testing.T) {
 	if h.Sum < 0 || math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
 		t.Errorf("%s sum = %v, want finite ≥ 0", MetricDesignSeconds, h.Sum)
 	}
+	// One SolveAll call = one batch-size observation carrying the
+	// subproblem count.
+	bh, ok := s.Histograms[MetricBatchSize]
+	if !ok {
+		t.Fatalf("missing histogram %s", MetricBatchSize)
+	}
+	if bh.Count != 1 || bh.Sum != float64(len(subs)) {
+		t.Errorf("%s count/sum = %d/%v, want 1/%d", MetricBatchSize, bh.Count, bh.Sum, len(subs))
+	}
 
 	// The instrumented outcomes must match an un-instrumented run.
 	clean := solverFixture(t, 12)
@@ -56,6 +66,59 @@ func TestSolveAllMetrics(t *testing.T) {
 		if oc.Result.RequesterUtility != want[i].Result.RequesterUtility {
 			t.Errorf("outcome %d: instrumented utility %v != plain %v",
 				i, oc.Result.RequesterUtility, want[i].Result.RequesterUtility)
+		}
+	}
+}
+
+// TestSolveAllSequentialScratch pins the Parallelism=1 fast path: every
+// design runs inline over the caller's scratch (no goroutines), outcomes
+// — including per-entry errors under ContinueOnError — match the pooled
+// route, and the metrics counters stay in parity.
+func TestSolveAllSequentialScratch(t *testing.T) {
+	subs := solverFixture(t, 10)
+	subs[4].Config.Mu = -1
+	reg := telemetry.NewRegistry()
+	scratch := &core.Scratch{}
+	outcomes, err := SolveAll(context.Background(), subs, Options{
+		Parallelism:     1,
+		ContinueOnError: true,
+		Metrics:         reg,
+		Scratch:         scratch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The failing subproblem bails in config validation before the
+	// scratch is touched; the other nine designs all reuse it.
+	if got := scratch.Uses(); got != 9 {
+		t.Errorf("scratch uses = %d, want 9", got)
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[MetricDesigns]; got != uint64(len(subs)) {
+		t.Errorf("%s = %d, want %d", MetricDesigns, got, len(subs))
+	}
+	if got := s.Counters[MetricDesignErrors]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricDesignErrors, got)
+	}
+
+	pooled, err := SolveAll(context.Background(), subs, Options{Parallelism: 4, ContinueOnError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outcomes {
+		seqErr, poolErr := outcomes[i].Err, pooled[i].Err
+		if (seqErr == nil) != (poolErr == nil) {
+			t.Fatalf("outcome %d: sequential err %v, pooled err %v", i, seqErr, poolErr)
+		}
+		if seqErr != nil {
+			if seqErr.Error() != poolErr.Error() {
+				t.Errorf("outcome %d: error %q != pooled %q", i, seqErr, poolErr)
+			}
+			continue
+		}
+		if outcomes[i].Result.RequesterUtility != pooled[i].Result.RequesterUtility {
+			t.Errorf("outcome %d: sequential utility %v != pooled %v",
+				i, outcomes[i].Result.RequesterUtility, pooled[i].Result.RequesterUtility)
 		}
 	}
 }

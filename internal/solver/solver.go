@@ -31,6 +31,11 @@ const (
 	MetricDesignErrors = "dyncontract_solver_design_errors_total"
 	// MetricDesignSeconds is the per-subproblem design latency histogram.
 	MetricDesignSeconds = "dyncontract_solver_design_seconds"
+	// MetricBatchSize is the per-call batch-size histogram: how many
+	// subproblems each SolveAllInto invocation carried. Cold rounds show
+	// the distinct-fingerprint count per shard here; serving-layer design
+	// batches show their coalescing window.
+	MetricBatchSize = "dyncontract_solver_batch_size"
 )
 
 // Design-latency bins: uniform over [0, 10ms) in 0.2ms steps (the
@@ -41,6 +46,20 @@ const (
 	designSecondsHi   = 0.01
 	designSecondsBins = 50
 )
+
+// Batch-size bins: unit-width over [0, 64) (the stats.Histogram clamping
+// convention; shard batches count distinct fingerprints — single digits —
+// while serving-layer batches are bounded by the server's BatchMax).
+const (
+	batchSizeLo   = 0
+	batchSizeHi   = 64
+	batchSizeBins = 64
+)
+
+// scratchPool recycles per-worker design scratch across SolveAllInto
+// calls, so even the pooled (parallel) route reuses the batched solve's
+// flat arrays instead of allocating them per call.
+var scratchPool = sync.Pool{New: func() any { return new(core.Scratch) }}
 
 // Subproblem is one decomposed contract-design task: an agent (worker or
 // collusive meta-worker) plus its design configuration.
@@ -60,9 +79,17 @@ type Options struct {
 	// first failure cancels the remaining work.
 	ContinueOnError bool
 	// Metrics, when non-nil, receives the pool's MetricDesigns /
-	// MetricDesignErrors counters and MetricDesignSeconds latency
-	// histogram. telemetry.Nop (nil) disables collection.
+	// MetricDesignErrors counters, MetricDesignSeconds latency histogram,
+	// and MetricBatchSize batch-size histogram. telemetry.Nop (nil)
+	// disables collection.
 	Metrics *telemetry.Registry
+	// Scratch, when non-nil, is the reusable design scratch for the
+	// sequential route: with an effective parallelism of 1 every design in
+	// the call runs over it inline (no worker goroutine), which is how the
+	// sharded engine keeps one CPU-local scratch per shard. Ignored by the
+	// parallel route, whose workers draw scratch from an internal pool.
+	// The caller must not share one Scratch between concurrent calls.
+	Scratch *core.Scratch
 }
 
 // Outcome pairs one subproblem with its result or error.
@@ -129,6 +156,50 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 		designs = opts.Metrics.Counter(MetricDesigns)
 		designErrs = opts.Metrics.Counter(MetricDesignErrors)
 		designSec = opts.Metrics.Histogram(MetricDesignSeconds, designSecondsLo, designSecondsHi, designSecondsBins)
+		opts.Metrics.Histogram(MetricBatchSize, batchSizeLo, batchSizeHi, batchSizeBins).Observe(float64(n))
+	}
+
+	if parallelism == 1 {
+		// Sequential route: run the batched solve inline over one scratch —
+		// the caller's retained one when provided — with no goroutine or
+		// channel between the subproblems. Error and cancellation shapes
+		// match the pooled route exactly.
+		scratch := opts.Scratch
+		if scratch == nil {
+			scratch = scratchPool.Get().(*core.Scratch)
+			defer scratchPool.Put(scratch)
+		}
+		for i := range subs {
+			if err := ctx.Err(); err != nil {
+				for j := i; j < n; j++ {
+					outcomes[j] = Outcome{Index: j, Err: cancelErr(err)}
+				}
+				if !opts.ContinueOnError {
+					return cancelErr(err)
+				}
+				return nil
+			}
+			var t telemetry.Timer
+			if timed {
+				t = telemetry.StartTimer()
+			}
+			res, err := core.DesignInto(subs[i].Agent, subs[i].Config, scratch)
+			if timed {
+				designSec.Observe(t.Seconds())
+				designs.Inc()
+				if err != nil {
+					designErrs.Inc()
+				}
+			}
+			outcomes[i] = Outcome{Index: i, Result: res, Err: err}
+			if err != nil && !opts.ContinueOnError {
+				for j := i + 1; j < n; j++ {
+					outcomes[j] = Outcome{Index: j, Err: cancelErr(context.Canceled)}
+				}
+				return fmt.Errorf("solver: subproblem %d (%s): %w", i, subs[i].Agent.ID, err)
+			}
+		}
+		return nil
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -143,6 +214,8 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := scratchPool.Get().(*core.Scratch)
+			defer scratchPool.Put(scratch)
 			for i := range indexes {
 				if err := ctx.Err(); err != nil {
 					outcomes[i] = Outcome{Index: i, Err: cancelErr(err)}
@@ -152,7 +225,7 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 				if timed {
 					t = telemetry.StartTimer()
 				}
-				res, err := core.Design(subs[i].Agent, subs[i].Config)
+				res, err := core.DesignInto(subs[i].Agent, subs[i].Config, scratch)
 				if timed {
 					designSec.Observe(t.Seconds())
 					designs.Inc()

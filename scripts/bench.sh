@@ -20,11 +20,13 @@
 #
 # Before overwriting, the fresh run is diffed against the committed
 # BENCH_engine.json: every benchmark's ns/op delta is printed, a >10%
-# regression warns, and a >25% regression on a warm-round benchmark
-# (dedup-warm, respond-memo-warm, sequential-warm, sharded-warm,
-# sparse-drift, TelemetryOverhead, TraceOverhead/disabled — the last pins
-# that tracing left off costs nothing) fails the run without touching the
-# committed baseline. Set BENCH_ALLOW_REGRESSION=1 to record
+# regression warns, and a >25% regression on a gated benchmark
+# (dedup-cold — the batched cold design path, optimized and now
+# regression-gated — dedup-warm, respond-memo-warm, sequential-warm,
+# sharded-warm, sparse-drift, TelemetryOverhead, TraceOverhead/disabled —
+# the last pins that tracing left off costs nothing) fails the run
+# without touching the committed baseline. Set BENCH_ALLOW_REGRESSION=1
+# to record
 # the new numbers anyway (e.g. after an intentional trade-off or on a
 # slower machine).
 set -eu
@@ -84,7 +86,7 @@ if [ -f "$out" ]; then
 		}
 		delta = (ns - base[name]) / base[name] * 100
 		printf "  %-55s %12.0f ns/op  %+7.1f%%\n", name, ns, delta
-		warm = (name ~ /dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|sparse-drift|TelemetryOverhead|TraceOverhead\/disabled/)
+		warm = (name ~ /dedup-cold|dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|sparse-drift|TelemetryOverhead|TraceOverhead\/disabled/)
 		if (warm && delta > 25) {
 			printf "  FAIL: %s regressed %.1f%% (>25%% on a warm-round benchmark)\n", name, delta
 			failed = 1

@@ -3,7 +3,9 @@
 # contractd, loadgen, driftcheck, and tracecheck, starts the daemon with
 # -trace on a loopback port, waits for /healthz via `loadgen
 # -healthcheck`, fires a short strict closed-loop burst (design queries,
-# round advances, and sparse drift mutations), runs the driftcheck probe
+# round advances, and sparse drift mutations) followed by a strict -churn
+# burst (every round advance preceded by an all-agent fresh-weight drift,
+# driving the batched cold design path), runs the driftcheck probe
 # (a one-agent drift must report touched=1 and perturb only that agent's
 # ledger row) and the tracecheck probe (a round advanced under a known
 # X-Request-Id must come back from /debug/traces as a parseable trace
@@ -51,6 +53,9 @@ echo "waiting for http://$addr/healthz..."
 
 echo "running strict load burst..."
 "$work/loadgen" -addr "http://$addr" -clients 4 -requests 25 -round-every 5 -drift-every 7 -drift-agents 2 -strict
+
+echo "running strict churn burst (all-cold design rounds)..."
+"$work/loadgen" -addr "http://$addr" -clients 2 -requests 20 -round-every 4 -churn -strict
 
 echo "running sparse-drift ledger probe..."
 "$work/driftcheck" -addr "http://$addr"
