@@ -633,4 +633,81 @@ func BenchmarkEngineRound100k(b *testing.B) {
 			}
 		}
 	})
+	b.Run("structural-churn-1pct", func(b *testing.B) {
+		// 1% structural churn: every round 500 agents leave and 500 fresh
+		// ones join, declared via TouchLeave/TouchJoin. Two pre-built
+		// 500-agent sets alternate — the round's leavers are the previous
+		// round's joiners — so the steady population holds at ~100.5k and
+		// the same agent objects recycle without allocation. Joiners clone
+		// the honest archetype under fresh IDs: their fingerprint always
+		// resolves in the warm design cache, so each round splices only
+		// the owning shards' slots (joins take tail outcome slots, leaves
+		// tombstone theirs; compaction amortizes at the fragmentation
+		// threshold). The full-rebuild cost of the same churn is the
+		// sharded-rebuild arm above.
+		drifted := benchArchetypePopulation(b, 100_000)
+		proto := drifted.Agents[0] // honest archetype
+		protoW := drifted.Weights[proto.ID]
+		protoMal := drifted.MaliceProb[proto.ID]
+		mkSet := func(prefix string) ([]*worker.Agent, []string) {
+			set := make([]*worker.Agent, 500)
+			ids := make([]string, 500)
+			for i := range set {
+				na := *proto
+				na.ID = fmt.Sprintf("%s%04d", prefix, i)
+				set[i] = &na
+				ids[i] = na.ID
+			}
+			return set, ids
+		}
+		setA, idsA := mkSet("ja")
+		setB, idsB := mkSet("jb")
+		sets := [2][]*worker.Agent{setA, setB}
+		idSets := [2][]string{idsA, idsB}
+		turn := 0
+		hook := func(r int, p *engine.Population) {
+			next := turn % 2
+			if turn > 0 {
+				// The previous set was appended last, so it occupies the
+				// population tail — truncate it off and declare the leave.
+				prev := 1 - next
+				p.Agents = p.Agents[:len(p.Agents)-500]
+				for _, id := range idSets[prev] {
+					delete(p.Weights, id)
+					delete(p.MaliceProb, id)
+				}
+				p.TouchLeave(idSets[prev]...)
+			}
+			for _, a := range sets[next] {
+				p.Agents = append(p.Agents, a)
+				p.Weights[a.ID] = protoW
+				p.MaliceProb[a.ID] = protoMal
+			}
+			p.TouchJoin(idSets[next]...)
+			turn++
+		}
+		eng, err := engine.New(drifted, engine.Config{
+			Policy: &platform.DynamicPolicy{},
+			Rounds: 1,
+			Cache:  engine.NewCache(),
+			Memo:   engine.NewRespondMemo(),
+			Shards: 8,
+			Drift:  hook,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 2; i++ { // warm caches and both churn sets
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Run(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

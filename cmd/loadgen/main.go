@@ -1,6 +1,8 @@
 // Command loadgen hammers a running contractd with a mixed workload of
-// round advances, design-only queries, and (with -drift-every) sparse
-// drift mutations, then prints a latency and error summary. It drives
+// round advances, design-only queries, (with -drift-every) sparse
+// drift mutations, and (with -join-every / -leave-every) structural
+// churn — agents joining and leaving mid-session — then prints a
+// latency and error summary. It drives
 // either closed-loop load (each client issues its next request as soon as
 // the previous answers) or open-loop load (-rate fixes total request
 // arrivals per second regardless of response times — the honest way to
@@ -11,8 +13,17 @@
 //	loadgen -addr http://127.0.0.1:8080 [-clients n] [-duration d]
 //	        [-requests n] [-rate qps] [-round-every k] [-weights n]
 //	        [-drift-every k] [-drift-agents n] [-churn]
+//	        [-join-every k] [-leave-every k]
 //	        [-scale small|paper] [-seed n] [-per-class n] [-strict]
 //	loadgen -addr ... -healthcheck [-healthcheck-timeout d]
+//
+// -join-every k makes every k-th non-round request add a fresh agent to
+// the session (ids are namespaced per client, lg-<client>-<seq>, so
+// concurrent joins never collide); -leave-every k removes the oldest
+// agent that client previously joined, so the population oscillates
+// instead of growing without bound. Join and leave latencies are
+// reported as their own kinds, separating the structural drift path
+// from scalar weight nudges.
 //
 // -churn precedes every round advance with a drift that mints a fresh,
 // never-repeating weight for every agent, so no design fingerprint
@@ -58,7 +69,7 @@ func main() {
 // /debug/traces?id=<id> returns that request's span tree, so the summary
 // prints the ids of failures and latency outliers.
 type result struct {
-	kind    string // "round", "design", or "drift"
+	kind    string // "round", "design", "drift", "join", or "leave"
 	status  int    // 0 on transport error
 	latency time.Duration
 	id      string
@@ -79,6 +90,8 @@ func run(args []string, out io.Writer) error {
 		driftEvery  = fs.Int("drift-every", 0, "every k-th non-round request issues a sparse drift (0 = no drifts)")
 		driftAgents = fs.Int("drift-agents", 1, "agents mutated per drift request (rotated round-robin over the session)")
 		churn       = fs.Bool("churn", false, "precede every round advance with a fresh-weights drift for all agents (all-cold design rounds)")
+		joinEvery   = fs.Int("join-every", 0, "every k-th non-round request joins a fresh agent (0 = no joins)")
+		leaveEvery  = fs.Int("leave-every", 0, "every k-th non-round request removes this client's oldest joined agent (0 = no leaves)")
 		scale       = fs.String("scale", "", "create a synthetic session (small or paper) instead of the inline population")
 		seed        = fs.Int64("seed", 42, "synthetic session seed")
 		perClass    = fs.Int("per-class", 50, "synthetic session agents per class")
@@ -171,6 +184,11 @@ func run(args []string, out io.Writer) error {
 		go func(c int) {
 			defer wg.Done()
 			var res []result
+			// Structural churn state: agents this client has joined (and
+			// not yet removed), in join order. IDs are namespaced by
+			// client so concurrent joiners never race on one agent.
+			var joined []string
+			joinSeq := 0
 			for i := 0; ; i++ {
 				if *requests > 0 {
 					if i >= *requests {
@@ -205,6 +223,39 @@ func run(args []string, out io.Writer) error {
 						res = append(res, doJSON(client, "drift", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{Weights: w}, reqID+"-churn"))
 					}
 					res = append(res, doJSON(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", server.AdvanceRoundRequest{}, reqID))
+				} else if *joinEvery > 0 && i%*joinEvery == 0 {
+					// Join a fresh agent; its honest-archetype spec shares
+					// the inline population's psi so the contract cache can
+					// serve it by fingerprint.
+					id := fmt.Sprintf("lg-%d-%d", c, joinSeq)
+					joinSeq++
+					r := doJSON(client, "join", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{
+						Add: []server.AgentSpec{{
+							ID:    id,
+							Class: "honest",
+							Psi:   server.PsiSpec{R2: -0.25, R1: 2},
+							Beta:  1, Weight: 1,
+						}},
+					}, reqID)
+					if r.status >= 200 && r.status < 300 {
+						joined = append(joined, id)
+					}
+					res = append(res, r)
+				} else if *leaveEvery > 0 && i%*leaveEvery == *leaveEvery-1 && len(joined) > 0 {
+					// The leave cadence is offset to the end of its period
+					// so -join-every k -leave-every k alternates instead of
+					// joins always shadowing leaves on the same slots.
+					// Remove this client's oldest joined agent; only
+					// successfully joined ids are ever removed, so the
+					// request cannot 404 on an unknown agent.
+					id := joined[0]
+					r := doJSON(client, "leave", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{
+						Remove: []string{id},
+					}, reqID)
+					if r.status >= 200 && r.status < 300 {
+						joined = joined[1:]
+					}
+					res = append(res, r)
 				} else if *driftEvery > 0 && n%*driftEvery == 0 {
 					// Sparse drift: nudge k agents' weights around their
 					// base, rotating the window so the whole session
@@ -370,7 +421,7 @@ func summarize(out io.Writer, all []result, elapsed time.Duration, overload int6
 		ok, rejected, errors int
 		lats                 []time.Duration
 	}
-	byKind := map[string]*agg{"round": {}, "design": {}, "drift": {}}
+	byKind := map[string]*agg{"round": {}, "design": {}, "drift": {}, "join": {}, "leave": {}}
 	var lats []time.Duration
 	for _, r := range all {
 		a := byKind[r.kind]
@@ -387,8 +438,11 @@ func summarize(out io.Writer, all []result, elapsed time.Duration, overload int6
 	}
 	fmt.Fprintf(out, "loadgen: %d requests in %.2fs (%.1f req/s)\n",
 		len(all), elapsed.Seconds(), float64(len(all))/elapsed.Seconds())
-	for _, kind := range []string{"round", "design", "drift"} {
+	for _, kind := range []string{"round", "design", "drift", "join", "leave"} {
 		a := byKind[kind]
+		if (kind == "join" || kind == "leave") && a.ok+a.rejected+a.errors == 0 {
+			continue
+		}
 		fmt.Fprintf(out, "  %-7s %6d ok  %5d rejected (429)  %4d errors\n", kind+"s:", a.ok, a.rejected, a.errors)
 	}
 	if overload > 0 {
@@ -406,8 +460,9 @@ func summarize(out io.Writer, all []result, elapsed time.Duration, overload int6
 			p99.Round(time.Microsecond), max.Round(time.Microsecond))
 	}
 	// Per-kind percentiles separate the drift path's latency from the
-	// design fast path it shares the session lock with.
-	for _, kind := range []string{"round", "design", "drift"} {
+	// design fast path it shares the session lock with, and structural
+	// joins/leaves from scalar weight drifts.
+	for _, kind := range []string{"round", "design", "drift", "join", "leave"} {
 		a := byKind[kind]
 		if len(a.lats) == 0 {
 			continue
@@ -436,7 +491,10 @@ func summarize(out io.Writer, all []result, elapsed time.Duration, overload int6
 				r.kind, r.latency.Round(time.Microsecond), r.id, r.id)
 		}
 	}
-	bad := byKind["round"].errors + byKind["design"].errors + byKind["drift"].errors
+	bad := 0
+	for _, a := range byKind {
+		bad += a.errors
+	}
 	if strict && bad > 0 {
 		printed := 0
 		for _, r := range all {

@@ -11,6 +11,7 @@
 //	            [-nomemo] [-respondstats] [-respond-parallel n]
 //	            [-shards n] [-shardstats]
 //	            [-drift-agents k] [-churn] [-driftstats]
+//	            [-join-every k] [-leave-every k]
 //	            [-metrics out.jsonl] [-metrics-listen addr]
 //	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	            [-trace] [-trace-sample p] [-trace-out file]
@@ -77,6 +78,8 @@ func run(args []string, out io.Writer) error {
 		driftAgents = fs.Int("drift-agents", 0, "scoped weight drift: oscillate the first k agents' weights each round, declared via Population.Touch (seq engine only)")
 		churn       = fs.Bool("churn", false, "mint fresh, never-repeating weights for every agent before each round, so every round's designs run the cold path (seq engine only; overrides -drift-agents)")
 		driftStats  = fs.Bool("driftstats", false, "report sparse-drift scope counters per policy (seq engine only)")
+		joinEvery   = fs.Int("join-every", 0, "structural churn: every k-th round a fresh agent joins, declared via TouchJoin (seq engine only)")
+		leaveEvery  = fs.Int("leave-every", 0, "structural churn: every k-th round the oldest hook-joined agent leaves, declared via TouchLeave (seq engine only)")
 		obsFlags    obs.Flags
 		traceFlags  obs.TraceFlags
 	)
@@ -175,6 +178,72 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// Structural churn: layer joins/leaves on top of whatever scalar drift
+	// hook is configured. Joiners clone the first agent's archetype under a
+	// fresh ID (same fingerprint, so the design cache patches them in);
+	// leaves remove the oldest hook-joined agent, so the population
+	// oscillates instead of growing without bound and never loses an
+	// original member. Policies share one Population, so cleanup() strips
+	// any leftover joiners between runs — every policy sees the identical
+	// churn schedule over the identical base population.
+	var structCleanup func()
+	if *joinEvery > 0 || *leaveEvery > 0 {
+		if len(pop.Agents) == 0 {
+			return fmt.Errorf("structural churn needs a non-empty population")
+		}
+		scalarHook := driftHook
+		proto := pop.Agents[0]
+		protoW := pop.Weights[proto.ID]
+		protoMal, protoHasMal := pop.MaliceProb[proto.ID]
+		var joined []string
+		joinSeq := 0
+		driftHook = func(round int, p *engine.Population) {
+			if scalarHook != nil {
+				scalarHook(round, p)
+			}
+			if *joinEvery > 0 && (round+1)%*joinEvery == 0 {
+				na := *proto
+				na.ID = fmt.Sprintf("sim-join-%05d", joinSeq)
+				joinSeq++
+				p.Agents = append(p.Agents, &na)
+				p.Weights[na.ID] = protoW
+				if protoHasMal {
+					p.MaliceProb[na.ID] = protoMal
+				}
+				p.TouchJoin(na.ID)
+				joined = append(joined, na.ID)
+			}
+			if *leaveEvery > 0 && (round+1)%*leaveEvery == 0 && len(joined) > 0 {
+				id := joined[0]
+				joined = joined[1:]
+				for i, a := range p.Agents {
+					if a.ID == id {
+						p.Agents = append(p.Agents[:i], p.Agents[i+1:]...)
+						break
+					}
+				}
+				delete(p.Weights, id)
+				delete(p.MaliceProb, id)
+				p.TouchLeave(id)
+			}
+		}
+		structCleanup = func() {
+			for _, id := range joined {
+				for i, a := range pop.Agents {
+					if a.ID == id {
+						pop.Agents = append(pop.Agents[:i], pop.Agents[i+1:]...)
+						break
+					}
+				}
+				delete(pop.Weights, id)
+				delete(pop.MaliceProb, id)
+			}
+			joined = nil
+			joinSeq = 0
+			pop.Bump()
+		}
+	}
+
 	var prevShard obs.ShardStats
 	var prevDrift obs.DriftStats
 	for _, name := range strings.Split(*policies, ",") {
@@ -217,6 +286,9 @@ func run(args []string, out io.Writer) error {
 			span.SetInt("rounds", int64(*rounds))
 			ledger, err = engine.RunLedger(spans.ContextWith(ctx, span), pop, cfg)
 			span.End()
+			if structCleanup != nil {
+				structCleanup()
+			}
 		case "actor":
 			var eng *actor.Engine
 			eng, err = actor.NewEngine(pop, pol)

@@ -62,12 +62,29 @@ type Scratch struct {
 	knotsOK       bool
 	knotsMonotone bool
 
-	uses uint64
+	uses      uint64
+	fallbacks uint64
 }
 
 // Uses reports the number of designs this scratch has served — the
 // scratch-reuse signal surfaced on engine.shard.design spans.
 func (s *Scratch) Uses() uint64 { return s.uses }
+
+// Fallbacks reports the number of designs this scratch routed to the
+// scalar Design path — degenerate knots, a non-finite slope chain, or a
+// participation lift the batched solve could not reproduce exactly. A
+// count tracking Uses means the population defeats the batched path
+// wholesale; the solver surfaces the delta as
+// dyncontract_solver_scalar_fallbacks_total.
+func (s *Scratch) Fallbacks() uint64 { return s.fallbacks }
+
+// fallback delegates one design to the scalar path, counting it — every
+// site where the batched solve cannot reproduce the scalar result (or its
+// error) bit for bit funnels through here.
+func (s *Scratch) fallback(a *worker.Agent, cfg Config) (*Result, error) {
+	s.fallbacks++
+	return Design(a, cfg)
+}
 
 // prepare sizes the buffers for partition part and fills the knot array
 // for ψ, reusing the cached knots when (part, ψ) is unchanged.
@@ -275,11 +292,11 @@ func DesignInto(a *worker.Agent, cfg Config, s *Scratch) (*Result, error) {
 	if !s.knotsMonotone {
 		// Degenerate feedback knots: the scalar path fails in the builder's
 		// validation with the precise error; reproduce it verbatim.
-		return Design(a, cfg)
+		return s.fallback(a, cfg)
 	}
 	firstClamp, ok := s.chain(a, cfg.Part)
 	if !ok {
-		return Design(a, cfg)
+		return s.fallback(a, cfg)
 	}
 
 	m := cfg.Part.M
@@ -305,26 +322,26 @@ func DesignInto(a *worker.Agent, cfg Config, s *Scratch) (*Result, error) {
 			}
 			lift = a.Reservation - freeU + participationSlack
 			if math.IsNaN(lift) || math.IsInf(lift, 0) {
-				return Design(a, cfg)
+				return s.fallback(a, cfg)
 			}
 			for i := 0; i <= m; i++ {
 				s.lifted[i] = s.comps[min(i, k)] + lift
 			}
 			if math.IsInf(s.lifted[m], 0) {
-				return Design(a, cfg)
+				return s.fallback(a, cfg)
 			}
 			resp = bestResponse(a, cfg.Part, s.knots, s.lifted, m)
 			if resp.Utility < a.Reservation {
 				// The scalar path errors here ("lift ... failed to secure
 				// participation"); let it produce the identical error.
-				return Design(a, cfg)
+				return s.fallback(a, cfg)
 			}
 		}
 		ru := cfg.W*resp.Feedback - cfg.Mu*resp.Compensation
 		if cfg.WantCandidates {
 			c, err := s.materialize(k, lift)
 			if err != nil {
-				return Design(a, cfg)
+				return s.fallback(a, cfg)
 			}
 			candidates = append(candidates, Candidate{
 				K:                 k,
@@ -354,7 +371,7 @@ func DesignInto(a *worker.Agent, cfg Config, s *Scratch) (*Result, error) {
 	} else {
 		c, err := s.materialize(bestK, bestLift)
 		if err != nil {
-			return Design(a, cfg)
+			return s.fallback(a, cfg)
 		}
 		res.Contract = c
 	}

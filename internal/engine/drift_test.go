@@ -284,3 +284,305 @@ func TestTouchUndeclaredSecondConsumer(t *testing.T) {
 		}
 	}
 }
+
+// declaredChurnDrift is the structural-drift determinism sweep's mutation
+// schedule: joins onto cached archetype fingerprints (the patch route
+// under a fingerprint-pure policy), leaves of original members, a mixed
+// round combining a join, a leave, and an in-place weight drift, and a
+// rejoin of a previously-left ID — every membership change declared
+// through the join/leave callbacks so the same schedule runs once with
+// structural TouchJoin/TouchLeave scopes and once with full Bump scopes.
+// Each returned closure carries its own rejoin state, so every run gets
+// a fresh schedule over its own population.
+func declaredChurnDrift(tb testing.TB, structural bool) func(int, *engine.Population) {
+	tb.Helper()
+	psi, err := effort.NewQuadratic(-0.02, 2, 1, 40)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	join := func(pop *engine.Population, a *worker.Agent, w, mal float64) {
+		pop.Agents = append(pop.Agents, a)
+		pop.Weights[a.ID] = w
+		pop.MaliceProb[a.ID] = mal
+		if structural {
+			pop.TouchJoin(a.ID)
+		} else {
+			pop.Bump()
+		}
+	}
+	leave := func(pop *engine.Population, id string) *worker.Agent {
+		for i, a := range pop.Agents {
+			if a.ID == id {
+				pop.Agents = append(pop.Agents[:i], pop.Agents[i+1:]...)
+				delete(pop.Weights, id)
+				delete(pop.MaliceProb, id)
+				if structural {
+					pop.TouchLeave(id)
+				} else {
+					pop.Bump()
+				}
+				return a
+			}
+		}
+		tb.Fatalf("leave: agent %q not in population", id)
+		return nil
+	}
+	var gone *worker.Agent // left in round 2, rejoined in round 4
+	return func(round int, pop *engine.Population) {
+		switch round {
+		case 1:
+			// Two joiners cloning existing archetypes: their fingerprints
+			// already sit in the design cache, so a fingerprint-pure policy
+			// patches them straight from it.
+			h, err := worker.NewHonest("zj00001", psi, 1, pop.Part.YMax())
+			if err != nil {
+				panic(err)
+			}
+			join(pop, h, 1, 0.05)
+			m, err := worker.NewMalicious("zj00002", psi, 1, 0.5, pop.Part.YMax())
+			if err != nil {
+				panic(err)
+			}
+			join(pop, m, 0.8, 0.9)
+		case 2:
+			gone = leave(pop, "h00000")
+			leave(pop, "m00001")
+		case 3:
+			// Mixed scope: a join, a leave, and an in-place weight drift in
+			// the same round.
+			c, err := worker.NewCommunity("zj00003", psi, 1, 0.5, 3, pop.Part.YMax())
+			if err != nil {
+				panic(err)
+			}
+			join(pop, c, 0.5, 0.95)
+			leave(pop, "c00002")
+			pop.Weights["h00003"] *= 1.1
+			if structural {
+				pop.Touch("h00003")
+			} else {
+				pop.Bump()
+			}
+		case 4:
+			// Rejoin of a left ID: the view must re-insert it at its old
+			// sort position with a fresh outcome slot.
+			join(pop, gone, 1, 0.05)
+		}
+		// Rounds 0 and 5: no mutation, no declaration — warm rounds
+		// bracketing the churn.
+	}
+}
+
+// TestStructuralDriftLedgerIdentical is the structural-scope determinism
+// pin: the same join/leave/mixed schedule, declared structurally
+// (TouchJoin/TouchLeave/Touch) and fully (Bump), produces byte-identical
+// ledgers across the sequential and sharded engines, with and without the
+// respond memo — all equal to the sequential full-rebuild reference.
+// Declared structural scopes are an acceleration, never an observable
+// behaviour change.
+func TestStructuralDriftLedgerIdentical(t *testing.T) {
+	ctx := context.Background()
+	const rounds = 6
+	run := func(shards int, memo, structural bool) []engine.Round {
+		t.Helper()
+		cfg := engine.Config{
+			Policy: &shardDesignPolicy{},
+			Rounds: rounds,
+			Drift:  declaredChurnDrift(t, structural),
+			Cache:  engine.NewCache(),
+			Shards: shards,
+		}
+		if memo {
+			cfg.Memo = engine.NewRespondMemo()
+		}
+		ledger, err := engine.RunLedger(ctx, archetypePopulation(t, 30), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ledger
+	}
+
+	// Reference: sequential, no cache or memo, full Bump declarations.
+	ref, err := engine.RunLedger(ctx, archetypePopulation(t, 30), engine.Config{
+		Policy: &designPolicy{},
+		Rounds: rounds,
+		Drift:  declaredChurnDrift(t, false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != rounds {
+		t.Fatalf("reference ledger has %d rounds, want %d", len(ref), rounds)
+	}
+	for _, shards := range []int{0, 2, 8} {
+		for _, memo := range []bool{true, false} {
+			for _, structural := range []bool{true, false} {
+				name := fmt.Sprintf("shards=%d/memo=%v/structural=%v", shards, memo, structural)
+				if got := run(shards, memo, structural); !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s: ledger differs from full-rebuild reference", name)
+				}
+			}
+		}
+	}
+}
+
+// TestStructuralDriftCounters pins the structural classification on an
+// instrumented sharded engine: the schedule's declared joins and leaves
+// land in the drift counters, and the declared drift class survives to
+// LastDriftClass (no silent escalation to the full rebuild).
+func TestStructuralDriftCounters(t *testing.T) {
+	ctx := context.Background()
+	reg := telemetry.NewRegistry()
+	cfg := engine.Config{
+		Policy:  &shardDesignPolicy{},
+		Rounds:  6,
+		Drift:   declaredChurnDrift(t, true),
+		Cache:   engine.NewCache(),
+		Shards:  4,
+		Metrics: reg,
+	}
+	eng, err := engine.New(archetypePopulation(t, 30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	declared, applied := eng.LastDriftClass()
+	if declared != applied {
+		t.Errorf("last round escalated: declared %s, applied %s", declared, applied)
+	}
+	s := reg.Snapshot()
+	// Schedule totals: 4 joins (2 + 1 + rejoin), 3 leaves, 1 plain touch.
+	if got := s.Counters[engine.MetricDriftJoins]; got != 4 {
+		t.Errorf("drift joins = %d, want 4", got)
+	}
+	if got := s.Counters[engine.MetricDriftLeaves]; got != 3 {
+		t.Errorf("drift leaves = %d, want 3", got)
+	}
+	if got := s.Counters[engine.MetricDriftTouchedAgents]; got != 1 {
+		t.Errorf("drift touched agents = %d, want 1", got)
+	}
+	if got := s.Counters[engine.MetricDriftCompactions]; got != 0 {
+		t.Errorf("drift compactions = %d, want 0 below the threshold", got)
+	}
+}
+
+// TestStructuralDriftCompaction pins the deferred slot compaction: leaves
+// below the tombstone threshold keep the fragmented mapping (slots
+// stable, no compaction), crossing it triggers exactly one batched
+// renumbering, and rounds before, across, and after the compaction stay
+// byte-identical to the full-rebuild reference — slot bookkeeping never
+// shows through the ledger.
+func TestStructuralDriftCompaction(t *testing.T) {
+	ctx := context.Background()
+	const (
+		n      = 200
+		rounds = 6
+	)
+	// The compaction gate is tombstones >= 64 and tombstones*4 >= physical
+	// slots: 40 leaves stay fragmented, 30 more (70 dead of 200 slots)
+	// cross it.
+	var first, second []string
+	{
+		pop := archetypePopulation(t, n)
+		for _, a := range pop.Agents[:40] {
+			first = append(first, a.ID)
+		}
+		for _, a := range pop.Agents[40:70] {
+			second = append(second, a.ID)
+		}
+	}
+	schedule := func(structural bool) func(int, *engine.Population) {
+		leave := func(pop *engine.Population, ids []string) {
+			keep := pop.Agents[:0]
+			drop := make(map[string]struct{}, len(ids))
+			for _, id := range ids {
+				drop[id] = struct{}{}
+			}
+			for _, a := range pop.Agents {
+				if _, gone := drop[a.ID]; gone {
+					delete(pop.Weights, a.ID)
+					delete(pop.MaliceProb, a.ID)
+					continue
+				}
+				keep = append(keep, a)
+			}
+			pop.Agents = keep
+			if structural {
+				pop.TouchLeave(ids...)
+			} else {
+				pop.Bump()
+			}
+		}
+		return func(round int, pop *engine.Population) {
+			switch round {
+			case 1:
+				leave(pop, first)
+			case 2:
+				// A fragmented sparse round: outcome slots are indirected,
+				// but the drift itself is a plain weight touch.
+				pop.Weights[second[0]] *= 1.05
+				if structural {
+					pop.Touch(second[0])
+				} else {
+					pop.Bump()
+				}
+			case 3:
+				leave(pop, second) // crosses the compaction threshold
+			case 4:
+				// A post-compaction sparse round over the renumbered slots.
+				pop.Weights[pop.Agents[0].ID] *= 1.02
+				if structural {
+					pop.Touch(pop.Agents[0].ID)
+				} else {
+					pop.Bump()
+				}
+			}
+		}
+	}
+
+	ref, err := engine.RunLedger(ctx, archetypePopulation(t, n), engine.Config{
+		Policy: &designPolicy{},
+		Rounds: rounds,
+		Drift:  schedule(false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	led := &engine.Ledger{}
+	eng, err := engine.New(archetypePopulation(t, n), engine.Config{
+		Policy:    &shardDesignPolicy{},
+		Rounds:    rounds,
+		Drift:     schedule(true),
+		Cache:     engine.NewCache(),
+		Memo:      engine.NewRespondMemo(),
+		Shards:    4,
+		Metrics:   reg,
+		Observers: []engine.Observer{led},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		if err := eng.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+		compactions := reg.Snapshot().Counters[engine.MetricDriftCompactions]
+		var want uint64
+		if r >= 3 {
+			want = 1 // fires in round 3's structural refresh, exactly once
+		}
+		if compactions != want {
+			t.Errorf("round %d: compactions = %d, want %d", r, compactions, want)
+		}
+		if r < len(ref) && !reflect.DeepEqual(led.Rounds[r], ref[r]) {
+			t.Errorf("round %d: ledger differs from full-rebuild reference", r)
+		}
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[engine.MetricDriftLeaves]; got != 70 {
+		t.Errorf("drift leaves = %d, want 70", got)
+	}
+}

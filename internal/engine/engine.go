@@ -182,14 +182,44 @@ type Engine struct {
 	rt        roundState     // per-round pipeline state, reused per round
 	stepped   int            // rounds completed through Step (not Run)
 
-	// Drift-scope state (see beginScope): the round's consumed view rule
-	// plus the lazily built ID index over the cached agent view the
-	// sparse path resolves touched IDs through.
-	scope    driftScope
-	scopeIDs []string // takeScope's reusable backing slice
-	byID     map[string]int32
-	byIDVer  uint64 // viewVer the index was built against
-	viewVer  uint64 // advances on every full rebuild of e.agents
+	// Drift-scope state (see beginScope): the round's consumed view rule.
+	// Touched and structural IDs resolve against byID, the cached view's
+	// lazily built ID index (id → view position). A structural splice
+	// re-points only the moved survivor segments plus the churn — or,
+	// when most of the view shifted, invalidates the index and lets the
+	// next scoped round rebuild it once; a full view rebuild always
+	// invalidates.
+	byID          map[string]int32
+	byIDOK        bool
+	scope         driftScope
+	scopeIDs      []string // takeScope's reusable backing slices
+	scopeJoinIDs  []string
+	scopeLeaveIDs []string
+
+	// Structural-splice state (viewStructural; see prepareStructural and
+	// spliceView): the resolved joiner objects in ID order, the outcome
+	// slot assigned to each, and the joiner-ID set (to skip joiners in
+	// the plain-touched loops).
+	structJoins     []*worker.Agent
+	structJoinSlots []int32
+	structJoinSet   map[string]struct{}
+	joinWant        map[string]int32 // scratch: joiner ID → structJoins index
+
+	// Outcome-slot indirection for sharded structural drift: agent i of
+	// the ID-sorted view owns physical slot slots[i] of outs. fragmented
+	// is false for the identity mapping (no structural splice since the
+	// last full rebuild or compaction — the common case, where slots is
+	// not consulted at all); once a sharded splice runs, leavers
+	// tombstone their slot, joiners take fresh tail slots ([physLen,…)),
+	// and stageRespond gathers live outcomes back into ID order before
+	// settlement. Compaction (maybeCompact) renumbers the slots back to
+	// identity when tombstones pass the fragmentation threshold.
+	fragmented bool
+	slots      []int32
+	physLen    int
+	tombstones int
+	ordered    []AgentOutcome // ID-order gather buffer / compaction double buffer
+	slotRemap  []int32        // compaction scratch: old slot → new slot
 
 	// Sharded-pipeline state (Config.Shards > 0); see shard.go.
 	shardPol  ShardPolicy // non-nil when the policy supports per-shard design
@@ -215,6 +245,22 @@ type Engine struct {
 	// and respond-memo entries are dropped (targeted invalidation).
 	fpCounts map[Fingerprint]int32
 	deadFPs  []Fingerprint // per-refresh scratch of zero-count fingerprints
+
+	// Per-shard structural splice scratch (refreshShardsStructural):
+	// joins/leaves grouped by owning shard (indices into structJoins and
+	// scope.leaves).
+	shardJoins  [][]int32
+	shardLeaves [][]int32
+	// Splice scratch shared by spliceView and spliceShard: the
+	// binary-searched insertion index of each join, the slot index of
+	// each leave, the survivor segments with their target offsets, and
+	// each join's destination index. Splices run in place over the
+	// retained arrays — only segments whose offset is nonzero move, so
+	// clustered churn costs the shifted span, not the view length.
+	msJoinPos  []int32
+	msLeavePos []int32
+	msJoinDst  []int32
+	msSegs     []spliceSeg
 }
 
 // viewRule is one round's decision on the cached agent and shard views,
@@ -228,6 +274,10 @@ const (
 	// viewSparse refreshes only the state touched by the declared IDs;
 	// it escalates to viewFull when the scope turns out structural.
 	viewSparse
+	// viewStructural splices declared joins/leaves into the cached views
+	// in place (plus the scope's plain-touched refreshes); it escalates
+	// to viewFull when the declarations fail the consistency checks.
+	viewStructural
 	// viewFull rebuilds the agent view and every shard view from scratch.
 	viewFull
 )
@@ -239,6 +289,8 @@ func (v viewRule) String() string {
 		return "viewKeep"
 	case viewSparse:
 		return "viewSparse"
+	case viewStructural:
+		return "viewStructural"
 	case viewFull:
 		return "viewFull"
 	}
@@ -248,7 +300,11 @@ func (v viewRule) String() string {
 // driftScope is the consumed per-round drift scope.
 type driftScope struct {
 	rule viewRule
-	ids  []string // touched agent IDs, meaningful only under viewSparse
+	ids  []string // touched agent IDs (viewSparse and viewStructural)
+	// joins/leaves are the declared structural halves, meaningful only
+	// under viewStructural; prepareStructural sorts both in place.
+	joins  []string
+	leaves []string
 }
 
 // roundState carries one round through the pipeline's stages. The engine
@@ -432,21 +488,37 @@ func (e *Engine) runRound(ctx context.Context, r int) error {
 	}
 	if e.cfg.Drift != nil {
 		e.cfg.Drift(r, e.pop)
-		e.beginScope()
+	}
+	e.beginScope()
+	// A declared structural scope resolves its joins/leaves against the
+	// retained view up front; declarations that fail the consistency
+	// checks demote the round to the classic full rebuild.
+	if e.scope.rule == viewStructural {
+		if !e.prepareStructural() {
+			e.scope.rule = viewFull
+		} else if e.m != nil {
+			e.m.driftTouched.Add(uint64(len(e.scope.ids)))
+			e.m.driftJoins.Add(uint64(len(e.scope.joins)))
+			e.m.driftLeaves.Add(uint64(len(e.scope.leaves)))
+		}
+	}
+	if e.cfg.Drift != nil {
 		// Scope-aware revalidation: a declared, non-structural sparse
-		// drift re-checks only the touched agents; anything else (Bump,
-		// undeclared mutations, membership changes) re-checks everything.
+		// drift re-checks only the touched agents, a declared structural
+		// drift re-checks the joiners plus the touched agents; anything
+		// else (Bump, undeclared mutations) re-checks everything.
 		var err error
-		if e.scope.rule == viewSparse && !e.scopeStructural() {
+		switch {
+		case e.scope.rule == viewSparse && !e.scopeStructural():
 			err = e.validateTouched()
-		} else {
+		case e.scope.rule == viewStructural:
+			err = e.validateStructural()
+		default:
 			err = e.pop.Validate()
 		}
 		if err != nil {
 			return fmt.Errorf("engine: drift broke population at round %d: %w", r, err)
 		}
-	} else {
-		e.beginScope()
 	}
 
 	e.lastDeclared = e.scope.rule
@@ -551,14 +623,29 @@ func (e *Engine) stageContracts(_ context.Context, st *roundState) error {
 
 // stageRespond computes worker best responses into the reused outcomes
 // backing array; observers that retain it past their callback (as Ledger
-// does) must copy.
+// does) must copy. Under a fragmented slot mapping (structural drift)
+// responds write to physical slots and the live outcomes are gathered
+// back into ID order before settlement; with the identity mapping the
+// backing array is already in ID order.
 func (e *Engine) stageRespond(ctx context.Context, st *roundState) error {
 	agents := st.agents
-	if cap(e.outs) < len(agents) {
-		e.outs = make([]AgentOutcome, len(agents))
-		e.invalidateShardOuts()
+	phys := len(agents)
+	if e.fragmented {
+		phys = e.physLen
 	}
-	st.round = Round{Index: st.r, Outcomes: e.outs[:len(agents)]}
+	if cap(e.outs) < phys {
+		// Grow with copy: every retained outcome keeps its physical slot
+		// (joiners take fresh tail slots), so shard warm state survives
+		// the reallocation.
+		newCap := phys
+		if c := 2 * cap(e.outs); c > newCap {
+			newCap = c
+		}
+		grown := make([]AgentOutcome, newCap)
+		copy(grown, e.outs)
+		e.outs = grown
+	}
+	st.round = Round{Index: st.r, Outcomes: e.outs[:phys]}
 	var wu float64
 	var err error
 	if e.cfg.Shards > 0 {
@@ -570,7 +657,32 @@ func (e *Engine) stageRespond(ctx context.Context, st *roundState) error {
 		return err
 	}
 	st.workerUtility = wu
+	if e.fragmented {
+		st.round.Outcomes = e.gatherOutcomes(len(agents))
+	}
 	return nil
+}
+
+// gatherOutcomes copies the live outcomes — physical slots indexed
+// through the slot mapping — into the reused ID-order buffer, restoring
+// the Round.Outcomes contract (ordered by agent ID, tombstones skipped).
+func (e *Engine) gatherOutcomes(n int) []AgentOutcome {
+	if cap(e.ordered) < n {
+		e.ordered = make([]AgentOutcome, n)
+	}
+	ord := e.ordered[:n]
+	// The slot mapping is identity runs broken only at splice points, so
+	// each run of consecutive physical slots copies wholesale.
+	for i := 0; i < n; {
+		s := int(e.slots[i])
+		j := i + 1
+		for j < n && int(e.slots[j]) == s+(j-i) {
+			j++
+		}
+		copy(ord[i:j], e.outs[s:s+(j-i)])
+		i = j
+	}
+	return ord
 }
 
 // stageSettle runs the Eq. (7) accounting — always one sequential pass in
@@ -616,6 +728,8 @@ func (e *Engine) stageObserve(_ context.Context, st *roundState) error {
 // round's view rule. The split:
 //
 //   - a declared sparse scope (Touch) refreshes only touched state;
+//   - a declared structural scope (TouchJoin/TouchLeave, possibly mixed
+//     with Touch) splices the views in place;
 //   - a declared full scope (Bump) rebuilds everything;
 //   - no declaration under a Drift hook keeps the legacy contract — the
 //     hook may have mutated anything, so every view rebuilds;
@@ -623,11 +737,15 @@ func (e *Engine) stageObserve(_ context.Context, st *roundState) error {
 //     generation compare in roundAgents/ensureShards as the backstop for
 //     populations shared with another consumer.
 func (e *Engine) beginScope() {
-	ids, all, pending := e.pop.takeScope(e.scopeIDs)
-	e.scopeIDs = ids
+	ids, joins, leaves, all, pending := e.pop.takeScope(e.scopeIDs, e.scopeJoinIDs, e.scopeLeaveIDs)
+	e.scopeIDs, e.scopeJoinIDs, e.scopeLeaveIDs = ids, joins, leaves
 	switch {
 	case pending && all:
 		e.scope = driftScope{rule: viewFull}
+	case pending && len(joins)+len(leaves) > 0:
+		// Counters are deferred to runRound: a structural scope that fails
+		// prepareStructural escalates to viewFull and counts nothing.
+		e.scope = driftScope{rule: viewStructural, ids: ids, joins: joins, leaves: leaves}
 	case pending:
 		e.scope = driftScope{rule: viewSparse, ids: ids}
 		if e.m != nil {
@@ -644,7 +762,9 @@ func (e *Engine) beginScope() {
 // whenever the round's rule allows it: always under viewKeep with an
 // unmoved generation, and under a non-structural viewSparse — a sparse
 // drift mutates agents in place through the retained pointers, so the
-// sorted view itself is still exact. A structural sparse scope (an ID
+// sorted view itself is still exact. A declared structural scope
+// (validated by prepareStructural before the stages ran) splices the
+// cached view in place; an undeclared structural sparse scope (an ID
 // added, removed, or never seen) escalates the whole round to viewFull,
 // which rebuilds here and cascades into ensureShards.
 func (e *Engine) roundAgents() []*worker.Agent {
@@ -660,6 +780,10 @@ func (e *Engine) roundAgents() []*worker.Agent {
 				e.agentsGen = gen
 				return e.agents
 			}
+		case viewStructural:
+			e.spliceView()
+			e.agentsGen = gen
+			return e.agents
 		}
 	}
 	e.scope.rule = viewFull
@@ -667,15 +791,69 @@ func (e *Engine) roundAgents() []*worker.Agent {
 	sort.Slice(e.agents, func(i, j int) bool { return e.agents[i].ID < e.agents[j].ID })
 	e.agentsOK = true
 	e.agentsGen = gen
-	e.viewVer++
+	e.byIDOK = false
 	return e.agents
 }
 
-// scopeStructural reports whether the round's sparse scope names a
-// structural change: a population size that moved, or a touched ID the
-// retained view does not hold (an added, removed, or foreign agent).
-// Structural scopes always take the full-rebuild path — outcome slots
-// shift when membership changes, so there is nothing sparse to save.
+// ensureByID (re)builds the ID index over the cached agent view. Lazy:
+// full-rebuild rounds never touch it, scoped rounds build it once and
+// structural splices keep it current in place (see the field comment).
+func (e *Engine) ensureByID() {
+	if e.byIDOK {
+		return
+	}
+	if e.byID == nil {
+		e.byID = make(map[string]int32, len(e.agents))
+	} else {
+		clear(e.byID)
+	}
+	for i, a := range e.agents {
+		e.byID[a.ID] = int32(i)
+	}
+	e.byIDOK = true
+}
+
+// findAgent returns id's index in the cached ID-sorted agent view, or -1
+// — the positional complement of byID, for the few per-splice lookups
+// that need an index rather than the agent.
+func (e *Engine) findAgent(id string) int {
+	lo, hi := 0, len(e.agents)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.agents[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.agents) && e.agents[lo].ID == id {
+		return lo
+	}
+	return -1
+}
+
+// lowerBoundAgents returns the first index in the ID-sorted slice whose
+// agent ID is >= id (len(agents) when none is) — the splice insertion
+// point for an ID not present.
+func lowerBoundAgents(agents []*worker.Agent, id string) int {
+	lo, hi := 0, len(agents)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if agents[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// scopeStructural reports whether the round's sparse scope names an
+// undeclared structural change: a population size that moved, or a
+// touched ID the retained view does not hold (an added, removed, or
+// foreign agent). Undeclared structural scopes always take the
+// full-rebuild path — declared joins/leaves arrive as viewStructural and
+// splice in place instead.
 func (e *Engine) scopeStructural() bool {
 	if len(e.pop.Agents) != len(e.agents) {
 		return true
@@ -689,13 +867,294 @@ func (e *Engine) scopeStructural() bool {
 	return false
 }
 
+// prepareStructural resolves a declared structural scope against the
+// retained view: it sorts the join/leave declarations, runs the
+// consistency checks the engine can afford without an O(population)
+// pass, and resolves each joiner ID to its agent object. It reports
+// false — and the caller escalates the round to viewFull — when the
+// scope cannot be applied sparsely: no retained view yet, an ID declared
+// both joined and left (ambiguous against a view that only sees the
+// endpoints), a joiner already in the view, a leaver missing from it, a
+// joiner that does not resolve in Population.Agents, a plain-touched ID
+// resolving nowhere, or a population length that disagrees with the
+// declarations. Declarations the checks cannot refute are trusted,
+// exactly like Touch: an inaccurate scope is the caller's bug.
+func (e *Engine) prepareStructural() bool {
+	if !e.agentsOK {
+		return false
+	}
+	joins, leaves := e.scope.joins, e.scope.leaves
+	sort.Strings(joins)
+	sort.Strings(leaves)
+	if len(e.pop.Agents) != len(e.agents)+len(joins)-len(leaves) {
+		return false
+	}
+	for ji, li := 0, 0; ji < len(joins) && li < len(leaves); {
+		switch {
+		case joins[ji] == leaves[li]:
+			return false
+		case joins[ji] < leaves[li]:
+			ji++
+		default:
+			li++
+		}
+	}
+	e.ensureByID()
+	for _, id := range leaves {
+		if _, ok := e.byID[id]; !ok {
+			return false
+		}
+	}
+	if e.structJoinSet == nil {
+		e.structJoinSet = make(map[string]struct{}, len(joins))
+	} else {
+		clear(e.structJoinSet)
+	}
+	if e.joinWant == nil {
+		e.joinWant = make(map[string]int32, len(joins))
+	} else {
+		clear(e.joinWant)
+	}
+	e.structJoins = e.structJoins[:0]
+	for k, id := range joins {
+		if _, ok := e.byID[id]; ok {
+			return false
+		}
+		e.structJoinSet[id] = struct{}{}
+		e.joinWant[id] = int32(k)
+		e.structJoins = append(e.structJoins, nil)
+	}
+	// Joiners are appended in practice, so the reverse scan usually stops
+	// after a handful of steps rather than walking the whole population.
+	found := 0
+	for i := len(e.pop.Agents) - 1; i >= 0 && found < len(joins); i-- {
+		a := e.pop.Agents[i]
+		if a == nil {
+			return false
+		}
+		if k, ok := e.joinWant[a.ID]; ok && e.structJoins[k] == nil {
+			e.structJoins[k] = a
+			found++
+		}
+	}
+	if found != len(joins) {
+		return false
+	}
+	for _, id := range e.scope.ids {
+		if _, ok := e.structJoinSet[id]; ok {
+			continue
+		}
+		if _, ok := e.byID[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// spliceSeg is one contiguous run of surviving elements in an in-place
+// structural splice: n elements starting at src in the old layout that
+// land at dst in the new one.
+type spliceSeg struct {
+	src, dst, n int32
+}
+
+// buildSpliceSegs walks the resolved join and leave positions in merge
+// order (both ID-sorted, join first on a tie, matching the old view's
+// total order) and appends the survivor segments to segs and each join's
+// destination index in the new layout to jdst. Segments whose offset is
+// zero never move, so clustered churn costs only the shifted span.
+func buildSpliceSegs(segs []spliceSeg, jdst []int32, jpos, lpos []int32, n int) ([]spliceSeg, []int32) {
+	src, shift := 0, 0
+	emit := func(end int) {
+		if end > src {
+			segs = append(segs, spliceSeg{src: int32(src), dst: int32(src + shift), n: int32(end - src)})
+		}
+		src = end
+	}
+	ji, li := 0, 0
+	for ji < len(jpos) || li < len(lpos) {
+		jp, lp := n+1, n+1
+		if ji < len(jpos) {
+			jp = int(jpos[ji])
+		}
+		if li < len(lpos) {
+			lp = int(lpos[li])
+		}
+		if jp <= lp {
+			emit(jp)
+			jdst = append(jdst, int32(jp+shift))
+			shift++
+			ji++
+		} else {
+			emit(lp)
+			src = lp + 1
+			shift--
+			li++
+		}
+	}
+	emit(n)
+	return segs, jdst
+}
+
+// spliceMove applies the survivor segments to buf in place: left-moving
+// segments run left to right and right-moving ones right to left. Final
+// destinations are disjoint and ordered, so neither pass can overwrite a
+// source that has not been consumed yet, and zero-offset segments cost
+// nothing. The caller grows buf to the larger of the old and new lengths
+// before moving and truncates after.
+func spliceMove[T any](buf []T, segs []spliceSeg) {
+	for _, s := range segs {
+		if s.dst < s.src {
+			copy(buf[s.dst:s.dst+s.n], buf[s.src:s.src+s.n])
+		}
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		if s := segs[i]; s.dst > s.src {
+			copy(buf[s.dst:s.dst+s.n], buf[s.src:s.src+s.n])
+		}
+	}
+}
+
+// grown returns buf extended to length n with zero values (its length
+// never shrinks here; splices truncate after the moves).
+func grown[T any](buf []T, n int) []T {
+	var zero T
+	for len(buf) < n {
+		buf = append(buf, zero)
+	}
+	return buf
+}
+
+// spliceView applies the round's resolved structural scope to the cached
+// ID-sorted view in place: survivor segments between the ID-sorted splice
+// points shift by their cumulative join/leave offset (most never move),
+// then each joiner lands at its final index. On the sharded pipeline the
+// outcome-slot indirection updates alongside: every surviving agent keeps
+// its physical slot, each leaver's slot becomes a tombstone, and each
+// joiner takes a fresh tail slot (recorded in structJoinSlots for the
+// shard splice); compaction is deferred to maybeCompact. The sequential
+// route rewrites every outcome each round, so it keeps the identity
+// mapping and maintains no slot state.
+func (e *Engine) spliceView() {
+	joins, leaves := e.structJoins, e.scope.leaves
+	sharded := e.cfg.Shards > 0
+	if sharded && !e.fragmented {
+		n := len(e.agents)
+		if cap(e.slots) < n {
+			e.slots = make([]int32, n)
+		}
+		e.slots = e.slots[:n]
+		for i := range e.slots {
+			e.slots[i] = int32(i)
+		}
+		e.physLen = n
+		e.tombstones = 0
+		e.fragmented = true
+	}
+	if cap(e.structJoinSlots) < len(joins) {
+		e.structJoinSlots = make([]int32, len(joins))
+	}
+	e.structJoinSlots = e.structJoinSlots[:len(joins)]
+	// Resolve every splice position up front — joins and leaves arrive
+	// ID-sorted, so their positions are non-decreasing and the merge
+	// reduces to contiguous survivor segments.
+	jpos := e.msJoinPos[:0]
+	for _, a := range joins {
+		jpos = append(jpos, int32(lowerBoundAgents(e.agents, a.ID)))
+	}
+	lpos := e.msLeavePos[:0]
+	for _, id := range leaves {
+		lpos = append(lpos, int32(e.findAgent(id))) // resolved by prepareStructural
+	}
+	segs, jdst := buildSpliceSegs(e.msSegs[:0], e.msJoinDst[:0], jpos, lpos, len(e.agents))
+
+	nOld := len(e.agents)
+	nNew := nOld + len(joins) - len(leaves)
+	e.agents = grown(e.agents, nNew)
+	if sharded {
+		e.slots = grown(e.slots, nNew)
+	}
+	spliceMove(e.agents, segs)
+	if sharded {
+		spliceMove(e.slots, segs)
+	}
+	for k, a := range joins {
+		d := jdst[k]
+		e.agents[d] = a
+		if sharded {
+			e.structJoinSlots[k] = int32(e.physLen)
+			e.slots[d] = int32(e.physLen)
+			e.physLen++
+		}
+	}
+	if nNew < len(e.agents) {
+		for i := nNew; i < len(e.agents); i++ {
+			e.agents[i] = nil // release the pointer tail
+		}
+		e.agents = e.agents[:nNew]
+	}
+	if sharded {
+		e.slots = e.slots[:nNew]
+		e.tombstones += len(leaves)
+	}
+	// Keep the ID index current: only the moved survivor segments change
+	// position, so the edit is O(moved span + churn). A splice that
+	// shifted most of the view (scattered churn) invalidates the index
+	// instead — one lazy rebuild beats re-hashing nearly every ID here.
+	if e.byIDOK {
+		moved := len(joins)
+		for _, s := range segs {
+			if s.dst != s.src {
+				moved += int(s.n)
+			}
+		}
+		if moved*4 > nNew {
+			e.byIDOK = false
+		} else {
+			for _, id := range leaves {
+				delete(e.byID, id)
+			}
+			for _, s := range segs {
+				if s.dst == s.src {
+					continue
+				}
+				for i := s.dst; i < s.dst+s.n; i++ {
+					e.byID[e.agents[i].ID] = i
+				}
+			}
+			for k, a := range joins {
+				e.byID[a.ID] = jdst[k]
+			}
+		}
+	}
+	e.msJoinPos, e.msLeavePos, e.msSegs, e.msJoinDst = jpos, lpos, segs, jdst
+}
+
+// validateAgent is the per-agent slice of Population.Validate: agent
+// parameters, weight presence and finiteness, malice range.
+func (e *Engine) validateAgent(a *worker.Agent) error {
+	p := e.pop
+	if err := a.Validate(p.Part.YMax()); err != nil {
+		return err
+	}
+	w, ok := p.Weights[a.ID]
+	if !ok {
+		return fmt.Errorf("agent %q has no weight: %w", a.ID, ErrBadPopulation)
+	}
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("agent %q weight=%v: %w", a.ID, w, ErrBadPopulation)
+	}
+	if mp, ok := p.MaliceProb[a.ID]; ok && !(mp >= 0 && mp <= 1) {
+		return fmt.Errorf("agent %q malice probability=%v: %w", a.ID, mp, ErrBadPopulation)
+	}
+	return nil
+}
+
 // validateTouched re-checks exactly the agents named by the round's
-// sparse scope — the per-agent slice of Population.Validate (agent
-// parameters, weight presence and finiteness, malice range) plus the
-// scalar Mu check. The structural invariants (membership, duplicates,
-// orphan map entries) cannot move under a non-structural sparse scope,
-// so the O(population) pass is skipped; runRound falls back to the full
-// Validate for every other scope shape.
+// sparse scope plus the scalar Mu check. The structural invariants
+// (membership, duplicates, orphan map entries) cannot move under a
+// non-structural sparse scope, so the O(population) pass is skipped;
+// runRound falls back to the full Validate for every other scope shape.
 func (e *Engine) validateTouched() error {
 	p := e.pop
 	if !(p.Mu > 0) || math.IsInf(p.Mu, 0) {
@@ -703,41 +1162,47 @@ func (e *Engine) validateTouched() error {
 	}
 	e.ensureByID()
 	for _, id := range e.scope.ids {
-		a := e.agents[e.byID[id]]
-		if err := a.Validate(p.Part.YMax()); err != nil {
+		if err := e.validateAgent(e.agents[e.byID[id]]); err != nil {
 			return err
-		}
-		w, ok := p.Weights[id]
-		if !ok {
-			return fmt.Errorf("agent %q has no weight: %w", id, ErrBadPopulation)
-		}
-		if math.IsNaN(w) || math.IsInf(w, 0) {
-			return fmt.Errorf("agent %q weight=%v: %w", id, w, ErrBadPopulation)
-		}
-		if mp, ok := p.MaliceProb[id]; ok && !(mp >= 0 && mp <= 1) {
-			return fmt.Errorf("agent %q malice probability=%v: %w", id, mp, ErrBadPopulation)
 		}
 	}
 	return nil
 }
 
-// ensureByID (re)builds the ID index over the cached agent view. It is
-// built lazily — only rounds that consume a sparse scope need it — and
-// keyed on the view version, so a steady drift-every-round run builds it
-// once and reuses it for as long as the membership stands.
-func (e *Engine) ensureByID() {
-	if e.byID != nil && e.byIDVer == e.viewVer {
-		return
+// validateStructural re-checks what a declared structural scope can have
+// changed: the scalar Mu, every joiner in full, and every plain-touched
+// agent still present. Leavers are skipped — their map entries left with
+// them — and a touched ID that is also a joiner is covered by the joiner
+// pass. Runs before the splice, so plain-touched IDs resolve against the
+// pre-splice view.
+func (e *Engine) validateStructural() error {
+	p := e.pop
+	if !(p.Mu > 0) || math.IsInf(p.Mu, 0) {
+		return fmt.Errorf("mu=%v: %w", p.Mu, ErrBadPopulation)
 	}
-	if e.byID == nil {
-		e.byID = make(map[string]int32, len(e.agents))
-	} else {
-		clear(e.byID)
+	for _, a := range e.structJoins {
+		if err := e.validateAgent(a); err != nil {
+			return err
+		}
 	}
-	for i, a := range e.agents {
-		e.byID[a.ID] = int32(i)
+	for _, id := range e.scope.ids {
+		if _, ok := e.structJoinSet[id]; ok {
+			continue
+		}
+		if leavesHave(e.scope.leaves, id) {
+			continue
+		}
+		if err := e.validateAgent(e.agents[e.byID[id]]); err != nil {
+			return err
+		}
 	}
-	e.byIDVer = e.viewVer
+	return nil
+}
+
+// leavesHave reports whether the sorted leave declarations contain id.
+func leavesHave(leaves []string, id string) bool {
+	i := sort.SearchStrings(leaves, id)
+	return i < len(leaves) && leaves[i] == id
 }
 
 // RunLedger runs a configured engine to completion and returns the

@@ -55,18 +55,23 @@ type Population struct {
 	// touched since the last engine consumption, or touchedAll when a
 	// Bump escalated the scope to the whole population. scopePending
 	// records that any declaration happened at all — an empty Touch()
-	// still marks a round as "scoped, nothing touched".
+	// still marks a round as "scoped, nothing touched". joined and left
+	// carry the structural halves of the scope (TouchJoin/TouchLeave).
 	touched      map[string]struct{}
+	joined       map[string]struct{}
+	left         map[string]struct{}
 	touchedAll   bool
 	scopePending bool
 }
 
 // Bump advances the population's generation counter and declares a
 // whole-population drift scope. Call it after mutating the Agents slice
-// (adding, removing, or reordering agents) outside a Config.Drift hook,
-// so engines with no Drift configured rebuild their cached ID-sorted
-// agent view; it is also the escape hatch for mutations the sparse scope
-// cannot express — most notably replacing an agent object under an
+// in a way no sparse declaration expresses (reordering, bulk
+// replacement) outside a Config.Drift hook, so engines with no Drift
+// configured rebuild their cached ID-sorted agent view; declared adds
+// and removes have sparse declarations of their own (TouchJoin,
+// TouchLeave). Bump is also the escape hatch for mutations the sparse
+// scope cannot express — most notably replacing an agent object under an
 // existing ID, which Touch cannot distinguish from an in-place mutation.
 // Mutating weights, malice probabilities, or agent parameters in place
 // never needs a Bump for a sequential engine — it reads those afresh
@@ -96,7 +101,8 @@ func (p *Population) Bump() {
 // The one mutation Touch must not be used for is replacing an agent
 // object under an ID that is still present: the sparse path resolves IDs
 // against its retained view and cannot see the swap. Declare that with
-// Bump.
+// Bump. Membership changes — an ID added to or removed from Agents —
+// have their own declarations: TouchJoin and TouchLeave.
 func (p *Population) Touch(ids ...string) {
 	if !p.touchedAll {
 		if p.touched == nil {
@@ -110,26 +116,80 @@ func (p *Population) Touch(ids ...string) {
 	p.generation++
 }
 
-// takeScope consumes the accumulated drift scope, appending the touched
-// IDs into dst (reused, returned re-sliced). pending reports whether any
-// declaration happened since the last consumption; all reports a Bump
-// (ids are then meaningless). At most one consumer sees a given scope —
-// engines sharing a population fall back to the generation compare.
-func (p *Population) takeScope(dst []string) (ids []string, all, pending bool) {
-	dst = dst[:0]
+// TouchJoin declares a structural drift scope: exactly the agents named
+// were appended to Agents (with Weights and, optionally, MaliceProb
+// entries) since the engine last looked. A declared join splices the
+// engine's cached ID-sorted view and re-slots only the shard owning each
+// joined ID; every other agent keeps its view position, outcome slot, and
+// warm state. Like Touch it is cumulative until consumed and advances the
+// generation counter, so secondary consumers still rebuild conservatively.
+//
+// A TouchJoin for an ID that is already present (or otherwise
+// inconsistent with the engine's retained view) is detected at
+// consumption and escalates the round to the classic full rebuild — a
+// misdeclaration costs performance, never correctness the engine can see.
+func (p *Population) TouchJoin(ids ...string) {
+	if !p.touchedAll {
+		if p.joined == nil {
+			p.joined = make(map[string]struct{}, len(ids))
+		}
+		for _, id := range ids {
+			p.joined[id] = struct{}{}
+		}
+	}
+	p.scopePending = true
+	p.generation++
+}
+
+// TouchLeave declares the structural counterpart of TouchJoin: exactly
+// the agents named were removed from Agents (and their Weights/MaliceProb
+// entries deleted) since the engine last looked. A declared leave splices
+// the cached view and tombstones the agent's outcome slot — reclaimed by
+// a deferred, batched compaction — leaving every remaining agent's slot
+// and warm state untouched. Cumulative and generation-advancing, like
+// Touch; inconsistent declarations escalate to the full rebuild.
+func (p *Population) TouchLeave(ids ...string) {
+	if !p.touchedAll {
+		if p.left == nil {
+			p.left = make(map[string]struct{}, len(ids))
+		}
+		for _, id := range ids {
+			p.left[id] = struct{}{}
+		}
+	}
+	p.scopePending = true
+	p.generation++
+}
+
+// takeScope consumes the accumulated drift scope, appending the touched,
+// joined, and left IDs into the reused dst slices (returned re-sliced).
+// pending reports whether any declaration happened since the last
+// consumption; all reports a Bump (the id slices are then meaningless).
+// At most one consumer sees a given scope — engines sharing a population
+// fall back to the generation compare.
+func (p *Population) takeScope(dst, jdst, ldst []string) (ids, joins, leaves []string, all, pending bool) {
+	dst, jdst, ldst = dst[:0], jdst[:0], ldst[:0]
 	if !p.scopePending {
-		return dst, false, false
+		return dst, jdst, ldst, false, false
 	}
 	all = p.touchedAll
 	if !all {
 		for id := range p.touched {
 			dst = append(dst, id)
 		}
+		for id := range p.joined {
+			jdst = append(jdst, id)
+		}
+		for id := range p.left {
+			ldst = append(ldst, id)
+		}
 	}
 	clear(p.touched)
+	clear(p.joined)
+	clear(p.left)
 	p.touchedAll = false
 	p.scopePending = false
-	return dst, all, true
+	return dst, jdst, ldst, all, true
 }
 
 // Generation returns the current generation counter value.

@@ -197,24 +197,18 @@ type shardRun struct {
 	seen uint64
 }
 
-// invalidateShardOuts marks every shard's retained outcomes stale — the
-// outcome backing array was replaced.
-func (e *Engine) invalidateShardOuts() {
-	for i := range e.shards {
-		e.shards[i].outsOK = false
-	}
-}
-
 // ensureShards (re)builds the per-shard views over the ID-sorted agent
 // view, under the same scope rules as roundAgents: kept outright under
 // viewKeep with an unmoved generation, refreshed in place for exactly the
 // touched agents under a (non-structural) viewSparse — untouched shards
 // keep their epoch, and with it their warm design plans and retained
-// outcomes — and rebuilt from scratch otherwise (viewFull covers Bump,
-// undeclared legacy Drift hooks, structural sparse scopes escalated by
-// roundAgents, and generation moves observed second-hand on a shared
-// population). Reports whether a full rebuild happened.
-func (e *Engine) ensureShards(agents []*worker.Agent) bool {
+// outcomes — spliced in place for declared joins/leaves under
+// viewStructural, and rebuilt from scratch otherwise (viewFull covers
+// Bump, undeclared legacy Drift hooks, structural scopes escalated by
+// prepareStructural or roundAgents, and generation moves observed
+// second-hand on a shared population). Reports whether a full rebuild
+// happened.
+func (e *Engine) ensureShards(st *roundState, agents []*worker.Agent) bool {
 	gen := e.pop.Generation()
 	if e.shardsOK {
 		switch e.scope.rule {
@@ -226,8 +220,17 @@ func (e *Engine) ensureShards(agents []*worker.Agent) bool {
 			e.refreshShardsSparse()
 			e.shardsGen = gen
 			return false
+		case viewStructural:
+			e.refreshShardsStructural(st)
+			e.shardsGen = gen
+			return false
 		}
 	}
+	// Full rebuild: shard Global indices are re-assigned densely in global
+	// ID order, so the slot mapping returns to identity.
+	e.fragmented = false
+	e.physLen = len(agents)
+	e.tombstones = 0
 	e.viewEpoch++
 	e.fpCounts = nil
 	n := e.cfg.Shards
@@ -292,7 +295,7 @@ func (e *Engine) ensureShards(agents []*worker.Agent) bool {
 //
 // The caller (ensureShards) guarantees the scope is non-structural:
 // roundAgents escalated to viewFull otherwise, so every touched ID
-// resolves in byID and every global index resolves in its shard.
+// resolves in the view and in its owning shard.
 func (e *Engine) refreshShardsSparse() {
 	var t telemetry.Timer
 	if e.m != nil {
@@ -307,53 +310,378 @@ func (e *Engine) refreshShardsSparse() {
 	e.deadFPs = e.deadFPs[:0]
 	n := len(e.shards)
 	for _, id := range e.scope.ids {
-		gi := e.byID[id]
 		sr := &e.shards[ShardOf(id, n)]
-		sh := &sr.sh
-		j := sort.Search(len(sh.Global), func(k int) bool { return sh.Global[k] >= gi })
-		a := sh.Agents[j]
-		w := e.pop.Weights[id]
-		sh.Weights[j] = w
-		sh.Malice[j] = e.pop.MaliceProb[id]
-		fp := FingerprintOf(a, core.Config{Part: e.pop.Part, Mu: e.pop.Mu, W: w})
-		if old := sh.FPs[j]; fp != old {
-			sh.FPs[j] = fp
-			e.fpCounts[fp]++
-			if c := e.fpCounts[old] - 1; c <= 0 {
-				delete(e.fpCounts, old)
-				e.deadFPs = append(e.deadFPs, old)
-			} else {
-				e.fpCounts[old] = c
-			}
-		}
-		if sr.seen != epoch {
+		j := e.refreshShardSlot(sr, id, epoch, canPatch)
+		if j >= 0 && sr.seen != epoch {
 			sr.seen = epoch
 			touched++
 		}
-		if canPatch {
-			if res, ok := e.cfg.Cache.Get(fp); ok {
-				sr.contracts[j] = res.Contract
-				sr.dirty = append(sr.dirty, int32(j))
-				continue
-			}
-		}
-		if sh.Epoch != epoch {
-			sh.Epoch = epoch
-			sr.outsOK = false
-		}
 	}
-	if len(e.deadFPs) > 0 {
-		if e.cfg.Cache != nil {
-			e.cfg.Cache.Remove(e.deadFPs...)
-		}
-		if e.cfg.Memo != nil {
-			e.cfg.Memo.RemoveFingerprints(e.deadFPs...)
-		}
-	}
+	e.removeDeadFPs()
 	if e.m != nil {
 		e.m.driftShardsRebuilt.Add(uint64(touched))
 		e.m.driftShardsSkipped.Add(uint64(n - touched))
 		e.m.driftRebuild.Observe(t.Seconds())
+	}
+}
+
+// refreshShardSlot refreshes one touched agent's shard slot — weight,
+// malice, fingerprint (refcounted) — and routes the contract: the patch
+// route under a fingerprint-pure policy with a cache hit, the epoch-bump
+// route otherwise. Returns the shard-local slot, or -1 when the ID does
+// not resolve in the shard (a touched agent that left this round, under
+// a structural scope).
+func (e *Engine) refreshShardSlot(sr *shardRun, id string, epoch uint64, canPatch bool) int {
+	sh := &sr.sh
+	var j int
+	if !e.fragmented {
+		// Identity slot mapping: Global is monotone in view order, so the
+		// slot binary-searches by the agent's view index — int compares,
+		// no string walks (the sparse-drift hot path).
+		gi, ok := e.byID[id]
+		if !ok {
+			return -1
+		}
+		j = sort.Search(len(sh.Global), func(k int) bool { return sh.Global[k] >= gi })
+		if j >= len(sh.Global) || sh.Global[j] != gi {
+			return -1
+		}
+	} else if j = searchShardAgent(sh, id); j < 0 {
+		// After a structural splice Global holds physical outcome slots,
+		// no longer monotone; resolve by agent ID instead.
+		return -1
+	}
+	a := sh.Agents[j]
+	w := e.pop.Weights[id]
+	sh.Weights[j] = w
+	sh.Malice[j] = e.pop.MaliceProb[id]
+	fp := FingerprintOf(a, core.Config{Part: e.pop.Part, Mu: e.pop.Mu, W: w})
+	if old := sh.FPs[j]; fp != old {
+		sh.FPs[j] = fp
+		e.fpCounts[fp]++
+		e.dropFP(old)
+	}
+	if canPatch {
+		if res, ok := e.cfg.Cache.Get(fp); ok {
+			sr.contracts[j] = res.Contract
+			sr.dirty = append(sr.dirty, int32(j))
+			return j
+		}
+	}
+	if sh.Epoch != epoch {
+		sh.Epoch = epoch
+		sr.outsOK = false
+	}
+	return j
+}
+
+// searchShardAgent returns id's position in the shard's (ID-sorted)
+// agent list, or -1. Shard positions are found by agent ID, not by
+// global index: after a structural splice Shard.Global holds physical
+// outcome slots, which are no longer monotone.
+func searchShardAgent(sh *Shard, id string) int {
+	lo, hi := 0, len(sh.Agents)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if sh.Agents[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(sh.Agents) && sh.Agents[lo].ID == id {
+		return lo
+	}
+	return -1
+}
+
+// dropFP decrements a fingerprint's refcount, collecting it into the
+// round's dead list when the last holder is gone.
+func (e *Engine) dropFP(fp Fingerprint) {
+	if c := e.fpCounts[fp] - 1; c <= 0 {
+		delete(e.fpCounts, fp)
+		e.deadFPs = append(e.deadFPs, fp)
+	} else {
+		e.fpCounts[fp] = c
+	}
+}
+
+// removeDeadFPs evicts the refresh's dead fingerprints from the design
+// cache and respond memo. A fingerprint that died and was re-minted in
+// the same refresh (one agent's leave, another's join) is filtered out —
+// evicting it would only cost a re-solve, but there is no reason to.
+func (e *Engine) removeDeadFPs() {
+	if len(e.deadFPs) == 0 {
+		return
+	}
+	dead := e.deadFPs[:0]
+	for _, fp := range e.deadFPs {
+		if _, live := e.fpCounts[fp]; !live {
+			dead = append(dead, fp)
+		}
+	}
+	e.deadFPs = dead
+	if len(dead) == 0 {
+		return
+	}
+	if e.cfg.Cache != nil {
+		e.cfg.Cache.Remove(dead...)
+	}
+	if e.cfg.Memo != nil {
+		e.cfg.Memo.RemoveFingerprints(dead...)
+	}
+}
+
+// refreshShardsStructural applies a declared structural scope to the
+// retained shard views in place. Joins and leaves — already resolved and
+// ID-sorted by prepareStructural, slots assigned by spliceView — are
+// grouped by owning shard and spliced into each affected shard's views
+// in one merge pass (spliceShard); shards owning no declared ID keep
+// their epoch, plan, and retained outcomes untouched. The scope's
+// plain-touched agents then refresh exactly as under viewSparse
+// (resolved by ID against the spliced views). Fingerprint refcounts
+// account for every join, leave, and in-place change, and dead
+// fingerprints are evicted as usual. Finally, maybeCompact renumbers the
+// outcome slots back to identity when enough tombstones accumulated.
+func (e *Engine) refreshShardsStructural(st *roundState) {
+	var t telemetry.Timer
+	if e.m != nil {
+		t = telemetry.StartTimer()
+	}
+	e.ensureFPCounts()
+	e.viewEpoch++
+	epoch := e.viewEpoch
+	canPatch := e.patchPol && e.cfg.Cache != nil
+	touched := 0
+	e.deadFPs = e.deadFPs[:0]
+	n := len(e.shards)
+
+	// Group the declarations by owning shard; the per-shard lists inherit
+	// the global ID order.
+	if cap(e.shardJoins) < n {
+		e.shardJoins = make([][]int32, n)
+		e.shardLeaves = make([][]int32, n)
+	}
+	e.shardJoins = e.shardJoins[:n]
+	e.shardLeaves = e.shardLeaves[:n]
+	for i := range e.shardJoins {
+		e.shardJoins[i] = e.shardJoins[i][:0]
+		e.shardLeaves[i] = e.shardLeaves[i][:0]
+	}
+	for k, a := range e.structJoins {
+		s := ShardOf(a.ID, n)
+		e.shardJoins[s] = append(e.shardJoins[s], int32(k))
+	}
+	for k, id := range e.scope.leaves {
+		s := ShardOf(id, n)
+		e.shardLeaves[s] = append(e.shardLeaves[s], int32(k))
+	}
+
+	for si := range e.shards {
+		if len(e.shardJoins[si])+len(e.shardLeaves[si]) == 0 {
+			continue
+		}
+		sr := &e.shards[si]
+		e.spliceShard(sr, e.shardJoins[si], e.shardLeaves[si], epoch, canPatch)
+		if sr.seen != epoch {
+			sr.seen = epoch
+			touched++
+		}
+	}
+
+	// Plain-touched agents refresh exactly as under viewSparse; joiners
+	// were handled at their insertion, and a touched ID that left no
+	// longer resolves and is skipped.
+	for _, id := range e.scope.ids {
+		if _, ok := e.structJoinSet[id]; ok {
+			continue
+		}
+		sr := &e.shards[ShardOf(id, n)]
+		j := e.refreshShardSlot(sr, id, epoch, canPatch)
+		if j >= 0 && sr.seen != epoch {
+			sr.seen = epoch
+			touched++
+		}
+	}
+
+	e.removeDeadFPs()
+	if e.m != nil {
+		e.m.driftShardsRebuilt.Add(uint64(touched))
+		e.m.driftShardsSkipped.Add(uint64(n - touched))
+		e.m.driftRebuild.Observe(t.Seconds())
+	}
+	e.maybeCompact(st)
+}
+
+// spliceShard merges a shard's declared joins and leaves into its views
+// in place: survivor segments between the ID-sorted splice points shift
+// by their cumulative offset (most never move), so the cost scales with
+// the shifted span, not the shard size. Surviving agents keep their
+// contract slot, outcome slot, and per-slot utility; leavers drop out
+// (their fingerprint refcount released, their outcome slot already
+// tombstoned by spliceView); each joiner lands at its ID-sorted position
+// carrying the outcome slot spliceView assigned. Joiner contracts take
+// the sparse patch route — fingerprint-pure policy, design cache hit,
+// dirty slot — when they can; any joiner that cannot bumps the shard's
+// epoch for a full re-plan.
+func (e *Engine) spliceShard(sr *shardRun, joins, leaves []int32, epoch uint64, canPatch bool) {
+	sh := &sr.sh
+	if len(sr.dirty) > 0 {
+		// Stale patch slots (an aborted previous round) would shift under
+		// the splice; fall back to a full shard respond.
+		sr.dirty = sr.dirty[:0]
+		sr.outsOK = false
+	}
+	// Resolve splice positions up front (joins and leaves arrive in ID
+	// order, so positions are non-decreasing) and release every leaver's
+	// fingerprint before the moves overwrite its slot.
+	jpos := e.msJoinPos[:0]
+	for _, k := range joins {
+		jpos = append(jpos, int32(lowerBoundAgents(sh.Agents, e.structJoins[k].ID)))
+	}
+	lpos := e.msLeavePos[:0]
+	for _, k := range leaves {
+		lp := searchShardAgent(sh, e.scope.leaves[k]) // resolved by prepareStructural
+		lpos = append(lpos, int32(lp))
+		e.dropFP(sh.FPs[lp])
+	}
+	segs, jdst := buildSpliceSegs(e.msSegs[:0], e.msJoinDst[:0], jpos, lpos, len(sh.Agents))
+
+	nOld := len(sh.Agents)
+	nNew := nOld + len(joins) - len(leaves)
+	nMax := max(nOld, nNew)
+	sh.Agents = grown(sh.Agents, nMax)
+	sh.Global = grown(sh.Global, nMax)
+	sh.Weights = grown(sh.Weights, nMax)
+	sh.Malice = grown(sh.Malice, nMax)
+	sh.FPs = grown(sh.FPs, nMax)
+	// contracts/wuSlots can run shorter than Agents on a never-planned
+	// shard; the zero padding matches the old double-buffer merge.
+	sr.contracts = grown(sr.contracts, nMax)
+	sr.wuSlots = grown(sr.wuSlots, nMax)
+	spliceMove(sh.Agents, segs)
+	spliceMove(sh.Global, segs)
+	spliceMove(sh.Weights, segs)
+	spliceMove(sh.Malice, segs)
+	spliceMove(sh.FPs, segs)
+	spliceMove(sr.contracts, segs)
+	spliceMove(sr.wuSlots, segs)
+
+	bump := false
+	for j, k := range joins {
+		a := e.structJoins[k]
+		d := jdst[j]
+		w := e.pop.Weights[a.ID]
+		fp := FingerprintOf(a, core.Config{Part: e.pop.Part, Mu: e.pop.Mu, W: w})
+		e.fpCounts[fp]++
+		sh.Agents[d] = a
+		sh.Global[d] = e.structJoinSlots[k]
+		sh.Weights[d] = w
+		sh.Malice[d] = e.pop.MaliceProb[a.ID]
+		sh.FPs[d] = fp
+		sr.wuSlots[d] = 0
+		var c *contract.PiecewiseLinear
+		if canPatch {
+			if res, ok := e.cfg.Cache.Get(fp); ok {
+				c = res.Contract
+				sr.dirty = append(sr.dirty, d)
+			} else {
+				bump = true
+			}
+		} else {
+			bump = true
+		}
+		sr.contracts[d] = c
+	}
+	if nNew < nMax {
+		for i := nNew; i < nMax; i++ {
+			sh.Agents[i] = nil // release the pointer tails
+			sr.contracts[i] = nil
+		}
+		sh.Agents = sh.Agents[:nNew]
+		sh.Global = sh.Global[:nNew]
+		sh.Weights = sh.Weights[:nNew]
+		sh.Malice = sh.Malice[:nNew]
+		sh.FPs = sh.FPs[:nNew]
+		sr.contracts = sr.contracts[:nNew]
+		sr.wuSlots = sr.wuSlots[:nNew]
+	}
+	e.msJoinPos, e.msLeavePos, e.msSegs, e.msJoinDst = jpos, lpos, segs, jdst
+	if bump {
+		sh.Epoch = epoch
+		sr.outsOK = false
+		sr.dirty = sr.dirty[:0]
+	} else if len(leaves) > 0 && sr.outsOK {
+		// A leave shrinks the retained per-slot utility breakdown; re-fold
+		// the shard's sum so the warm skip stays exact.
+		var wu float64
+		for _, u := range sr.wuSlots {
+			wu += u
+		}
+		sr.wu = wu
+	}
+}
+
+// Compaction gate: the deferred slot compaction runs when at least
+// compactMinTombstones outcome slots are dead and tombstones make up at
+// least 1/compactFrag of the physical slot range. Between compactions,
+// fragmented rounds pay one extra ID-order gather per round.
+const (
+	compactFrag          = 4
+	compactMinTombstones = 64
+)
+
+// maybeCompact renumbers the outcome slots back to the identity mapping
+// when fragmentation passes the threshold: live outcomes are gathered
+// into ID order (becoming the new backing array), every shard's Global
+// slots are rewritten through the old→new remap, and the tombstone count
+// resets. Retained outcomes move with their slots, so shard warm state
+// (outsOK, dirty, wuSlots) survives intact. Traced rounds record the
+// batch as an "engine.compact" span under the round span.
+func (e *Engine) maybeCompact(st *roundState) {
+	if !e.fragmented || e.tombstones < compactMinTombstones || e.tombstones*compactFrag < e.physLen {
+		return
+	}
+	var sp *spans.Span
+	if st != nil && st.span != nil {
+		sp = st.span.StartChild("engine.compact")
+		sp.SetInt("tombstones", int64(e.tombstones))
+		sp.SetInt("slots", int64(e.physLen))
+	}
+	n := len(e.agents)
+	if cap(e.slotRemap) < e.physLen {
+		e.slotRemap = make([]int32, e.physLen)
+	}
+	remap := e.slotRemap[:e.physLen]
+	if cap(e.ordered) < n {
+		e.ordered = make([]AgentOutcome, n)
+	}
+	ord := e.ordered[:cap(e.ordered)]
+	for i, s := range e.slots {
+		remap[s] = int32(i)
+		if int(s) < len(e.outs) {
+			// Slots at or past len(e.outs) are this round's joiners —
+			// assigned before the outcome buffer grew; their outcomes are
+			// computed after the remap anyway (they are dirty or their
+			// shard re-responds in full).
+			ord[i] = e.outs[s]
+		}
+	}
+	e.outs, e.ordered = ord, e.outs
+	for si := range e.shards {
+		g := e.shards[si].sh.Global
+		for j := range g {
+			g[j] = remap[g[j]]
+		}
+	}
+	e.fragmented = false
+	e.physLen = n
+	e.tombstones = 0
+	if e.m != nil {
+		e.m.driftCompactions.Inc()
+	}
+	if sp != nil {
+		sp.End()
 	}
 }
 
@@ -379,7 +707,7 @@ func (e *Engine) ensureFPCounts() {
 // otherwise the whole-population Contracts call runs once and only the
 // respond stage is sharded.
 func (e *Engine) designSharded(ctx context.Context, st *roundState) error {
-	rebuilt := e.ensureShards(st.agents)
+	rebuilt := e.ensureShards(st, st.agents)
 	if e.shardPol == nil {
 		contracts, err := e.cfg.Policy.Contracts(ctx, e.pop)
 		if err != nil {
@@ -484,6 +812,13 @@ func (e *Engine) mergeContracts(st *roundState, rebuilt bool) map[string]*contra
 	}
 	if rebuilt {
 		clear(e.merged)
+	} else {
+		// Structural leavers are gone from every shard view; their map
+		// entries would otherwise linger (shards report them neither
+		// changed nor dirty).
+		for _, id := range e.scope.leaves {
+			delete(e.merged, id)
+		}
 	}
 	for si := range e.shards {
 		sr := &e.shards[si]

@@ -82,6 +82,15 @@ const (
 	// MetricDriftRebuildSeconds times each sparse refresh (histogram,
 	// seconds) — the cost a full view rebuild was traded for.
 	MetricDriftRebuildSeconds = "dyncontract_engine_drift_rebuild_seconds"
+	// MetricDriftJoins / MetricDriftLeaves count agents spliced in or out
+	// by consumed structural scopes (Population.TouchJoin / TouchLeave).
+	// Misdeclared scopes that escalate to a full rebuild count nothing.
+	MetricDriftJoins  = "dyncontract_engine_drift_joins_total"
+	MetricDriftLeaves = "dyncontract_engine_drift_leaves_total"
+	// MetricDriftCompactions counts deferred outcome-slot compactions —
+	// the batched renumbering that folds accumulated leave tombstones
+	// back into the identity slot mapping (engine.compact span).
+	MetricDriftCompactions = "dyncontract_engine_drift_compactions_total"
 )
 
 // Stage-timing histograms bin uniformly over [0, 250ms) in 5ms steps —
@@ -106,6 +115,8 @@ type stageMetrics struct {
 	workerUtility, shards                   *telemetry.Gauge
 	driftTouched                            *telemetry.Counter
 	driftShardsRebuilt, driftShardsSkipped  *telemetry.Counter
+	driftJoins, driftLeaves                 *telemetry.Counter
+	driftCompactions                        *telemetry.Counter
 }
 
 func newStageMetrics(reg *telemetry.Registry) *stageMetrics {
@@ -123,6 +134,9 @@ func newStageMetrics(reg *telemetry.Registry) *stageMetrics {
 		driftTouched:       reg.Counter(MetricDriftTouchedAgents),
 		driftShardsRebuilt: reg.Counter(MetricDriftShardsRebuilt),
 		driftShardsSkipped: reg.Counter(MetricDriftShardsSkipped),
+		driftJoins:         reg.Counter(MetricDriftJoins),
+		driftLeaves:        reg.Counter(MetricDriftLeaves),
+		driftCompactions:   reg.Counter(MetricDriftCompactions),
 	}
 }
 

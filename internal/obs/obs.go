@@ -310,6 +310,9 @@ func DeltaShardStats(prev, cur ShardStats) ShardStats {
 // and count nothing here.
 type DriftStats struct {
 	TouchedAgents  uint64
+	JoinedAgents   uint64
+	LeftAgents     uint64
+	Compactions    uint64
 	ShardsRebuilt  uint64
 	ShardsSkipped  uint64
 	RebuildRuns    uint64
@@ -323,6 +326,9 @@ func DriftStatsFrom(s telemetry.Snapshot) DriftStats {
 	rebuild := s.Histograms[engine.MetricDriftRebuildSeconds]
 	return DriftStats{
 		TouchedAgents:  s.Counters[engine.MetricDriftTouchedAgents],
+		JoinedAgents:   s.Counters[engine.MetricDriftJoins],
+		LeftAgents:     s.Counters[engine.MetricDriftLeaves],
+		Compactions:    s.Counters[engine.MetricDriftCompactions],
 		ShardsRebuilt:  s.Counters[engine.MetricDriftShardsRebuilt],
 		ShardsSkipped:  s.Counters[engine.MetricDriftShardsSkipped],
 		RebuildRuns:    rebuild.Count,
@@ -335,6 +341,9 @@ func DriftStatsFrom(s telemetry.Snapshot) DriftStats {
 func DeltaDriftStats(prev, cur DriftStats) DriftStats {
 	return DriftStats{
 		TouchedAgents:  cur.TouchedAgents - prev.TouchedAgents,
+		JoinedAgents:   cur.JoinedAgents - prev.JoinedAgents,
+		LeftAgents:     cur.LeftAgents - prev.LeftAgents,
+		Compactions:    cur.Compactions - prev.Compactions,
 		ShardsRebuilt:  cur.ShardsRebuilt - prev.ShardsRebuilt,
 		ShardsSkipped:  cur.ShardsSkipped - prev.ShardsSkipped,
 		RebuildRuns:    cur.RebuildRuns - prev.RebuildRuns,
@@ -422,11 +431,14 @@ func FprintShardStats(w io.Writer, s ShardStats) {
 // scope ever consumed: full-rebuild drifts only, or telemetry disabled)
 // print a single explanatory line.
 func FprintDriftStats(w io.Writer, s DriftStats) {
-	if s.TouchedAgents == 0 {
-		fmt.Fprintf(w, "  drift: no scoped drift (Touch) observed\n")
+	if s.TouchedAgents == 0 && s.JoinedAgents == 0 && s.LeftAgents == 0 {
+		fmt.Fprintf(w, "  drift: no scoped drift (Touch/TouchJoin/TouchLeave) observed\n")
 		return
 	}
 	fmt.Fprintf(w, "  drift touched: %d agents across %d sparse refreshes\n", s.TouchedAgents, s.RebuildRuns)
+	if s.JoinedAgents > 0 || s.LeftAgents > 0 {
+		fmt.Fprintf(w, "  drift churn:   %d joined, %d left, %d compactions\n", s.JoinedAgents, s.LeftAgents, s.Compactions)
+	}
 	fmt.Fprintf(w, "  drift shards:  %d rebuilt, %d skipped\n", s.ShardsRebuilt, s.ShardsSkipped)
 	mean := 0.0
 	if s.RebuildRuns > 0 {

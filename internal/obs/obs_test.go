@@ -269,23 +269,27 @@ func TestDriftStatsHelpers(t *testing.T) {
 	reg.Counter(engine.MetricDriftTouchedAgents).Add(12)
 	reg.Counter(engine.MetricDriftShardsRebuilt).Add(3)
 	reg.Counter(engine.MetricDriftShardsSkipped).Add(13)
+	reg.Counter(engine.MetricDriftJoins).Add(5)
+	reg.Counter(engine.MetricDriftLeaves).Add(4)
+	reg.Counter(engine.MetricDriftCompactions).Add(1)
 	h := reg.Histogram(engine.MetricDriftRebuildSeconds, 0, 0.25, 50)
 	h.Observe(0.01)
 	h.Observe(0.03)
 	got := DriftStatsFrom(reg.Snapshot())
-	want := DriftStats{TouchedAgents: 12, ShardsRebuilt: 3, ShardsSkipped: 13, RebuildRuns: 2, RebuildSeconds: 0.04}
+	want := DriftStats{TouchedAgents: 12, JoinedAgents: 5, LeftAgents: 4, Compactions: 1, ShardsRebuilt: 3, ShardsSkipped: 13, RebuildRuns: 2, RebuildSeconds: 0.04}
 	if got != want {
 		t.Fatalf("DriftStatsFrom = %+v, want %+v", got, want)
 	}
 
-	delta := DeltaDriftStats(DriftStats{TouchedAgents: 2, ShardsRebuilt: 1, ShardsSkipped: 3, RebuildRuns: 1, RebuildSeconds: 0.01}, got)
-	if (delta != DriftStats{TouchedAgents: 10, ShardsRebuilt: 2, ShardsSkipped: 10, RebuildRuns: 1, RebuildSeconds: 0.03}) {
+	delta := DeltaDriftStats(DriftStats{TouchedAgents: 2, JoinedAgents: 1, LeftAgents: 1, ShardsRebuilt: 1, ShardsSkipped: 3, RebuildRuns: 1, RebuildSeconds: 0.01}, got)
+	if (delta != DriftStats{TouchedAgents: 10, JoinedAgents: 4, LeftAgents: 3, Compactions: 1, ShardsRebuilt: 2, ShardsSkipped: 10, RebuildRuns: 1, RebuildSeconds: 0.03}) {
 		t.Fatalf("DeltaDriftStats = %+v", delta)
 	}
 
 	var buf bytes.Buffer
 	FprintDriftStats(&buf, got)
 	want2 := "  drift touched: 12 agents across 2 sparse refreshes\n" +
+		"  drift churn:   5 joined, 4 left, 1 compactions\n" +
 		"  drift shards:  3 rebuilt, 13 skipped\n" +
 		"  drift refresh: 0.040000s total, mean 0.020000s\n"
 	if buf.String() != want2 {
@@ -294,7 +298,7 @@ func TestDriftStatsHelpers(t *testing.T) {
 
 	buf.Reset()
 	FprintDriftStats(&buf, DriftStats{})
-	if want3 := "  drift: no scoped drift (Touch) observed\n"; buf.String() != want3 {
+	if want3 := "  drift: no scoped drift (Touch/TouchJoin/TouchLeave) observed\n"; buf.String() != want3 {
 		t.Fatalf("FprintDriftStats(zero) = %q, want %q", buf.String(), want3)
 	}
 }

@@ -291,31 +291,55 @@ type DesignQueryResponse struct {
 
 // DriftRequest is the POST /v1/sessions/{id}/drift body: sparse per-agent
 // mutations applied atomically between rounds through the single-writer
-// loop. Unknown agent IDs and mutations that break population validation
-// reject the whole request and leave the session untouched.
+// loop. Add joins new agents (full specs, weight and malice included) and
+// Remove retires existing ones by ID — both declared to the engine as a
+// structural scope, so only the shards owning those agents re-slot while
+// everyone else's retained state stays warm. Unknown agent IDs, duplicate
+// or overlapping add/remove declarations, and mutations that break
+// population validation reject the whole request and leave the session
+// untouched.
 type DriftRequest struct {
 	Weights map[string]float64 `json:"weights,omitempty"`
 	Beta    map[string]float64 `json:"beta,omitempty"`
 	Omega   map[string]float64 `json:"omega,omitempty"`
 	Psi     map[string]PsiSpec `json:"psi,omitempty"`
+	Add     []AgentSpec        `json:"add,omitempty"`
+	Remove  []string           `json:"remove,omitempty"`
 }
 
 // Validate rejects an empty drift (nothing to apply is almost always a
-// caller bug) — value-level checks run against the population.
+// caller bug) and malformed structural declarations — value-level checks
+// run against the population.
 func (r *DriftRequest) Validate() error {
-	if len(r.Weights)+len(r.Beta)+len(r.Omega)+len(r.Psi) == 0 {
+	if len(r.Weights)+len(r.Beta)+len(r.Omega)+len(r.Psi)+len(r.Add)+len(r.Remove) == 0 {
 		return fmt.Errorf("drift with no mutations: %w", ErrBadRequest)
+	}
+	for i := range r.Add {
+		spec := &r.Add[i]
+		if spec.ID == "" {
+			return fmt.Errorf("add[%d] has no agent id: %w", i, ErrBadRequest)
+		}
+		if math.IsNaN(spec.Weight) || math.IsInf(spec.Weight, 0) {
+			return fmt.Errorf("add %q weight=%v must be finite: %w", spec.ID, spec.Weight, ErrBadRequest)
+		}
+	}
+	for i, id := range r.Remove {
+		if id == "" {
+			return fmt.Errorf("remove[%d] has no agent id: %w", i, ErrBadRequest)
+		}
 	}
 	return nil
 }
 
 // DriftResponse reports the number of field mutations applied, the
 // distinct agents touched (declared to the engine as the drift scope, so
-// only their shards rebuild), and the session's completed-round count at
-// the time.
+// only their shards rebuild), the agents joined and left (declared as the
+// structural scope), and the session's completed-round count at the time.
 type DriftResponse struct {
 	Updated int `json:"updated"`
 	Touched int `json:"touched"`
+	Joined  int `json:"joined,omitempty"`
+	Left    int `json:"left,omitempty"`
 	Rounds  int `json:"rounds"`
 }
 

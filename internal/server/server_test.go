@@ -419,3 +419,110 @@ func TestRouteMetricsRecorded(t *testing.T) {
 		t.Errorf("%s = %v, want 1", metricSessions, snap.Gauges[metricSessions])
 	}
 }
+
+// TestStructuralDriftRoute pins the drift route's add/remove payloads end
+// to end on a sharded session: a join appears in the next round with its
+// own ledger row while every pre-existing row stays byte-identical, a
+// leave removes exactly its row, rejected structural drifts (unknown
+// remove, duplicate add, add∩remove overlap, invalid joiner) revert
+// wholesale, and the joined/left counts come back in the response.
+func TestStructuralDriftRoute(t *testing.T) {
+	e := newTestServer(t, Config{})
+	req := testCreateReq()
+	req.Shards = 2
+	var created CreateSessionResponse
+	if code := e.do(t, "POST", "/v1/sessions", &req, &created); code != http.StatusCreated {
+		t.Fatalf("create session: status %d", code)
+	}
+	id := created.ID
+
+	advance := func() RoundJSON {
+		t.Helper()
+		var out RoundJSON
+		areq := AdvanceRoundRequest{IncludeOutcomes: true}
+		if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", &areq, &out); code != http.StatusOK {
+			t.Fatalf("round: status %d", code)
+		}
+		return out
+	}
+	rows := func(r RoundJSON) map[string]OutcomeJSON {
+		m := make(map[string]OutcomeJSON, len(r.Outcomes))
+		for _, oc := range r.Outcomes {
+			m[oc.AgentID] = oc
+		}
+		return m
+	}
+
+	before := advance()
+
+	// Join: a fresh honest agent cloning h1's parameters.
+	psi := PsiSpec{R2: -0.25, R1: 2, R0: 0}
+	var dr DriftResponse
+	join := DriftRequest{Add: []AgentSpec{{ID: "zz1", Class: "honest", Psi: psi, Beta: 1, Weight: 1}}}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/drift", &join, &dr); code != http.StatusOK {
+		t.Fatalf("join drift: status %d", code)
+	}
+	if dr.Joined != 1 || dr.Left != 0 || dr.Updated != 0 {
+		t.Errorf("join response = %+v, want joined=1 left=0 updated=0", dr)
+	}
+	joined := advance()
+	if len(joined.Outcomes) != len(before.Outcomes)+1 {
+		t.Fatalf("joined round has %d rows, want %d", len(joined.Outcomes), len(before.Outcomes)+1)
+	}
+	jr := rows(joined)
+	if _, ok := jr["zz1"]; !ok {
+		t.Errorf("no ledger row for joined agent zz1")
+	}
+	for agent, oc := range rows(before) {
+		if got := jr[agent]; got != oc {
+			t.Errorf("join perturbed %s's row: %+v -> %+v", agent, oc, got)
+		}
+	}
+
+	// Leave: the joiner departs again; everyone else byte-identical.
+	dr = DriftResponse{} // joined/left are omitempty; reset between decodes
+	leave := DriftRequest{Remove: []string{"zz1"}}
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/drift", &leave, &dr); code != http.StatusOK {
+		t.Fatalf("leave drift: status %d", code)
+	}
+	if dr.Left != 1 || dr.Joined != 0 {
+		t.Errorf("leave response = %+v, want left=1 joined=0", dr)
+	}
+	left := advance()
+	lr := rows(left)
+	if _, ok := lr["zz1"]; ok {
+		t.Errorf("left agent zz1 still has a ledger row")
+	}
+	for agent, oc := range rows(before) {
+		if got := lr[agent]; got != oc {
+			t.Errorf("leave perturbed %s's row: %+v -> %+v", agent, oc, got)
+		}
+	}
+
+	// Structural rejections revert wholesale.
+	for name, bad := range map[string]DriftRequest{
+		"unknown remove":  {Remove: []string{"ghost"}},
+		"duplicate add":   {Add: []AgentSpec{{ID: "h1", Class: "honest", Psi: psi, Beta: 1, Weight: 1}}},
+		"add and remove":  {Add: []AgentSpec{{ID: "x1", Class: "honest", Psi: psi, Beta: 1, Weight: 1}}, Remove: []string{"x1"}},
+		"invalid joiner":  {Add: []AgentSpec{{ID: "x2", Class: "honest", Psi: PsiSpec{R2: 1, R1: 1}, Beta: 1, Weight: 1}}},
+		"empty add id":    {Add: []AgentSpec{{Class: "honest", Psi: psi, Beta: 1, Weight: 1}}},
+		"unknown class":   {Add: []AgentSpec{{ID: "x3", Class: "neutral", Psi: psi, Beta: 1, Weight: 1}}},
+		"empty remove id": {Remove: []string{""}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if code := e.do(t, "POST", "/v1/sessions/"+id+"/drift", &bad, nil); code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", code)
+			}
+		})
+	}
+	again := advance()
+	ar := rows(again)
+	if len(again.Outcomes) != len(before.Outcomes) {
+		t.Fatalf("rejected drifts changed the population: %d rows, want %d", len(again.Outcomes), len(before.Outcomes))
+	}
+	for agent, oc := range rows(before) {
+		if got := ar[agent]; got != oc {
+			t.Errorf("rejected drifts perturbed %s's row: %+v -> %+v", agent, oc, got)
+		}
+	}
+}

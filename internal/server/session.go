@@ -280,11 +280,11 @@ func (s *session) runRound(ctx context.Context, req AdvanceRoundRequest) cmdRepl
 	s.ledger = append(s.ledger, round)
 	s.ledgerMu.Unlock()
 	s.srv.metrics.roundDone()
-	// A sparse drift scope that escalated to a full view rebuild mid-round
-	// means the touched set spilled past the per-shard budget — worth a
-	// warning, because the client paid cold-round latency for what it
-	// declared as a small drift.
-	if declared, applied := s.eng.LastDriftClass(); declared == "viewSparse" && applied == "viewFull" {
+	// A sparse or structural drift scope that escalated to a full view
+	// rebuild mid-round means the declarations did not hold against the
+	// retained views — worth a warning, because the client paid cold-round
+	// latency for what it declared as a small drift.
+	if declared, applied := s.eng.LastDriftClass(); (declared == "viewSparse" || declared == "viewStructural") && applied == "viewFull" {
 		if lg := s.srv.logger; lg != nil {
 			lg.LogAttrs(ctx, slog.LevelWarn, "drift scope escalated",
 				slog.String("session", s.id),
@@ -302,9 +302,10 @@ func (s *session) runRound(ctx context.Context, req AdvanceRoundRequest) cmdRepl
 	return cmdReply{round: out}
 }
 
-// runDrift applies the request's mutations atomically: all of them under
-// the population lock, then a full validation; any failure reverts every
-// mutation and leaves the session exactly as it was.
+// runDrift applies the request's mutations atomically: structural adds
+// and removes first, then the scalar mutations, all under the population
+// lock, then a full validation; any failure reverts every mutation in
+// reverse order and leaves the session exactly as it was.
 func (s *session) runDrift(req *DriftRequest) cmdReply {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -319,6 +320,72 @@ func (s *session) runDrift(req *DriftRequest) cmdReply {
 			undo[i]()
 		}
 		return cmdReply{err: err, code: http.StatusBadRequest}
+	}
+
+	// Structural mutations. Adds append (the population's slice order is
+	// presentation-free — engines sort by ID); removes splice their exact
+	// position so an undo restores the original slice byte for byte.
+	addIDs := make([]string, 0, len(req.Add))
+	for i := range req.Add {
+		spec := &req.Add[i]
+		if _, exists := byID[spec.ID]; exists {
+			return fail(fmt.Errorf("add %q: agent already in session: %w", spec.ID, ErrBadRequest))
+		}
+		a, err := spec.Agent()
+		if err != nil {
+			return fail(err)
+		}
+		s.pop.Agents = append(s.pop.Agents, a)
+		s.pop.Weights[a.ID] = spec.Weight
+		s.pop.MaliceProb[a.ID] = spec.Malice
+		byID[a.ID] = a
+		id := a.ID
+		undo = append(undo, func() {
+			s.pop.Agents = s.pop.Agents[:len(s.pop.Agents)-1]
+			delete(s.pop.Weights, id)
+			delete(s.pop.MaliceProb, id)
+			delete(byID, id)
+		})
+		addIDs = append(addIDs, id)
+	}
+	added := make(map[string]struct{}, len(addIDs))
+	for _, id := range addIDs {
+		added[id] = struct{}{}
+	}
+	removeIDs := make([]string, 0, len(req.Remove))
+	for _, id := range req.Remove {
+		if _, both := added[id]; both {
+			return fail(fmt.Errorf("agent %q both added and removed: %w", id, ErrBadRequest))
+		}
+		if _, exists := byID[id]; !exists {
+			return fail(fmt.Errorf("remove %q: unknown agent: %w", id, ErrBadRequest))
+		}
+		idx := -1
+		for i, a := range s.pop.Agents {
+			if a.ID == id {
+				idx = i
+				break
+			}
+		}
+		a := s.pop.Agents[idx]
+		w := s.pop.Weights[id]
+		mal, hadMal := s.pop.MaliceProb[id]
+		s.pop.Agents = append(s.pop.Agents[:idx], s.pop.Agents[idx+1:]...)
+		delete(s.pop.Weights, id)
+		delete(s.pop.MaliceProb, id)
+		delete(byID, id)
+		gone, at := a, idx
+		undo = append(undo, func() {
+			s.pop.Agents = append(s.pop.Agents, nil)
+			copy(s.pop.Agents[at+1:], s.pop.Agents[at:])
+			s.pop.Agents[at] = gone
+			s.pop.Weights[gone.ID] = w
+			if hadMal {
+				s.pop.MaliceProb[gone.ID] = mal
+			}
+			byID[gone.ID] = gone
+		})
+		removeIDs = append(removeIDs, id)
 	}
 	// touched collects the distinct agent IDs this drift mutates, declared
 	// through Population.Touch only after validation passes — a rejected
@@ -372,22 +439,32 @@ func (s *session) runDrift(req *DriftRequest) cmdReply {
 	if err := s.pop.Validate(); err != nil {
 		return fail(err)
 	}
-	// Parameters changed in place: declare exactly the mutated agents so a
-	// sharded engine refreshes only the shards that own them, keeping the
-	// rest on their warm path (Touch is never weaker than the old Bump —
-	// sequential engines read the mutated state fresh either way). The
-	// design cache needs nothing — mutated fingerprints simply miss and
-	// redesign.
+	// Declare what moved, only now that validation passed — a rejected
+	// drift reverts every mutation and leaves the drift scope (and with it
+	// every engine view) exactly as it was. Scalar mutations Touch exactly
+	// the mutated agents; adds and removes declare a structural scope
+	// (TouchJoin/TouchLeave), so a sharded engine splices only the shards
+	// owning those agents instead of rebuilding every view. The design
+	// cache needs nothing — mutated fingerprints simply miss and redesign,
+	// and a leaver's orphaned fingerprint is refcount-evicted.
 	ids := make([]string, 0, len(touched))
 	for id := range touched {
 		ids = append(ids, id)
 	}
 	s.pop.Touch(ids...)
+	s.pop.TouchJoin(addIDs...)
+	s.pop.TouchLeave(removeIDs...)
 	s.srv.metrics.driftDone()
 	s.ledgerMu.RLock()
 	rounds := len(s.ledger)
 	s.ledgerMu.RUnlock()
-	return cmdReply{drift: DriftResponse{Updated: updated, Touched: len(ids), Rounds: rounds}}
+	return cmdReply{drift: DriftResponse{
+		Updated: updated,
+		Touched: len(ids),
+		Joined:  len(addIDs),
+		Left:    len(removeIDs),
+		Rounds:  rounds,
+	}}
 }
 
 // batcherLoop coalesces design-only queries into micro-batches: the first

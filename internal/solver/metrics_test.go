@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"dyncontract/internal/core"
+	"dyncontract/internal/effort"
 	"dyncontract/internal/telemetry"
+	"dyncontract/internal/worker"
 )
 
 // TestSolveAllMetrics pins the pool's instrumentation: with Options.Metrics
@@ -119,6 +121,82 @@ func TestSolveAllSequentialScratch(t *testing.T) {
 		if outcomes[i].Result.RequesterUtility != pooled[i].Result.RequesterUtility {
 			t.Errorf("outcome %d: sequential utility %v != pooled %v",
 				i, outcomes[i].Result.RequesterUtility, pooled[i].Result.RequesterUtility)
+		}
+	}
+}
+
+// degenerateSub builds a subproblem whose feedback knots collapse in
+// float64: ψ passes Quadratic.Validate (the derivative stays positive),
+// but its huge constant term makes the per-knot increment r1·δ vanish
+// below one ulp of R0, so the batched solve sees non-increasing knots
+// and must route through the scalar core.Design fallback.
+func degenerateSub(t *testing.T) Subproblem {
+	t.Helper()
+	part, err := effort.NewPartition(4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi, err := effort.NewQuadratic(-0.02, 2, 1e17, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := worker.NewHonest("degenerate", psi, 1, part.YMax())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Subproblem{Agent: a, Config: core.Config{Part: part, Mu: 1, W: 1}}
+}
+
+// TestSolveAllScalarFallbackMetric pins MetricScalarFallbacks: healthy
+// populations report zero, and each design the batched solve cannot
+// handle adds exactly one — on both the sequential and pooled routes,
+// whose per-scratch counts are exported as call deltas.
+func TestSolveAllScalarFallbackMetric(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if _, err := SolveAll(context.Background(), solverFixture(t, 8), Options{
+		Parallelism: 1,
+		Metrics:     reg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters[MetricScalarFallbacks]; got != 0 {
+		t.Errorf("%s = %d on healthy fixture, want 0", MetricScalarFallbacks, got)
+	}
+
+	subs := solverFixture(t, 6)
+	subs[1] = degenerateSub(t)
+	subs[4] = degenerateSub(t)
+
+	for name, par := range map[string]int{"sequential": 1, "pooled": 3} {
+		reg := telemetry.NewRegistry()
+		outcomes, err := SolveAll(context.Background(), subs, Options{
+			Parallelism:     par,
+			ContinueOnError: true,
+			Metrics:         reg,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := reg.Snapshot().Counters[MetricScalarFallbacks]; got != 2 {
+			t.Errorf("%s: %s = %d, want 2", name, MetricScalarFallbacks, got)
+		}
+		// The fallback must still produce the scalar path's exact outcome.
+		for _, i := range []int{1, 4} {
+			want, wantErr := core.Design(subs[i].Agent, subs[i].Config)
+			got, gotErr := outcomes[i].Result, outcomes[i].Err
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s: outcome %d err %v, scalar err %v", name, i, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Errorf("%s: outcome %d error %q != scalar %q", name, i, gotErr, wantErr)
+				}
+				continue
+			}
+			if got.RequesterUtility != want.RequesterUtility || got.KOpt != want.KOpt {
+				t.Errorf("%s: outcome %d (%v, k=%d) != scalar (%v, k=%d)",
+					name, i, got.RequesterUtility, got.KOpt, want.RequesterUtility, want.KOpt)
+			}
 		}
 	}
 }

@@ -36,6 +36,12 @@ const (
 	// the distinct-fingerprint count per shard here; serving-layer design
 	// batches show their coalescing window.
 	MetricBatchSize = "dyncontract_solver_batch_size"
+	// MetricScalarFallbacks counts designs the batched structure-of-arrays
+	// solve routed to the scalar core.Design path (core.Scratch.Fallbacks)
+	// — degenerate knots, non-finite slope chains, participation lifts the
+	// flat arrays cannot reproduce. A rate tracking MetricDesigns means the
+	// population silently defeats the batched cold path en masse.
+	MetricScalarFallbacks = "dyncontract_solver_scalar_fallbacks_total"
 )
 
 // Design-latency bins: uniform over [0, 10ms) in 0.2ms steps (the
@@ -149,12 +155,14 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 	// the pool skips the per-design clock reads entirely.
 	var (
 		designs, designErrs *telemetry.Counter
+		scalarFallbacks     *telemetry.Counter
 		designSec           *telemetry.Histogram
 	)
 	timed := opts.Metrics != nil
 	if timed {
 		designs = opts.Metrics.Counter(MetricDesigns)
 		designErrs = opts.Metrics.Counter(MetricDesignErrors)
+		scalarFallbacks = opts.Metrics.Counter(MetricScalarFallbacks)
 		designSec = opts.Metrics.Histogram(MetricDesignSeconds, designSecondsLo, designSecondsHi, designSecondsBins)
 		opts.Metrics.Histogram(MetricBatchSize, batchSizeLo, batchSizeHi, batchSizeBins).Observe(float64(n))
 	}
@@ -168,6 +176,13 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 		if scratch == nil {
 			scratch = scratchPool.Get().(*core.Scratch)
 			defer scratchPool.Put(scratch)
+		}
+		if timed {
+			// Scalar fallbacks are counted by the scratch; export the call's
+			// delta (the scratch may be caller-retained or pooled, so its
+			// absolute count spans many calls).
+			fb0 := scratch.Fallbacks()
+			defer func() { scalarFallbacks.Add(scratch.Fallbacks() - fb0) }()
 		}
 		for i := range subs {
 			if err := ctx.Err(); err != nil {
@@ -215,7 +230,13 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 		go func() {
 			defer wg.Done()
 			scratch := scratchPool.Get().(*core.Scratch)
-			defer scratchPool.Put(scratch)
+			fb0 := scratch.Fallbacks()
+			defer func() {
+				if timed {
+					scalarFallbacks.Add(scratch.Fallbacks() - fb0)
+				}
+				scratchPool.Put(scratch)
+			}()
 			for i := range indexes {
 				if err := ctx.Err(); err != nil {
 					outcomes[i] = Outcome{Index: i, Err: cancelErr(err)}

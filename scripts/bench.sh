@@ -2,8 +2,9 @@
 # Engine benchmark runner (`make bench`): runs the round-loop benchmarks —
 # BenchmarkEngineRound1k (design-dedup and respond-memo regimes),
 # BenchmarkEngineRound100k (sequential vs sharded warm rounds, plus the
-# sharded-rebuild and sparse-drift-1pct drift variants pinning the
-# touched-scope speedup), BenchmarkTelemetryOverhead (instrumented vs
+# sharded-rebuild, sparse-drift-1pct, and structural-churn-1pct drift
+# variants pinning the touched-scope and join/leave-splice speedups),
+# BenchmarkTelemetryOverhead (instrumented vs
 # telemetry.Nop), BenchmarkTraceOverhead (span tracing disabled vs
 # sampled-out vs sampled-in on the same warm round), and the HTTP serving
 # benchmarks
@@ -23,7 +24,8 @@
 # regression warns, and a >25% regression on a gated benchmark
 # (dedup-cold — the batched cold design path, optimized and now
 # regression-gated — dedup-warm, respond-memo-warm, sequential-warm,
-# sharded-warm, sparse-drift, TelemetryOverhead, TraceOverhead/disabled —
+# sharded-warm, sparse-drift, structural-churn — the in-place join/leave
+# splice — TelemetryOverhead, TraceOverhead/disabled —
 # the last pins that tracing left off costs nothing) fails the run
 # without touching the committed baseline. Set BENCH_ALLOW_REGRESSION=1
 # to record
@@ -86,7 +88,7 @@ if [ -f "$out" ]; then
 		}
 		delta = (ns - base[name]) / base[name] * 100
 		printf "  %-55s %12.0f ns/op  %+7.1f%%\n", name, ns, delta
-		warm = (name ~ /dedup-cold|dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|sparse-drift|TelemetryOverhead|TraceOverhead\/disabled/)
+		warm = (name ~ /dedup-cold|dedup-warm|respond-memo-warm|sequential-warm|sharded-warm|sparse-drift|structural-churn|TelemetryOverhead|TraceOverhead\/disabled/)
 		if (warm && delta > 25) {
 			printf "  FAIL: %s regressed %.1f%% (>25%% on a warm-round benchmark)\n", name, delta
 			failed = 1

@@ -3,8 +3,12 @@
 // drifts exactly one agent's feedback weight, and asserts that (a) the
 // drift response reports touched=1 and (b) the next round's ledger rows
 // change for that agent only — every untouched agent's outcome row must
-// come back byte-for-byte identical. Exit 0 on success, 1 with a
-// diagnostic on any mismatch.
+// come back byte-for-byte identical. It then fires a structural churn
+// burst: five agents join in one drift (response reports joined=5,
+// exactly their five rows appear next round, every pre-existing row
+// stays byte-identical), then the same five leave (left=5, their rows
+// vanish, the survivors' rows are again untouched). Exit 0 on success,
+// 1 with a diagnostic on any mismatch.
 //
 // Usage:
 //
@@ -31,7 +35,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "driftcheck:", err)
 		os.Exit(1)
 	}
-	fmt.Println("driftcheck: sparse drift perturbed only the touched agent's ledger row")
+	fmt.Println("driftcheck: sparse drift perturbed only the touched agent's ledger row; structural churn spliced only the joined/left rows")
 }
 
 func run(addr string) error {
@@ -96,6 +100,90 @@ func run(addr string) error {
 		}
 		if got != oc {
 			return fmt.Errorf("untouched agent %s's ledger row changed: %+v -> %+v", oc.AgentID, oc, got)
+		}
+	}
+
+	// Structural churn burst: five agents join in one drift request. Only
+	// their rows may appear in the next round; every pre-existing row must
+	// stay byte-identical (the engine splices the joiners in, it does not
+	// rebuild).
+	joiners := make([]server.AgentSpec, 5)
+	joinIDs := make(map[string]bool, 5)
+	for i := range joiners {
+		id := fmt.Sprintf("dc-join-%d", i)
+		joiners[i] = server.AgentSpec{ID: id, Class: "honest", Psi: psi, Beta: 1, Weight: 1}
+		joinIDs[id] = true
+	}
+	dr = server.DriftResponse{}
+	if err := post(client, base+"/drift", server.DriftRequest{Add: joiners}, &dr, http.StatusOK); err != nil {
+		return fmt.Errorf("join drift: %w", err)
+	}
+	if dr.Joined != 5 {
+		return fmt.Errorf("join drift response = %+v, want joined=5", dr)
+	}
+	joined, err := advance()
+	if err != nil {
+		return fmt.Errorf("round after join: %w", err)
+	}
+	if want := len(after.Outcomes) + 5; len(joined.Outcomes) != want {
+		return fmt.Errorf("after join: %d outcome rows, want %d", len(joined.Outcomes), want)
+	}
+	rows = map[string]server.OutcomeJSON{}
+	for _, oc := range joined.Outcomes {
+		rows[oc.AgentID] = oc
+	}
+	for id := range joinIDs {
+		if _, ok := rows[id]; !ok {
+			return fmt.Errorf("joined agent %s has no outcome row", id)
+		}
+	}
+	for _, oc := range after.Outcomes {
+		got, ok := rows[oc.AgentID]
+		if !ok {
+			return fmt.Errorf("agent %s lost its outcome row after join burst", oc.AgentID)
+		}
+		if got != oc {
+			return fmt.Errorf("pre-existing agent %s's ledger row changed across join burst: %+v -> %+v", oc.AgentID, oc, got)
+		}
+	}
+
+	// The same five leave. Their rows must vanish; the survivors' rows must
+	// again come back byte-identical.
+	removeIDs := make([]string, 0, len(joinIDs))
+	for id := range joinIDs {
+		removeIDs = append(removeIDs, id)
+	}
+	dr = server.DriftResponse{}
+	if err := post(client, base+"/drift", server.DriftRequest{Remove: removeIDs}, &dr, http.StatusOK); err != nil {
+		return fmt.Errorf("leave drift: %w", err)
+	}
+	if dr.Left != 5 {
+		return fmt.Errorf("leave drift response = %+v, want left=5", dr)
+	}
+	left, err := advance()
+	if err != nil {
+		return fmt.Errorf("round after leave: %w", err)
+	}
+	if len(left.Outcomes) != len(after.Outcomes) {
+		return fmt.Errorf("after leave: %d outcome rows, want %d", len(left.Outcomes), len(after.Outcomes))
+	}
+	rows = map[string]server.OutcomeJSON{}
+	for _, oc := range left.Outcomes {
+		if joinIDs[oc.AgentID] {
+			return fmt.Errorf("left agent %s still has an outcome row", oc.AgentID)
+		}
+		rows[oc.AgentID] = oc
+	}
+	for _, oc := range joined.Outcomes {
+		if joinIDs[oc.AgentID] {
+			continue
+		}
+		got, ok := rows[oc.AgentID]
+		if !ok {
+			return fmt.Errorf("surviving agent %s lost its outcome row after leave burst", oc.AgentID)
+		}
+		if got != oc {
+			return fmt.Errorf("surviving agent %s's ledger row changed across leave burst: %+v -> %+v", oc.AgentID, oc, got)
 		}
 	}
 	return nil

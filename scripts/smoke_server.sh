@@ -5,9 +5,12 @@
 # -healthcheck`, fires a short strict closed-loop burst (design queries,
 # round advances, and sparse drift mutations) followed by a strict -churn
 # burst (every round advance preceded by an all-agent fresh-weight drift,
-# driving the batched cold design path), runs the driftcheck probe
-# (a one-agent drift must report touched=1 and perturb only that agent's
-# ledger row) and the tracecheck probe (a round advanced under a known
+# driving the batched cold design path) and a strict structural-churn
+# burst (agents joining and leaving mid-session via -join-every /
+# -leave-every), runs the driftcheck probe (a one-agent drift must report
+# touched=1 and perturb only that agent's ledger row; a join/leave burst
+# of five must splice exactly those rows in and out with every other row
+# byte-identical) and the tracecheck probe (a round advanced under a known
 # X-Request-Id must come back from /debug/traces as a parseable trace
 # covering HTTP handler -> session queue -> engine round -> stages ->
 # shards, in JSONL and Chrome formats), then sends SIGTERM and requires
@@ -56,6 +59,9 @@ echo "running strict load burst..."
 
 echo "running strict churn burst (all-cold design rounds)..."
 "$work/loadgen" -addr "http://$addr" -clients 2 -requests 20 -round-every 4 -churn -strict
+
+echo "running strict structural-churn burst (joins and leaves)..."
+"$work/loadgen" -addr "http://$addr" -clients 2 -requests 24 -round-every 6 -join-every 3 -leave-every 3 -strict
 
 echo "running sparse-drift ledger probe..."
 "$work/driftcheck" -addr "http://$addr"
