@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dyncontract/internal/server"
+)
+
+// TestMain doubles as the contractd entrypoint for crash tests: when
+// re-exec'd with CONTRACTD_TEST_EXEC=1 the test binary IS contractd, so
+// the SIGKILL harness runs the real process lifecycle — flags, journal
+// open, recovery, listen — in a process the test can kill -9.
+func TestMain(m *testing.M) {
+	if os.Getenv("CONTRACTD_TEST_EXEC") == "1" {
+		if err := run(os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "contractd:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+var listenRE = regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+
+// contractdProc is one re-exec'd contractd child.
+type contractdProc struct {
+	cmd *exec.Cmd
+	// base is the child's HTTP root, parsed from its listen log line.
+	base string
+	mu   sync.Mutex
+	log  bytes.Buffer
+}
+
+// output snapshots the child's combined log so far.
+func (p *contractdProc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log.String()
+}
+
+// startContractd re-execs the test binary as contractd with the given
+// flags and waits until it logs its listen address — which, with a
+// journal configured, is strictly after recovery finished.
+func startContractd(t *testing.T, args ...string) *contractdProc {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &contractdProc{cmd: exec.Command(exe, args...)}
+	p.cmd.Env = append(os.Environ(), "CONTRACTD_TEST_EXEC=1")
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Stderr = &stderrWriter{p: p}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.cmd.Process.Kill(); p.cmd.Wait() })
+
+	ready := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := stdout.Read(buf)
+			if n > 0 {
+				p.mu.Lock()
+				p.log.Write(buf[:n])
+				s := p.log.String()
+				p.mu.Unlock()
+				if m := listenRE.FindStringSubmatch(s); m != nil {
+					select {
+					case ready <- m[1]:
+					default:
+					}
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case p.base = <-ready:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("contractd never became ready; log:\n%s", p.output())
+	}
+	return p
+}
+
+// stderrWriter folds the child's stderr into the same log buffer.
+type stderrWriter struct{ p *contractdProc }
+
+func (w *stderrWriter) Write(b []byte) (int, error) {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	return w.p.log.Write(b)
+}
+
+// crashCreatePayload is a four-agent mixed-class population, matching
+// the server package's canonical fixture.
+const crashCreatePayload = `{"agents":[
+	{"id":"h1","class":"honest","psi":{"r2":-0.25,"r1":2},"beta":1,"weight":1},
+	{"id":"h2","class":"honest","psi":{"r2":-0.25,"r1":2},"beta":1,"weight":1},
+	{"id":"m1","class":"malicious","psi":{"r2":-0.25,"r1":2},"beta":1,"omega":0.5,"weight":0.8,"malice":0.9},
+	{"id":"c1","class":"community","psi":{"r2":-0.25,"r1":2},"beta":1,"omega":0.3,"size":3,"weight":0.5}
+],"m":10,"delta":0.2,"mu":1}`
+
+// postJSON issues one POST and returns the status and body; a transport
+// error returns status 0 (the kill landed mid-request).
+func postJSON(client *http.Client, url, body string) (int, []byte) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	resp, err := client.Post(url, "application/json", rd)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil
+	}
+	return resp.StatusCode, raw
+}
+
+// TestCrashRecoveryKill9 is the end-to-end durability harness: contractd
+// runs with an fsync journal, a client drives mixed round/drift traffic,
+// the process is killed with SIGKILL at a randomized point mid-traffic,
+// and a restart over the same journal directory must serve every
+// acknowledged round byte-identical — an fsync'd acknowledgement is a
+// durability contract, not a best effort.
+func TestCrashRecoveryKill9(t *testing.T) {
+	jdir := t.TempDir()
+	flags := []string{
+		"-listen", "127.0.0.1:0",
+		"-journal-dir", jdir,
+		"-journal-sync", "fsync",
+		"-snapshot-every", "5",
+	}
+	p1 := startContractd(t, flags...)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	code, raw := postJSON(client, p1.base+"/v1/sessions", crashCreatePayload)
+	if code != http.StatusCreated {
+		t.Fatalf("create session: status %d: %s", code, raw)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+
+	// Drive traffic until the kill lands: rounds with full outcomes, a
+	// weight drift every fourth command. Every 200 round response the
+	// client fully reads is an acknowledged, fsync-durable round.
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	killAfter := time.Duration(20+rng.Intn(120)) * time.Millisecond
+	t.Logf("killing contractd %v after traffic starts", killAfter)
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(killAfter)
+		p1.cmd.Process.Kill()
+		close(killed)
+	}()
+
+	var acked [][]byte
+	for i := 0; ; i++ {
+		var code int
+		var raw []byte
+		if i%4 == 3 {
+			drift := fmt.Sprintf(`{"weights":{"h1":%g}}`, 1+0.01*float64(i%7))
+			code, _ = postJSON(client, p1.base+"/v1/sessions/"+id+"/drift", drift)
+		} else {
+			code, raw = postJSON(client, p1.base+"/v1/sessions/"+id+"/rounds", `{"include_outcomes":true}`)
+			if code == http.StatusOK {
+				acked = append(acked, bytes.TrimSpace(raw))
+			}
+		}
+		if code == 0 {
+			break // the kill landed mid-request
+		}
+		if code != http.StatusOK {
+			t.Fatalf("command %d: status %d", i, code)
+		}
+	}
+	<-killed
+	p1.cmd.Wait()
+	if len(acked) == 0 {
+		t.Skip("kill landed before any round was acknowledged; nothing to verify")
+	}
+	t.Logf("%d rounds acknowledged before SIGKILL", len(acked))
+
+	// Restart over the same journal directory; readiness implies the
+	// recovery pass completed.
+	p2 := startContractd(t, flags...)
+	if out := p2.output(); !strings.Contains(out, "session recovered") {
+		t.Errorf("restart log missing recovery line:\n%s", out)
+	}
+
+	resp, err := client.Get(p2.base + "/v1/sessions/" + id + "/rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("list rounds after restart: status %d, err %v", resp.StatusCode, err)
+	}
+	var ledger []json.RawMessage
+	if err := json.Unmarshal(raw, &ledger); err != nil {
+		t.Fatal(err)
+	}
+	// Write-ahead means the log is a superset of the acknowledged
+	// history: every acked round comes back byte-identical, and at most
+	// the in-flight command (journaled, response lost) rides behind.
+	if len(ledger) < len(acked) {
+		t.Fatalf("recovered %d rounds, %d were acknowledged", len(ledger), len(acked))
+	}
+	if len(ledger) > len(acked)+1 {
+		t.Fatalf("recovered %d rounds with only %d acknowledged (+1 in-flight allowed)", len(ledger), len(acked))
+	}
+	for i, want := range acked {
+		var got server.RoundJSON
+		if err := json.Unmarshal(ledger[i], &got); err != nil {
+			t.Fatal(err)
+		}
+		var ref server.RoundJSON
+		if err := json.Unmarshal(want, &ref); err != nil {
+			t.Fatal(err)
+		}
+		norm := func(v server.RoundJSON) string {
+			b, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+		if norm(got) != norm(ref) {
+			t.Fatalf("round %d differs after crash recovery:\n got %s\nwant %s", i, ledger[i], want)
+		}
+	}
+
+	// The recovered session is live: it keeps advancing rounds.
+	code, _ = postJSON(client, p2.base+"/v1/sessions/"+id+"/rounds", "")
+	if code != http.StatusOK {
+		t.Fatalf("round after recovery: status %d", code)
+	}
+}

@@ -10,6 +10,18 @@
 //	          [-max-sessions n] [-timeout d] [-drain-timeout d]
 //	          [-log-level debug|info|warn|error] [-log-format text|json]
 //	          [-trace] [-trace-sample p] [-trace-out file]
+//	          [-journal-dir dir] [-journal-sync buffered|fsync]
+//	          [-snapshot-every n]
+//
+// With -journal-dir, sessions are durable: every command is written ahead
+// to a per-session log under the directory, snapshots (forced via
+// POST /v1/sessions/{id}/snapshot or automatic every -snapshot-every
+// commands) compact it, and a restart with the same directory recovers
+// every journaled session with a byte-identical ledger before listening.
+// -journal-sync picks the durability level: buffered (default, write-behind
+// flushed when the session goes idle — survives kill -9 up to the flushed
+// prefix) or fsync (every command fsynced before it executes — a served
+// response implies a durable record).
 //
 // The server exposes /metrics (Prometheus text) and /debug/pprof/ beside
 // the API; with -trace it also records execution spans — HTTP route →
@@ -36,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"dyncontract/internal/journal"
 	"dyncontract/internal/obs"
 	"dyncontract/internal/server"
 	"dyncontract/internal/telemetry"
@@ -66,6 +79,9 @@ func run(args []string, out io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 15*time.Second, "graceful drain deadline on shutdown")
 		logLevel     = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 		logFormat    = fs.String("log-format", "text", "log line format: text or json")
+		journalDir   = fs.String("journal-dir", "", "session journal directory (empty = durability off)")
+		journalSync  = fs.String("journal-sync", "buffered", "journal durability: buffered or fsync")
+		snapEvery    = fs.Int("snapshot-every", 1024, "auto-snapshot a session after this many commands (0 = manual only)")
 		traceFlags   obs.TraceFlags
 	)
 	traceFlags.Register(fs)
@@ -79,6 +95,16 @@ func run(args []string, out io.Writer) error {
 	tracer, recorder := traceFlags.Build()
 
 	reg := telemetry.NewRegistry()
+	var store *journal.Store
+	if *journalDir != "" {
+		mode, err := journal.ParseMode(*journalSync)
+		if err != nil {
+			return err
+		}
+		if store, err = journal.Open(*journalDir, journal.Options{Mode: mode, Metrics: reg}); err != nil {
+			return err
+		}
+	}
 	srv := server.New(server.Config{
 		BatchWindow:    *batchWindow,
 		BatchMax:       *batchMax,
@@ -90,7 +116,25 @@ func run(args []string, out io.Writer) error {
 		Metrics:        reg,
 		Tracer:         tracer,
 		Logger:         logger,
+		Journal:        store,
+		SnapshotEvery:  *snapEvery,
 	})
+	if store != nil {
+		logger.Info("journal open", "dir", store.Dir(), "sync", store.Mode().String(), "snapshot_every", *snapEvery)
+		start := time.Now()
+		stats, err := srv.Recover()
+		if err != nil {
+			return fmt.Errorf("recover: %w", err)
+		}
+		if stats.Sessions+stats.Failed > 0 {
+			logger.Info("recovery complete",
+				"sessions", stats.Sessions,
+				"replayed", stats.Replayed,
+				"failed", stats.Failed,
+				"duration", time.Since(start),
+			)
+		}
+	}
 
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -15,6 +15,7 @@
 //	        [-drift-every k] [-drift-agents n] [-churn]
 //	        [-join-every k] [-leave-every k]
 //	        [-scale small|paper] [-seed n] [-per-class n] [-strict]
+//	        [-journal-check file]
 //	loadgen -addr ... -healthcheck [-healthcheck-timeout d]
 //
 // -join-every k makes every k-th non-round request add a fresh agent to
@@ -30,6 +31,17 @@
 // survives between rounds and each advance runs the engine's cold design
 // path end to end (the all-cold steady state of churning marketplaces
 // and bandit policies).
+//
+// -journal-check file is the client half of contractd's durability
+// contract. On a fresh file, every acknowledged round-advance response is
+// recorded (with full outcomes) and written to the file alongside the
+// session ID at exit. When the file already exists — after killing and
+// restarting a contractd on the same -journal-dir — loadgen first fetches
+// the recovered session's ledger and requires every recorded round to
+// come back byte-identical before driving new load against the same
+// session (and re-saving the grown record set). Against an -journal-sync
+// fsync server a verification failure is a durability bug; in buffered
+// mode an un-flushed suffix may legitimately be missing.
 //
 // With -healthcheck it instead polls /healthz until the server answers 200
 // (exit 0) or the timeout passes (exit 1) — a curl-free readiness probe
@@ -50,6 +62,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -96,6 +109,7 @@ func run(args []string, out io.Writer) error {
 		seed        = fs.Int64("seed", 42, "synthetic session seed")
 		perClass    = fs.Int("per-class", 50, "synthetic session agents per class")
 		strict      = fs.Bool("strict", false, "fail on any transport error or non-2xx/429 status")
+		jcheck      = fs.String("journal-check", "", "record acknowledged rounds to this state file; when it exists, verify them byte-for-byte against the recovered ledger first")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,9 +123,26 @@ func run(args []string, out io.Writer) error {
 		*weights = 1
 	}
 
-	sessID, err := createSession(client, *addr, *scale, *seed, *perClass)
+	jc, err := loadJournalChecker(*jcheck)
 	if err != nil {
 		return err
+	}
+	var sessID string
+	if jc != nil && jc.Session != "" {
+		// A prior run recorded this session: the server was restarted over
+		// its journal, so the recovered ledger must serve every recorded
+		// round byte-identical before any new load rides on it.
+		sessID = jc.Session
+		if err := jc.verify(client, *addr, out); err != nil {
+			return err
+		}
+	} else {
+		if sessID, err = createSession(client, *addr, *scale, *seed, *perClass); err != nil {
+			return err
+		}
+		if jc != nil {
+			jc.Session = sessID
+		}
 	}
 	// Drift requests mutate real agents, so harvest the session's agent
 	// IDs and base weights from a priming round — robust for -scale
@@ -222,7 +253,12 @@ func run(args []string, out io.Writer) error {
 						}
 						res = append(res, doJSON(client, "drift", *addr+"/v1/sessions/"+sessID+"/drift", server.DriftRequest{Weights: w}, reqID+"-churn"))
 					}
-					res = append(res, doJSON(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", server.AdvanceRoundRequest{}, reqID))
+					roundReq := server.AdvanceRoundRequest{IncludeOutcomes: jc != nil}
+					r, body := doJSONCapture(client, "round", *addr+"/v1/sessions/"+sessID+"/rounds", roundReq, reqID)
+					if jc != nil && r.status == http.StatusOK {
+						jc.record(body)
+					}
+					res = append(res, r)
 				} else if *joinEvery > 0 && i%*joinEvery == 0 {
 					// Join a fresh agent; its honest-archetype spec shares
 					// the inline population's psi so the contract cache can
@@ -289,6 +325,12 @@ func run(args []string, out io.Writer) error {
 	var all []result
 	for res := range resCh {
 		all = append(all, res...)
+	}
+	if jc != nil {
+		if err := jc.save(*jcheck); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "loadgen: journal-check: %d acknowledged rounds recorded to %s\n", len(jc.Rounds), *jcheck)
 	}
 	return summarize(out, all, elapsed, overload, *strict)
 }
@@ -394,13 +436,20 @@ func harvestAgents(client *http.Client, addr, sessID string) ([]string, map[stri
 // doJSON issues one POST carrying reqID as X-Request-Id and records its
 // fate; bodies are drained so the client reuses connections.
 func doJSON(client *http.Client, kind, url string, payload any, reqID string) result {
+	r, _ := doJSONCapture(client, kind, url, payload, reqID)
+	return r
+}
+
+// doJSONCapture is doJSON keeping the response body — the round recorder
+// needs the acknowledged bytes, not just the status.
+func doJSONCapture(client *http.Client, kind, url string, payload any, reqID string) (result, []byte) {
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return result{kind: kind, id: reqID}
+		return result{kind: kind, id: reqID}, nil
 	}
 	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return result{kind: kind, id: reqID}
+		return result{kind: kind, id: reqID}, nil
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(spans.HeaderRequestID, reqID)
@@ -408,11 +457,112 @@ func doJSON(client *http.Client, kind, url string, payload any, reqID string) re
 	resp, err := client.Do(req)
 	lat := time.Since(start)
 	if err != nil {
-		return result{kind: kind, latency: lat, id: reqID}
+		return result{kind: kind, latency: lat, id: reqID}, nil
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
+	raw, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	return result{kind: kind, status: resp.StatusCode, latency: lat, id: reqID}
+	if err != nil {
+		return result{kind: kind, latency: lat, id: reqID}, nil
+	}
+	return result{kind: kind, status: resp.StatusCode, latency: lat, id: reqID}, raw
+}
+
+// journalChecker is the client half of the server's durability contract:
+// it remembers every acknowledged round-advance response, keyed by round
+// index, and after a restart requires the recovered ledger to serve each
+// one byte-identical.
+type journalChecker struct {
+	mu sync.Mutex
+
+	// Session is the session the rounds belong to.
+	Session string `json:"session"`
+	// Rounds maps round index to the acknowledged response body.
+	Rounds map[string]json.RawMessage `json:"rounds"`
+}
+
+// loadJournalChecker reads the state file, returning a fresh recorder
+// when the file does not exist yet and nil when the feature is off.
+func loadJournalChecker(path string) (*journalChecker, error) {
+	if path == "" {
+		return nil, nil
+	}
+	jc := &journalChecker{Rounds: map[string]json.RawMessage{}}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return jc, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal-check: %w", err)
+	}
+	if err := json.Unmarshal(raw, jc); err != nil {
+		return nil, fmt.Errorf("journal-check: decode %s: %w", path, err)
+	}
+	if jc.Rounds == nil {
+		jc.Rounds = map[string]json.RawMessage{}
+	}
+	return jc, nil
+}
+
+// record stores one acknowledged round response under its round index.
+func (jc *journalChecker) record(body []byte) {
+	var hdr struct {
+		Round int `json:"round"`
+	}
+	if json.Unmarshal(body, &hdr) != nil {
+		return
+	}
+	jc.mu.Lock()
+	jc.Rounds[strconv.Itoa(hdr.Round)] = json.RawMessage(bytes.TrimSpace(body))
+	jc.mu.Unlock()
+}
+
+// save writes the state file for the next run to verify against.
+func (jc *journalChecker) save(path string) error {
+	jc.mu.Lock()
+	raw, err := json.Marshal(jc)
+	jc.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return fmt.Errorf("journal-check: %w", err)
+	}
+	return nil
+}
+
+// verify fetches the recovered session's ledger and requires every
+// recorded round to come back byte-identical at its index.
+func (jc *journalChecker) verify(client *http.Client, addr string, out io.Writer) error {
+	resp, err := client.Get(addr + "/v1/sessions/" + jc.Session + "/rounds")
+	if err != nil {
+		return fmt.Errorf("journal-check: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("journal-check: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("journal-check: session %s not recovered: status %d: %s", jc.Session, resp.StatusCode, raw)
+	}
+	var ledger []json.RawMessage
+	if err := json.Unmarshal(raw, &ledger); err != nil {
+		return fmt.Errorf("journal-check: decode ledger: %w", err)
+	}
+	for key, want := range jc.Rounds {
+		idx, err := strconv.Atoi(key)
+		if err != nil {
+			return fmt.Errorf("journal-check: bad round key %q", key)
+		}
+		if idx >= len(ledger) {
+			return fmt.Errorf("journal-check: acknowledged round %d missing from recovered ledger (%d rounds served)", idx, len(ledger))
+		}
+		if got := bytes.TrimSpace(ledger[idx]); !bytes.Equal(got, bytes.TrimSpace(want)) {
+			return fmt.Errorf("journal-check: round %d differs after restart:\n  got %s\n want %s", idx, got, want)
+		}
+	}
+	fmt.Fprintf(out, "loadgen: journal-check: %d acknowledged rounds verified byte-identical after restart\n", len(jc.Rounds))
+	return nil
 }
 
 // summarize prints counts and latency percentiles, and enforces -strict.

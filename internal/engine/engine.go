@@ -239,10 +239,13 @@ type Engine struct {
 	lastApplied  viewRule
 
 	// fpCounts refcounts the live design fingerprints across every shard
-	// view — built lazily on the first sparse refresh after a full
-	// rebuild, maintained incrementally after. A fingerprint whose count
-	// hits zero is dead: no agent mints it any more, so its design-cache
-	// and respond-memo entries are dropped (targeted invalidation).
+	// view — maintained eagerly at every point a fingerprint is written
+	// (full rebuilds count through shardAssign; sparse refreshes and
+	// structural splices adjust in place), never by walking the views. A
+	// fingerprint whose count hits zero is dead: no agent mints it any
+	// more, so its design-cache and respond-memo entries are dropped
+	// (targeted invalidation). Nil when the engine has neither a design
+	// cache nor a respond memo — nothing to evict, no index to keep.
 	fpCounts map[Fingerprint]int32
 	deadFPs  []Fingerprint // per-refresh scratch of zero-count fingerprints
 
@@ -478,6 +481,19 @@ func (e *Engine) Step(ctx context.Context) error {
 
 // Stepped returns the number of rounds completed through Step.
 func (e *Engine) Stepped() int { return e.stepped }
+
+// SetStepped sets the step counter so the next Step runs round n. It
+// exists for session recovery: a journal snapshot restores a population
+// and a ledger of n completed rounds into a fresh engine, and replayed
+// or newly served rounds must continue the index sequence — ledger
+// determinism across cold and warm engines does the rest. Negative n is
+// clamped to 0. Call it before the first Step, never mid-run.
+func (e *Engine) SetStepped(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.stepped = n
+}
 
 // runRound executes one round of the stage pipeline. ErrStop from an
 // observer is returned verbatim; callers decide whether it ends the run.

@@ -77,17 +77,24 @@ type Shard struct {
 }
 
 // shardAssign distributes the ID-sorted agents across the reset shards by
-// ID hash, filling every indexed view.
-func shardAssign(p *Population, agents []*worker.Agent, shards []*Shard) {
+// ID hash, filling every indexed view. counts, when non-nil, receives one
+// increment per assigned fingerprint — the engine's refcount index is
+// built here, at the moment each fingerprint is written, never by walking
+// the views after the fact.
+func shardAssign(p *Population, agents []*worker.Agent, shards []*Shard, counts map[Fingerprint]int32) {
 	n := len(shards)
 	for gi, a := range agents {
 		s := shards[ShardOf(a.ID, n)]
 		w := p.Weights[a.ID]
+		fp := FingerprintOf(a, core.Config{Part: p.Part, Mu: p.Mu, W: w})
 		s.Agents = append(s.Agents, a)
 		s.Global = append(s.Global, int32(gi))
 		s.Weights = append(s.Weights, w)
 		s.Malice = append(s.Malice, p.MaliceProb[a.ID])
-		s.FPs = append(s.FPs, FingerprintOf(a, core.Config{Part: p.Part, Mu: p.Mu, W: w}))
+		s.FPs = append(s.FPs, fp)
+		if counts != nil {
+			counts[fp]++
+		}
 	}
 }
 
@@ -112,7 +119,7 @@ func (p *Population) Shards(n int) []Shard {
 		shards[i].Epoch = p.generation
 		ptrs[i] = &shards[i]
 	}
-	shardAssign(p, agents, ptrs)
+	shardAssign(p, agents, ptrs, nil)
 	return shards
 }
 
@@ -232,7 +239,22 @@ func (e *Engine) ensureShards(st *roundState, agents []*worker.Agent) bool {
 	e.physLen = len(agents)
 	e.tombstones = 0
 	e.viewEpoch++
-	e.fpCounts = nil
+	// The fingerprint refcount index is rebuilt eagerly alongside the
+	// views: shardAssign counts each fingerprint as it writes it. Without
+	// a design cache or respond memo there is nothing to evict, so the
+	// index (and all drift-time refcounting) stays off.
+	counts := e.fpCounts
+	if e.cfg.Cache != nil || e.cfg.Memo != nil {
+		if counts == nil {
+			counts = make(map[Fingerprint]int32, len(agents))
+			e.fpCounts = counts
+		} else {
+			clear(counts)
+		}
+	} else {
+		counts = nil
+		e.fpCounts = nil
+	}
 	n := e.cfg.Shards
 	if n > len(agents) {
 		n = len(agents)
@@ -258,7 +280,7 @@ func (e *Engine) ensureShards(st *roundState, agents []*worker.Agent) bool {
 		}
 		e.shardPtrs[i] = &sr.sh
 	}
-	shardAssign(e.pop, agents, e.shardPtrs)
+	shardAssign(e.pop, agents, e.shardPtrs, counts)
 	for i := range e.shards {
 		sr := &e.shards[i]
 		na := len(sr.sh.Agents)
@@ -302,7 +324,6 @@ func (e *Engine) refreshShardsSparse() {
 		t = telemetry.StartTimer()
 	}
 	e.ensureByID()
-	e.ensureFPCounts()
 	e.viewEpoch++
 	epoch := e.viewEpoch
 	canPatch := e.patchPol && e.cfg.Cache != nil
@@ -358,8 +379,10 @@ func (e *Engine) refreshShardSlot(sr *shardRun, id string, epoch uint64, canPatc
 	fp := FingerprintOf(a, core.Config{Part: e.pop.Part, Mu: e.pop.Mu, W: w})
 	if old := sh.FPs[j]; fp != old {
 		sh.FPs[j] = fp
-		e.fpCounts[fp]++
-		e.dropFP(old)
+		if e.fpCounts != nil {
+			e.fpCounts[fp]++
+			e.dropFP(old)
+		}
 	}
 	if canPatch {
 		if res, ok := e.cfg.Cache.Get(fp); ok {
@@ -396,8 +419,12 @@ func searchShardAgent(sh *Shard, id string) int {
 }
 
 // dropFP decrements a fingerprint's refcount, collecting it into the
-// round's dead list when the last holder is gone.
+// round's dead list when the last holder is gone. A no-op when the index
+// is off (no design cache and no respond memo: nothing to evict).
 func (e *Engine) dropFP(fp Fingerprint) {
+	if e.fpCounts == nil {
+		return
+	}
 	if c := e.fpCounts[fp] - 1; c <= 0 {
 		delete(e.fpCounts, fp)
 		e.deadFPs = append(e.deadFPs, fp)
@@ -448,7 +475,6 @@ func (e *Engine) refreshShardsStructural(st *roundState) {
 	if e.m != nil {
 		t = telemetry.StartTimer()
 	}
-	e.ensureFPCounts()
 	e.viewEpoch++
 	epoch := e.viewEpoch
 	canPatch := e.patchPol && e.cfg.Cache != nil
@@ -573,7 +599,9 @@ func (e *Engine) spliceShard(sr *shardRun, joins, leaves []int32, epoch uint64, 
 		d := jdst[j]
 		w := e.pop.Weights[a.ID]
 		fp := FingerprintOf(a, core.Config{Part: e.pop.Part, Mu: e.pop.Mu, W: w})
-		e.fpCounts[fp]++
+		if e.fpCounts != nil {
+			e.fpCounts[fp]++
+		}
 		sh.Agents[d] = a
 		sh.Global[d] = e.structJoinSlots[k]
 		sh.Weights[d] = w
@@ -682,22 +710,6 @@ func (e *Engine) maybeCompact(st *roundState) {
 	}
 	if sp != nil {
 		sp.End()
-	}
-}
-
-// ensureFPCounts lazily builds the global fingerprint refcount over every
-// shard's cached fingerprints. It is populated on the first sparse refresh
-// after a full rebuild (which resets it to nil) and maintained
-// incrementally by refreshShardsSparse from then on.
-func (e *Engine) ensureFPCounts() {
-	if e.fpCounts != nil {
-		return
-	}
-	e.fpCounts = make(map[Fingerprint]int32, 64)
-	for i := range e.shards {
-		for _, fp := range e.shards[i].sh.FPs {
-			e.fpCounts[fp]++
-		}
 	}
 }
 

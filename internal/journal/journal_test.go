@@ -1,0 +1,565 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dyncontract/internal/telemetry"
+)
+
+func encodeStream(recs ...Record) []byte {
+	var buf []byte
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	return buf
+}
+
+func testRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Seq:  uint64(i + 1),
+			Kind: Kind(1 + i%3),
+			Body: []byte(fmt.Sprintf(`{"i":%d,"pad":"%0*d"}`, i, i%17, i)),
+		}
+	}
+	return recs
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := testRecords(20)
+	buf := encodeStream(want...)
+	got, clean, err := decodeRecords(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != len(buf) {
+		t.Fatalf("clean prefix %d, want %d", clean, len(buf))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Body, want[i].Body) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCodecTornTail truncates an encoded stream at every byte offset: the
+// decode must never error, never panic, and always return the records
+// whose frames survive in full.
+func TestCodecTornTail(t *testing.T) {
+	recs := testRecords(5)
+	buf := encodeStream(recs...)
+	// Frame boundaries, for the expected record count at each cut.
+	bounds := []int{0}
+	for _, r := range recs {
+		bounds = append(bounds, bounds[len(bounds)-1]+frameHeader+payloadHeader+len(r.Body))
+	}
+	for cut := 0; cut <= len(buf); cut++ {
+		got, clean, err := decodeRecords(buf[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		whole := 0
+		for _, b := range bounds[1:] {
+			if b <= cut {
+				whole++
+			}
+		}
+		if len(got) != whole {
+			t.Fatalf("cut %d: decoded %d records, want %d", cut, len(got), whole)
+		}
+		if clean != bounds[whole] {
+			t.Fatalf("cut %d: clean %d, want %d", cut, clean, bounds[whole])
+		}
+	}
+}
+
+// TestCodecCorruptMidLog flips one byte in the first record of a
+// three-record stream: with data behind it, the damage must be reported
+// as corruption, not silently truncated.
+func TestCodecCorruptMidLog(t *testing.T) {
+	buf := encodeStream(testRecords(3)...)
+	for _, off := range []int{4, frameHeader, frameHeader + 2, frameHeader + payloadHeader} {
+		mut := append([]byte(nil), buf...)
+		mut[off] ^= 0x40
+		_, _, err := decodeRecords(mut)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", off, err)
+		}
+	}
+	// Same flip on the final record: complete frame, bad checksum, nothing
+	// behind it — torn tail, truncated without error.
+	mut := append([]byte(nil), buf...)
+	mut[len(mut)-1] ^= 0x40
+	recs, clean, err := decodeRecords(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("decoded %d records, want 2", len(recs))
+	}
+	if clean >= len(mut) {
+		t.Fatalf("clean %d should mark the torn suffix", clean)
+	}
+}
+
+// TestCodecImpossibleLength plants an absurd frame length mid-stream.
+func TestCodecImpossibleLength(t *testing.T) {
+	buf := encodeStream(testRecords(2)...)
+	binary.LittleEndian.PutUint32(buf, uint32(maxRecord+1))
+	if _, _, err := decodeRecords(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func openStore(t *testing.T, mode Mode) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir(), Options{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestWriterAppendRecover(t *testing.T) {
+	for _, mode := range []Mode{ModeBuffered, ModeStrict} {
+		t.Run(mode.String(), func(t *testing.T) {
+			st := openStore(t, mode)
+			w, err := st.Create("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := testRecords(7)
+			want[0].Kind = KindCreate
+			for _, r := range want {
+				seq, err := w.Append(r.Kind, r.Body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if seq != r.Seq {
+					t.Fatalf("append seq %d, want %d", seq, r.Seq)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			sessions, failed, err := st.Recover()
+			if err != nil || len(failed) != 0 {
+				t.Fatalf("recover: err=%v failed=%v", err, failed)
+			}
+			if len(sessions) != 1 {
+				t.Fatalf("recovered %d sessions, want 1", len(sessions))
+			}
+			rec := sessions[0]
+			if rec.ID != "s1" || rec.LastSeq != 7 || rec.Snapshot != nil || len(rec.Tail) != 7 {
+				t.Fatalf("unexpected recovery %+v", rec)
+			}
+			for i, r := range rec.Tail {
+				if r.Seq != want[i].Seq || r.Kind != want[i].Kind || !bytes.Equal(r.Body, want[i].Body) {
+					t.Fatalf("tail[%d] = %+v, want %+v", i, r, want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWriterKillWithoutClose drops the writer without Flush or Close — a
+// process crash in buffered mode. The flushed prefix must recover; the
+// user-space tail is gone by contract.
+func TestWriterKillWithoutClose(t *testing.T) {
+	st := openStore(t, ModeBuffered)
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindCreate, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindRound, []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindRound, []byte(`{"a":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// No flush, no close: the third record dies with the process.
+	sessions, failed, err := st.Recover()
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("recover: err=%v failed=%v", err, failed)
+	}
+	if len(sessions) != 1 || len(sessions[0].Tail) != 2 || sessions[0].LastSeq != 2 {
+		t.Fatalf("recovered %+v, want the 2 flushed records", sessions[0])
+	}
+}
+
+func TestSnapshotRotateAndTruncate(t *testing.T) {
+	st := openStore(t, ModeStrict)
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		kind := KindRound
+		if i == 0 {
+			kind = KindCreate
+		}
+		if _, err := w.Append(kind, []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := w.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 4 {
+		t.Fatalf("snapshot seq %d, want 4", seq)
+	}
+	// Appends continue in the fresh segment while the commit is pending.
+	if _, err := w.Append(KindDrift, []byte(`{"post":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CommitSnapshot(seq, []byte(`{"state":"full"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-snapshot segment must be gone.
+	dir := filepath.Join(st.Dir(), "s1")
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("pre-snapshot segment still present (err=%v)", err)
+	}
+
+	sessions, failed, err := st.Recover()
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("recover: err=%v failed=%v", err, failed)
+	}
+	rec := sessions[0]
+	if string(rec.Snapshot) != `{"state":"full"}` || rec.SnapshotSeq != 4 {
+		t.Fatalf("snapshot = %q seq %d, want body at seq 4", rec.Snapshot, rec.SnapshotSeq)
+	}
+	if len(rec.Tail) != 1 || rec.Tail[0].Kind != KindDrift || rec.LastSeq != 5 {
+		t.Fatalf("tail = %+v lastSeq %d, want the one post-snapshot drift at 5", rec.Tail, rec.LastSeq)
+	}
+
+	// Resume must continue the sequence in a fresh segment.
+	w2, err := st.Resume("s1", rec.LastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := w2.Append(KindRound, []byte(`{}`)); err != nil || seq != 6 {
+		t.Fatalf("resumed append seq %d err %v, want 6", seq, err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sessions, failed, err = st.Recover()
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("re-recover: err=%v failed=%v", err, failed)
+	}
+	if rec := sessions[0]; rec.LastSeq != 6 || len(rec.Tail) != 2 {
+		t.Fatalf("after resume: %+v, want lastSeq 6 with 2 tail records", rec)
+	}
+}
+
+// TestRecoverTornTailTruncates appends garbage half-frames to the final
+// segment: recovery must truncate them on disk and succeed.
+func TestRecoverTornTailTruncates(t *testing.T) {
+	st := openStore(t, ModeStrict)
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindCreate, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(st.Dir(), "s1", segName(1))
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := appendRecord(nil, Record{Seq: 2, Kind: KindRound, Body: []byte(`{"torn":true}`)})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sessions, failed, err := st.Recover()
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("recover: err=%v failed=%v", err, failed)
+	}
+	rec := sessions[0]
+	if rec.TornBytes != len(torn)-3 || rec.LastSeq != 1 {
+		t.Fatalf("torn %d lastSeq %d, want %d and 1", rec.TornBytes, rec.LastSeq, len(torn)-3)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, clean) {
+		t.Fatalf("segment not truncated back to the clean prefix")
+	}
+}
+
+// TestRecoverDropsEmptySealedSegment crashes right after a snapshot
+// seal: BeginSnapshot has opened a fresh segment that never received a
+// record, and the commit never happened. Recovery must drop the empty
+// file — its name is exactly the segment Resume creates next — and the
+// session must resume cleanly.
+func TestRecoverDropsEmptySealedSegment(t *testing.T) {
+	st := openStore(t, ModeStrict)
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		kind := KindRound
+		if i == 0 {
+			kind = KindCreate
+		}
+		if _, err := w.Append(kind, []byte(`{"x":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill here: no commit, no appends into the fresh segment, no Close.
+
+	sessions, failed, err := st.Recover()
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("recover: err=%v failed=%v", err, failed)
+	}
+	rec := sessions[0]
+	if len(rec.Tail) != 3 || rec.LastSeq != 3 || rec.Snapshot != nil {
+		t.Fatalf("recovered %+v, want the 3 sealed records and no snapshot", rec)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "s1", segName(4))); !os.IsNotExist(err) {
+		t.Fatalf("empty sealed segment still present (err=%v)", err)
+	}
+	w2, err := st.Resume("s1", rec.LastSeq)
+	if err != nil {
+		t.Fatalf("resume after sealed-segment crash: %v", err)
+	}
+	if seq, err := w2.Append(KindRound, []byte(`{}`)); err != nil || seq != 4 {
+		t.Fatalf("resumed append seq %d err %v, want 4", seq, err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverCorruptFailsOnlyThatSession damages one session mid-log and
+// checks its sibling still recovers.
+func TestRecoverCorruptFailsOnlyThatSession(t *testing.T) {
+	st := openStore(t, ModeStrict)
+	for _, id := range []string{"s1", "s2"} {
+		w, err := st.Create(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			kind := KindRound
+			if i == 0 {
+				kind = KindCreate
+			}
+			if _, err := w.Append(kind, []byte(`{"x":1}`)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(st.Dir(), "s1", segName(1))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[frameHeader+payloadHeader] ^= 0x20 // first record's body, data behind it
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sessions, failed, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 || sessions[0].ID != "s2" {
+		t.Fatalf("recovered %v, want only s2", sessions)
+	}
+	if len(failed) != 1 || failed[0].ID != "s1" || !errors.Is(failed[0].Err, ErrCorrupt) {
+		t.Fatalf("failed = %v, want s1 with ErrCorrupt", failed)
+	}
+}
+
+// TestRecoverSeqGapIsCorrupt removes a middle segment (simulating lost
+// data) and expects a loud per-session failure, not a silent gap.
+func TestRecoverSeqGapIsCorrupt(t *testing.T) {
+	st := openStore(t, ModeStrict)
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindCreate, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.BeginSnapshot(); err != nil { // rotate without committing
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindRound, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(st.Dir(), "s1", segName(1))); err != nil {
+		t.Fatal(err)
+	}
+	_, failed, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || !errors.Is(failed[0].Err, ErrCorrupt) {
+		t.Fatalf("failed = %v, want one ErrCorrupt failure", failed)
+	}
+}
+
+// TestRecoverCorruptSnapshotFallsBack corrupts the newest snapshot while
+// its predecessor and the full replay tail are still on disk.
+func TestRecoverCorruptSnapshotFallsBack(t *testing.T) {
+	st := openStore(t, ModeStrict)
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindCreate, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CommitSnapshot(seq, []byte(`{"good":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindRound, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := w.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit the newer snapshot WITHOUT letting it truncate, then corrupt
+	// it: write the frame by hand so segment wal-2 (holding seq 2) stays.
+	frame := appendRecord(nil, Record{Seq: seq2, Kind: KindSnapshot, Body: []byte(`{"good":2}`)})
+	frame[len(frame)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(st.Dir(), "s1", snapName(seq2)), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sessions, failed, err := st.Recover()
+	if err != nil || len(failed) != 0 {
+		t.Fatalf("recover: err=%v failed=%v", err, failed)
+	}
+	rec := sessions[0]
+	if string(rec.Snapshot) != `{"good":1}` || rec.SnapshotSeq != 1 {
+		t.Fatalf("snapshot %q seq %d, want fallback to seq 1", rec.Snapshot, rec.SnapshotSeq)
+	}
+	if len(rec.Tail) != 1 || rec.LastSeq != 2 {
+		t.Fatalf("tail %v lastSeq %d, want 1 record to seq 2", rec.Tail, rec.LastSeq)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{"buffered": ModeBuffered, "fsync": ModeStrict, "strict": ModeStrict} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode(bogus) should error")
+	}
+}
+
+func TestCreateCollision(t *testing.T) {
+	st := openStore(t, ModeBuffered)
+	if _, err := st.Create("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Create("s1"); err == nil {
+		t.Fatal("second Create for the same session should fail")
+	}
+}
+
+func TestMetricsWired(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st, err := Open(t.TempDir(), Options{Mode: ModeStrict, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Create("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(KindCreate, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := w.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.CommitSnapshot(seq, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter(MetricRecords).Value(); n != 1 {
+		t.Fatalf("%s = %d, want 1", MetricRecords, n)
+	}
+	if reg.Counter(MetricBytes).Value() == 0 {
+		t.Fatalf("%s not counted", MetricBytes)
+	}
+	if n := reg.Counter(MetricSnapshots).Value(); n != 1 {
+		t.Fatalf("%s = %d, want 1", MetricSnapshots, n)
+	}
+	if n := reg.Counter(MetricRecoveredSessions).Value(); n != 1 {
+		t.Fatalf("%s = %d, want 1", MetricRecoveredSessions, n)
+	}
+	if reg.Histogram(MetricAppendSeconds, appendSecLo, appendSecHi, appendSecBins).Count() == 0 {
+		t.Fatalf("%s not observed", MetricAppendSeconds)
+	}
+	if reg.Histogram(MetricFsyncSeconds, fsyncSecLo, fsyncSecHi, fsyncSecBins).Count() == 0 {
+		t.Fatalf("%s not observed", MetricFsyncSeconds)
+	}
+	if reg.Histogram(MetricSnapshotSeconds, snapSecLo, snapSecHi, snapSecBins).Count() == 0 {
+		t.Fatalf("%s not observed", MetricSnapshotSeconds)
+	}
+}

@@ -1,0 +1,74 @@
+package journal
+
+import "dyncontract/internal/telemetry"
+
+// Metric names exported by the journal when Options.Metrics is set,
+// following the repo-wide dyncontract_<pkg>_<name> scheme.
+const (
+	// MetricAppendSeconds is the per-record encode+write latency (the
+	// user-space cost; strict-mode syncs land in MetricFsyncSeconds).
+	MetricAppendSeconds = "dyncontract_journal_append_seconds"
+	// MetricFsyncSeconds is the per-sync flush+fsync latency.
+	MetricFsyncSeconds = "dyncontract_journal_fsync_seconds"
+	// MetricBytes counts journal bytes written (records + snapshots).
+	MetricBytes = "dyncontract_journal_bytes_total"
+	// MetricRecords counts records appended.
+	MetricRecords = "dyncontract_journal_records_total"
+	// MetricSnapshotSeconds is the snapshot commit duration (marshal
+	// excluded — encode, write, fsync, rename, truncate old segments).
+	MetricSnapshotSeconds = "dyncontract_journal_snapshot_seconds"
+	// MetricSnapshots counts committed snapshots.
+	MetricSnapshots = "dyncontract_journal_snapshots_total"
+	// MetricReplayedRecords counts records replayed during recovery.
+	MetricReplayedRecords = "dyncontract_journal_replayed_records_total"
+	// MetricRecoveredSessions counts sessions recovered at startup.
+	MetricRecoveredSessions = "dyncontract_journal_recovered_sessions_total"
+	// MetricRecoveryErrors counts sessions whose recovery failed.
+	MetricRecoveryErrors = "dyncontract_journal_recovery_errors_total"
+	// MetricTornBytes counts torn-tail bytes truncated during recovery.
+	MetricTornBytes = "dyncontract_journal_torn_bytes_total"
+)
+
+// Histogram bins (the stats.Histogram clamping convention): appends are
+// user-space buffer writes — single-digit microseconds — binned over
+// [0, 1ms); fsyncs are device flushes binned over [0, 50ms); snapshot
+// commits over [0, 1s).
+const (
+	appendSecLo, appendSecHi, appendSecBins = 0, 0.001, 50
+	fsyncSecLo, fsyncSecHi, fsyncSecBins    = 0, 0.05, 50
+	snapSecLo, snapSecHi, snapSecBins       = 0, 1.0, 50
+)
+
+// journalMetrics resolves the store's metric handles once at Open. A nil
+// *journalMetrics (Metrics unset) disables collection — callers nil-check
+// the struct, and the handles are only reached through it.
+type journalMetrics struct {
+	appendSec   *telemetry.Histogram
+	fsyncSec    *telemetry.Histogram
+	snapshotSec *telemetry.Histogram
+	bytes       *telemetry.Counter
+	records     *telemetry.Counter
+	snapshots   *telemetry.Counter
+	replayed    *telemetry.Counter
+	recovered   *telemetry.Counter
+	recoveryErr *telemetry.Counter
+	tornBytes   *telemetry.Counter
+}
+
+func newJournalMetrics(reg *telemetry.Registry) *journalMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &journalMetrics{
+		appendSec:   reg.Histogram(MetricAppendSeconds, appendSecLo, appendSecHi, appendSecBins),
+		fsyncSec:    reg.Histogram(MetricFsyncSeconds, fsyncSecLo, fsyncSecHi, fsyncSecBins),
+		snapshotSec: reg.Histogram(MetricSnapshotSeconds, snapSecLo, snapSecHi, snapSecBins),
+		bytes:       reg.Counter(MetricBytes),
+		records:     reg.Counter(MetricRecords),
+		snapshots:   reg.Counter(MetricSnapshots),
+		replayed:    reg.Counter(MetricReplayedRecords),
+		recovered:   reg.Counter(MetricRecoveredSessions),
+		recoveryErr: reg.Counter(MetricRecoveryErrors),
+		tornBytes:   reg.Counter(MetricTornBytes),
+	}
+}

@@ -1,0 +1,189 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// RecoveredSession is one session's journaled history, ready to replay:
+// the latest valid snapshot (if any) plus every command record past it,
+// in sequence order.
+type RecoveredSession struct {
+	// ID is the session's journal directory name (its session ID).
+	ID string
+	// SnapshotSeq is the sequence number the snapshot covers; 0 when the
+	// session has no snapshot and Tail starts from its create record.
+	SnapshotSeq uint64
+	// Snapshot is the snapshot record's body (nil when none).
+	Snapshot []byte
+	// Tail holds the command records with Seq > SnapshotSeq, in order.
+	Tail []Record
+	// LastSeq is the highest durable sequence number; Resume continues
+	// after it.
+	LastSeq uint64
+	// TornBytes counts bytes truncated off the final segment — the
+	// partial record of a crash mid-append.
+	TornBytes int
+}
+
+// SessionError is one session whose recovery failed. Other sessions are
+// unaffected.
+type SessionError struct {
+	ID  string
+	Err error
+}
+
+func (e SessionError) Error() string {
+	return fmt.Sprintf("journal: session %s: %v", e.ID, e.Err)
+}
+
+// Recover scans the store for journaled sessions. Torn tails — a partial
+// final record in the last segment, the signature of kill -9 mid-append
+// — are truncated on disk and reported per session, not fatal. A corrupt
+// record in the middle of a session's log (checksum mismatch with data
+// behind it, a sequence gap, a missing segment) fails that session alone:
+// it lands in failed and every other session still recovers. Incomplete
+// snapshot temp files are deleted; a corrupt snapshot falls back to the
+// previous one when the segments for the longer replay still exist.
+func (st *Store) Recover() (sessions []RecoveredSession, failed []SessionError, err error) {
+	ids, err := st.sessionDirs()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, id := range ids {
+		rec, rerr := st.recoverSession(id)
+		if rerr != nil {
+			failed = append(failed, SessionError{ID: id, Err: rerr})
+			if st.m != nil {
+				st.m.recoveryErr.Inc()
+			}
+			continue
+		}
+		sessions = append(sessions, rec)
+		if st.m != nil {
+			st.m.recovered.Inc()
+			st.m.replayed.Add(uint64(len(rec.Tail)))
+			st.m.tornBytes.Add(uint64(rec.TornBytes))
+		}
+	}
+	return sessions, failed, nil
+}
+
+func (st *Store) recoverSession(id string) (RecoveredSession, error) {
+	rec := RecoveredSession{ID: id}
+	dir := filepath.Join(st.dir, id)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rec, err
+	}
+	var segs, snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// An uncommitted snapshot: the rename never happened, so the
+			// pre-snapshot recovery path is intact. Drop the debris.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if s, ok := parseSeq(name, "wal-", ".log"); ok {
+			segs = append(segs, s)
+		}
+		if s, ok := parseSeq(name, "snap-", ".snap"); ok {
+			snaps = append(snaps, s)
+		}
+	}
+	if len(segs) == 0 && len(snaps) == 0 {
+		return rec, fmt.Errorf("no journal segments")
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+	// Latest decodable snapshot wins. A corrupt newer snapshot falls
+	// through to an older one; whether the replay still closes the gap is
+	// decided by the sequence-continuity check below (if its segments were
+	// already truncated, recovery fails loudly rather than silently
+	// serving a shorter history).
+	for _, s := range snaps {
+		body, ok := st.readSnapshot(filepath.Join(dir, snapName(s)), s)
+		if ok {
+			rec.Snapshot = body
+			rec.SnapshotSeq = s
+			break
+		}
+	}
+
+	expect := rec.SnapshotSeq + 1
+	for i, start := range segs {
+		path := filepath.Join(dir, segName(start))
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return rec, err
+		}
+		recs, clean, derr := decodeRecords(buf)
+		if derr != nil {
+			return rec, fmt.Errorf("segment %s: %w", segName(start), derr)
+		}
+		if clean < len(buf) {
+			if i != len(segs)-1 {
+				// A torn tail can only be the last thing written; a short
+				// frame mid-journal means the bytes behind it are gone.
+				return rec, fmt.Errorf("segment %s: %w: torn record with later segments present", segName(start), ErrCorrupt)
+			}
+			if err := os.Truncate(path, int64(clean)); err != nil {
+				return rec, fmt.Errorf("segment %s: truncate torn tail: %w", segName(start), err)
+			}
+			rec.TornBytes = len(buf) - clean
+		}
+		for _, r := range recs {
+			if r.Seq <= rec.SnapshotSeq {
+				continue // superseded by the snapshot
+			}
+			if r.Seq != expect {
+				return rec, fmt.Errorf("segment %s: %w: record seq %d, want %d", segName(start), ErrCorrupt, r.Seq, expect)
+			}
+			r.Body = append([]byte(nil), r.Body...) // detach from the file buffer
+			rec.Tail = append(rec.Tail, r)
+			expect++
+		}
+	}
+	rec.LastSeq = expect - 1
+	// A kill right after a snapshot seal — or a tail torn down to zero
+	// bytes — leaves the freshly opened last segment with no records. Its
+	// name is exactly the segment Resume will create for the next append,
+	// so drop the empty file rather than collide with it.
+	if n := len(segs); n > 0 && rec.LastSeq > 0 && segs[n-1] == rec.LastSeq+1 {
+		if err := os.Remove(filepath.Join(dir, segName(segs[n-1]))); err != nil {
+			return rec, fmt.Errorf("segment %s: remove empty tail segment: %w", segName(segs[n-1]), err)
+		}
+	}
+	if rec.Snapshot == nil {
+		if len(rec.Tail) == 0 {
+			return rec, fmt.Errorf("empty journal")
+		}
+		if rec.Tail[0].Kind != KindCreate {
+			return rec, fmt.Errorf("%w: first record is %s, want create", ErrCorrupt, rec.Tail[0].Kind)
+		}
+	}
+	return rec, nil
+}
+
+// readSnapshot loads and validates one snapshot file: a single clean
+// KindSnapshot record whose sequence matches the file name.
+func (st *Store) readSnapshot(path string, seq uint64) ([]byte, bool) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	recs, clean, derr := decodeRecords(buf)
+	if derr != nil || clean != len(buf) || len(recs) != 1 {
+		return nil, false
+	}
+	r := recs[0]
+	if r.Kind != KindSnapshot || r.Seq != seq {
+		return nil, false
+	}
+	return append([]byte(nil), r.Body...), true
+}

@@ -178,6 +178,16 @@ type CacheStatsJSON struct {
 	Entries int    `json:"entries"`
 }
 
+// JournalInfo reports a durable session's journal state inside
+// SessionInfo: the last assigned sequence number, and — for sessions
+// restored at boot — whether recovery happened and how many command
+// records were replayed past the snapshot.
+type JournalInfo struct {
+	Seq       uint64 `json:"seq"`
+	Recovered bool   `json:"recovered,omitempty"`
+	Replayed  int    `json:"replayed,omitempty"`
+}
+
 // SessionInfo is the GET /v1/sessions/{id} response.
 type SessionInfo struct {
 	ID           string         `json:"id"`
@@ -188,6 +198,16 @@ type SessionInfo struct {
 	TotalUtility float64        `json:"total_utility"`
 	Cache        CacheStatsJSON `json:"cache"`
 	Draining     bool           `json:"draining,omitempty"`
+	Journal      *JournalInfo   `json:"journal,omitempty"`
+}
+
+// SnapshotResponse is the POST /v1/sessions/{id}/snapshot response: the
+// sequence number the snapshot covers, its serialized size, and the
+// number of completed rounds it captured.
+type SnapshotResponse struct {
+	Seq    uint64 `json:"seq"`
+	Bytes  int    `json:"bytes"`
+	Rounds int    `json:"rounds"`
 }
 
 // AdvanceRoundRequest is the POST /v1/sessions/{id}/rounds body. An empty

@@ -1,0 +1,421 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"dyncontract/internal/journal"
+)
+
+// newJournaledServer wires a testServer over a strict-mode journal store
+// rooted at dir. Strict mode makes every served response durable, so a
+// copy of dir taken between requests is exactly the disk image a kill -9
+// would leave behind.
+func newJournaledServer(t *testing.T, dir string, cfg Config) *testServer {
+	t.Helper()
+	st, err := journal.Open(dir, journal.Options{Mode: journal.ModeStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Journal = st
+	return newTestServer(t, cfg)
+}
+
+// recoverServer boots a fresh server over an existing journal directory
+// and runs recovery, the same sequence contractd performs before
+// listening.
+func recoverServer(t *testing.T, dir string, cfg Config) (*testServer, RecoveryStats) {
+	t.Helper()
+	e := newJournaledServer(t, dir, cfg)
+	stats, err := e.srv.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return e, stats
+}
+
+// crashImage copies the journal directory byte for byte — the disk state
+// a kill -9 at this instant would leave — so recovery runs against a
+// frozen image while the original server keeps serving as the
+// uninterrupted reference.
+func crashImage(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// ledgerBytes fetches a session's full audit ledger as raw JSON — the
+// byte-identical currency every recovery assertion trades in.
+func ledgerBytes(t *testing.T, e *testServer, id string) []byte {
+	t.Helper()
+	resp, err := e.ts.Client().Get(e.ts.URL + "/v1/sessions/" + id + "/rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list rounds: status %d: %s", resp.StatusCode, raw)
+	}
+	return raw
+}
+
+// advanceRounds advances n rounds, failing the test on any non-200.
+func advanceRounds(t *testing.T, e *testServer, id string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		req := AdvanceRoundRequest{IncludeOutcomes: true}
+		if code := e.do(t, "POST", "/v1/sessions/"+id+"/rounds", &req, nil); code != http.StatusOK {
+			t.Fatalf("round %d: status %d", i, code)
+		}
+	}
+}
+
+// walSegments lists a session's log segments in sequence order.
+func walSegments(t *testing.T, dir, id string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, id, "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 {
+		t.Fatalf("no wal segments under %s/%s", dir, id)
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+// TestRecoverByteIdenticalLedger is the durability acceptance test: a
+// session driven through mixed traffic — rounds, a structural drift,
+// more rounds — is recovered from a crash image with a byte-identical
+// ledger, and keeps producing byte-identical rounds after recovery.
+func TestRecoverByteIdenticalLedger(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newJournaledServer(t, dir, Config{})
+	id := e1.createSession(t)
+
+	advanceRounds(t, e1, id, 3)
+	drift := DriftRequest{
+		Weights: map[string]float64{"h1": 1.4},
+		Add: []AgentSpec{{
+			ID: "h3", Class: "honest",
+			Psi: PsiSpec{R2: -0.25, R1: 2}, Beta: 1.1, Weight: 0.9,
+		}},
+		Remove: []string{"m1"},
+	}
+	if code := e1.do(t, "POST", "/v1/sessions/"+id+"/drift", &drift, nil); code != http.StatusOK {
+		t.Fatalf("drift: status %d", code)
+	}
+	advanceRounds(t, e1, id, 2)
+	ref := ledgerBytes(t, e1, id)
+
+	e2, stats := recoverServer(t, crashImage(t, dir), Config{})
+	if stats.Sessions != 1 || stats.Failed != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 session, 0 failed", stats)
+	}
+	if stats.Replayed != 6 {
+		t.Errorf("replayed %d commands, want 6 (5 rounds + 1 drift)", stats.Replayed)
+	}
+	if got := ledgerBytes(t, e2, id); string(got) != string(ref) {
+		t.Fatalf("recovered ledger differs:\n got %s\nwant %s", got, ref)
+	}
+
+	var info SessionInfo
+	if code := e2.do(t, "GET", "/v1/sessions/"+id, nil, &info); code != http.StatusOK {
+		t.Fatalf("get session: status %d", code)
+	}
+	if info.Journal == nil || !info.Journal.Recovered || info.Journal.Replayed != 6 {
+		t.Errorf("journal info = %+v, want recovered with 6 replayed", info.Journal)
+	}
+
+	// The recovered session is live, not an archive: both servers advance
+	// two more rounds and stay byte-identical.
+	advanceRounds(t, e1, id, 2)
+	advanceRounds(t, e2, id, 2)
+	if got, want := ledgerBytes(t, e2, id), ledgerBytes(t, e1, id); string(got) != string(want) {
+		t.Errorf("post-recovery rounds diverge:\n got %s\nwant %s", got, want)
+	}
+
+	// Fresh IDs are minted past the recovered history — no collision with
+	// the journal directory on disk.
+	var created CreateSessionResponse
+	req := testCreateReq()
+	if code := e2.do(t, "POST", "/v1/sessions", &req, &created); code != http.StatusCreated {
+		t.Fatalf("create after recovery: status %d", code)
+	}
+	if created.ID == id {
+		t.Fatalf("recovered server re-minted live session ID %s", id)
+	}
+}
+
+// TestRecoverFromSnapshot pins the snapshot path: a forced snapshot
+// truncates the log, recovery restores from it and replays only the
+// commands behind it, and the ledger still comes back byte-identical.
+func TestRecoverFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newJournaledServer(t, dir, Config{})
+	id := e1.createSession(t)
+
+	advanceRounds(t, e1, id, 3)
+	var snap SnapshotResponse
+	if code := e1.do(t, "POST", "/v1/sessions/"+id+"/snapshot", nil, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot: status %d", code)
+	}
+	if snap.Rounds != 3 || snap.Seq == 0 || snap.Bytes == 0 {
+		t.Fatalf("snapshot response = %+v, want 3 rounds at a positive seq", snap)
+	}
+	advanceRounds(t, e1, id, 2)
+	ref := ledgerBytes(t, e1, id)
+
+	e2, stats := recoverServer(t, crashImage(t, dir), Config{})
+	if stats.Sessions != 1 || stats.Failed != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 session, 0 failed", stats)
+	}
+	if stats.Replayed != 2 {
+		t.Errorf("replayed %d commands, want 2 (rounds behind the snapshot)", stats.Replayed)
+	}
+	if got := ledgerBytes(t, e2, id); string(got) != string(ref) {
+		t.Fatalf("recovered ledger differs:\n got %s\nwant %s", got, ref)
+	}
+}
+
+// TestRecoverAutoSnapshot drives a session past the SnapshotEvery
+// cadence, waits for the background commit, and recovers from the
+// compacted journal.
+func TestRecoverAutoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newJournaledServer(t, dir, Config{SnapshotEvery: 3})
+	id := e1.createSession(t)
+	advanceRounds(t, e1, id, 4)
+	ref := ledgerBytes(t, e1, id)
+
+	// The auto-snapshot commits on a background goroutine; wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snaps, err := filepath.Glob(filepath.Join(dir, id, "snap-*.snap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-snapshot never committed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	e2, stats := recoverServer(t, crashImage(t, dir), Config{})
+	if stats.Sessions != 1 || stats.Failed != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 session, 0 failed", stats)
+	}
+	// The snapshot covers the create plus the first three rounds; only
+	// the fourth replays.
+	if stats.Replayed != 1 {
+		t.Errorf("replayed %d commands, want 1", stats.Replayed)
+	}
+	if got := ledgerBytes(t, e2, id); string(got) != string(ref) {
+		t.Fatalf("recovered ledger differs:\n got %s\nwant %s", got, ref)
+	}
+}
+
+// TestRecoverTornTail truncates the final record mid-frame — the shape a
+// kill -9 during an append leaves — and checks recovery degrades to the
+// longest clean prefix instead of failing.
+func TestRecoverTornTail(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newJournaledServer(t, dir, Config{})
+	id := e1.createSession(t)
+	advanceRounds(t, e1, id, 4)
+
+	var ref []json.RawMessage
+	if err := json.Unmarshal(ledgerBytes(t, e1, id), &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	image := crashImage(t, dir)
+	segs := walSegments(t, image, id)
+	last := segs[len(segs)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, stats := recoverServer(t, image, Config{})
+	if stats.Sessions != 1 || stats.Failed != 0 {
+		t.Fatalf("recovery stats = %+v, want 1 session, 0 failed", stats)
+	}
+	var got []json.RawMessage
+	if err := json.Unmarshal(ledgerBytes(t, e2, id), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref)-1 {
+		t.Fatalf("torn tail recovered %d rounds, want %d", len(got), len(ref)-1)
+	}
+	for i := range got {
+		if string(got[i]) != string(ref[i]) {
+			t.Fatalf("round %d differs after torn-tail recovery:\n got %s\nwant %s", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestRecoverRandomizedTruncation sweeps kill points across the log: a
+// journal truncated at any byte offset past the create record must
+// recover to a byte-identical prefix of the uninterrupted history —
+// frame boundaries and mid-frame tears alike.
+func TestRecoverRandomizedTruncation(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newJournaledServer(t, dir, Config{})
+	id := e1.createSession(t)
+	advanceRounds(t, e1, id, 5)
+
+	var ref []json.RawMessage
+	if err := json.Unmarshal(ledgerBytes(t, e1, id), &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := walSegments(t, dir, id)[0]
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(len(raw))
+	// First frame = 8-byte header + payload; truncating inside the create
+	// record is the no-create corrupt case, covered elsewhere.
+	firstEnd := int64(8 + binary.LittleEndian.Uint32(raw[:4]))
+
+	// A deterministic spread of kill points: frame-exact at firstEnd and
+	// size, mid-frame everywhere between.
+	var cuts []int64
+	for k := int64(0); k <= 6; k++ {
+		cuts = append(cuts, firstEnd+k*(size-firstEnd)/6)
+	}
+	cuts = append(cuts, firstEnd+7, size-1)
+
+	for _, cut := range cuts {
+		image := crashImage(t, dir)
+		if err := os.Truncate(filepath.Join(image, id, filepath.Base(seg)), cut); err != nil {
+			t.Fatal(err)
+		}
+		e2, stats := recoverServer(t, image, Config{})
+		if stats.Sessions != 1 || stats.Failed != 0 {
+			t.Fatalf("cut %d: recovery stats = %+v, want 1 session, 0 failed", cut, stats)
+		}
+		var got []json.RawMessage
+		if err := json.Unmarshal(ledgerBytes(t, e2, id), &got); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) > len(ref) {
+			t.Fatalf("cut %d: recovered %d rounds from a %d-round history", cut, len(got), len(ref))
+		}
+		for i := range got {
+			if string(got[i]) != string(ref[i]) {
+				t.Fatalf("cut %d: round %d differs:\n got %s\nwant %s", cut, i, got[i], ref[i])
+			}
+		}
+		if cut == size && len(got) != len(ref) {
+			t.Fatalf("uncut image recovered %d rounds, want %d", len(got), len(ref))
+		}
+	}
+}
+
+// TestRecoverCorruptMidLogFailsOnlyThatSession flips a byte in the
+// middle of one session's log — data behind the damage means truncation
+// would silently lose acknowledged history, so that session must fail —
+// and checks the blast radius stops there: the sibling session recovers
+// byte-identical and fresh IDs skip the dead journal.
+func TestRecoverCorruptMidLogFailsOnlyThatSession(t *testing.T) {
+	dir := t.TempDir()
+	e1 := newJournaledServer(t, dir, Config{})
+	id1 := e1.createSession(t)
+	id2 := e1.createSession(t)
+	advanceRounds(t, e1, id1, 3)
+	advanceRounds(t, e1, id2, 2)
+	ref2 := ledgerBytes(t, e1, id2)
+
+	image := crashImage(t, dir)
+	seg := walSegments(t, image, id1)[0]
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xff // inside the first record's payload, with records behind it
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, stats := recoverServer(t, image, Config{})
+	if stats.Sessions != 1 || stats.Failed != 1 {
+		t.Fatalf("recovery stats = %+v, want 1 recovered, 1 failed", stats)
+	}
+	if code := e2.do(t, "GET", "/v1/sessions/"+id1, nil, nil); code != http.StatusNotFound {
+		t.Errorf("corrupt session served: status %d, want 404", code)
+	}
+	if got := ledgerBytes(t, e2, id2); string(got) != string(ref2) {
+		t.Fatalf("sibling ledger differs:\n got %s\nwant %s", got, ref2)
+	}
+	// The failed session's files stay on disk for forensics, and its ID
+	// is retired: a new session must not collide with them.
+	var created CreateSessionResponse
+	req := testCreateReq()
+	if code := e2.do(t, "POST", "/v1/sessions", &req, &created); code != http.StatusCreated {
+		t.Fatalf("create after failed recovery: status %d", code)
+	}
+	if created.ID == id1 || created.ID == id2 {
+		t.Errorf("new session re-minted journaled ID %s", created.ID)
+	}
+	if _, err := os.Stat(filepath.Join(image, id1)); err != nil {
+		t.Errorf("corrupt session's journal removed: %v", err)
+	}
+}
+
+// TestSnapshotWithoutJournal pins the 409 on durability endpoints when
+// the server runs without a journal.
+func TestSnapshotWithoutJournal(t *testing.T) {
+	e := newTestServer(t, Config{})
+	id := e.createSession(t)
+	if code := e.do(t, "POST", "/v1/sessions/"+id+"/snapshot", nil, nil); code != http.StatusConflict {
+		t.Errorf("snapshot without journal: status %d, want 409", code)
+	}
+	var info SessionInfo
+	if code := e.do(t, "GET", "/v1/sessions/"+id, nil, &info); code != http.StatusOK {
+		t.Fatalf("get session: status %d", code)
+	}
+	if info.Journal != nil {
+		t.Errorf("journal info = %+v on an unjournaled session, want absent", info.Journal)
+	}
+}

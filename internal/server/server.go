@@ -15,6 +15,7 @@ import (
 	"dyncontract/internal/effort"
 	"dyncontract/internal/engine"
 	"dyncontract/internal/experiments"
+	"dyncontract/internal/journal"
 	"dyncontract/internal/obs"
 	"dyncontract/internal/platform"
 	"dyncontract/internal/spans"
@@ -54,6 +55,15 @@ type Config struct {
 	// session IDs) and session events such as drift-scope escalations.
 	// Nil is off.
 	Logger *slog.Logger
+	// Journal, when non-nil, makes sessions durable: every command is
+	// written ahead to a per-session log before it executes, snapshots
+	// compact the log, and Recover restores journaled sessions at boot
+	// with byte-identical ledgers. Nil is off.
+	Journal *journal.Store
+	// SnapshotEvery auto-snapshots each session after this many
+	// successful commands; 0 means manual snapshots only (via
+	// POST /v1/sessions/{id}/snapshot).
+	SnapshotEvery int
 }
 
 // Defaults returns cfg with every unset field at its default.
@@ -144,6 +154,7 @@ func New(cfg Config) *Server {
 	route("POST /v1/sessions/{id}/rounds", "rounds_advance", s.handleAdvanceRound)
 	route("POST /v1/sessions/{id}/design", "design", s.handleDesign)
 	route("POST /v1/sessions/{id}/drift", "drift", s.handleDrift)
+	route("POST /v1/sessions/{id}/snapshot", "snapshot", s.handleSnapshot)
 	if cfg.Metrics != nil || s.tracer.Recorder() != nil {
 		// /metrics + /debug/pprof/ + /debug/traces
 		s.mux.Handle("/", obs.HandlerWith(cfg.Metrics, s.tracer.Recorder()))
@@ -440,13 +451,10 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool)
 }
 
 // newSession builds a population from the request, wires an engine around
-// it, and registers the running session.
+// it, opens its journal (when durability is on), and registers the
+// running session.
 func (s *Server) newSession(req *CreateSessionRequest) (*session, error) {
-	pop, err := buildPopulation(req)
-	if err != nil {
-		return nil, err
-	}
-	pol, polName, err := buildPolicy(req)
+	sess, err := s.buildSession(req)
 	if err != nil {
 		return nil, err
 	}
@@ -464,9 +472,47 @@ func (s *Server) newSession(req *CreateSessionRequest) (*session, error) {
 	}
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
+	s.mu.Unlock()
+	sess.id = id
+
+	if s.cfg.Journal != nil {
+		if err := s.openJournal(sess, req); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, errDraining
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.metrics.addSessions(1)
+	sess.start()
+	return sess, nil
+}
+
+// buildSession resolves a validated create request into an assembled (but
+// unregistered, unnamed) session: population, policy, engine, queues.
+func (s *Server) buildSession(req *CreateSessionRequest) (*session, error) {
+	pop, err := buildPopulation(req)
+	if err != nil {
+		return nil, err
+	}
+	pol, polName, err := buildPolicy(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.assembleSession(req, pop, pol, polName)
+}
+
+// assembleSession wires the engine and goroutine plumbing around an
+// already-built population and policy. The caller assigns the ID; both
+// session creation and journal recovery land here.
+func (s *Server) assembleSession(req *CreateSessionRequest, pop *engine.Population, pol engine.Policy, polName string) (*session, error) {
+	s.mu.Lock()
 	wrap := s.testWrapPolicy
 	s.mu.Unlock()
-
 	if wrap != nil {
 		pol = wrap(pol)
 	}
@@ -484,8 +530,7 @@ func (s *Server) newSession(req *CreateSessionRequest) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess := &session{
-		id:         id,
+	return &session{
 		name:       req.Name,
 		policyName: polName,
 		srv:        s,
@@ -493,22 +538,13 @@ func (s *Server) newSession(req *CreateSessionRequest) (*session, error) {
 		eng:        eng,
 		capture:    capture,
 		designer:   &engine.Designer{Cache: cache, Metrics: s.cfg.Metrics},
+		req:        req,
 		cmds:       make(chan command, s.cfg.CommandQueue),
 		designCh:   make(chan *designCall, s.cfg.DesignQueue),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 		batchDn:    make(chan struct{}),
-	}
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		return nil, errDraining
-	}
-	s.sessions[id] = sess
-	s.mu.Unlock()
-	s.metrics.addSessions(1)
-	sess.start()
-	return sess, nil
+	}, nil
 }
 
 // errTooMany marks capacity rejections; handlers map it to 429.

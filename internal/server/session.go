@@ -13,6 +13,7 @@ import (
 	"dyncontract/internal/contract"
 	"dyncontract/internal/effort"
 	"dyncontract/internal/engine"
+	"dyncontract/internal/journal"
 	"dyncontract/internal/spans"
 	"dyncontract/internal/worker"
 )
@@ -27,6 +28,7 @@ type cmdKind int
 const (
 	cmdRound cmdKind = iota
 	cmdDrift
+	cmdSnapshot
 )
 
 // command is one unit of serialized session work: advance a round or apply
@@ -53,6 +55,7 @@ type command struct {
 type cmdReply struct {
 	round RoundJSON
 	drift DriftResponse
+	snap  SnapshotResponse
 	err   error
 	code  int
 }
@@ -135,6 +138,22 @@ type session struct {
 
 	inFlight atomic.Int64
 	draining atomic.Bool
+
+	// jw is the session's write-ahead journal; nil when durability is off.
+	// Append, Flush, and BeginSnapshot belong to the writer goroutine.
+	jw *journal.Writer
+	// req is the create request the session was built from, retained so
+	// snapshots can store the policy knobs and name verbatim.
+	req *CreateSessionRequest
+	// sinceSnap counts successful commands since the last snapshot
+	// (writer goroutine only); Config.SnapshotEvery triggers on it.
+	sinceSnap int
+	// snapBusy is set while a snapshot commit runs in the background.
+	snapBusy atomic.Bool
+	// recovered marks a session restored from the journal at boot;
+	// replayed is how many command records its replay re-executed.
+	recovered bool
+	replayed  int
 }
 
 // start launches the session's writer and batcher goroutines.
@@ -207,7 +226,14 @@ func (s *session) submitDesign(dc *designCall) (code int, err error) {
 // writerLoop is the session's single writer: every round advance and every
 // drift flows through here, one at a time, in arrival order.
 func (s *session) writerLoop() {
-	defer close(s.done)
+	defer func() {
+		if s.jw != nil {
+			if err := s.jw.Close(); err != nil && s.srv.logger != nil {
+				s.srv.logger.Error("journal close failed", "session", s.id, "err", err)
+			}
+		}
+		close(s.done)
+	}()
 	for {
 		// Quit wins over queued work: once drain begins, commands still in
 		// the queue were never started and are answered 503 — only the
@@ -235,13 +261,30 @@ func (s *session) writerLoop() {
 				ctx = spans.ContextWith(ctx, exec)
 			}
 			s.srv.metrics.queueWait(time.Since(cmd.enq).Seconds(), waitLabel)
+			// Write-ahead: the command is journaled before it executes, so
+			// the log is a superset of the executed history; replay skips
+			// the over-approximation via abort records and deterministic
+			// re-execution.
 			switch cmd.kind {
 			case cmdRound:
 				exec.SetAttr("kind", "round")
-				cmd.reply <- s.runRound(ctx, cmd.round)
+				rep, ok := s.journalCmd(journal.KindRound, cmd.round)
+				if ok {
+					rep = s.runRound(ctx, cmd.round)
+				}
+				cmd.reply <- rep
+				s.afterCommand(ok, rep.err)
 			case cmdDrift:
 				exec.SetAttr("kind", "drift")
-				cmd.reply <- s.runDrift(cmd.drift)
+				rep, ok := s.journalCmd(journal.KindDrift, cmd.drift)
+				if ok {
+					rep = s.runDrift(cmd.drift)
+				}
+				cmd.reply <- rep
+				s.afterCommand(ok, rep.err)
+			case cmdSnapshot:
+				exec.SetAttr("kind", "snapshot")
+				s.startSnapshot(cmd.reply)
 			}
 			exec.End()
 		}
@@ -637,7 +680,7 @@ func (s *session) info() SessionInfo {
 	agents := len(s.pop.Agents)
 	s.mu.Unlock()
 	cs := s.eng.CacheStats()
-	return SessionInfo{
+	info := SessionInfo{
 		ID:           s.id,
 		Name:         s.name,
 		Policy:       s.policyName,
@@ -647,6 +690,14 @@ func (s *session) info() SessionInfo {
 		Cache:        CacheStatsJSON{Hits: cs.Hits, Misses: cs.Misses, Entries: cs.Entries},
 		Draining:     s.draining.Load(),
 	}
+	if s.jw != nil {
+		info.Journal = &JournalInfo{
+			Seq:       s.jw.Seq(),
+			Recovered: s.recovered,
+			Replayed:  s.replayed,
+		}
+	}
+	return info
 }
 
 // rounds snapshots the ledger as wire rounds (outcomes always included —

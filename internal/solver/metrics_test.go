@@ -159,8 +159,12 @@ func TestSolveAllScalarFallbackMetric(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if got := reg.Snapshot().Counters[MetricScalarFallbacks]; got != 0 {
+	healthy := reg.Snapshot()
+	if got := healthy.Counters[MetricScalarFallbacks]; got != 0 {
 		t.Errorf("%s = %d on healthy fixture, want 0", MetricScalarFallbacks, got)
+	}
+	if h := healthy.Histograms[MetricScalarFallbackSeconds]; h.Count != 0 {
+		t.Errorf("%s count = %d on healthy fixture, want 0", MetricScalarFallbackSeconds, h.Count)
 	}
 
 	subs := solverFixture(t, 6)
@@ -177,8 +181,28 @@ func TestSolveAllScalarFallbackMetric(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if got := reg.Snapshot().Counters[MetricScalarFallbacks]; got != 2 {
+		s := reg.Snapshot()
+		if got := s.Counters[MetricScalarFallbacks]; got != 2 {
 			t.Errorf("%s: %s = %d, want 2", name, MetricScalarFallbacks, got)
+		}
+		// The latency histogram records exactly the fallback designs: one
+		// observation per degenerate subproblem, its mass a subset of the
+		// all-designs histogram on the same bins.
+		fh, ok := s.Histograms[MetricScalarFallbackSeconds]
+		if !ok {
+			t.Fatalf("%s: missing histogram %s", name, MetricScalarFallbackSeconds)
+		}
+		if fh.Count != 2 {
+			t.Errorf("%s: %s count = %d, want 2", name, MetricScalarFallbackSeconds, fh.Count)
+		}
+		dh := s.Histograms[MetricDesignSeconds]
+		if fh.Count > dh.Count || fh.Sum > dh.Sum {
+			t.Errorf("%s: %s (count %d, sum %v) exceeds %s (count %d, sum %v)",
+				name, MetricScalarFallbackSeconds, fh.Count, fh.Sum,
+				MetricDesignSeconds, dh.Count, dh.Sum)
+		}
+		if fh.Sum < 0 || math.IsNaN(fh.Sum) || math.IsInf(fh.Sum, 0) {
+			t.Errorf("%s: %s sum = %v, want finite ≥ 0", name, MetricScalarFallbackSeconds, fh.Sum)
 		}
 		// The fallback must still produce the scalar path's exact outcome.
 		for _, i := range []int{1, 4} {

@@ -42,6 +42,12 @@ const (
 	// flat arrays cannot reproduce. A rate tracking MetricDesigns means the
 	// population silently defeats the batched cold path en masse.
 	MetricScalarFallbacks = "dyncontract_solver_scalar_fallbacks_total"
+	// MetricScalarFallbackSeconds is the latency histogram of exactly the
+	// designs that fell back to the scalar path — the slow subset of
+	// MetricDesignSeconds, on the same bins, so the two distributions
+	// overlay directly: a fallback-heavy population shows up as this
+	// histogram's mass tracking the total's upper tail.
+	MetricScalarFallbackSeconds = "dyncontract_solver_scalar_fallback_seconds"
 )
 
 // Design-latency bins: uniform over [0, 10ms) in 0.2ms steps (the
@@ -157,6 +163,7 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 		designs, designErrs *telemetry.Counter
 		scalarFallbacks     *telemetry.Counter
 		designSec           *telemetry.Histogram
+		fallbackSec         *telemetry.Histogram
 	)
 	timed := opts.Metrics != nil
 	if timed {
@@ -164,6 +171,7 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 		designErrs = opts.Metrics.Counter(MetricDesignErrors)
 		scalarFallbacks = opts.Metrics.Counter(MetricScalarFallbacks)
 		designSec = opts.Metrics.Histogram(MetricDesignSeconds, designSecondsLo, designSecondsHi, designSecondsBins)
+		fallbackSec = opts.Metrics.Histogram(MetricScalarFallbackSeconds, designSecondsLo, designSecondsHi, designSecondsBins)
 		opts.Metrics.Histogram(MetricBatchSize, batchSizeLo, batchSizeHi, batchSizeBins).Observe(float64(n))
 	}
 
@@ -195,12 +203,18 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 				return nil
 			}
 			var t telemetry.Timer
+			var fbPre uint64
 			if timed {
+				fbPre = scratch.Fallbacks()
 				t = telemetry.StartTimer()
 			}
 			res, err := core.DesignInto(subs[i].Agent, subs[i].Config, scratch)
 			if timed {
-				designSec.Observe(t.Seconds())
+				sec := t.Seconds()
+				designSec.Observe(sec)
+				if scratch.Fallbacks() != fbPre {
+					fallbackSec.Observe(sec)
+				}
 				designs.Inc()
 				if err != nil {
 					designErrs.Inc()
@@ -243,12 +257,18 @@ func SolveAllInto(ctx context.Context, subs []Subproblem, outcomes []Outcome, op
 					continue
 				}
 				var t telemetry.Timer
+				var fbPre uint64
 				if timed {
+					fbPre = scratch.Fallbacks()
 					t = telemetry.StartTimer()
 				}
 				res, err := core.DesignInto(subs[i].Agent, subs[i].Config, scratch)
 				if timed {
-					designSec.Observe(t.Seconds())
+					sec := t.Seconds()
+					designSec.Observe(sec)
+					if scratch.Fallbacks() != fbPre {
+						fallbackSec.Observe(sec)
+					}
 					designs.Inc()
 					if err != nil {
 						designErrs.Inc()

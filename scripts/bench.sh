@@ -6,11 +6,13 @@
 # variants pinning the touched-scope and join/leave-splice speedups),
 # BenchmarkTelemetryOverhead (instrumented vs
 # telemetry.Nop), BenchmarkTraceOverhead (span tracing disabled vs
-# sampled-out vs sampled-in on the same warm round), and the HTTP serving
+# sampled-out vs sampled-in on the same warm round), the HTTP serving
 # benchmarks
 # BenchmarkServerDesignBatch and BenchmarkServerDriftRoute (tracked for
 # trend only, not regression-gated — they ride
-# the loopback network stack) — with
+# the loopback network stack), and BenchmarkJournalAppend (the
+# write-ahead hop per journaled command, buffered and fsync; trend only —
+# the fsync arm benchmarks the storage stack, not the code) — with
 # -benchmem, prints the standard output, and writes the parsed results to
 # BENCH_engine.json as one JSON array of
 #   {"name", "iterations", "ns_per_op", "bytes_per_op", "allocs_per_op"}
@@ -40,7 +42,7 @@ raw=$(mktemp)
 fresh=$(mktemp)
 trap 'rm -f "$raw" "$fresh"' EXIT
 
-go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead|BenchmarkServerDesignBatch|BenchmarkServerDriftRoute' -benchmem . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkEngineRound1k|BenchmarkEngineRound100k|BenchmarkTelemetryOverhead|BenchmarkTraceOverhead|BenchmarkServerDesignBatch|BenchmarkServerDriftRoute|BenchmarkJournalAppend' -benchmem . | tee "$raw"
 
 awk '
 BEGIN { print "["; n = 0 }
